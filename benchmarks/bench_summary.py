@@ -1,0 +1,14 @@
+"""Benchmark for the Section 4.4 summary (geometric means across all benchmarks)."""
+
+from __future__ import annotations
+
+from repro.experiments.summary import collect
+
+
+def test_summary_speedup(benchmark):
+    data = benchmark.pedantic(lambda: collect("tiny", "tiny"), rounds=1, iterations=1)
+    benchmark.extra_info["speedup_all_vs_none_ops"] = round(data["speedup_all_vs_none_ops"], 2)
+    benchmark.extra_info["speedup_all_vs_none_time"] = round(data["speedup_all_vs_none_time"], 2)
+    # the shape claim: the fully optimized runtime performs an order of
+    # magnitude less communication work than the unoptimized one
+    assert data["speedup_all_vs_none_ops"] > 2.0

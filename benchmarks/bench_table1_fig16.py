@@ -1,0 +1,34 @@
+"""Benchmark harness for Table 1 / Fig. 16: optimization levels on Cowichan tasks.
+
+One benchmark per (task, optimization level); the benchmark extra_info
+records the communication work performed so the normalized Table-1 rows can
+be reconstructed from the saved benchmark data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LEVEL_ORDER
+from repro.workloads.cowichan.scoop import COWICHAN_TASKS, run_cowichan
+
+LEVELS = [level.value for level in LEVEL_ORDER]
+TASKS = sorted(COWICHAN_TASKS)
+
+
+@pytest.mark.parametrize("task", TASKS)
+@pytest.mark.parametrize("level", LEVELS)
+def test_cowichan_optimization(benchmark, task, level, parallel_sizes, bench_options):
+    result_holder = {}
+
+    def run():
+        result_holder["result"] = run_cowichan(task, level, parallel_sizes)
+
+    benchmark.pedantic(run, **bench_options)
+    result = result_holder["result"]
+    benchmark.extra_info["task"] = task
+    benchmark.extra_info["level"] = level
+    benchmark.extra_info["comm_ops"] = result.communication_ops
+    benchmark.extra_info["sync_roundtrips"] = result.sync_roundtrips
+    benchmark.extra_info["syncs_elided"] = result.counters["syncs_elided"]
+    assert result.value is not None

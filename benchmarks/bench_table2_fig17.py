@@ -1,0 +1,27 @@
+"""Benchmark harness for Table 2 / Fig. 17: optimization levels on concurrent tasks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LEVEL_ORDER
+from repro.workloads.concurrent.runner import CONCURRENT_TASKS, run_concurrent
+
+LEVELS = [level.value for level in LEVEL_ORDER]
+TASKS = sorted(CONCURRENT_TASKS)
+
+
+@pytest.mark.parametrize("task", TASKS)
+@pytest.mark.parametrize("level", LEVELS)
+def test_concurrent_optimization(benchmark, task, level, concurrent_sizes, bench_options):
+    result_holder = {}
+
+    def run():
+        result_holder["result"] = run_concurrent(task, level, concurrent_sizes)
+
+    benchmark.pedantic(run, **bench_options)
+    result = result_holder["result"]
+    benchmark.extra_info["task"] = task
+    benchmark.extra_info["level"] = level
+    benchmark.extra_info["comm_ops"] = result.communication_ops
+    assert result.value is not None

@@ -1,0 +1,33 @@
+"""Benchmark harness for Table 4 / Fig. 18 / Fig. 19: the cross-language parallel model.
+
+The model itself is cheap to evaluate, so the benchmark measures the full
+sweep (every task x language x thread count) and stores the headline numbers
+(32-core totals and speedups) in extra_info for inspection.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table4 import fig18_rows, fig19_rows, geometric_means, table4_rows
+
+
+def test_table4_sweep(benchmark):
+    rows = benchmark(table4_rows)
+    assert len(rows) == 6 * (5 + 2)  # 6 tasks, 5 total rows + 2 compute-only rows each
+    benchmark.extra_info["geometric_means"] = geometric_means()
+
+
+def test_fig18_split(benchmark):
+    rows = benchmark(fig18_rows)
+    assert len(rows) == 30
+    qs = {r["task"]: r for r in rows if r["lang"] == "qs"}
+    benchmark.extra_info["qs_comm_fraction_thresh"] = round(
+        qs["thresh"]["comm_s"] / qs["thresh"]["total_s"], 3
+    )
+
+
+def test_fig19_speedups(benchmark):
+    rows = benchmark(fig19_rows)
+    assert any(r["series"] == "qs (comp.)" for r in rows)
+    benchmark.extra_info["series_count"] = len(rows)

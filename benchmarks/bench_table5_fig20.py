@@ -1,0 +1,11 @@
+"""Benchmark harness for Table 5 / Fig. 20: the cross-language concurrent model."""
+
+from __future__ import annotations
+
+from repro.experiments.table5 import geometric_means, table5_rows
+
+
+def test_table5_sweep(benchmark):
+    rows = benchmark(table5_rows)
+    assert len(rows) == 5
+    benchmark.extra_info["geometric_means"] = geometric_means()

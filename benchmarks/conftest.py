@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Benchmarks run at the ``tiny`` problem preset so that the full suite (every
+table and figure of the paper) completes in seconds; pass ``--preset=small``
+for more realistic sizes.  pytest-benchmark's default calibration is capped
+so the communication-heavy unoptimized configurations don't dominate the
+wall clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.params import concurrent_preset, parallel_preset
+
+
+def pytest_addoption(parser):
+    parser.addoption("--preset", action="store", default="tiny",
+                     help="problem-size preset for workload benchmarks (tiny|small)")
+
+
+@pytest.fixture(scope="session")
+def parallel_sizes(request):
+    return parallel_preset(request.config.getoption("--preset"))
+
+
+@pytest.fixture(scope="session")
+def concurrent_sizes(request):
+    return concurrent_preset(request.config.getoption("--preset"))
+
+
+@pytest.fixture(scope="session")
+def bench_options():
+    """Keep benchmark rounds small: these are macro-benchmarks, not microbenchmarks."""
+    return {"rounds": 3, "iterations": 1, "warmup_rounds": 0}

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Deadlock analysis of the paper's Fig. 6 with the executable semantics.
+
+Run with::
+
+    python examples/deadlock_analysis.py
+
+Section 2.5 of the paper makes two claims about the nested-reservation
+program of Fig. 6:
+
+1. under SCOOP/Qs the program *cannot* deadlock, because reservations and
+   asynchronous calls never block, and
+2. adding blocking queries to the innermost blocks makes deadlock possible
+   again.
+
+This example verifies both claims mechanically, twice over:
+
+* the **static wait-for-graph analysis** (:mod:`repro.semantics.waitgraph`)
+  shows the asynchronous variant has an acyclic reservation/query graph while
+  the query variant has the cycle ``x -> y -> x``;
+* the **exhaustive explorer** (:mod:`repro.semantics.explorer`) enumerates
+  every interleaving of both variants and reports how many reachable states
+  are deadlocks, confirming the cycle is actually realisable.
+"""
+
+from __future__ import annotations
+
+from repro.semantics.explorer import Explorer
+from repro.semantics.programs import fig6_nested, fig6_with_queries
+from repro.semantics.syntax import Call, Query, Separate, seq
+from repro.semantics.waitgraph import build_wait_graph, explain, potential_deadlock_cycles
+
+
+def client_programs(with_queries: bool):
+    """Fig. 6's two clients as plain syntax (for the static analysis)."""
+
+    def client(outer: str, inner: str):
+        body = seq(Call("x", "foo"), Call("y", "bar"))
+        if with_queries:
+            body = seq(body, Query(inner, "value"))
+        return Separate((outer,), Separate((inner,), body))
+
+    return {"client1": client("x", "y"), "client2": client("y", "x")}
+
+
+def analyse(title: str, with_queries: bool, configuration):
+    print(f"=== {title} ===")
+    programs = client_programs(with_queries)
+    for name, program in programs.items():
+        print(f"  {name}: {program}")
+
+    graph = build_wait_graph(programs)
+    cycles = potential_deadlock_cycles(graph)
+    print("static analysis :", explain(graph, cycles).splitlines()[0])
+
+    result = Explorer().explore(configuration)
+    print(
+        f"explorer        : {result.states_visited} states, "
+        f"{len(result.terminal_states)} terminal, {len(result.deadlock_states)} deadlocked"
+    )
+    if result.deadlock_states:
+        print("one deadlocked configuration:")
+        print("   ", result.deadlock_states[0])
+    print()
+    return result, cycles
+
+
+def main() -> None:
+    async_result, async_cycles = analyse(
+        "Fig. 6, asynchronous calls only (SCOOP/Qs: deadlock impossible)",
+        with_queries=False,
+        configuration=fig6_nested(with_queries=False),
+    )
+    query_result, query_cycles = analyse(
+        "Fig. 6 with innermost queries (deadlock possible again)",
+        with_queries=True,
+        configuration=fig6_with_queries(),
+    )
+
+    assert not async_cycles and not async_result.has_deadlock
+    assert query_cycles and query_result.has_deadlock
+    print("both Section 2.5 claims verified:")
+    print("  - asynchronous nested reservations: acyclic wait graph, no reachable deadlock")
+    print("  - innermost queries: wait-for cycle x -> y -> x, deadlock reachable")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Quickstart: separate objects, commands, queries and reasoning guarantees.
+
+Run with::
+
+    python examples/quickstart.py
+
+Demonstrates the core SCOOP/Qs programming model on a bank-account example:
+commands are logged asynchronously, queries synchronise, and everything a
+client logs inside one separate block is applied in order with no
+interference from other clients — so the balance check at the end is exact,
+not racy.
+"""
+
+from repro import OptimizationLevel, QsRuntime, SeparateObject, command, query
+
+
+class Account(SeparateObject):
+    """A bank account handled by its own thread of execution."""
+
+    def __init__(self, balance: int = 0) -> None:
+        self.balance = balance
+        self.history = []
+
+    @command
+    def deposit(self, amount: int) -> None:
+        self.balance += amount
+        self.history.append(("deposit", amount))
+
+    @command
+    def withdraw(self, amount: int) -> None:
+        if amount > self.balance:
+            raise ValueError("insufficient funds")
+        self.balance -= amount
+        self.history.append(("withdraw", amount))
+
+    @query
+    def current_balance(self) -> int:
+        return self.balance
+
+    @query
+    def statement(self):
+        return list(self.history)
+
+
+def main() -> None:
+    with QsRuntime(OptimizationLevel.ALL) as rt:
+        # every handler is an independent thread of execution; the account
+        # object lives on (and is only touched by) the "bank" handler
+        account = rt.new_handler("bank").create(Account, balance=100)
+
+        with rt.separate(account) as acc:
+            acc.deposit(50)              # asynchronous: logged, not yet applied
+            acc.withdraw(30)             # ordered after the deposit — guaranteed
+            balance = acc.current_balance()   # synchronous: waits for both
+            print(f"balance inside the block : {balance}")
+            assert balance == 120
+
+        # many clients, one handler: each client's block is applied atomically
+        def spender(amount: int) -> None:
+            with rt.separate(account) as acc:
+                if acc.current_balance() >= amount:
+                    acc.withdraw(amount)
+
+        threads = [rt.spawn_client(spender, 10, name=f"spender-{i}") for i in range(5)]
+        for thread in threads:
+            thread.join()
+
+        with rt.separate(account) as acc:
+            print(f"final balance            : {acc.current_balance()}")
+            print(f"operations applied       : {len(acc.statement())}")
+
+        stats = rt.stats()
+        print(f"async calls logged       : {stats.async_calls}")
+        print(f"sync round-trips         : {stats.sync_roundtrips}")
+        print(f"syncs elided dynamically : {stats.syncs_elided}")
+
+
+if __name__ == "__main__":
+    main()

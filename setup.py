@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments without network access or the
+``wheel`` package (``python setup.py develop`` / legacy editable installs).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description="SCOOP/Qs: efficient and reasonable object-oriented concurrency (PPoPP 2015) reproduced in Python",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

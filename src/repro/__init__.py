@@ -1,0 +1,106 @@
+"""SCOOP/Qs: *Efficient and Reasonable Object-Oriented Concurrency* in Python.
+
+This package reproduces the PPoPP 2015 paper by West, Nanz and Meyer:
+
+* :mod:`repro.core`       — the SCOOP/Qs runtime (handlers, separate blocks,
+  queue-of-queues, client-executed queries, dynamic sync coalescing);
+* :mod:`repro.queues`     — the SPSC/MPSC queue substrate;
+* :mod:`repro.sched`      — the lightweight-task / virtual-time scheduler;
+* :mod:`repro.semantics`  — the executable operational semantics of Fig. 3;
+* :mod:`repro.compiler`   — the IR and the static sync-coalescing pass;
+* :mod:`repro.sim`        — the discrete-event performance model and the
+  cross-language backends;
+* :mod:`repro.workloads`  — the Cowichan and coordination benchmarks;
+* :mod:`repro.experiments`— drivers regenerating every table and figure of
+  the paper's evaluation.
+
+Quickstart::
+
+    from repro import QsRuntime, SeparateObject, command, query
+
+    class Account(SeparateObject):
+        def __init__(self, balance=0):
+            self.balance = balance
+
+        @command
+        def deposit(self, amount):
+            self.balance += amount
+
+        @query
+        def current_balance(self):
+            return self.balance
+
+    with QsRuntime() as rt:
+        account = rt.new_handler("bank").create(Account, 100)
+        with rt.separate(account) as acc:
+            acc.deposit(42)                  # asynchronous
+            print(acc.current_balance())     # synchronous -> 142
+"""
+
+from repro.config import LEVEL_ORDER, OptimizationLevel, QsConfig
+from repro.core import (
+    Expanded,
+    ExpandedView,
+    Handler,
+    LockBasedRuntime,
+    QsRuntime,
+    ReservedProxy,
+    SeparateObject,
+    SeparateRef,
+    WaitOutcome,
+    WaitStrategy,
+    assert_guarantees,
+    check_runtime,
+    command,
+    expanded_view,
+    lock_based_runtime,
+    qs_runtime,
+    query,
+    register_expanded,
+)
+from repro.errors import (
+    DeadlockError,
+    NotReservedError,
+    QueryFailedError,
+    ReservationError,
+    ScoopError,
+    SeparateAccessError,
+    WaitConditionTimeout,
+)
+from repro.util.tracing import TraceEvent, Tracer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OptimizationLevel",
+    "QsConfig",
+    "LEVEL_ORDER",
+    "QsRuntime",
+    "LockBasedRuntime",
+    "qs_runtime",
+    "lock_based_runtime",
+    "Handler",
+    "SeparateObject",
+    "SeparateRef",
+    "ReservedProxy",
+    "command",
+    "query",
+    "Expanded",
+    "ExpandedView",
+    "expanded_view",
+    "register_expanded",
+    "WaitStrategy",
+    "WaitOutcome",
+    "Tracer",
+    "TraceEvent",
+    "check_runtime",
+    "assert_guarantees",
+    "ScoopError",
+    "SeparateAccessError",
+    "NotReservedError",
+    "ReservationError",
+    "QueryFailedError",
+    "DeadlockError",
+    "WaitConditionTimeout",
+    "__version__",
+]

@@ -1,0 +1,330 @@
+"""Command-line interface to the SCOOP/Qs reproduction.
+
+``python -m repro <command>`` gives terminal access to the library's main
+entry points without writing a script:
+
+=================  ==========================================================
+command            what it does
+=================  ==========================================================
+``levels``         show the optimization levels and the feature flags behind
+                   each paper column (Section 4)
+``experiment``     run one of the table/figure drivers
+                   (``table1`` .. ``table5``, ``summary``, ``eve``)
+``figures``        render Fig. 16 / Fig. 17 as text bar charts from a fresh
+                   run of the corresponding experiment
+``ir``             print, analyse and optimize IR functions (the paper's
+                   Figs. 12–15 pipeline): sync-sets, dominators, loops,
+                   sync coalescing and hoisting
+``explore``        run the operational-semantics explorer on a paper program
+                   or on a randomly generated one, plus the static wait-for
+                   graph deadlock analysis (Section 2.5)
+``trace``          run a small traced workload on the threaded runtime, dump
+                   the instrumentation events and check the reasoning
+                   guarantees on the actual execution
+=================  ==========================================================
+
+Every sub-command prints plain text only; exit status 0 means success, 1 is
+used for analysis results that found problems (deadlock cycles, guarantee
+violations) so the CLI is usable from shell scripts and CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import LEVEL_ORDER, QsConfig
+
+EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5", "summary", "eve")
+
+
+# ----------------------------------------------------------------------------
+# sub-command implementations
+# ----------------------------------------------------------------------------
+def cmd_levels(_args: argparse.Namespace) -> int:
+    from repro.experiments.report import format_table
+
+    rows = []
+    for level in LEVEL_ORDER:
+        config = QsConfig.from_level(level)
+        rows.append(
+            {
+                "level": level.value,
+                "qoq": config.use_qoq,
+                "dyn-sync": config.dynamic_sync_coalescing,
+                "static-sync": config.static_sync_coalescing,
+                "client-query": config.client_executed_queries,
+                "pq-cache": config.private_queue_cache,
+                "handoff": config.direct_handoff,
+            }
+        )
+    print(format_table(rows, title="Optimization levels (Section 4)"))
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    import importlib
+
+    module = importlib.import_module(f"repro.experiments.{args.name}")
+    saved_argv = sys.argv
+    sys.argv = [f"repro.experiments.{args.name}", *args.args]
+    try:
+        module.main()
+    finally:
+        sys.argv = saved_argv
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import figures, table1, table2
+    from repro.workloads.params import concurrent_preset, parallel_preset
+
+    if args.figure == "fig16":
+        rows = table1.collect(parallel_preset(args.preset))
+        print(figures.fig16(rows))
+    elif args.figure == "fig17":
+        rows = table2.collect(concurrent_preset(args.preset))
+        print(figures.fig17(rows))
+    elif args.figure == "fig18":
+        from repro.experiments import table4
+
+        print(figures.fig18(table4.fig18_rows()))
+    elif args.figure == "fig19":
+        from repro.experiments import table4
+
+        print(figures.fig19(table4.fig19_rows()))
+    else:  # fig20
+        from repro.experiments import table5
+
+        print(figures.fig20(table5.collect()))
+    return 0
+
+
+def _demo_function(name: str):
+    from repro.compiler.builder import fig14_loop, fig15_loop, straightline_queries
+
+    demos = {
+        "fig14": fig14_loop,
+        "fig15": fig15_loop,
+        "straightline": lambda: straightline_queries("h_p", 4),
+    }
+    if name not in demos:
+        raise SystemExit(f"unknown demo {name!r}; choose from {sorted(demos)}")
+    return demos[name]()
+
+
+def cmd_ir(args: argparse.Namespace) -> int:
+    from repro.compiler.alias import AliasInfo
+    from repro.compiler.dominators import compute_dominators, dominator_tree_lines
+    from repro.compiler.loops import find_loops
+    from repro.compiler.lowering import lower_queries
+    from repro.compiler.parser import parse_function
+    from repro.compiler.printer import print_function
+    from repro.compiler.sync_analysis import SyncSetAnalysis
+    from repro.compiler.sync_elision import SyncElisionPass
+    from repro.compiler.sync_hoisting import SyncHoistingPass
+    from repro.compiler.verify import verify_function
+
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            function = parse_function(handle.read())
+    else:
+        function = _demo_function(args.demo)
+
+    aliases = AliasInfo.worst_case()
+    if args.distinct:
+        aliases = AliasInfo.no_aliasing([v.strip() for v in args.distinct.split(",") if v.strip()])
+
+    problems = verify_function(function)
+    if problems:
+        print("verifier problems:")
+        for problem in problems:
+            print(" ", problem)
+        return 1
+
+    print(print_function(function))
+    print()
+    if args.lower:
+        function = lower_queries(function)
+        print("after query lowering (Section 3.2):")
+        print(print_function(function))
+        print()
+
+    sync_sets = SyncSetAnalysis(aliases).run(function)
+    print("sync-sets (Fig. 12/13):")
+    for name in function.reachable_blocks():
+        entry = ",".join(sorted(sync_sets.entry(name))) or "{}"
+        exit_ = ",".join(sorted(sync_sets.exit(name))) or "{}"
+        print(f"  {name}: entry {{{entry}}} exit {{{exit_}}}")
+    print()
+
+    print("dominator tree:")
+    for line in dominator_tree_lines(compute_dominators(function)):
+        print(" ", line)
+    loops = find_loops(function)
+    print(f"natural loops: {', '.join(str(l) for l in loops.loops) or '(none)'}")
+    print()
+
+    if args.opt == "elide":
+        optimized, report = SyncElisionPass(aliases).run(function)
+        print(f"sync coalescing removed {report.removed_syncs}/{report.total_syncs} syncs")
+    elif args.opt == "hoist":
+        optimized, hoist_report = SyncHoistingPass(aliases).run(function)
+        removed = hoist_report.elision.removed_syncs if hoist_report.elision else 0
+        print(f"hoisted {hoist_report.hoisted_count} sync(s); elision then removed {removed}")
+    else:
+        return 0
+    print()
+    print(print_function(optimized))
+    return 0
+
+
+def cmd_explore(args: argparse.Namespace) -> int:
+    from repro.semantics.explorer import Explorer
+    from repro.semantics.generator import ProgramSpec, random_configuration, random_programs
+    from repro.semantics.programs import paper_programs
+    from repro.semantics.waitgraph import build_wait_graph, explain, potential_deadlock_cycles
+
+    if args.random is not None:
+        spec = ProgramSpec()
+        config = random_configuration(args.random, spec)
+        programs = random_programs(args.random, spec)
+        print(f"random configuration (seed {args.random}):")
+    else:
+        registry = paper_programs()
+        if args.program not in registry:
+            raise SystemExit(f"unknown program {args.program!r}; choose from {sorted(registry)}")
+        config = registry[args.program]
+        programs = {h.name: h.program for h in config.handlers if not h.idle}
+        print(f"program {args.program!r}:")
+    for name, program in programs.items():
+        print(f"  {name}: {program}")
+    print()
+
+    graph = build_wait_graph(programs)
+    cycles = potential_deadlock_cycles(graph)
+    print(explain(graph, cycles))
+    print()
+
+    explorer = Explorer(max_states=args.max_states)
+    result = explorer.explore(config)
+    print(
+        f"explored {result.states_visited} states: "
+        f"{len(result.terminal_states)} terminal, {len(result.deadlock_states)} deadlocked"
+        + (" (truncated)" if result.truncated else "")
+    )
+    if result.deadlock_states:
+        print("first deadlocked configuration:")
+        print(" ", result.deadlock_states[0])
+        return 1
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro import QsRuntime, SeparateObject, command, query
+    from repro.core.guarantees import check_runtime
+
+    class Account(SeparateObject):
+        def __init__(self, balance=0):
+            self.balance = balance
+
+        @command
+        def deposit(self, amount):
+            self.balance += amount
+
+        @command
+        def withdraw(self, amount):
+            self.balance -= amount
+
+        @query
+        def current(self):
+            return self.balance
+
+    with QsRuntime(args.level, trace=True) as rt:
+        account = rt.new_handler("account").create(Account, 100)
+
+        def client(n: int) -> None:
+            for i in range(args.iterations):
+                with rt.separate(account) as acc:
+                    acc.deposit(n + i)
+                    acc.withdraw(n)
+                    acc.current()
+
+        for n in range(args.clients):
+            rt.spawn_client(client, n, name=f"client-{n}")
+        rt.join_clients()
+        rt.handler("account").shutdown()
+
+        events = rt.trace_events()
+        print(f"recorded {len(events)} events at level {args.level!r}; last {args.tail}:")
+        for event in events[-args.tail:]:
+            print(" ", event)
+        print()
+        print("counters:", {k: v for k, v in rt.stats().as_dict().items() if v})
+        report = check_runtime(rt)
+        if report.ok:
+            print(f"reasoning guarantees hold on this execution "
+                  f"({len(report.service_order.get('account', []))} blocks served in FIFO order)")
+            return 0
+        print("guarantee violations:")
+        for violation in report.violations:
+            print(" ", violation)
+        return 1
+
+
+# ----------------------------------------------------------------------------
+# parser wiring
+# ----------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("levels", help="show the optimization-level feature matrix").set_defaults(func=cmd_levels)
+
+    p_exp = sub.add_parser("experiment", help="run a table/figure driver")
+    p_exp.add_argument("name", choices=EXPERIMENTS)
+    p_exp.add_argument("args", nargs=argparse.REMAINDER,
+                       help="arguments forwarded to the driver (e.g. --preset tiny)")
+    p_exp.set_defaults(func=cmd_experiment)
+
+    p_fig = sub.add_parser("figures", help="render a paper figure as a text chart")
+    p_fig.add_argument("figure", choices=["fig16", "fig17", "fig18", "fig19", "fig20"])
+    p_fig.add_argument("--preset", default="tiny", choices=["tiny", "small", "paper"])
+    p_fig.set_defaults(func=cmd_figures)
+
+    p_ir = sub.add_parser("ir", help="analyse/optimize an IR function")
+    p_ir.add_argument("--file", help="textual IR file to load")
+    p_ir.add_argument("--demo", default="fig14", help="built-in demo: fig14, fig15, straightline")
+    p_ir.add_argument("--opt", choices=["none", "elide", "hoist"], default="elide")
+    p_ir.add_argument("--lower", action="store_true", help="lower queries to sync + local first")
+    p_ir.add_argument("--distinct", help="comma-separated handler variables known not to alias")
+    p_ir.set_defaults(func=cmd_ir)
+
+    p_explore = sub.add_parser("explore", help="explore a program's interleavings")
+    p_explore.add_argument("--program", default="fig6-queries",
+                           help="paper program name (fig1, fig5, fig5-nested, fig6, fig6-queries)")
+    p_explore.add_argument("--random", type=int, default=None, metavar="SEED",
+                           help="explore a randomly generated program instead")
+    p_explore.add_argument("--max-states", type=int, default=200_000)
+    p_explore.set_defaults(func=cmd_explore)
+
+    p_trace = sub.add_parser("trace", help="run a traced workload and check the guarantees")
+    p_trace.add_argument("--level", default="all", choices=[l.value for l in LEVEL_ORDER])
+    p_trace.add_argument("--clients", type=int, default=3)
+    p_trace.add_argument("--iterations", type=int, default=4)
+    p_trace.add_argument("--tail", type=int, default=20, help="how many trailing events to print")
+    p_trace.set_defaults(func=cmd_trace)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    raise SystemExit(main())

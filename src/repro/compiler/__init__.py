@@ -1,0 +1,118 @@
+"""Compiler substrate: IR, CFG and the static sync-coalescing pass.
+
+The paper implements its static optimization (Section 3.4.2) as an LLVM
+pass over bitcode.  Here the same analysis is implemented over a small
+purpose-built IR:
+
+* :mod:`repro.compiler.ir` — instructions, basic blocks, functions (CFGs);
+* :mod:`repro.compiler.builder` — a fluent builder for constructing CFGs;
+* :mod:`repro.compiler.alias` — may-alias information about handler
+  variables (the reason Fig. 15's loop cannot be optimized);
+* :mod:`repro.compiler.sync_analysis` — the sync-set dataflow analysis of
+  Figs. 12 and 13;
+* :mod:`repro.compiler.sync_elision` — the transformation removing sync
+  instructions proven redundant;
+* :mod:`repro.compiler.pass_manager` — composes passes;
+* :mod:`repro.compiler.interp` — executes IR functions against a live
+  :class:`~repro.core.runtime.QsRuntime`, which is how the data-transfer
+  loops of the workloads get their syncs statically coalesced.
+
+Supporting infrastructure mirroring what the paper gets from LLVM for free:
+
+* :mod:`repro.compiler.dominators` / :mod:`repro.compiler.loops` —
+  dominator trees and natural-loop detection;
+* :mod:`repro.compiler.sync_hoisting` — lift loop-invariant syncs into loop
+  pre-headers (the "fully lift this call right out of the loop body"
+  behaviour of Section 4.2) before eliding;
+* :mod:`repro.compiler.program` / :mod:`repro.compiler.attributes` —
+  whole-program call graphs and automatic ``readonly``/``readnone``
+  inference (Section 3.4.2 relies on LLVM adding these flags);
+* :mod:`repro.compiler.inline` — call-site inlining of statically-known
+  callees (the "allows optimizations such as inlining" of Section 3.2);
+* :mod:`repro.compiler.printer` / :mod:`repro.compiler.parser` — a textual
+  IR format with a lossless round trip;
+* :mod:`repro.compiler.verify` — structural verification plus a semantic
+  check that the sync optimizations never drop a needed sync.
+"""
+
+from repro.compiler.ir import (
+    AsyncCallInstr,
+    BasicBlock,
+    CallInstr,
+    Function,
+    Instr,
+    LocalInstr,
+    QueryInstr,
+    SyncInstr,
+)
+from repro.compiler.builder import FunctionBuilder
+from repro.compiler.alias import AliasInfo
+from repro.compiler.sync_analysis import SyncSetAnalysis, SyncSets, update_sync
+from repro.compiler.sync_elision import SyncElisionPass, ElisionReport
+from repro.compiler.sync_hoisting import HoistReport, SyncHoistingPass
+from repro.compiler.pass_manager import PassManager
+from repro.compiler.interp import IRInterpreter
+from repro.compiler.dominators import DominatorTree, compute_dominators
+from repro.compiler.loops import Loop, LoopInfo, find_loops
+from repro.compiler.program import Program
+from repro.compiler.attributes import (
+    AttributeInference,
+    AttributeSummary,
+    Effect,
+    apply_attributes,
+    infer_and_apply,
+)
+from repro.compiler.inline import InlinePass, InlineReport, inline_program
+from repro.compiler.printer import print_function, print_program
+from repro.compiler.parser import parse_function, parse_functions, parse_program
+from repro.compiler.verify import (
+    assert_valid,
+    verify_elision_safety,
+    verify_function,
+    verify_program,
+)
+
+__all__ = [
+    "Instr",
+    "SyncInstr",
+    "AsyncCallInstr",
+    "QueryInstr",
+    "LocalInstr",
+    "CallInstr",
+    "BasicBlock",
+    "Function",
+    "FunctionBuilder",
+    "AliasInfo",
+    "SyncSetAnalysis",
+    "SyncSets",
+    "update_sync",
+    "SyncElisionPass",
+    "ElisionReport",
+    "SyncHoistingPass",
+    "HoistReport",
+    "PassManager",
+    "IRInterpreter",
+    "DominatorTree",
+    "compute_dominators",
+    "Loop",
+    "LoopInfo",
+    "find_loops",
+    "Program",
+    "AttributeInference",
+    "AttributeSummary",
+    "Effect",
+    "apply_attributes",
+    "infer_and_apply",
+    "InlinePass",
+    "InlineReport",
+    "inline_program",
+    "print_function",
+    "print_program",
+    "parse_function",
+    "parse_functions",
+    "parse_program",
+    "verify_function",
+    "verify_program",
+    "verify_elision_safety",
+    "assert_valid",
+]

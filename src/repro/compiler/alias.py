@@ -1,0 +1,71 @@
+"""May-alias information about handler variables.
+
+Two different handler *variables* may refer to the same handler (Fig. 15 of
+the paper), so an asynchronous call on ``i_p`` must conservatively invalidate
+the synced status of ``h_p`` unless the compiler has been told they cannot
+alias.  :class:`AliasInfo` keeps that knowledge:
+
+* by default everything may alias everything (maximally conservative);
+* ``declare_distinct(a, b)`` records that two variables are known to denote
+  different handlers;
+* ``declare_all_distinct(names)`` marks a whole set pairwise distinct — what
+  a front end would emit when each variable is bound to a freshly created
+  handler.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+
+def _key(a: str, b: str) -> Tuple[str, str]:
+    return (a, b) if a <= b else (b, a)
+
+
+class AliasInfo:
+    """Pairwise may-alias facts for handler variables."""
+
+    def __init__(self, distinct_pairs: Iterable[Tuple[str, str]] = ()) -> None:
+        self._distinct: Set[Tuple[str, str]] = set()
+        for a, b in distinct_pairs:
+            self.declare_distinct(a, b)
+
+    # -- declarations ---------------------------------------------------------
+    def declare_distinct(self, a: str, b: str) -> None:
+        """Record that ``a`` and ``b`` can never refer to the same handler."""
+        if a == b:
+            raise ValueError(f"variable {a!r} cannot be distinct from itself")
+        self._distinct.add(_key(a, b))
+
+    def declare_all_distinct(self, names: Iterable[str]) -> None:
+        names = list(names)
+        for i, a in enumerate(names):
+            for b in names[i + 1:]:
+                self.declare_distinct(a, b)
+
+    # -- queries ---------------------------------------------------------------
+    def may_alias(self, a: str, b: str) -> bool:
+        """Conservative: ``True`` unless the pair was declared distinct."""
+        if a == b:
+            return True
+        return _key(a, b) not in self._distinct
+
+    def aliases_of(self, name: str, universe: Iterable[str]) -> frozenset[str]:
+        """Every variable in ``universe`` that may alias ``name`` (incl. itself)."""
+        return frozenset(v for v in universe if self.may_alias(name, v))
+
+    # -- constructors -----------------------------------------------------------
+    @classmethod
+    def no_aliasing(cls, names: Iterable[str]) -> "AliasInfo":
+        """All the given variables are pairwise distinct handlers."""
+        info = cls()
+        info.declare_all_distinct(names)
+        return info
+
+    @classmethod
+    def worst_case(cls) -> "AliasInfo":
+        """Everything may alias everything (the compiler knows nothing)."""
+        return cls()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AliasInfo(distinct={sorted(self._distinct)})"

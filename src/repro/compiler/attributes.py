@@ -1,0 +1,187 @@
+"""Interprocedural ``readonly`` / ``readnone`` attribute inference.
+
+The paper's static pass must clear the sync-set at every arbitrary call —
+"a call could subsequently issue asynchronous calls on all the handlers
+currently in the sync-set" — *unless* the callee is marked ``readonly`` or
+``readnone``, flags that "LLVM will automatically add ... when it can
+determine that they hold" (Section 3.4.2).  This module reproduces that
+automatic step for the reproduction's IR:
+
+* a function is **readnone** when it touches no handler at all: no sync, no
+  query, no asynchronous call, and every call it makes is itself readnone;
+* a function is **readonly** when it may synchronise with handlers (syncs
+  and queries are reads of handler state) but never issues asynchronous
+  calls or clobbering calls — so it cannot *invalidate* any caller's
+  sync-set;
+* anything else keeps clobbering semantics.
+
+Inference runs bottom-up over the call graph and iterates to a fixed point
+so mutually recursive functions are handled (optimistically: recursion only
+downgrades a function when a concrete offending instruction exists).  The
+result can then be *applied* to a program: every :class:`CallInstr` whose
+callee was inferred readonly/readnone gets the corresponding flag set, which
+is exactly what unlocks the sync-coalescing pass across call boundaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.compiler.ir import (
+    AsyncCallInstr,
+    BasicBlock,
+    CallInstr,
+    Function,
+    LocalInstr,
+    QueryInstr,
+    SyncInstr,
+)
+from repro.compiler.program import Program
+
+
+class Effect(enum.IntEnum):
+    """Lattice of side-effect summaries, ordered from weakest to strongest."""
+
+    READNONE = 0     #: touches no handler at all
+    READONLY = 1     #: may sync/query handlers, never invalidates a sync-set
+    CLOBBERS = 2     #: may issue async calls / unknown calls
+
+    def join(self, other: "Effect") -> "Effect":
+        return Effect(max(self.value, other.value))
+
+    @property
+    def flag_name(self) -> Optional[str]:
+        if self is Effect.READNONE:
+            return "readnone"
+        if self is Effect.READONLY:
+            return "readonly"
+        return None
+
+
+@dataclass
+class AttributeSummary:
+    """Result of the inference over one program."""
+
+    effects: Dict[str, Effect] = field(default_factory=dict)
+    #: callees mentioned in the program but not defined there
+    external: Dict[str, Effect] = field(default_factory=dict)
+    iterations: int = 0
+
+    def effect_of(self, name: str) -> Effect:
+        if name in self.effects:
+            return self.effects[name]
+        return self.external.get(name, Effect.CLOBBERS)
+
+    def readnone_functions(self) -> list[str]:
+        return sorted(n for n, e in self.effects.items() if e is Effect.READNONE)
+
+    def readonly_functions(self) -> list[str]:
+        return sorted(n for n, e in self.effects.items() if e is Effect.READONLY)
+
+    def clobbering_functions(self) -> list[str]:
+        return sorted(n for n, e in self.effects.items() if e is Effect.CLOBBERS)
+
+
+def _local_effect(instr, lookup) -> Effect:
+    """Effect contributed by a single instruction (callee effects via ``lookup``)."""
+    if isinstance(instr, AsyncCallInstr):
+        return Effect.CLOBBERS
+    if isinstance(instr, (SyncInstr, QueryInstr)):
+        return Effect.READONLY
+    if isinstance(instr, LocalInstr):
+        # A handler-tagged local is the body of a client-executed query: it
+        # reads handler state but cannot invalidate anyone's sync.
+        return Effect.READONLY if instr.handler is not None else Effect.READNONE
+    if isinstance(instr, CallInstr):
+        if instr.readnone:
+            return Effect.READNONE
+        if instr.readonly:
+            return Effect.READONLY
+        return lookup(instr.callee)
+    return Effect.CLOBBERS
+
+
+class AttributeInference:
+    """Bottom-up, fixed-point inference of function effects over a program."""
+
+    def __init__(self, assume_external: Effect = Effect.CLOBBERS) -> None:
+        #: effect assumed for calls whose target is not defined in the program
+        self.assume_external = assume_external
+
+    def run(self, program: Program) -> AttributeSummary:
+        summary = AttributeSummary()
+        for name in program.external_callees():
+            summary.external[name] = self.assume_external
+
+        # Optimistic start: everything READNONE, then grow to a fixed point.
+        effects: Dict[str, Effect] = {name: Effect.READNONE for name in program.functions}
+
+        def lookup(callee: str) -> Effect:
+            if callee in effects:
+                return effects[callee]
+            return summary.external.get(callee, self.assume_external)
+
+        order = program.bottom_up_order()
+        changed = True
+        iterations = 0
+        while changed:
+            changed = False
+            iterations += 1
+            for name in order:
+                function = program.function(name)
+                effect = Effect.READNONE
+                for block in function.blocks.values():
+                    for instr in block.instructions:
+                        effect = effect.join(_local_effect(instr, lookup))
+                        if effect is Effect.CLOBBERS:
+                            break
+                    if effect is Effect.CLOBBERS:
+                        break
+                if effect != effects[name]:
+                    effects[name] = effect
+                    changed = True
+
+        summary.effects = effects
+        summary.iterations = iterations
+        return summary
+
+
+def apply_attributes(program: Program, summary: AttributeSummary) -> int:
+    """Annotate every call site with the inferred flags of its callee.
+
+    Returns the number of call instructions whose flags were strengthened.
+    New instruction objects are created (blocks are rewritten in place on the
+    program's functions) so instruction sharing with other functions cannot
+    leak flags.
+    """
+    strengthened = 0
+    for name, function in list(program.functions.items()):
+        new_blocks = []
+        touched = False
+        for block in function.blocks.values():
+            instructions = []
+            for instr in block.instructions:
+                if isinstance(instr, CallInstr) and not (instr.readonly or instr.readnone):
+                    effect = summary.effect_of(instr.callee)
+                    if effect is Effect.READNONE:
+                        instr = CallInstr(instr.callee, readonly=False, readnone=True, action=instr.action)
+                        strengthened += 1
+                        touched = True
+                    elif effect is Effect.READONLY:
+                        instr = CallInstr(instr.callee, readonly=True, readnone=False, action=instr.action)
+                        strengthened += 1
+                        touched = True
+                instructions.append(instr)
+            new_blocks.append(BasicBlock(block.name, instructions, list(block.successors)))
+        if touched:
+            program.replace(Function(function.name, new_blocks, function.entry))
+    return strengthened
+
+
+def infer_and_apply(program: Program, assume_external: Effect = Effect.CLOBBERS) -> AttributeSummary:
+    """Convenience: run the inference and annotate the program's call sites."""
+    summary = AttributeInference(assume_external).run(program)
+    apply_attributes(program, summary)
+    return summary

@@ -1,0 +1,195 @@
+"""Dominator analysis over the SCOOP/Qs IR.
+
+The static sync-coalescing pass of the paper runs as an LLVM pass and can
+therefore lean on LLVM's dominator infrastructure when reasoning about
+loops ("fully lift this call right out of the loop body", Section 4.2).
+This module provides the same facility for the reproduction's IR:
+
+* :class:`DominatorTree` — immediate dominators of every reachable block,
+  computed with the Cooper–Harvey–Kennedy iterative algorithm;
+* dominance queries (``dominates``, ``strictly_dominates``);
+* dominance frontiers, which :mod:`repro.compiler.loops` and the sync
+  hoisting pass use to find loop headers and safe insertion points.
+
+Unreachable blocks are excluded from the tree (they have no dominator), in
+line with how every other analysis in :mod:`repro.compiler` treats them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.compiler.ir import Function
+from repro.errors import CompilerError
+
+
+@dataclass
+class DominatorTree:
+    """Immediate-dominator tree of a function's reachable CFG."""
+
+    function: Function
+    #: immediate dominator of each reachable block; the entry maps to itself
+    idom: Dict[str, str] = field(default_factory=dict)
+    #: children of each block in the dominator tree (entry has no parent edge)
+    children: Dict[str, List[str]] = field(default_factory=dict)
+    #: reverse-postorder numbering used during construction (kept for reuse)
+    order: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def dominates(self, a: str, b: str) -> bool:
+        """``True`` when every path from the entry to ``b`` passes through ``a``."""
+        self._check_known(a)
+        self._check_known(b)
+        node = b
+        while True:
+            if node == a:
+                return True
+            parent = self.idom[node]
+            if parent == node:  # reached the entry
+                return node == a
+            node = parent
+
+    def strictly_dominates(self, a: str, b: str) -> bool:
+        return a != b and self.dominates(a, b)
+
+    def immediate_dominator(self, block: str) -> Optional[str]:
+        """The unique closest strict dominator, or ``None`` for the entry."""
+        self._check_known(block)
+        if block == self.function.entry:
+            return None
+        return self.idom[block]
+
+    def dominators_of(self, block: str) -> List[str]:
+        """All dominators of ``block``, from the block itself up to the entry."""
+        self._check_known(block)
+        chain = [block]
+        node = block
+        while self.idom[node] != node:
+            node = self.idom[node]
+            chain.append(node)
+        return chain
+
+    def depth(self, block: str) -> int:
+        """Distance from the entry in the dominator tree (entry has depth 0)."""
+        return len(self.dominators_of(block)) - 1
+
+    def _check_known(self, block: str) -> None:
+        if block not in self.idom:
+            if block in self.function.blocks:
+                raise CompilerError(
+                    f"block {block!r} is unreachable from the entry of {self.function.name!r}; "
+                    "it has no dominators"
+                )
+            raise CompilerError(f"no block named {block!r} in function {self.function.name!r}")
+
+    # ------------------------------------------------------------------
+    # dominance frontiers
+    # ------------------------------------------------------------------
+    def dominance_frontier(self) -> Dict[str, List[str]]:
+        """The dominance frontier of every reachable block (Cytron et al.)."""
+        preds = self.function.predecessors()
+        frontier: Dict[str, set] = {name: set() for name in self.idom}
+        for block in self.idom:
+            reachable_preds = [p for p in preds[block] if p in self.idom]
+            if len(reachable_preds) < 2:
+                continue
+            for pred in reachable_preds:
+                runner = pred
+                while runner != self.idom[block]:
+                    frontier[runner].add(block)
+                    runner = self.idom[runner]
+        return {name: sorted(values) for name, values in frontier.items()}
+
+
+def _reverse_postorder(function: Function) -> List[str]:
+    """Reverse postorder of the reachable blocks (entry first)."""
+    visited: set = set()
+    postorder: List[str] = []
+
+    def visit(name: str) -> None:
+        # Iterative DFS so deep CFGs (long pull loops) cannot overflow the
+        # Python recursion limit.
+        stack: List[tuple[str, int]] = [(name, 0)]
+        while stack:
+            node, index = stack.pop()
+            if index == 0:
+                if node in visited:
+                    continue
+                visited.add(node)
+            successors = function.blocks[node].successors
+            if index < len(successors):
+                stack.append((node, index + 1))
+                succ = successors[index]
+                if succ not in visited:
+                    stack.append((succ, 0))
+            else:
+                postorder.append(node)
+
+    visit(function.entry)
+    return list(reversed(postorder))
+
+
+def compute_dominators(function: Function) -> DominatorTree:
+    """Compute the dominator tree of ``function`` (Cooper–Harvey–Kennedy)."""
+    rpo = _reverse_postorder(function)
+    order = {name: i for i, name in enumerate(rpo)}
+    preds = function.predecessors()
+
+    idom: Dict[str, Optional[str]] = {name: None for name in rpo}
+    idom[function.entry] = function.entry
+
+    def intersect(a: str, b: str) -> str:
+        while a != b:
+            while order[a] > order[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while order[b] > order[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for name in rpo:
+            if name == function.entry:
+                continue
+            candidates = [p for p in preds[name] if p in order and idom[p] is not None]
+            if not candidates:
+                continue
+            new_idom = candidates[0]
+            for pred in candidates[1:]:
+                new_idom = intersect(new_idom, pred)
+            if idom[name] != new_idom:
+                idom[name] = new_idom
+                changed = True
+
+    resolved: Dict[str, str] = {}
+    for name in rpo:
+        dominator = idom[name]
+        if dominator is None:  # pragma: no cover - cannot happen for reachable blocks
+            raise CompilerError(f"failed to compute a dominator for reachable block {name!r}")
+        resolved[name] = dominator
+
+    children: Dict[str, List[str]] = {name: [] for name in rpo}
+    for name, parent in resolved.items():
+        if name != function.entry:
+            children[parent].append(name)
+    for kids in children.values():
+        kids.sort(key=lambda n: order[n])
+
+    return DominatorTree(function=function, idom=resolved, children=children, order=order)
+
+
+def dominator_tree_lines(tree: DominatorTree) -> Sequence[str]:
+    """Pretty-print the dominator tree (used by the CLI's ``ir`` command)."""
+    lines: List[str] = []
+
+    def emit(node: str, depth: int) -> None:
+        lines.append("  " * depth + node)
+        for child in tree.children.get(node, []):
+            emit(child, depth + 1)
+
+    emit(tree.function.entry, 0)
+    return lines

@@ -1,0 +1,145 @@
+"""Call-site inlining for statically-known callees.
+
+Section 3.2 of the paper gives three benefits of executing queries on the
+client, and singles out the last one: "which call is being made is known
+statically.  This allows optimizations such as inlining."  In LLVM that
+falls out of the standard inliner; the reproduction's IR gets the same
+ability here.
+
+The pass inlines a :class:`~repro.compiler.ir.CallInstr` when
+
+* the callee is defined in the same :class:`~repro.compiler.program.Program`,
+* the callee's CFG is a single basic block with no successors (straight-line
+  code that falls through back to the caller), and
+* the callee is not (transitively) the caller itself (no recursion).
+
+Inlining replaces the call instruction with a copy of the callee's
+instructions.  The payoff for SCOOP/Qs is precision, not just call overhead:
+a call — even a ``readonly`` one — hides *which* handlers the callee syncs,
+so the caller's sync-set cannot grow across it; once the body is spliced in,
+the sync-set analysis sees the callee's syncs directly and the coalescing
+pass can remove the caller's now-redundant round trips (the test-suite
+demonstrates exactly this).
+
+Multi-block callees are left alone (splicing arbitrary CFGs would need block
+renaming and edge rewiring that the workloads never require); the report says
+which call sites were skipped and why, so a user can see what the pass
+declined to do.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.ir import BasicBlock, CallInstr, Function, Instr
+from repro.compiler.program import Program
+
+
+@dataclass
+class InlineReport:
+    """What the inliner did to one program (or one function)."""
+
+    #: number of call instructions replaced by their callee's body
+    inlined_sites: int = 0
+    #: callee name -> number of sites it was inlined into
+    per_callee: Dict[str, int] = field(default_factory=dict)
+    #: (caller, block, callee) -> reason the site was left alone
+    skipped: Dict[Tuple[str, str, str], str] = field(default_factory=dict)
+    #: how many passes over the program were needed (chains of calls)
+    iterations: int = 0
+
+    def merge_site(self, callee: str) -> None:
+        self.inlined_sites += 1
+        self.per_callee[callee] = self.per_callee.get(callee, 0) + 1
+
+
+def _inlinable_body(callee: Function) -> Optional[List[Instr]]:
+    """The callee's instruction list when it is a single fall-through block."""
+    if len(callee.blocks) != 1:
+        return None
+    (block,) = callee.blocks.values()
+    if block.successors:
+        return None
+    return list(block.instructions)
+
+
+class InlinePass:
+    """Inline statically-known, single-block callees at their call sites."""
+
+    name = "inline"
+
+    def __init__(self, max_iterations: int = 4) -> None:
+        #: chains like ``a -> b -> c`` need one iteration per level; bounded so
+        #: mutual recursion through multi-block functions cannot loop forever
+        self.max_iterations = max_iterations
+
+    # ------------------------------------------------------------------
+    def run_program(self, program: Program) -> InlineReport:
+        """Inline across the whole program (functions are updated in place)."""
+        report = InlineReport()
+        for _ in range(self.max_iterations):
+            report.iterations += 1
+            changed = False
+            for function in list(program):
+                new_function, changed_here = self._inline_into(function, program, report)
+                if changed_here:
+                    program.replace(new_function)
+                    changed = True
+            if not changed:
+                break
+        return report
+
+    def run(self, function: Function, program: Optional[Program] = None) -> Tuple[Function, InlineReport]:
+        """Pass-manager style entry point for a single function."""
+        report = InlineReport()
+        if program is None:
+            report.iterations = 1
+            return function.copy(), report
+        current = function
+        for _ in range(self.max_iterations):
+            report.iterations += 1
+            current, changed = self._inline_into(current, program, report)
+            if not changed:
+                break
+        return current, report
+
+    # ------------------------------------------------------------------
+    def _inline_into(self, function: Function, program: Program,
+                     report: InlineReport) -> Tuple[Function, bool]:
+        changed = False
+        new_blocks: List[BasicBlock] = []
+        for block in function.blocks.values():
+            instructions: List[Instr] = []
+            for instr in block.instructions:
+                if not isinstance(instr, CallInstr):
+                    instructions.append(instr)
+                    continue
+                key = (function.name, block.name, instr.callee)
+                if instr.callee == function.name:
+                    report.skipped[key] = "recursive call"
+                    instructions.append(instr)
+                    continue
+                if instr.callee not in program:
+                    report.skipped[key] = "callee not defined in the program"
+                    instructions.append(instr)
+                    continue
+                body = _inlinable_body(program.function(instr.callee))
+                if body is None:
+                    report.skipped[key] = "callee has more than one basic block"
+                    instructions.append(instr)
+                    continue
+                # splice a copy so later passes on the caller cannot mutate the callee
+                instructions.extend(_copy.deepcopy(body))
+                report.merge_site(instr.callee)
+                changed = True
+            new_blocks.append(BasicBlock(block.name, instructions, list(block.successors)))
+        if not changed:
+            return function, False
+        return Function(function.name, new_blocks, function.entry), True
+
+
+def inline_program(program: Program, max_iterations: int = 4) -> InlineReport:
+    """Convenience wrapper mirroring :func:`repro.compiler.attributes.infer_and_apply`."""
+    return InlinePass(max_iterations).run_program(program)

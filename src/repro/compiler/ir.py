@@ -1,0 +1,241 @@
+"""A small control-flow-graph IR for SCOOP/Qs client code.
+
+The IR models exactly the instruction classes the sync-set transfer function
+of Fig. 13 distinguishes:
+
+* :class:`SyncInstr`       — ``h_p.sync()``: adds its handler to the sync-set.
+* :class:`AsyncCallInstr`  — ``h_p.enqueue(call)``: removes its handler *and
+  every handler it may alias* from the sync-set.
+* :class:`QueryInstr`      — a full query (sync + client-side execution);
+  like a sync it leaves its handler synced.
+* :class:`LocalInstr`      — client-local computation; no effect on sync-sets.
+* :class:`CallInstr`       — an arbitrary function call.  Unless flagged
+  ``readonly``/``readnone`` it may issue asynchronous calls on anything, so
+  it clears the sync-set entirely.
+
+Functions are ordinary CFGs of basic blocks.  Blocks list their successor
+names; predecessor links are derived.  The IR carries optional ``action``
+callables so that the same structures can be *executed* against a live
+runtime by :mod:`repro.compiler.interp`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import CompilerError
+
+Action = Callable[..., Any]
+
+
+@dataclass
+class Instr:
+    """Base class of all IR instructions."""
+
+    def handlers(self) -> frozenset[str]:
+        """Handler variables this instruction mentions (for the universe)."""
+        return frozenset()
+
+    def brief(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class SyncInstr(Instr):
+    """``handler.sync()`` — wait until the handler is parked on our queue."""
+
+    handler: str
+
+    def handlers(self) -> frozenset[str]:
+        return frozenset({self.handler})
+
+    def brief(self) -> str:
+        return f"sync {self.handler}"
+
+
+@dataclass
+class AsyncCallInstr(Instr):
+    """``handler.enqueue(call)`` — log an asynchronous call."""
+
+    handler: str
+    note: str = ""
+    action: Optional[Action] = None
+
+    def handlers(self) -> frozenset[str]:
+        return frozenset({self.handler})
+
+    def brief(self) -> str:
+        return f"async {self.handler}" + (f" ; {self.note}" if self.note else "")
+
+
+@dataclass
+class QueryInstr(Instr):
+    """A synchronous query on ``handler`` (sync + client-executed body)."""
+
+    handler: str
+    note: str = ""
+    action: Optional[Action] = None
+
+    def handlers(self) -> frozenset[str]:
+        return frozenset({self.handler})
+
+    def brief(self) -> str:
+        return f"query {self.handler}" + (f" ; {self.note}" if self.note else "")
+
+
+@dataclass
+class LocalInstr(Instr):
+    """Client-local computation (e.g. ``x[i] := a[i]`` after a sync).
+
+    When ``handler`` is set the computation reads that handler's object
+    directly on the client — the body of a client-executed query after its
+    sync has been hoisted (Fig. 10b / Fig. 14b).  This has *no* effect on
+    sync-sets (reading is only legal because the handler is already synced),
+    which is exactly why the analysis can treat it as a no-op.
+    """
+
+    note: str = ""
+    action: Optional[Action] = None
+    handler: Optional[str] = None
+
+    def brief(self) -> str:
+        suffix = f" @{self.handler}" if self.handler else ""
+        return (f"local ; {self.note}" if self.note else "local") + suffix
+
+
+@dataclass
+class CallInstr(Instr):
+    """An arbitrary call; clobbers the sync-set unless readonly/readnone."""
+
+    callee: str
+    readonly: bool = False
+    readnone: bool = False
+    action: Optional[Action] = None
+
+    @property
+    def clobbers(self) -> bool:
+        return not (self.readonly or self.readnone)
+
+    def brief(self) -> str:
+        flags = []
+        if self.readonly:
+            flags.append("readonly")
+        if self.readnone:
+            flags.append("readnone")
+        suffix = f" [{' '.join(flags)}]" if flags else ""
+        return f"call {self.callee}{suffix}"
+
+
+@dataclass
+class BasicBlock:
+    """A straight-line sequence of instructions with named successors."""
+
+    name: str
+    instructions: List[Instr] = field(default_factory=list)
+    successors: List[str] = field(default_factory=list)
+
+    def append(self, instr: Instr) -> Instr:
+        self.instructions.append(instr)
+        return instr
+
+    def handlers(self) -> frozenset[str]:
+        out: set[str] = set()
+        for instr in self.instructions:
+            out |= instr.handlers()
+        return frozenset(out)
+
+    def __iter__(self):
+        return iter(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"BasicBlock({self.name!r}, {len(self.instructions)} instrs, -> {self.successors})"
+
+
+class Function:
+    """A CFG: named basic blocks plus a designated entry block."""
+
+    def __init__(self, name: str, blocks: Sequence[BasicBlock], entry: str) -> None:
+        self.name = name
+        self.blocks: Dict[str, BasicBlock] = {}
+        for block in blocks:
+            if block.name in self.blocks:
+                raise CompilerError(f"duplicate basic block {block.name!r} in {name!r}")
+            self.blocks[block.name] = block
+        if entry not in self.blocks:
+            raise CompilerError(f"entry block {entry!r} does not exist in {name!r}")
+        self.entry = entry
+        self._validate()
+
+    def _validate(self) -> None:
+        for block in self.blocks.values():
+            for succ in block.successors:
+                if succ not in self.blocks:
+                    raise CompilerError(
+                        f"block {block.name!r} lists unknown successor {succ!r} in {self.name!r}"
+                    )
+
+    # -- structure -----------------------------------------------------------
+    def block(self, name: str) -> BasicBlock:
+        try:
+            return self.blocks[name]
+        except KeyError as exc:
+            raise CompilerError(f"no block named {name!r} in function {self.name!r}") from exc
+
+    def predecessors(self) -> Dict[str, List[str]]:
+        preds: Dict[str, List[str]] = {name: [] for name in self.blocks}
+        for block in self.blocks.values():
+            for succ in block.successors:
+                preds[succ].append(block.name)
+        return preds
+
+    def handlers(self) -> frozenset[str]:
+        """All handler variables mentioned anywhere in the function."""
+        out: set[str] = set()
+        for block in self.blocks.values():
+            out |= block.handlers()
+        return frozenset(out)
+
+    def reachable_blocks(self) -> List[str]:
+        """Block names reachable from the entry, in a stable DFS preorder."""
+        seen: List[str] = []
+        stack = [self.entry]
+        visited = set()
+        while stack:
+            name = stack.pop()
+            if name in visited:
+                continue
+            visited.add(name)
+            seen.append(name)
+            stack.extend(reversed(self.blocks[name].successors))
+        return seen
+
+    def count_instructions(self, kind: type) -> int:
+        return sum(
+            1
+            for block in self.blocks.values()
+            for instr in block.instructions
+            if isinstance(instr, kind)
+        )
+
+    def copy(self) -> "Function":
+        """Structural copy (instructions are shared; blocks are new lists)."""
+        blocks = [
+            BasicBlock(b.name, list(b.instructions), list(b.successors))
+            for b in self.blocks.values()
+        ]
+        return Function(self.name, blocks, self.entry)
+
+    # -- pretty printing -------------------------------------------------------
+    def dump(self) -> str:
+        lines = [f"function {self.name} (entry {self.entry})"]
+        for name in self.reachable_blocks():
+            block = self.blocks[name]
+            lines.append(f"  {name}:")
+            for instr in block.instructions:
+                lines.append(f"    {instr.brief()}")
+            lines.append(f"    -> {', '.join(block.successors) if block.successors else '(return)'}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Function({self.name!r}, blocks={list(self.blocks)})"

@@ -1,0 +1,193 @@
+"""Natural-loop detection for the SCOOP/Qs IR.
+
+The parallel benchmarks of the paper copy arrays element by element in tight
+loops; the whole point of the static sync-coalescing pass is that the sync in
+such a loop body can be "fully lift[ed] ... right out of the loop body"
+(Section 4.2).  To reason about loops explicitly — and to implement the sync
+*hoisting* companion pass — this module identifies natural loops:
+
+* a *back edge* is an edge ``t -> h`` where ``h`` dominates ``t``;
+* the *natural loop* of that edge is ``h`` plus every block that can reach
+  ``t`` without passing through ``h``;
+* loops sharing a header are merged, and containment gives a loop nesting
+  forest.
+
+The analysis intentionally ignores irreducible control flow (a retreating
+edge whose target does not dominate its source); such edges simply do not
+form natural loops, which is the conservative choice for the optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.compiler.dominators import DominatorTree, compute_dominators
+from repro.compiler.ir import AsyncCallInstr, CallInstr, Function, SyncInstr
+from repro.errors import CompilerError
+
+
+@dataclass(frozen=True)
+class Loop:
+    """One natural loop: its header, body and derived facts."""
+
+    header: str
+    blocks: FrozenSet[str]
+    back_edges: Tuple[Tuple[str, str], ...]
+
+    @property
+    def body(self) -> FrozenSet[str]:
+        """Blocks of the loop other than the header."""
+        return self.blocks - {self.header}
+
+    def contains(self, block: str) -> bool:
+        return block in self.blocks
+
+    def contains_loop(self, other: "Loop") -> bool:
+        """``True`` when ``other`` is nested (strictly) inside this loop."""
+        return other.header != self.header and other.blocks <= self.blocks
+
+    def exits(self, function: Function) -> List[Tuple[str, str]]:
+        """Edges leaving the loop, as ``(from_block, to_block)`` pairs."""
+        out: List[Tuple[str, str]] = []
+        for name in sorted(self.blocks):
+            for succ in function.blocks[name].successors:
+                if succ not in self.blocks:
+                    out.append((name, succ))
+        return out
+
+    def __str__(self) -> str:
+        return f"loop@{self.header}{{{', '.join(sorted(self.blocks))}}}"
+
+
+@dataclass
+class LoopInfo:
+    """All natural loops of a function plus nesting information."""
+
+    function: Function
+    loops: List[Loop] = field(default_factory=list)
+    dominators: Optional[DominatorTree] = None
+
+    def loop_with_header(self, header: str) -> Optional[Loop]:
+        for loop in self.loops:
+            if loop.header == header:
+                return loop
+        return None
+
+    def innermost_loop_of(self, block: str) -> Optional[Loop]:
+        """The smallest loop containing ``block`` (or ``None``)."""
+        best: Optional[Loop] = None
+        for loop in self.loops:
+            if loop.contains(block) and (best is None or len(loop.blocks) < len(best.blocks)):
+                best = loop
+        return best
+
+    def nesting_depth(self, block: str) -> int:
+        """Number of loops containing ``block`` (0 = not in any loop)."""
+        return sum(1 for loop in self.loops if loop.contains(block))
+
+    def parent_of(self, loop: Loop) -> Optional[Loop]:
+        """The smallest loop strictly containing ``loop``."""
+        best: Optional[Loop] = None
+        for candidate in self.loops:
+            if candidate.contains_loop(loop) and (
+                best is None or len(candidate.blocks) < len(best.blocks)
+            ):
+                best = candidate
+        return best
+
+    def top_level_loops(self) -> List[Loop]:
+        return [loop for loop in self.loops if self.parent_of(loop) is None]
+
+    # ------------------------------------------------------------------
+    # facts the sync optimizations care about
+    # ------------------------------------------------------------------
+    def loop_syncs(self, loop: Loop) -> Dict[str, List[str]]:
+        """Handlers synced inside the loop, per block (``{block: [handlers]}``)."""
+        out: Dict[str, List[str]] = {}
+        for name in sorted(loop.blocks):
+            handlers = [
+                instr.handler
+                for instr in self.function.blocks[name].instructions
+                if isinstance(instr, SyncInstr)
+            ]
+            if handlers:
+                out[name] = handlers
+        return out
+
+    def loop_invalidates(self, loop: Loop, handler: str, aliases=None) -> bool:
+        """Does any instruction inside the loop invalidate ``handler``'s sync?
+
+        Asynchronous calls on a possibly-aliasing variable and clobbering
+        calls invalidate the synced status (the Fig. 13 transfer function).
+        """
+        for name in loop.blocks:
+            for instr in self.function.blocks[name].instructions:
+                if isinstance(instr, AsyncCallInstr):
+                    if aliases is None or aliases.may_alias(instr.handler, handler):
+                        return True
+                elif isinstance(instr, CallInstr) and instr.clobbers:
+                    return True
+        return False
+
+
+def find_loops(function: Function, dominators: Optional[DominatorTree] = None) -> LoopInfo:
+    """Identify every natural loop of ``function``."""
+    tree = dominators or compute_dominators(function)
+    reachable = set(tree.idom)
+
+    # collect back edges: tail -> header where header dominates tail
+    back_edges: Dict[str, List[str]] = {}
+    for name in sorted(reachable):
+        for succ in function.blocks[name].successors:
+            if succ in reachable and tree.dominates(succ, name):
+                back_edges.setdefault(succ, []).append(name)
+
+    preds = function.predecessors()
+    loops: List[Loop] = []
+    for header in sorted(back_edges):
+        body: set = {header}
+        worklist = list(back_edges[header])
+        while worklist:
+            node = worklist.pop()
+            if node in body:
+                continue
+            body.add(node)
+            worklist.extend(p for p in preds[node] if p in reachable)
+        loops.append(
+            Loop(
+                header=header,
+                blocks=frozenset(body),
+                back_edges=tuple(sorted((tail, header) for tail in back_edges[header])),
+            )
+        )
+
+    return LoopInfo(function=function, loops=loops, dominators=tree)
+
+
+def preheader_candidate(function: Function, loop: Loop) -> Optional[str]:
+    """The unique out-of-loop predecessor of the loop header, if there is one.
+
+    A sync can only be hoisted out of a loop when there is a single entry
+    edge to park it on; when the header has several out-of-loop predecessors
+    the hoisting pass gives up rather than duplicating code.
+    """
+    preds = function.predecessors()
+    outside = [p for p in preds[loop.header] if p not in loop.blocks]
+    if len(outside) == 1:
+        return outside[0]
+    return None
+
+
+def verify_loop_info(info: LoopInfo) -> None:
+    """Internal consistency checks used by the test-suite and the verifier."""
+    for loop in info.loops:
+        if loop.header not in loop.blocks:
+            raise CompilerError(f"{loop} does not contain its own header")
+        for tail, header in loop.back_edges:
+            if header != loop.header:
+                raise CompilerError(f"{loop} records a back edge to a foreign header {header!r}")
+            if tail not in loop.blocks:
+                raise CompilerError(f"{loop} back edge tail {tail!r} lies outside the loop")
+            if loop.header not in info.function.blocks[tail].successors:
+                raise CompilerError(f"{loop} back edge {tail!r}->{header!r} is not a CFG edge")

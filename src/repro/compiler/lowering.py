@@ -1,0 +1,41 @@
+"""Lowering of query instructions into sync + client-executed body.
+
+Section 3.2 of the paper changes the query rule so that the query's body is
+executed *on the client* after synchronising with the handler (Fig. 10b):
+
+    old:  package f; enqueue f; sync            (handler executes f)
+    new:  enqueue SYNC; sync; result = f()      (client executes f)
+
+``lower_queries`` performs exactly that rewrite on the IR: every
+:class:`~repro.compiler.ir.QueryInstr` becomes a
+:class:`~repro.compiler.ir.SyncInstr` followed by a
+:class:`~repro.compiler.ir.LocalInstr` tagged with the handler whose object
+the body reads.  Only after this lowering does the static sync-coalescing
+pass have syncs to remove — which mirrors the paper, where the optimization
+only pays off because queries were made cheap first.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.ir import BasicBlock, Function, Instr, LocalInstr, QueryInstr, SyncInstr
+
+
+def lower_queries(function: Function) -> Function:
+    """Rewrite every query into ``sync h ; local@h`` (the optimized protocol)."""
+    blocks: List[BasicBlock] = []
+    for block in function.blocks.values():
+        instructions: List[Instr] = []
+        for instr in block.instructions:
+            if isinstance(instr, QueryInstr):
+                instructions.append(SyncInstr(instr.handler))
+                instructions.append(
+                    LocalInstr(note=instr.note or f"query body on {instr.handler}",
+                               action=instr.action,
+                               handler=instr.handler)
+                )
+            else:
+                instructions.append(instr)
+        blocks.append(BasicBlock(block.name, instructions, list(block.successors)))
+    return Function(function.name, blocks, function.entry)

@@ -1,0 +1,171 @@
+"""Parser for the textual IR emitted by :mod:`repro.compiler.printer`.
+
+The grammar is line oriented (see the printer's module docstring for an
+example).  Blank lines and ``#`` comments are ignored, indentation is not
+significant — the ``function`` / ``block`` keywords carry the structure.
+Parse errors raise :class:`~repro.errors.CompilerError` with the offending
+line number, which is what the tests assert on.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.compiler.ir import (
+    AsyncCallInstr,
+    BasicBlock,
+    CallInstr,
+    Function,
+    Instr,
+    LocalInstr,
+    QueryInstr,
+    SyncInstr,
+)
+from repro.compiler.program import Program
+from repro.errors import CompilerError
+
+
+@dataclass
+class _Line:
+    number: int
+    text: str
+
+
+def _tokenize(line: _Line) -> List[str]:
+    try:
+        return shlex.split(line.text, comments=False)
+    except ValueError as exc:
+        raise CompilerError(f"line {line.number}: {exc}") from exc
+
+
+def _parse_instr(tokens: List[str], line: _Line) -> Instr:
+    kind, rest = tokens[0], tokens[1:]
+    rest = [t for t in rest if t != "!action"]  # actions are not serialisable
+    if kind == "sync":
+        if len(rest) != 1:
+            raise CompilerError(f"line {line.number}: 'sync' takes exactly one handler")
+        return SyncInstr(rest[0])
+    if kind == "async":
+        if not rest:
+            raise CompilerError(f"line {line.number}: 'async' needs a handler")
+        note = rest[1] if len(rest) > 1 else ""
+        return AsyncCallInstr(rest[0], note=note)
+    if kind == "query":
+        if not rest:
+            raise CompilerError(f"line {line.number}: 'query' needs a handler")
+        note = rest[1] if len(rest) > 1 else ""
+        return QueryInstr(rest[0], note=note)
+    if kind == "local":
+        note = ""
+        handler: Optional[str] = None
+        for token in rest:
+            if token.startswith("@"):
+                handler = token[1:]
+            else:
+                note = token
+        return LocalInstr(note=note, handler=handler)
+    if kind == "call":
+        if not rest:
+            raise CompilerError(f"line {line.number}: 'call' needs a callee name")
+        callee = rest[0]
+        flags = set(rest[1:])
+        unknown = flags - {"readonly", "readnone"}
+        if unknown:
+            raise CompilerError(f"line {line.number}: unknown call flags {sorted(unknown)}")
+        return CallInstr(callee, readonly="readonly" in flags, readnone="readnone" in flags)
+    raise CompilerError(f"line {line.number}: unknown instruction kind {kind!r}")
+
+
+def _parse_block_header(tokens: List[str], line: _Line) -> Tuple[str, List[str]]:
+    # block NAME -> succ1, succ2, ...
+    if len(tokens) < 2:
+        raise CompilerError(f"line {line.number}: 'block' needs a name")
+    name = tokens[1]
+    successors: List[str] = []
+    if len(tokens) > 2:
+        if tokens[2] != "->":
+            raise CompilerError(f"line {line.number}: expected '->' after block name")
+        for token in tokens[3:]:
+            successors.extend(s for s in token.replace(",", " ").split() if s)
+    return name, successors
+
+
+def parse_functions(text: str) -> List[Function]:
+    """Parse every function in ``text`` (program header lines are ignored)."""
+    lines = [
+        _Line(i + 1, raw.strip())
+        for i, raw in enumerate(text.splitlines())
+    ]
+    lines = [l for l in lines if l.text and not l.text.startswith("#")]
+
+    functions: List[Function] = []
+    current_name: Optional[str] = None
+    current_entry: Optional[str] = None
+    blocks: List[BasicBlock] = []
+    current_block: Optional[BasicBlock] = None
+
+    def finish_function(line: Optional[_Line]) -> None:
+        nonlocal current_name, current_entry, blocks, current_block
+        if current_name is None:
+            return
+        if not blocks:
+            where = f"line {line.number}" if line else "end of input"
+            raise CompilerError(f"{where}: function {current_name!r} has no blocks")
+        functions.append(Function(current_name, blocks, current_entry or blocks[0].name))
+        current_name, current_entry, blocks, current_block = None, None, [], None
+
+    for line in lines:
+        tokens = _tokenize(line)
+        if not tokens:
+            continue
+        keyword = tokens[0]
+        if keyword == "program":
+            continue
+        if keyword == "function":
+            finish_function(line)
+            if len(tokens) < 2:
+                raise CompilerError(f"line {line.number}: 'function' needs a name")
+            current_name = tokens[1]
+            current_entry = None
+            if len(tokens) >= 4 and tokens[2] == "entry":
+                current_entry = tokens[3]
+            elif len(tokens) != 2:
+                raise CompilerError(f"line {line.number}: expected 'function NAME [entry BLOCK]'")
+            continue
+        if keyword == "block":
+            if current_name is None:
+                raise CompilerError(f"line {line.number}: 'block' outside of a function")
+            name, successors = _parse_block_header(tokens, line)
+            current_block = BasicBlock(name, [], successors)
+            blocks.append(current_block)
+            continue
+        # otherwise: an instruction line
+        if current_block is None:
+            raise CompilerError(f"line {line.number}: instruction outside of a block")
+        current_block.append(_parse_instr(tokens, line))
+
+    finish_function(None)
+    if not functions:
+        raise CompilerError("no functions found in IR text")
+    return functions
+
+
+def parse_function(text: str) -> Function:
+    """Parse exactly one function from ``text``."""
+    functions = parse_functions(text)
+    if len(functions) != 1:
+        raise CompilerError(f"expected exactly one function, found {len(functions)}")
+    return functions[0]
+
+
+def parse_program(text: str, name: Optional[str] = None) -> Program:
+    """Parse a whole program; its name comes from the ``program`` header line."""
+    program_name = name
+    for raw in text.splitlines():
+        stripped = raw.strip()
+        if stripped.startswith("program "):
+            program_name = program_name or stripped.split(maxsplit=1)[1].strip()
+            break
+    return Program.from_functions(parse_functions(text), name=program_name or "module")

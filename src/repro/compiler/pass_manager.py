@@ -1,0 +1,49 @@
+"""A very small pass manager composing IR-to-IR transformations.
+
+The paper keeps its sync-coalescing pass *outside* the base compiler so that
+code generation stays separate from analysis/transformation; the pass
+manager is the seam where such external passes plug in here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Protocol, Tuple
+
+from repro.compiler.ir import Function
+
+
+class Pass(Protocol):
+    """A transformation: takes a function, returns (new function, report)."""
+
+    name: str
+
+    def run(self, function: Function) -> Tuple[Function, Any]:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class PassResult:
+    """Output of a pass-manager run."""
+
+    function: Function
+    reports: Dict[str, Any] = field(default_factory=dict)
+
+
+class PassManager:
+    """Apply a sequence of passes to a function, collecting their reports."""
+
+    def __init__(self, passes: List[Pass] | None = None) -> None:
+        self.passes: List[Pass] = list(passes or [])
+
+    def add(self, pass_: Pass) -> "PassManager":
+        self.passes.append(pass_)
+        return self
+
+    def run(self, function: Function) -> PassResult:
+        reports: Dict[str, Any] = {}
+        current = function
+        for pass_ in self.passes:
+            current, report = pass_.run(current)
+            reports[pass_.name] = report
+        return PassResult(current, reports)

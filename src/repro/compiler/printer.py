@@ -1,0 +1,105 @@
+"""Textual serialisation of the SCOOP/Qs IR.
+
+The LLVM pass the paper describes works on bitcode that can be printed and
+re-parsed; having the same facility here makes the compiler substrate
+debuggable (the CLI's ``ir`` command prints it) and lets tests express CFGs
+as readable text.  The format is deliberately line-oriented:
+
+.. code-block:: text
+
+    function fig14 entry B1
+      block B1 -> B2
+        sync h_p
+      block B2 -> B2, B3
+        sync h_p
+        local "x[i] := a[i]" @h_p
+      block B3 ->
+        sync h_p
+
+    function helper entry entry
+      block entry ->
+        call compute readonly
+
+:func:`print_function` / :func:`print_program` emit it and
+:mod:`repro.compiler.parser` reads it back; the round trip preserves
+structure exactly (actions, being Python callables, are not serialisable and
+are dropped — the printer notes where one was attached).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.compiler.ir import (
+    AsyncCallInstr,
+    CallInstr,
+    Function,
+    Instr,
+    LocalInstr,
+    QueryInstr,
+    SyncInstr,
+)
+from repro.compiler.program import Program
+from repro.errors import CompilerError
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace("\\", "\\\\").replace('"', '\\"') + '"'
+
+
+def print_instr(instr: Instr) -> str:
+    """One line of IR text for ``instr``."""
+    if isinstance(instr, SyncInstr):
+        return f"sync {instr.handler}"
+    if isinstance(instr, AsyncCallInstr):
+        parts = ["async", instr.handler]
+        if instr.note:
+            parts.append(_quote(instr.note))
+        if instr.action is not None:
+            parts.append("!action")
+        return " ".join(parts)
+    if isinstance(instr, QueryInstr):
+        parts = ["query", instr.handler]
+        if instr.note:
+            parts.append(_quote(instr.note))
+        if instr.action is not None:
+            parts.append("!action")
+        return " ".join(parts)
+    if isinstance(instr, LocalInstr):
+        parts = ["local"]
+        if instr.note:
+            parts.append(_quote(instr.note))
+        if instr.handler:
+            parts.append(f"@{instr.handler}")
+        if instr.action is not None:
+            parts.append("!action")
+        return " ".join(parts)
+    if isinstance(instr, CallInstr):
+        parts = ["call", instr.callee]
+        if instr.readonly:
+            parts.append("readonly")
+        if instr.readnone:
+            parts.append("readnone")
+        if instr.action is not None:
+            parts.append("!action")
+        return " ".join(parts)
+    raise CompilerError(f"cannot print unknown instruction {instr!r}")
+
+
+def print_function(function: Function, indent: str = "") -> str:
+    """The textual form of one function (all blocks, declaration order)."""
+    lines: List[str] = [f"{indent}function {function.name} entry {function.entry}"]
+    for name, block in function.blocks.items():
+        succ = ", ".join(block.successors)
+        lines.append(f"{indent}  block {name} -> {succ}".rstrip())
+        for instr in block.instructions:
+            lines.append(f"{indent}    {print_instr(instr)}")
+    return "\n".join(lines)
+
+
+def print_program(program: Program) -> str:
+    """The textual form of a whole program (functions in insertion order)."""
+    chunks = [f"program {program.name}"]
+    for function in program:
+        chunks.append(print_function(function))
+    return "\n\n".join(chunks)

@@ -1,0 +1,131 @@
+"""Loop-aware sync hoisting: move a loop-body sync into the loop pre-header.
+
+The sync-*elision* pass (Section 3.4.2) removes a ``sync h`` when ``h`` is
+already synced on every path reaching it.  In the paper's Fig. 14 that works
+because a naive code generator also emits a sync *before* the loop; when the
+pre-loop sync is missing (the first read happens inside the loop, a common
+shape for ``while``-style pull loops) the body sync is needed on the first
+iteration and the elision pass must keep it — executing one round trip per
+iteration even though one before the loop would do.
+
+This companion pass closes that gap.  For every natural loop it finds a
+``sync h`` in the loop that
+
+* dominates every back edge of the loop (so it is executed on every
+  iteration before re-entering the header), and
+* is never invalidated inside the loop (no asynchronous call on a
+  possibly-aliasing handler, no clobbering call),
+
+and then *copies* the sync into the loop's unique pre-header.  The body sync
+becomes redundant and the standard elision pass removes it, which is the
+"fully lift this call right out of the loop body" behaviour the paper
+describes (Section 4.2).  Hoisting never *adds* round trips on any executed
+path: the hoisted sync replaces the first iteration's sync (and a sync is
+idempotent, so even a zero-iteration loop at worst performs the one sync the
+original first read would have needed later).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.alias import AliasInfo
+from repro.compiler.dominators import compute_dominators
+from repro.compiler.ir import BasicBlock, Function, SyncInstr
+from repro.compiler.loops import Loop, LoopInfo, find_loops, preheader_candidate
+from repro.compiler.sync_elision import ElisionReport, SyncElisionPass
+
+
+@dataclass
+class HoistReport:
+    """What the hoisting pass did to one function."""
+
+    function_name: str
+    #: (handler, loop header, pre-header block) for every hoisted sync
+    hoisted: List[Tuple[str, str, str]] = field(default_factory=list)
+    #: loops considered but skipped, with the reason
+    skipped: Dict[str, str] = field(default_factory=dict)
+    #: report of the elision pass run afterwards (when ``then_elide``)
+    elision: Optional[ElisionReport] = None
+
+    @property
+    def hoisted_count(self) -> int:
+        return len(self.hoisted)
+
+
+class SyncHoistingPass:
+    """Hoist loop-invariant syncs into loop pre-headers, then (optionally) elide."""
+
+    name = "sync-hoisting"
+
+    def __init__(self, aliases: Optional[AliasInfo] = None, then_elide: bool = True) -> None:
+        self.aliases = aliases or AliasInfo.worst_case()
+        self.then_elide = then_elide
+
+    # ------------------------------------------------------------------
+    def run(self, function: Function) -> tuple[Function, HoistReport]:
+        report = HoistReport(function.name)
+        dominators = compute_dominators(function)
+        loop_info = find_loops(function, dominators)
+
+        # Collect the hoists first, then rewrite once: hoisting one loop must
+        # not invalidate the dominator information used for the next.
+        hoists: Dict[str, List[str]] = {}  # preheader block -> handlers to sync
+        for loop in loop_info.loops:
+            decision = self._plan_loop(function, loop_info, loop, dominators)
+            if isinstance(decision, str):
+                report.skipped[loop.header] = decision
+                continue
+            handler, preheader = decision
+            hoists.setdefault(preheader, []).append(handler)
+            report.hoisted.append((handler, loop.header, preheader))
+
+        hoisted_fn = self._apply(function, hoists) if hoists else function.copy()
+
+        if self.then_elide:
+            elide = SyncElisionPass(self.aliases)
+            hoisted_fn, elision_report = elide.run(hoisted_fn)
+            report.elision = elision_report
+        return hoisted_fn, report
+
+    # ------------------------------------------------------------------
+    def _plan_loop(self, function: Function, loop_info: LoopInfo, loop: Loop,
+                   dominators) -> "Tuple[str, str] | str":
+        """Decide what to hoist for ``loop``; returns (handler, preheader) or a reason."""
+        preheader = preheader_candidate(function, loop)
+        if preheader is None:
+            return "no unique pre-header"
+
+        # Candidate handlers: synced somewhere in the loop and never invalidated.
+        synced_blocks = loop_info.loop_syncs(loop)
+        if not synced_blocks:
+            return "no sync instructions in the loop"
+
+        candidates: List[Tuple[str, str]] = []  # (handler, block where synced)
+        for block_name, handlers in synced_blocks.items():
+            for handler in handlers:
+                candidates.append((handler, block_name))
+
+        for handler, block_name in candidates:
+            if loop_info.loop_invalidates(loop, handler, self.aliases):
+                continue
+            # The sync must run on every iteration: its block has to dominate
+            # every back edge tail (otherwise some iterations skip it and
+            # hoisting would add a round trip those iterations never paid).
+            if all(dominators.dominates(block_name, tail) for tail, _ in loop.back_edges):
+                return handler, preheader
+        return "every loop sync is either invalidated or conditional"
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _apply(function: Function, hoists: Dict[str, List[str]]) -> Function:
+        blocks: List[BasicBlock] = []
+        for name, block in function.blocks.items():
+            instructions = list(block.instructions)
+            if name in hoists:
+                already = {i.handler for i in instructions if isinstance(i, SyncInstr)}
+                appended = [SyncInstr(h) for h in hoists[name] if h not in already]
+                instructions = instructions + appended
+            blocks.append(BasicBlock(name, instructions, list(block.successors)))
+        return Function(function.name, blocks, function.entry)

@@ -1,0 +1,184 @@
+"""Structural and semantic verification of IR functions and programs.
+
+LLVM runs a module verifier after every pass; the reproduction does the
+same so that a buggy transformation (a hoist that duplicates a block name, an
+elision that drops a needed sync) is caught immediately rather than showing
+up as a wrong benchmark number.  Two layers are provided:
+
+* :func:`verify_function` / :func:`verify_program` — structural checks
+  (block naming, successor targets, reachability, handler names, attribute
+  consistency);
+* :func:`verify_elision_safety` — a *semantic* check used by the test-suite
+  and the ablation benches: after sync elision, every block must still have
+  its handlers synced at the points where the original function synced them
+  (computed by re-running the dataflow analysis on the optimized function
+  and comparing against the original's observable sync state).
+
+All violations are reported as a list of human-readable strings;
+:func:`assert_valid` turns them into a :class:`~repro.errors.CompilerError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.compiler.alias import AliasInfo
+from repro.compiler.ir import (
+    AsyncCallInstr,
+    CallInstr,
+    Function,
+    LocalInstr,
+    QueryInstr,
+    SyncInstr,
+)
+from repro.compiler.program import Program
+from repro.compiler.sync_analysis import SyncSetAnalysis
+from repro.errors import CompilerError
+
+
+# ----------------------------------------------------------------------------
+# structural verification
+# ----------------------------------------------------------------------------
+def verify_function(function: Function) -> List[str]:
+    """Return every structural problem found in ``function`` (empty = valid)."""
+    problems: List[str] = []
+    where = f"function {function.name!r}"
+
+    if function.entry not in function.blocks:
+        problems.append(f"{where}: entry block {function.entry!r} is not defined")
+        return problems
+
+    reachable = set(function.reachable_blocks())
+    for name, block in function.blocks.items():
+        if name != block.name:
+            problems.append(f"{where}: block registered as {name!r} calls itself {block.name!r}")
+        for succ in block.successors:
+            if succ not in function.blocks:
+                problems.append(f"{where}: block {name!r} jumps to undefined block {succ!r}")
+        if len(set(block.successors)) != len(block.successors):
+            problems.append(f"{where}: block {name!r} lists a successor twice")
+        if name not in reachable:
+            problems.append(f"{where}: block {name!r} is unreachable from the entry")
+        problems.extend(_verify_block_instructions(where, block))
+    return problems
+
+
+def _verify_block_instructions(where: str, block) -> List[str]:
+    problems: List[str] = []
+    for index, instr in enumerate(block.instructions):
+        at = f"{where}, block {block.name!r}, instruction {index}"
+        if isinstance(instr, (SyncInstr, AsyncCallInstr, QueryInstr)):
+            if not instr.handler or not str(instr.handler).strip():
+                problems.append(f"{at}: empty handler name")
+        elif isinstance(instr, CallInstr):
+            if not instr.callee or not str(instr.callee).strip():
+                problems.append(f"{at}: call with an empty callee name")
+            if instr.readnone and instr.readonly:
+                problems.append(f"{at}: call flagged both readonly and readnone")
+        elif isinstance(instr, LocalInstr):
+            if instr.handler is not None and not str(instr.handler).strip():
+                problems.append(f"{at}: local tagged with an empty handler name")
+        else:
+            problems.append(f"{at}: unknown instruction type {type(instr).__name__}")
+    return problems
+
+
+def verify_program(program: Program) -> List[str]:
+    """Structural problems across a whole program, including call targets."""
+    problems: List[str] = []
+    for function in program:
+        problems.extend(verify_function(function))
+    # calls to undefined functions are allowed (external), but a call whose
+    # callee *is* defined and carries stronger flags than the definition
+    # supports is a verifier error — that is how a stale attribute shows up.
+    from repro.compiler.attributes import AttributeInference, Effect
+
+    summary = AttributeInference().run(program)
+    for site in program.call_sites():
+        if site.callee not in program.functions:
+            continue
+        actual = summary.effects[site.callee]
+        if site.instr.readnone and actual is not Effect.READNONE:
+            problems.append(
+                f"call to {site.callee!r} in {site.caller!r} is flagged readnone "
+                f"but the definition is {actual.name.lower()}"
+            )
+        elif site.instr.readonly and actual is Effect.CLOBBERS:
+            problems.append(
+                f"call to {site.callee!r} in {site.caller!r} is flagged readonly "
+                f"but the definition clobbers handler state"
+            )
+    return problems
+
+
+def assert_valid(target: "Function | Program") -> None:
+    """Raise :class:`CompilerError` listing every problem, if any."""
+    problems = verify_program(target) if isinstance(target, Program) else verify_function(target)
+    if problems:
+        raise CompilerError("; ".join(problems))
+
+
+# ----------------------------------------------------------------------------
+# semantic verification of the sync optimizations
+# ----------------------------------------------------------------------------
+def _observable_sync_points(function: Function, aliases: Optional[AliasInfo]) -> Dict[str, List[str]]:
+    """For every block: the handler that must be synced before each handler-read.
+
+    A handler read is a :class:`QueryInstr` or a handler-tagged
+    :class:`LocalInstr` — the points where the client touches handler state
+    and therefore *needs* the handler parked on its queue.
+    """
+    analysis = SyncSetAnalysis(aliases)
+    sets = analysis.run(function)
+    needed: Dict[str, List[str]] = {}
+    universe = function.handlers()
+    for name in function.reachable_blocks():
+        block = function.block(name)
+        current = set(sets.entry(name))
+        reads: List[str] = []
+        for instr in block.instructions:
+            if isinstance(instr, LocalInstr) and instr.handler is not None:
+                reads.append("synced" if instr.handler in current else "unsynced")
+            if isinstance(instr, (SyncInstr, QueryInstr)):
+                current.add(instr.handler)
+            elif isinstance(instr, AsyncCallInstr):
+                alias_info = aliases or AliasInfo.worst_case()
+                current -= set(alias_info.aliases_of(instr.handler, universe | {instr.handler}))
+            elif isinstance(instr, CallInstr) and instr.clobbers:
+                current.clear()
+        needed[name] = reads
+    return needed
+
+
+def verify_elision_safety(original: Function, optimized: Function,
+                          aliases: Optional[AliasInfo] = None) -> List[str]:
+    """Check that an optimized function still syncs before every handler read.
+
+    The check is purely about *reads that were provably synced in the
+    original*: if the original function read a handler at a point where the
+    analysis could prove it synced, the optimized function must preserve that
+    property at the corresponding read.  (Reads the original performed
+    unsynced are the programmer's business — the optimizer neither fixes nor
+    worsens them.)
+    """
+    problems: List[str] = []
+    before = _observable_sync_points(original, aliases)
+    after = _observable_sync_points(optimized, aliases)
+    for block, reads_before in before.items():
+        reads_after = after.get(block)
+        if reads_after is None:
+            problems.append(f"block {block!r} disappeared from the optimized function")
+            continue
+        if len(reads_after) != len(reads_before):
+            problems.append(
+                f"block {block!r} has {len(reads_after)} handler reads after optimization, "
+                f"expected {len(reads_before)}"
+            )
+            continue
+        for index, (b, a) in enumerate(zip(reads_before, reads_after)):
+            if b == "synced" and a != "synced":
+                problems.append(
+                    f"block {block!r}, read {index}: was synced in the original "
+                    "but is no longer synced after optimization"
+                )
+    return problems

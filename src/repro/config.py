@@ -1,0 +1,190 @@
+"""Runtime configuration: optimization levels of the SCOOP/Qs runtime.
+
+The paper evaluates five configurations (Section 4):
+
+* ``NONE``     -- no optimizations: lock-based handler protocol, every query
+                  is packaged, shipped to the handler and synchronised.
+* ``DYNAMIC``  -- dynamic sync coalescing (Section 3.4.1): the private queue
+                  remembers whether the handler is already synced and skips
+                  redundant round trips.
+* ``STATIC``   -- static sync coalescing (Section 3.4.2): an ahead-of-time
+                  dataflow pass removes provably-redundant sync operations.
+* ``QOQ``      -- the queue-of-queues handler protocol (Section 2.3) without
+                  any sync coalescing.
+* ``ALL``      -- everything together (the shipping configuration).
+
+:class:`QsConfig` decomposes these named levels into independent feature
+flags so the runtime, the compiler and the simulator all agree on what each
+level means.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+
+
+class OptimizationLevel(enum.Enum):
+    """Named optimization configurations evaluated in the paper."""
+
+    NONE = "none"
+    DYNAMIC = "dynamic"
+    STATIC = "static"
+    QOQ = "qoq"
+    ALL = "all"
+
+    @classmethod
+    def parse(cls, value: "OptimizationLevel | str") -> "OptimizationLevel":
+        if isinstance(value, OptimizationLevel):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError as exc:  # pragma: no cover - defensive
+            valid = ", ".join(level.value for level in cls)
+            raise ValueError(f"unknown optimization level {value!r}; expected one of {valid}") from exc
+
+
+#: Order in which the paper reports optimization columns.
+LEVEL_ORDER = (
+    OptimizationLevel.NONE,
+    OptimizationLevel.DYNAMIC,
+    OptimizationLevel.STATIC,
+    OptimizationLevel.QOQ,
+    OptimizationLevel.ALL,
+)
+
+
+@dataclass(frozen=True)
+class QsConfig:
+    """Feature flags controlling the runtime behaviour.
+
+    Attributes
+    ----------
+    use_qoq:
+        Use the queue-of-queues protocol (clients enqueue private queues
+        without blocking).  When ``False`` the runtime behaves like the
+        original lock-based SCOOP: a client must hold the handler's request
+        lock for the whole separate block, serialising reservations.
+    dynamic_sync_coalescing:
+        Track the ``synced`` status of each private queue at runtime and
+        elide redundant sync round trips (Section 3.4.1).
+    static_sync_coalescing:
+        Let the compiler pass remove statically-redundant sync instructions
+        (Section 3.4.2).  Only meaningful for programs executed through
+        :mod:`repro.compiler`.
+    client_executed_queries:
+        Execute the body of a query on the client after synchronising with
+        the handler (the modified query rule of Section 3.2) rather than
+        packaging it and shipping it to the handler.
+    private_queue_cache:
+        Reuse private queues across separate blocks instead of allocating a
+        fresh one each time (Section 3.2).
+    direct_handoff:
+        After a sync, pass control directly from the handler to the waiting
+        client instead of going through the global scheduler (Section 3.2).
+    """
+
+    use_qoq: bool = True
+    dynamic_sync_coalescing: bool = True
+    static_sync_coalescing: bool = True
+    client_executed_queries: bool = True
+    private_queue_cache: bool = True
+    direct_handoff: bool = True
+    name: str = "all"
+    extras: dict = field(default_factory=dict, compare=False)
+
+    # ------------------------------------------------------------------
+    # Named levels
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_level(cls, level: "OptimizationLevel | str") -> "QsConfig":
+        """Build the feature-flag set corresponding to a paper column."""
+        level = OptimizationLevel.parse(level)
+        if level is OptimizationLevel.NONE:
+            return cls(
+                use_qoq=False,
+                dynamic_sync_coalescing=False,
+                static_sync_coalescing=False,
+                client_executed_queries=False,
+                private_queue_cache=False,
+                direct_handoff=False,
+                name=level.value,
+            )
+        if level is OptimizationLevel.DYNAMIC:
+            return cls(
+                use_qoq=False,
+                dynamic_sync_coalescing=True,
+                static_sync_coalescing=False,
+                client_executed_queries=True,
+                private_queue_cache=False,
+                direct_handoff=False,
+                name=level.value,
+            )
+        if level is OptimizationLevel.STATIC:
+            return cls(
+                use_qoq=False,
+                dynamic_sync_coalescing=False,
+                static_sync_coalescing=True,
+                client_executed_queries=True,
+                private_queue_cache=False,
+                direct_handoff=False,
+                name=level.value,
+            )
+        if level is OptimizationLevel.QOQ:
+            return cls(
+                use_qoq=True,
+                dynamic_sync_coalescing=False,
+                static_sync_coalescing=False,
+                client_executed_queries=False,
+                private_queue_cache=True,
+                direct_handoff=True,
+                name=level.value,
+            )
+        # ALL
+        return cls(name=OptimizationLevel.ALL.value)
+
+    @classmethod
+    def none(cls) -> "QsConfig":
+        return cls.from_level(OptimizationLevel.NONE)
+
+    @classmethod
+    def all(cls) -> "QsConfig":
+        return cls.from_level(OptimizationLevel.ALL)
+
+    def with_(self, **kwargs) -> "QsConfig":
+        """Return a copy with selected flags replaced."""
+        return replace(self, **kwargs)
+
+    @property
+    def level(self) -> OptimizationLevel:
+        """Best-effort mapping back to a named level (for reporting)."""
+        for level in LEVEL_ORDER:
+            if QsConfig.from_level(level).flag_tuple() == self.flag_tuple():
+                return level
+        return OptimizationLevel.ALL if self.use_qoq else OptimizationLevel.NONE
+
+    def flag_tuple(self) -> tuple:
+        return (
+            self.use_qoq,
+            self.dynamic_sync_coalescing,
+            self.static_sync_coalescing,
+            self.client_executed_queries,
+            self.private_queue_cache,
+            self.direct_handoff,
+        )
+
+    def describe(self) -> str:
+        flags = []
+        if self.use_qoq:
+            flags.append("qoq")
+        if self.dynamic_sync_coalescing:
+            flags.append("dyn-sync")
+        if self.static_sync_coalescing:
+            flags.append("static-sync")
+        if self.client_executed_queries:
+            flags.append("client-query")
+        if self.private_queue_cache:
+            flags.append("pq-cache")
+        if self.direct_handoff:
+            flags.append("handoff")
+        return f"QsConfig({self.name}: {'+'.join(flags) if flags else 'no optimizations'})"

@@ -1,0 +1,72 @@
+"""The SCOOP/Qs threaded runtime: handlers, clients, separate blocks."""
+
+from repro.core.api import command, query, method_kind, is_command, is_query
+from repro.core.baseline import LockBasedRuntime, baseline_config
+from repro.core.client import Client, Reservation
+from repro.core.conditions import WaitOutcome, WaitStrategy, reserve_when
+from repro.core.expanded import (
+    Expanded,
+    ExpandedView,
+    expanded_view,
+    is_expanded,
+    register_expanded,
+    unregister_expanded,
+)
+from repro.core.guarantees import (
+    GuaranteeViolation,
+    TraceReport,
+    assert_guarantees,
+    check_runtime,
+    check_trace,
+)
+from repro.core.handler import Handler
+from repro.core.region import HandlerOwner, SeparateObject, SeparateRef
+from repro.core.runtime import QsRuntime, lock_based_runtime, qs_runtime
+from repro.core.separate import ReservedProxy, SeparateBlock
+from repro.core.transfer import (
+    TransferReport,
+    pull_array,
+    pull_elements,
+    pull_rows,
+    push_elements,
+)
+
+__all__ = [
+    "command",
+    "query",
+    "method_kind",
+    "is_command",
+    "is_query",
+    "Client",
+    "Reservation",
+    "Handler",
+    "HandlerOwner",
+    "SeparateObject",
+    "SeparateRef",
+    "QsRuntime",
+    "LockBasedRuntime",
+    "baseline_config",
+    "lock_based_runtime",
+    "qs_runtime",
+    "ReservedProxy",
+    "SeparateBlock",
+    "TransferReport",
+    "pull_array",
+    "pull_elements",
+    "pull_rows",
+    "push_elements",
+    "WaitStrategy",
+    "WaitOutcome",
+    "reserve_when",
+    "Expanded",
+    "ExpandedView",
+    "expanded_view",
+    "is_expanded",
+    "register_expanded",
+    "unregister_expanded",
+    "GuaranteeViolation",
+    "TraceReport",
+    "check_trace",
+    "check_runtime",
+    "assert_guarantees",
+]

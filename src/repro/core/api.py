@@ -1,0 +1,60 @@
+"""Method-kind markers: commands (asynchronous) vs. queries (synchronous).
+
+SCOOP distinguishes *commands* (procedures; logged asynchronously on the
+handler) from *queries* (functions; the client waits for the result —
+Section 2.1).  Eiffel knows the difference from the feature signature; in
+Python we mark methods explicitly:
+
+.. code-block:: python
+
+    class Account(SeparateObject):
+        @command
+        def deposit(self, amount): ...
+
+        @query
+        def balance(self): ...
+
+Unmarked methods default to *query* semantics, which is always safe (a query
+subsumes a command's synchronisation), merely slower — exactly the
+conservative direction the paper's optimizations start from.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+F = TypeVar("F", bound=Callable)
+
+_KIND_ATTR = "_scoop_kind"
+COMMAND = "command"
+QUERY = "query"
+
+
+def command(fn: F) -> F:
+    """Mark a method as a SCOOP command: logged asynchronously, no result."""
+    setattr(fn, _KIND_ATTR, COMMAND)
+    return fn
+
+
+def query(fn: F) -> F:
+    """Mark a method as a SCOOP query: synchronous, returns a result."""
+    setattr(fn, _KIND_ATTR, QUERY)
+    return fn
+
+
+def method_kind(cls: type, name: str, default: str = QUERY) -> str:
+    """Look up the declared kind of ``cls.name`` (``command`` or ``query``)."""
+    attr = getattr(cls, name, None)
+    if attr is None:
+        return default
+    # unwrap functions reached through the class (plain function descriptor)
+    target = getattr(attr, "__func__", attr)
+    return getattr(target, _KIND_ATTR, default)
+
+
+def is_command(cls: type, name: str) -> bool:
+    return method_kind(cls, name) == COMMAND
+
+
+def is_query(cls: type, name: str) -> bool:
+    return method_kind(cls, name) == QUERY

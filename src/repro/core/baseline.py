@@ -1,0 +1,28 @@
+"""The baseline: the original lock-based SCOOP handler protocol.
+
+The paper's "no optimizations" column is the pre-Qs SCOOP runtime, where a
+client must hold a lock on the handler's (single) request queue for its
+entire separate block (Fig. 2), queries are packaged and executed on the
+handler, and no sync coalescing happens.  In this reproduction that protocol
+is expressed as a :class:`~repro.config.QsConfig` with every optimization
+disabled, so the baseline shares all the machinery (and instrumentation) of
+the optimized runtime — exactly like the paper, where both protocols live in
+the same codebase.
+"""
+
+from __future__ import annotations
+
+from repro.config import OptimizationLevel, QsConfig
+from repro.core.runtime import QsRuntime
+
+
+def baseline_config() -> QsConfig:
+    """Feature flags of the original lock-based SCOOP runtime."""
+    return QsConfig.from_level(OptimizationLevel.NONE)
+
+
+class LockBasedRuntime(QsRuntime):
+    """A :class:`QsRuntime` hard-wired to the original SCOOP protocol."""
+
+    def __init__(self) -> None:
+        super().__init__(baseline_config())

@@ -1,0 +1,314 @@
+"""Client-side request machinery: reservations, calls, queries, sync elision.
+
+Every thread that wants to talk to handlers owns a :class:`Client` (the
+runtime hands them out per-thread).  The client implements the code the
+SCOOP/Qs *compiler* would emit around a separate block (Figs. 8–11 in the
+paper):
+
+* ``reserve`` / ``release``  — enqueue a private queue into each reserved
+  handler's queue-of-queues and append the END marker when the block closes
+  (rule *separate*).  Multi-handler reservations take the per-handler
+  spinlocks so the insertions are atomic (Section 3.3).  When the
+  queue-of-queues optimization is disabled the client instead holds each
+  handler's reservation lock for the whole block (the original protocol).
+* ``call``   — package an asynchronous call and append it to the private
+  queue (rule *call*, Fig. 9).
+* ``query``  — either ship a packaged query and wait for its result (the
+  original rule) or, with the client-executed-query optimization, send a
+  SYNC marker, wait for the release and run the query body locally
+  (Fig. 10b).  Dynamic sync coalescing (Section 3.4.1) skips the marker when
+  the handler is already parked on this client's queue.
+"""
+
+from __future__ import annotations
+
+import operator
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.config import QsConfig
+from repro.errors import NotReservedError, ReservationError
+from repro.core.expanded import prepare_arguments
+from repro.core.handler import Handler
+from repro.core.region import SeparateRef
+from repro.queues.private_queue import CallRequest, PrivateQueue
+from repro.util.counters import Counters
+from repro.util.tracing import NullTracer, Tracer
+
+
+def _payload_size(args: tuple, kwargs: dict) -> int:
+    """Rough payload size estimate used for bytes-copied accounting.
+
+    Intentionally conservative and allocation free: it recognises numpy
+    arrays, byte strings and plain containers and charges a word for
+    anything else (references, separate refs, small scalars).
+    """
+    total = 0
+    for value in list(args) + list(kwargs.values()):
+        nbytes = type(value).__dict__.get("nbytes")  # avoid arbitrary __getattr__
+        if nbytes is None and hasattr(type(value), "nbytes") and type(value).__module__.startswith("numpy"):
+            total += int(value.nbytes)
+        elif isinstance(value, (bytes, bytearray, str)):
+            total += len(value)
+        elif isinstance(value, (list, tuple)):
+            total += 8 * len(value)
+        elif isinstance(value, dict):
+            total += 16 * len(value)
+        else:
+            total += 8
+    return total
+
+
+@dataclass
+class Reservation:
+    """One client's live reservation of one handler."""
+
+    handler: Handler
+    private_queue: PrivateQueue
+    #: True when the non-QoQ protocol acquired the handler's reservation lock
+    holds_lock: bool = False
+
+
+class Client:
+    """Per-thread client state: reservation stacks, queue cache, request ops."""
+
+    def __init__(
+        self,
+        config: QsConfig,
+        counters: Optional[Counters] = None,
+        name: Optional[str] = None,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> None:
+        self.config = config
+        self.counters = counters or Counters()
+        self.name = name or threading.current_thread().name
+        # explicit None check: an empty Tracer has len() == 0 and must not be
+        # mistaken for "no tracer"
+        self.tracer = tracer if tracer is not None else NullTracer()
+        #: stack of live reservations per handler (innermost last), so nested
+        #: separate blocks on the same handler behave like the formal model
+        #: (lookup uses the *last* occurrence).
+        self._reservations: Dict[Handler, List[Reservation]] = {}
+        #: cache of private queues per handler (Section 3.2)
+        self._pq_cache: Dict[Handler, List[PrivateQueue]] = {}
+
+    # ------------------------------------------------------------------
+    # reservations
+    # ------------------------------------------------------------------
+    def reserve(self, handlers: Sequence[Handler]) -> List[Reservation]:
+        """Reserve ``handlers`` (a single separate block, possibly multi)."""
+        if not handlers:
+            raise ReservationError("a separate block must reserve at least one handler")
+        unique: List[Handler] = []
+        for handler in handlers:
+            if handler in unique:
+                raise ReservationError(f"handler {handler.name!r} reserved twice in one block")
+            unique.append(handler)
+
+        reservations: List[Reservation] = []
+        if not self.config.use_qoq:
+            # Original SCOOP: take the handler locks for the whole block.
+            # Locks are acquired in a canonical order so the runtime itself
+            # never deadlocks on a *single* multi-reservation; nested blocks
+            # can of course still deadlock, which is the behaviour the paper
+            # discusses in Section 2.5 (see the semantics explorer).
+            for handler in sorted(unique, key=id):
+                acquired = handler.reservation_lock.acquire(blocking=False)
+                if not acquired:
+                    self.counters.bump("lock_waits")
+                    handler.reservation_lock.acquire()
+                self.counters.bump("lock_acquisitions")
+
+        queues = [self._obtain_private_queue(handler) for handler in unique]
+
+        if len(unique) > 1:
+            self.counters.bump("multi_reservations")
+            # Section 3.3: insert every private queue atomically with respect
+            # to other multi-reservations by holding each handler's spinlock.
+            ordered = sorted(range(len(unique)), key=lambda i: id(unique[i]))
+            for i in ordered:
+                unique[i].spinlock.acquire()
+            try:
+                for handler, queue in zip(unique, queues):
+                    handler.qoq.enqueue(queue)
+            finally:
+                for i in reversed(ordered):
+                    unique[i].spinlock.release()
+        else:
+            unique[0].qoq.enqueue(queues[0])
+
+        for handler, queue in zip(unique, queues):
+            reservation = Reservation(handler, queue, holds_lock=not self.config.use_qoq)
+            self._reservations.setdefault(handler, []).append(reservation)
+            reservations.append(reservation)
+            self.tracer.record("reserve", handler.name, client=self.name, block=queue.block_id)
+        return reservations
+
+    def release(self, reservations: Sequence[Reservation]) -> None:
+        """Close a separate block: append END markers and undo bookkeeping."""
+        for reservation in reservations:
+            handler = reservation.handler
+            stack = self._reservations.get(handler, [])
+            if not stack or stack[-1] is not reservation:
+                raise ReservationError(
+                    f"separate blocks must be released innermost-first (handler {handler.name!r})"
+                )
+            reservation.private_queue.enqueue_end()
+            self.tracer.record("release", handler.name, client=self.name,
+                               block=reservation.private_queue.block_id)
+            handler.owner.revoke_sync_access(threading.current_thread())
+            stack.pop()
+            if not stack:
+                del self._reservations[handler]
+            if self.config.private_queue_cache:
+                self._pq_cache.setdefault(handler, []).append(reservation.private_queue)
+        if not self.config.use_qoq:
+            for reservation in sorted(reservations, key=lambda r: id(r.handler), reverse=True):
+                if reservation.holds_lock:
+                    reservation.handler.reservation_lock.release()
+
+    def _obtain_private_queue(self, handler: Handler) -> PrivateQueue:
+        if self.config.private_queue_cache:
+            cache = self._pq_cache.get(handler)
+            if cache:
+                queue = cache.pop()
+                queue.reset_for_reuse()
+                queue.block_id = self.tracer.next_block_id()
+                return queue
+        queue = PrivateQueue(handler=handler, counters=self.counters)
+        queue.client_name = self.name
+        queue.block_id = self.tracer.next_block_id()
+        return queue
+
+    def queue_for(self, handler: Handler) -> PrivateQueue:
+        """The private queue of the innermost live reservation of ``handler``."""
+        stack = self._reservations.get(handler)
+        if not stack:
+            raise NotReservedError(
+                f"handler {handler.name!r} is not reserved by client {self.name!r}; "
+                "wrap the calls in a separate block"
+            )
+        return stack[-1].private_queue
+
+    def reserved(self, handler: Handler) -> bool:
+        return bool(self._reservations.get(handler))
+
+    # ------------------------------------------------------------------
+    # requests
+    # ------------------------------------------------------------------
+    def call(self, ref: SeparateRef, method: str, *args: Any, **kwargs: Any) -> None:
+        """Log an asynchronous call of ``method`` on the separate object."""
+        handler = ref.handler
+        queue = self.queue_for(handler)
+        args, kwargs = prepare_arguments(args, kwargs, self.counters)
+        request = CallRequest(
+            fn=operator.methodcaller(method, *args, **kwargs),
+            args=(ref._raw(),),
+            payload_bytes=_payload_size(args, kwargs),
+            feature=method,
+            block=queue.block_id,
+        )
+        # logging an asynchronous call invalidates any synchronous control we
+        # held over the handler (the handler will become busy again)
+        handler.owner.revoke_sync_access(threading.current_thread())
+        self.tracer.record("log-call", handler.name, client=self.name,
+                           feature=method, block=queue.block_id)
+        queue.enqueue_call(request)
+
+    def call_function(self, ref: SeparateRef, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
+        """Asynchronously apply ``fn(raw_object, *args, **kwargs)`` on the handler."""
+        handler = ref.handler
+        queue = self.queue_for(handler)
+        args, kwargs = prepare_arguments(args, kwargs, self.counters)
+        feature = getattr(fn, "__name__", "<callable>")
+        request = CallRequest(fn=fn, args=(ref._raw(), *args), kwargs=dict(kwargs),
+                              payload_bytes=_payload_size(args, kwargs), feature=feature,
+                              block=queue.block_id)
+        handler.owner.revoke_sync_access(threading.current_thread())
+        self.tracer.record("log-call", handler.name, client=self.name,
+                           feature=feature, block=queue.block_id)
+        queue.enqueue_call(request)
+
+    def query(self, ref: SeparateRef, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Issue a synchronous query and return its result."""
+        self.counters.bump("queries")
+        handler = ref.handler
+        self.tracer.record("log-query", handler.name, client=self.name,
+                           feature=method, block=self.queue_for(handler).block_id)
+        if self.config.client_executed_queries:
+            self.sync(ref)
+            result = self._execute_locally(ref, operator.methodcaller(method, *args, **kwargs))
+            self.tracer.record("exec-client", handler.name, client=self.name,
+                               feature=method, block=self.queue_for(handler).block_id)
+            return result
+        return self._remote_query(ref, operator.methodcaller(method, *args, **kwargs), args, kwargs,
+                                  feature=method)
+
+    def query_function(self, ref: SeparateRef, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
+        """Synchronous query applying ``fn(raw_object, *args, **kwargs)``."""
+        self.counters.bump("queries")
+        handler = ref.handler
+        feature = getattr(fn, "__name__", "<callable>")
+        self.tracer.record("log-query", handler.name, client=self.name,
+                           feature=feature, block=self.queue_for(handler).block_id)
+        if self.config.client_executed_queries:
+            self.sync(ref)
+            result = self._execute_locally(ref, lambda obj: fn(obj, *args, **kwargs))
+            self.tracer.record("exec-client", handler.name, client=self.name,
+                               feature=feature, block=self.queue_for(handler).block_id)
+            return result
+        return self._remote_query(ref, lambda obj: fn(obj, *args, **kwargs), args, kwargs,
+                                  feature=feature)
+
+    # -- pieces ----------------------------------------------------------
+    def sync(self, ref: SeparateRef) -> bool:
+        """Ensure the handler is parked on this client's private queue.
+
+        Returns ``True`` if a sync round-trip was actually performed and
+        ``False`` if it was elided by dynamic sync coalescing.
+        """
+        handler = ref.handler
+        queue = self.queue_for(handler)
+        if self.config.dynamic_sync_coalescing and queue.synced:
+            self.counters.bump("syncs_elided")
+            self.tracer.record("sync-elided", handler.name, client=self.name, block=queue.block_id)
+            return False
+        request = queue.enqueue_sync()
+        request.release.wait()
+        queue.synced = True
+        handler.owner.grant_sync_access(threading.current_thread())
+        self.tracer.record("sync", handler.name, client=self.name, block=queue.block_id)
+        return True
+
+    def presynced_query(self, ref: SeparateRef, fn: Callable[..., Any]) -> Any:
+        """Run a query whose sync was removed by the *static* pass.
+
+        The caller (generated code / :mod:`repro.core.transfer`) is asserting
+        that the handler is already synced at this program point, so neither a
+        sync message nor a dynamic check is issued.
+        """
+        self.counters.bump("queries")
+        result = self._execute_locally(ref, fn)
+        if self.tracer.enabled:
+            queue = self.queue_for(ref.handler)
+            self.tracer.record("exec-client", ref.handler.name, client=self.name,
+                               feature=getattr(fn, "__name__", "<callable>"), block=queue.block_id)
+        return result
+
+    def _execute_locally(self, ref: SeparateRef, fn: Callable[[Any], Any]) -> Any:
+        # The modified query rule (Section 3.2): the call is executed on the
+        # client, after synchronisation, against the raw object.
+        return fn(ref._raw())
+
+    def _remote_query(self, ref: SeparateRef, fn: Callable[[Any], Any], args: tuple, kwargs: dict,
+                      feature: str = "") -> Any:
+        handler = ref.handler
+        queue = self.queue_for(handler)
+        request = CallRequest(fn=fn, args=(ref._raw(),), payload_bytes=_payload_size(args, kwargs),
+                              feature=feature, block=queue.block_id)
+        box = queue.enqueue_query(request)
+        return box.wait()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Client({self.name!r}, reservations={sum(len(v) for v in self._reservations.values())})"

@@ -1,0 +1,152 @@
+"""Wait conditions: separate blocks guarded by a supplier-side predicate.
+
+SCOOP reuses routine preconditions on separate targets as *wait conditions*:
+instead of failing, a precondition that mentions a separate object makes the
+client wait until the supplier's state satisfies it.  The paper's benchmarks
+lean on this — the ``prodcons`` consumers "must wait until the queue is
+non-empty to make progress" and the ``condition`` workers wait for the shared
+counter's parity (Section 4.1.2).
+
+The canonical implementation (and the one used by EiffelStudio's SCOOP) is
+*reserve → evaluate → release and retry*:
+
+1. reserve the handlers exactly like a plain separate block;
+2. evaluate the predicate against the reserved objects (queries, so the
+   evaluation is race free and sees a consistent snapshot);
+3. if it holds, keep the reservation and run the block body;
+4. otherwise release the reservation (so other clients — typically the one
+   that will make the condition true — can get in), back off briefly and try
+   again.
+
+:class:`WaitStrategy` controls the back-off and the give-up timeout;
+:func:`reserve_when` is the loop itself, used by
+:class:`~repro.core.separate.SeparateBlock` when ``wait_until`` is supplied
+and available directly for code that wants explicit control.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.errors import WaitConditionTimeout
+
+#: predicate over the reserved proxies; True = keep the reservation
+Predicate = Callable[..., bool]
+
+
+@dataclass(frozen=True)
+class WaitStrategy:
+    """Back-off policy for retrying a failed wait condition.
+
+    Attributes
+    ----------
+    initial_backoff:
+        Seconds to sleep after the first failed attempt.
+    max_backoff:
+        Upper bound on the sleep between attempts (exponential growth is
+        capped here so a long wait stays responsive).
+    multiplier:
+        Growth factor applied to the back-off after every failure.
+    timeout:
+        Give up (raise :class:`~repro.errors.WaitConditionTimeout`) once this
+        much wall-clock time has elapsed; ``None`` waits forever.
+    max_retries:
+        Give up after this many failed attempts; ``None`` means unbounded.
+    """
+
+    initial_backoff: float = 0.0005
+    max_backoff: float = 0.01
+    multiplier: float = 2.0
+    timeout: Optional[float] = None
+    max_retries: Optional[int] = None
+
+    def next_backoff(self, current: float) -> float:
+        return min(self.max_backoff, current * self.multiplier)
+
+
+@dataclass
+class WaitOutcome:
+    """How a wait condition was satisfied (attached to the separate block)."""
+
+    retries: int = 0
+    waited_seconds: float = 0.0
+
+    @property
+    def satisfied_immediately(self) -> bool:
+        return self.retries == 0
+
+
+def reserve_when(
+    client,
+    refs: Sequence,
+    predicate: Predicate,
+    build_proxies: Callable[[Sequence], Tuple],
+    strategy: Optional[WaitStrategy] = None,
+) -> Tuple[List, Tuple, WaitOutcome]:
+    """Reserve the handlers of ``refs`` until ``predicate(*proxies)`` holds.
+
+    Parameters
+    ----------
+    client:
+        The :class:`~repro.core.client.Client` doing the reservation.
+    refs:
+        The separate references the block names (order preserved).
+    predicate:
+        Called with one proxy per ref; evaluated while the reservation is
+        held, so any queries it issues see a consistent supplier state.
+    build_proxies:
+        Callback building the proxy tuple from ``refs`` (supplied by
+        :class:`~repro.core.separate.SeparateBlock` to avoid an import
+        cycle).
+    strategy:
+        Back-off and timeout policy; defaults to :class:`WaitStrategy()`.
+
+    Returns ``(reservations, proxies, outcome)`` with the reservation still
+    held.  Raises :class:`~repro.errors.WaitConditionTimeout` when the policy
+    gives up; the reservation is *not* held in that case.
+    """
+    strategy = strategy or WaitStrategy()
+    handlers: List = []
+    for ref in refs:
+        if ref.handler not in handlers:
+            handlers.append(ref.handler)
+
+    outcome = WaitOutcome()
+    backoff = strategy.initial_backoff
+    started = time.monotonic()
+
+    while True:
+        reservations = client.reserve(handlers)
+        proxies = build_proxies(refs)
+        try:
+            satisfied = bool(predicate(*proxies))
+        except BaseException:
+            client.release(reservations)
+            raise
+        if satisfied:
+            outcome.waited_seconds = time.monotonic() - started
+            return reservations, proxies, outcome
+
+        # condition not met: give the supplier back so another client can
+        # change its state, then retry after a short back-off
+        client.release(reservations)
+        outcome.retries += 1
+        client.counters.bump("wait_condition_retries")
+        for handler in handlers:
+            client.tracer.record("wait-retry", handler.name, client=client.name)
+
+        elapsed = time.monotonic() - started
+        if strategy.timeout is not None and elapsed >= strategy.timeout:
+            raise WaitConditionTimeout(
+                f"wait condition not satisfied after {outcome.retries} attempts "
+                f"({elapsed:.3f}s, timeout {strategy.timeout}s)"
+            )
+        if strategy.max_retries is not None and outcome.retries >= strategy.max_retries:
+            raise WaitConditionTimeout(
+                f"wait condition not satisfied after {outcome.retries} attempts"
+            )
+        if backoff > 0:
+            time.sleep(backoff)
+        backoff = strategy.next_backoff(backoff)

@@ -1,0 +1,166 @@
+"""Check the SCOOP reasoning guarantees on *threaded runtime* traces.
+
+:mod:`repro.semantics` proves the guarantees on the formal model; this module
+closes the loop by checking them on what the threaded runtime actually did,
+using the instrumentation of :mod:`repro.util.tracing`:
+
+* **Guarantee 2 / order**   — the calls logged by one separate block are
+  executed by its handler in logging order;
+* **Guarantee 2 / isolation** — a handler never interleaves the execution of
+  one block's calls with another block's calls (blocks are served one at a
+  time, FIFO over the queue-of-queues);
+* **Completeness** — every call logged inside a block that was released is
+  eventually executed (no lost requests).
+
+Violations are returned as :class:`GuaranteeViolation` records (and raised by
+:func:`assert_guarantees` as a :class:`~repro.errors.ScoopError`), which is
+what the test-suite and the ``verify-trace`` CLI command consume.  The checks
+only need ``reserve``/``log-call``/``exec``/``end-block``/``release`` events,
+so they work on any trace produced by ``QsRuntime(..., trace=True)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ScoopError
+from repro.util.tracing import TraceEvent
+
+
+@dataclass(frozen=True)
+class GuaranteeViolation:
+    """One detected violation of the reasoning guarantees."""
+
+    kind: str        #: "order" | "interleaving" | "lost-call" | "foreign-exec"
+    handler: str
+    block: Optional[int]
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] handler={self.handler} block={self.block}: {self.detail}"
+
+
+@dataclass
+class TraceReport:
+    """Result of checking one trace."""
+
+    events_checked: int
+    violations: List[GuaranteeViolation] = field(default_factory=list)
+    #: per-handler list of blocks in the order they were served
+    service_order: Dict[str, List[int]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _by_block(events: Iterable[TraceEvent], kind: str) -> Dict[Tuple[str, Optional[int]], List[TraceEvent]]:
+    out: Dict[Tuple[str, Optional[int]], List[TraceEvent]] = {}
+    for event in events:
+        if event.kind == kind:
+            out.setdefault((event.handler, event.block), []).append(event)
+    return out
+
+
+def check_trace(events: Sequence[TraceEvent]) -> TraceReport:
+    """Check the reasoning guarantees on a recorded runtime trace."""
+    events = sorted(events, key=lambda e: e.seq)
+    report = TraceReport(events_checked=len(events))
+
+    logged = _by_block(events, "log-call")
+    executed = _by_block(events, "exec")
+    released_blocks = {(e.handler, e.block) for e in events if e.kind == "release"}
+
+    # --- order: per block, execution order must be a prefix of logging order
+    for key, execs in executed.items():
+        handler, block = key
+        expected = [e.feature for e in logged.get(key, [])]
+        actual = [e.feature for e in execs]
+        if actual != expected[: len(actual)]:
+            report.violations.append(
+                GuaranteeViolation(
+                    "order", handler, block,
+                    f"executed {actual} but the block logged {expected}",
+                )
+            )
+        if len(actual) > len(expected):
+            report.violations.append(
+                GuaranteeViolation(
+                    "foreign-exec", handler, block,
+                    f"{len(actual) - len(expected)} executed call(s) were never logged by this block",
+                )
+            )
+
+    # --- isolation: executions on one handler must be contiguous per block
+    # (both asynchronous calls and handler-executed packaged queries count)
+    per_handler_exec: Dict[str, List[TraceEvent]] = {}
+    for event in events:
+        if event.kind in ("exec", "exec-query"):
+            per_handler_exec.setdefault(event.handler, []).append(event)
+    for handler, execs in per_handler_exec.items():
+        served: List[int] = []
+        closed: set = set()
+        current: Optional[int] = None
+        for event in execs:
+            block = event.block
+            if block == current:
+                continue
+            if block in closed:
+                report.violations.append(
+                    GuaranteeViolation(
+                        "interleaving", handler, block,
+                        "the handler resumed this block after serving another client's block",
+                    )
+                )
+                continue
+            if current is not None:
+                closed.add(current)
+            current = block
+            if block is not None:
+                served.append(block)
+        report.service_order[handler] = served
+
+    # --- completeness: every logged call of a *released* block is executed
+    for key, logs in logged.items():
+        handler, block = key
+        if key not in released_blocks:
+            continue  # block never closed (e.g. runtime shut down mid-block)
+        n_executed = len(executed.get(key, []))
+        if n_executed < len(logs):
+            report.violations.append(
+                GuaranteeViolation(
+                    "lost-call", handler, block,
+                    f"{len(logs)} calls logged but only {n_executed} executed",
+                )
+            )
+    return report
+
+
+def check_runtime(runtime) -> TraceReport:
+    """Check the guarantees on everything a traced runtime recorded so far.
+
+    The runtime's handlers should be quiescent (e.g. after ``shutdown()`` or
+    after joining the client threads) — otherwise still-queued calls show up
+    as spurious ``lost-call`` violations.
+    """
+    if not getattr(runtime, "tracer", None) or not runtime.tracer.enabled:
+        raise ScoopError(
+            "the runtime was not created with trace=True; "
+            "use QsRuntime(level, trace=True) to record a checkable trace"
+        )
+    return check_trace(runtime.tracer.events())
+
+
+def assert_guarantees(source) -> TraceReport:
+    """Raise :class:`ScoopError` when ``source`` (runtime or events) violates the guarantees."""
+    if hasattr(source, "tracer"):
+        report = check_runtime(source)
+    else:
+        report = check_trace(list(source))
+    if not report.ok:
+        summary = "; ".join(str(v) for v in report.violations[:5])
+        raise ScoopError(
+            f"{len(report.violations)} reasoning-guarantee violation(s) detected: {summary}"
+        )
+    return report

@@ -1,0 +1,156 @@
+"""Handlers: the active-object threads of the SCOOP/Qs runtime.
+
+A handler owns a set of objects and a *queue of queues* of requests
+(Fig. 4).  Its main loop is a direct transcription of Fig. 7 of the paper:
+repeatedly dequeue a private queue from the queue-of-queues (rule *run*),
+drain calls out of it until the END marker (rule *end*), then move to the
+next private queue.
+
+Two locks exist purely to reproduce protocol variants evaluated in the
+paper:
+
+* ``reservation_lock`` — only used when the queue-of-queues optimization is
+  *disabled* (the original lock-based SCOOP protocol): a client holds it for
+  its entire separate block, serialising clients (Fig. 2).
+* ``spinlock`` — the per-handler lock used to make *multi*-handler
+  reservations atomic (Section 3.3); held only for the few instructions
+  needed to enqueue the private queues.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional
+
+from repro.config import QsConfig
+from repro.errors import HandlerShutdownError
+from repro.core.region import HandlerOwner, SeparateObject, SeparateRef
+from repro.queues.private_queue import CallRequest, EndMarker, PrivateQueue, SyncRequest
+from repro.queues.qoq import QueueOfQueues
+from repro.util.counters import Counters
+from repro.util.tracing import NullTracer, Tracer
+
+#: how often a handler parked on an open private queue re-checks for shutdown
+_PQ_POLL_SECONDS = 0.05
+
+
+class Handler:
+    """An active object: one OS thread applying requests from its clients."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[QsConfig] = None,
+        counters: Optional[Counters] = None,
+        daemon: bool = True,
+        tracer: "Tracer | NullTracer | None" = None,
+    ) -> None:
+        self.name = name
+        self.config = config or QsConfig.all()
+        self.counters = counters or Counters()
+        # explicit None check: an empty Tracer has len() == 0 and is falsy
+        self.tracer = tracer if tracer is not None else NullTracer()
+        self.owner = HandlerOwner(name)
+        self.qoq = QueueOfQueues(self.counters)
+        #: held for a whole separate block in the lock-based (non-QoQ) protocol
+        self.reservation_lock = threading.Lock()
+        #: makes multi-handler reservations atomic (Section 3.3)
+        self.spinlock = threading.Lock()
+        #: exceptions raised by asynchronous calls (no client is waiting)
+        self.failures: List[BaseException] = []
+        self._stop = threading.Event()
+        self._started = False
+        self._thread = threading.Thread(target=self._loop, name=f"handler:{name}", daemon=daemon)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "Handler":
+        if not self._started:
+            self._started = True
+            self.owner.bind_thread(self._thread)
+            self._thread.start()
+        return self
+
+    def shutdown(self, timeout: float = 5.0) -> None:
+        """Stop accepting reservations, drain outstanding work and join."""
+        if not self._started:
+            return
+        self._stop.set()
+        self.qoq.close()
+        self._thread.join(timeout=timeout)
+
+    @property
+    def alive(self) -> bool:
+        return self._started and self._thread.is_alive()
+
+    @property
+    def thread(self) -> threading.Thread:
+        return self._thread
+
+    # ------------------------------------------------------------------
+    # object hosting
+    # ------------------------------------------------------------------
+    def adopt(self, obj: Any) -> SeparateRef:
+        """Make ``obj`` a separate object handled by this handler."""
+        if isinstance(obj, SeparateObject):
+            obj._scoop_bind(self.owner)
+        return SeparateRef(self, obj)
+
+    def create(self, cls: Callable[..., Any], *args: Any, **kwargs: Any) -> SeparateRef:
+        """Instantiate ``cls(*args, **kwargs)`` as a separate object here."""
+        obj = cls(*args, **kwargs)
+        return self.adopt(obj)
+
+    # ------------------------------------------------------------------
+    # the handler loop (Fig. 7)
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            private_queue = self.qoq.dequeue()
+            if private_queue is None:
+                # queue-of-queues closed and drained: no more work, shut down
+                break
+            self._drain_private_queue(private_queue)
+
+    def _drain_private_queue(self, private_queue: PrivateQueue) -> None:
+        while True:
+            request = private_queue.dequeue(timeout=_PQ_POLL_SECONDS)
+            if request is None:
+                # nothing arrived yet; keep waiting unless we are shutting down
+                # and the client already closed the block (defensive: a client
+                # crash without END must not wedge the handler forever).
+                if self._stop.is_set() and private_queue.closed_by_client and len(private_queue) == 0:
+                    return
+                if self._stop.is_set() and self.qoq.closed and len(private_queue) == 0 and not private_queue.closed_by_client:
+                    # runtime shutting down with an abandoned reservation
+                    return
+                continue
+            if isinstance(request, EndMarker):
+                # rule *end*: switch to the next private queue
+                self.tracer.record("end-block", self.name, client=private_queue.client_name,
+                                   block=private_queue.block_id)
+                return
+            if isinstance(request, SyncRequest):
+                # rule *sync*: release the waiting client; we then park on this
+                # queue until the client logs more requests (or END)
+                request.fire()
+                continue
+            if isinstance(request, CallRequest):
+                self.counters.bump("calls_executed")
+                # packaged queries (a result box is attached) are recorded
+                # separately so the guarantee checker can distinguish them
+                # from the block's logged commands
+                kind = "exec" if request.result is None else "exec-query"
+                block = request.block if request.block is not None else private_queue.block_id
+                self.tracer.record(kind, self.name, client=private_queue.client_name,
+                                   feature=request.feature or None, block=block)
+                try:
+                    request.execute()
+                except BaseException as exc:  # asynchronous call failed
+                    self.failures.append(exc)
+                continue
+            raise HandlerShutdownError(f"handler {self.name!r} received unknown request {request!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Handler({self.name!r}, alive={self.alive})"

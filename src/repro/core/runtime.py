@@ -1,0 +1,218 @@
+"""The SCOOP/Qs runtime: handler management, per-thread clients, statistics.
+
+:class:`QsRuntime` is the top-level object applications interact with:
+
+.. code-block:: python
+
+    from repro import QsRuntime, SeparateObject, command, query
+
+    class Counter(SeparateObject):
+        def __init__(self): self.value = 0
+        @command
+        def increment(self, by=1): self.value += by
+        @query
+        def read(self): return self.value
+
+    with QsRuntime() as rt:
+        counter = rt.new_handler("counter").create(Counter)
+        with rt.separate(counter) as c:
+            c.increment(5)          # asynchronous command
+            print(c.read())         # synchronous query -> 5
+
+The runtime is parameterised by a :class:`~repro.config.QsConfig` (or a named
+optimization level), which selects between the protocols the paper
+evaluates; everything the runtime does is recorded in a shared
+:class:`~repro.util.counters.Counters` instance that experiments read.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.config import OptimizationLevel, QsConfig
+from repro.errors import RuntimeShutdownError, ScoopError
+from repro.core.client import Client
+from repro.core.handler import Handler
+from repro.core.region import SeparateRef
+from repro.core.separate import SeparateBlock
+from repro.util.counters import Counters, CounterSnapshot
+from repro.util.tracing import NullTracer, Tracer
+
+
+class QsRuntime:
+    """Owner of handlers, clients and runtime configuration."""
+
+    def __init__(self, config: "QsConfig | OptimizationLevel | str | None" = None,
+                 trace: bool = False, trace_max_events: int = 1_000_000) -> None:
+        if config is None:
+            config = QsConfig.all()
+        elif isinstance(config, (OptimizationLevel, str)):
+            config = QsConfig.from_level(config)
+        self.config: QsConfig = config
+        self.counters = Counters()
+        #: runtime instrumentation (Section 7's "SCOOP-specific instrumentation")
+        self.tracer: "Tracer | NullTracer" = Tracer(trace_max_events) if trace else NullTracer()
+        self._handlers: Dict[str, Handler] = {}
+        self._handler_seq = 0
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._shutdown = False
+        self._client_threads: List[threading.Thread] = []
+        self._client_errors: List[BaseException] = []
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "QsRuntime":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()
+
+    def shutdown(self, timeout: float = 10.0, check_failures: bool = True) -> None:
+        """Join client threads, retire all handlers, optionally re-raise errors."""
+        if self._shutdown:
+            return
+        self._shutdown = True
+        for thread in self._client_threads:
+            thread.join(timeout=timeout)
+        for handler in list(self._handlers.values()):
+            handler.shutdown(timeout=timeout)
+        if check_failures:
+            failures = self.handler_failures()
+            if self._client_errors:
+                raise ScoopError(
+                    f"{len(self._client_errors)} client thread(s) raised"
+                ) from self._client_errors[0]
+            if failures:
+                raise ScoopError(
+                    f"{len(failures)} asynchronous call(s) raised on handlers"
+                ) from failures[0]
+
+    def _check_open(self) -> None:
+        if self._shutdown:
+            raise RuntimeShutdownError("the runtime has been shut down")
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+    def new_handler(self, name: Optional[str] = None) -> Handler:
+        """Create and start a fresh handler (a new thread of execution)."""
+        self._check_open()
+        with self._lock:
+            if name is None:
+                self._handler_seq += 1
+                name = f"handler-{self._handler_seq}"
+            if name in self._handlers:
+                raise ScoopError(f"a handler named {name!r} already exists")
+            handler = Handler(name, config=self.config, counters=self.counters, tracer=self.tracer)
+            self._handlers[name] = handler
+        return handler.start()
+
+    def new_handlers(self, count: int, prefix: str = "worker") -> List[Handler]:
+        """Create ``count`` handlers named ``{prefix}-0 .. {prefix}-{count-1}``."""
+        return [self.new_handler(f"{prefix}-{i}") for i in range(count)]
+
+    def handler(self, name: str) -> Handler:
+        """Get (or lazily create) the handler called ``name``."""
+        with self._lock:
+            existing = self._handlers.get(name)
+        if existing is not None:
+            return existing
+        return self.new_handler(name)
+
+    @property
+    def handlers(self) -> List[Handler]:
+        with self._lock:
+            return list(self._handlers.values())
+
+    def handler_failures(self) -> List[BaseException]:
+        """Exceptions raised by asynchronous calls (no client was waiting)."""
+        failures: List[BaseException] = []
+        for handler in self.handlers:
+            failures.extend(handler.failures)
+        return failures
+
+    # ------------------------------------------------------------------
+    # clients and separate blocks
+    # ------------------------------------------------------------------
+    def current_client(self) -> Client:
+        """The calling thread's client (created on first use)."""
+        client = getattr(self._local, "client", None)
+        if client is None:
+            client = Client(self.config, self.counters, name=threading.current_thread().name,
+                            tracer=self.tracer)
+            self._local.client = client
+        return client
+
+    def separate(self, *refs: SeparateRef, wait_until: Optional[Callable[..., bool]] = None,
+                 wait_timeout: Optional[float] = None) -> SeparateBlock:
+        """Open a separate block reserving the handlers of ``refs``.
+
+        ``wait_until`` turns the block into a SCOOP *wait condition*: the
+        reservation is only kept once the predicate (called with the reserved
+        proxies) evaluates to true; otherwise the handlers are released and
+        the reservation retried (see :mod:`repro.core.conditions`).
+        """
+        self._check_open()
+        return SeparateBlock(self.current_client(), refs, wait_until=wait_until,
+                             wait_timeout=wait_timeout)
+
+    # ------------------------------------------------------------------
+    # tracing
+    # ------------------------------------------------------------------
+    @property
+    def tracing_enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def trace_events(self, **criteria):
+        """Recorded :class:`~repro.util.tracing.TraceEvent` objects (filtered)."""
+        return self.tracer.events(**criteria) if self.tracer.enabled else []
+
+    # ------------------------------------------------------------------
+    # client threads (concurrent workloads spawn these)
+    # ------------------------------------------------------------------
+    def spawn_client(self, fn: Callable[..., None], *args, name: Optional[str] = None, **kwargs) -> threading.Thread:
+        """Run ``fn`` in a new client thread; errors are collected for shutdown."""
+        self._check_open()
+
+        def _run() -> None:
+            try:
+                fn(*args, **kwargs)
+            except BaseException as exc:  # surfaced at shutdown
+                self._client_errors.append(exc)
+
+        thread = threading.Thread(target=_run, name=name or f"client:{fn.__name__}", daemon=True)
+        self._client_threads.append(thread)
+        thread.start()
+        return thread
+
+    def join_clients(self, timeout: Optional[float] = None) -> None:
+        """Wait for every spawned client thread to finish."""
+        for thread in self._client_threads:
+            thread.join(timeout=timeout)
+        if self._client_errors:
+            raise ScoopError("a client thread raised") from self._client_errors[0]
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    def stats(self) -> CounterSnapshot:
+        return self.counters.snapshot()
+
+    def reset_stats(self) -> None:
+        self.counters.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"QsRuntime(config={self.config.name}, handlers={len(self._handlers)})"
+
+
+def lock_based_runtime() -> QsRuntime:
+    """The original (pre-Qs) lock-based SCOOP runtime: no optimizations."""
+    return QsRuntime(QsConfig.none())
+
+
+def qs_runtime(level: "QsConfig | OptimizationLevel | str" = OptimizationLevel.ALL) -> QsRuntime:
+    """Convenience constructor used throughout the benchmarks."""
+    return QsRuntime(level)

@@ -1,0 +1,74 @@
+"""Exception hierarchy for the SCOOP/Qs reproduction.
+
+Every error raised by the public API derives from :class:`ScoopError` so that
+applications can catch runtime-model violations separately from ordinary
+Python errors raised by user code executed on handlers.
+"""
+
+from __future__ import annotations
+
+
+class ScoopError(Exception):
+    """Base class for all SCOOP/Qs model errors."""
+
+
+class RuntimeShutdownError(ScoopError):
+    """An operation was attempted on a runtime that has been shut down."""
+
+
+class HandlerShutdownError(ScoopError):
+    """A request was issued to a handler that has already been retired."""
+
+
+class SeparateAccessError(ScoopError):
+    """A separate object was accessed outside of its handler.
+
+    SCOOP guarantees data-race freedom by requiring all access to an object
+    to go through its handler; touching the raw object from another thread
+    is exactly the class of bug this error reports.
+    """
+
+
+class NotReservedError(ScoopError):
+    """A call was logged on a handler that the client has not reserved.
+
+    The paper's type system statically rejects calls on separate objects that
+    are not protected by a ``separate`` block; in Python we enforce the same
+    rule dynamically.
+    """
+
+
+class ReservationError(ScoopError):
+    """Misuse of the reservation API (nested/duplicate/empty reservations)."""
+
+
+class QueryFailedError(ScoopError):
+    """A query raised an exception on the handler side.
+
+    The original exception is available as ``__cause__``.
+    """
+
+
+class WaitConditionTimeout(ScoopError):
+    """A wait condition did not become true within the allowed time.
+
+    Raised by separate blocks opened with ``wait_until=...`` (SCOOP wait
+    conditions) when the predicate keeps evaluating to false; the timeout is
+    what distinguishes a slow supplier from a condition that can never hold.
+    """
+
+
+class DeadlockError(ScoopError):
+    """The runtime or the semantics explorer detected a deadlock."""
+
+
+class SemanticsError(ScoopError):
+    """Malformed program or configuration given to the formal semantics."""
+
+
+class CompilerError(ScoopError):
+    """Malformed IR handed to the compiler substrate."""
+
+
+class SimulationError(ScoopError):
+    """Invalid configuration or state inside the discrete-event simulator."""

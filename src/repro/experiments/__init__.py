@@ -1,0 +1,26 @@
+"""Experiment drivers: one module per table/figure of the paper's evaluation.
+
+Every module exposes a ``collect(...)`` function returning plain data
+structures (lists of row dicts) and can be run as a script
+(``python -m repro.experiments.table1``) to print the regenerated table.
+``repro.experiments.paper_data`` holds the numbers the paper reports so the
+regenerated results can be placed side by side (see EXPERIMENTS.md).
+
+Mapping to the paper:
+
+===========================  ==================================================
+module                       reproduces
+===========================  ==================================================
+``table1``                   Table 1 + Fig. 16 (optimizations, parallel tasks)
+``table2``                   Table 2 + Fig. 17 (optimizations, concurrent tasks)
+``table3``                   Table 3 (language characteristics)
+``table4``                   Table 4 + Fig. 18 + Fig. 19 (languages, parallel)
+``table5``                   Table 5 + Fig. 20 (languages, concurrent)
+``summary``                  Section 4.4 geometric means (~15x overall speedup)
+``eve``                      Section 4.5 (EVE/Qs: QoQ + Dynamic in an existing runtime)
+===========================  ==================================================
+"""
+
+from repro.experiments import paper_data
+
+__all__ = ["paper_data"]

@@ -1,0 +1,179 @@
+"""Text renderings of the paper's figures (bar charts and speedup curves).
+
+The paper's evaluation figures are plots over the same data its tables hold:
+Fig. 16/17 are per-task bar charts over optimization levels, Fig. 18/20 are
+per-task bar charts over languages, Fig. 19 is a family of speedup curves.
+This module renders those shapes as plain text so every figure can be
+regenerated in a terminal (the CLI's ``figures`` command and the experiment
+drivers use it) and diffed in EXPERIMENTS.md without a plotting stack.
+
+All renderers take the *long-form* row dictionaries the
+:mod:`repro.experiments` collect functions produce, so the exact data that
+fills the tables also draws the figures.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+
+def _fmt(value: float) -> str:
+    if value >= 100:
+        return f"{value:,.0f}"
+    if value >= 1:
+        return f"{value:.2f}"
+    return f"{value:.3f}"
+
+
+def bar_chart(values: Mapping[str, float], title: str = "", width: int = 40,
+              log_scale: bool = False) -> str:
+    """One horizontal bar per entry, scaled to ``width`` characters.
+
+    ``log_scale=True`` reproduces the paper's Fig. 16 presentation, where the
+    unoptimized configurations are orders of magnitude slower and a linear
+    scale would flatten every other bar.
+    """
+    lines: List[str] = [title] if title else []
+    if not values:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(str(k)) for k in values)
+
+    def transform(v: float) -> float:
+        if not log_scale:
+            return max(v, 0.0)
+        return math.log10(max(v, 1e-12) * 10.0)  # keep values >= 0.1 visible
+
+    peak = max(transform(v) for v in values.values()) or 1.0
+    for label, value in values.items():
+        filled = int(round(width * transform(value) / peak)) if peak > 0 else 0
+        bar = "#" * max(filled, 1 if value > 0 else 0)
+        lines.append(f"{str(label).ljust(label_width)} |{bar.ljust(width)} {_fmt(float(value))}")
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(rows: Sequence[Mapping[str, object]], group: str, label: str,
+                      value: str, title: str = "", width: int = 40,
+                      log_scale: bool = False) -> str:
+    """One :func:`bar_chart` per group (e.g. one per task, bars per level)."""
+    groups: Dict[object, Dict[str, float]] = {}
+    for row in rows:
+        groups.setdefault(row[group], {})[str(row[label])] = float(row[value])  # type: ignore[arg-type]
+    blocks: List[str] = [title] if title else []
+    for key in groups:
+        blocks.append(bar_chart(groups[key], title=f"-- {group}: {key}", width=width,
+                                log_scale=log_scale))
+    return "\n\n".join(blocks)
+
+
+def speedup_chart(series: Mapping[str, Sequence[Tuple[int, float]]], title: str = "",
+                  height: int = 12, width: int = 60, ideal: Optional[Sequence[int]] = None) -> str:
+    """ASCII speedup-vs-threads curves (the shape of Fig. 19).
+
+    ``series`` maps a series label to ``(threads, speedup)`` pairs; every
+    series is plotted into one grid, using the first letter of its label as
+    the marker.  ``ideal`` optionally draws the perfect-scaling diagonal for
+    the given thread counts (marked ``.``).
+    """
+    lines: List[str] = [title] if title else []
+    points: List[Tuple[float, float, str]] = []
+    for label, curve in series.items():
+        marker = str(label)[0] if label else "?"
+        for threads, speedup in curve:
+            points.append((float(threads), float(speedup), marker))
+    if ideal:
+        for threads in ideal:
+            points.append((float(threads), float(threads), "."))
+    if not points:
+        return "\n".join(lines + ["(no data)"])
+
+    max_x = max(p[0] for p in points)
+    max_y = max(p[1] for p in points)
+    grid = [[" "] * (width + 1) for _ in range(height + 1)]
+    for x, y, marker in points:
+        col = int(round(width * x / max_x)) if max_x else 0
+        row = height - int(round(height * y / max_y)) if max_y else height
+        current = grid[row][col]
+        grid[row][col] = "*" if current not in (" ", ".", marker) else marker
+
+    for i, row_cells in enumerate(grid):
+        y_value = max_y * (height - i) / height
+        lines.append(f"{y_value:6.1f} |" + "".join(row_cells))
+    lines.append(" " * 7 + "+" + "-" * (width + 1))
+    lines.append(" " * 8 + f"1 .. {int(max_x)} threads")
+    legend = ", ".join(f"{str(label)[0]}={label}" for label in series)
+    lines.append("legend: " + legend + (", .=ideal" if ideal else ""))
+    return "\n".join(lines)
+
+
+def stacked_bar_chart(rows: Sequence[Mapping[str, object]], label: str,
+                      parts: Sequence[str], title: str = "", width: int = 40) -> str:
+    """Bars split into segments (Fig. 18: compute time vs. communication time).
+
+    Each row provides one bar; ``parts`` are the column names of the
+    segments, drawn with distinct characters in order (``#``, ``=``, ``:``).
+    """
+    fills = "#=:+"
+    lines: List[str] = [title] if title else []
+    if not rows:
+        return "\n".join(lines + ["(no data)"])
+    label_width = max(len(str(row[label])) for row in rows)
+    peak = max(sum(float(row.get(p, 0.0)) for p in parts) for row in rows) or 1.0  # type: ignore[arg-type]
+    for row in rows:
+        segments = []
+        for index, part in enumerate(parts):
+            value = float(row.get(part, 0.0))  # type: ignore[arg-type]
+            segments.append(fills[index % len(fills)] * int(round(width * value / peak)))
+        total = sum(float(row.get(p, 0.0)) for p in parts)  # type: ignore[arg-type]
+        lines.append(f"{str(row[label]).ljust(label_width)} |{''.join(segments).ljust(width)} {_fmt(total)}")
+    legend = ", ".join(f"{fills[i % len(fills)]}={part}" for i, part in enumerate(parts))
+    lines.append("legend: " + legend)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------------
+# figure-specific conveniences (same data as the corresponding tables)
+# ----------------------------------------------------------------------------
+def fig16(rows: Sequence[Mapping[str, object]], value: str = "comm_ops") -> str:
+    """Fig. 16 from :func:`repro.experiments.table1.collect` rows."""
+    return grouped_bar_chart(rows, group="task", label="level", value=value,
+                             title="Fig. 16 — normalized communication (log scale)", log_scale=True)
+
+
+def fig17(rows: Sequence[Mapping[str, object]], value: str = "time_s") -> str:
+    """Fig. 17 from :func:`repro.experiments.table2.collect` rows."""
+    return grouped_bar_chart(rows, group="task", label="level", value=value,
+                             title="Fig. 17 — concurrent tasks per optimization level")
+
+
+def fig18(rows: Sequence[Mapping[str, object]]) -> str:
+    """Fig. 18 from :func:`repro.experiments.table4.fig18_rows` rows."""
+    blocks = []
+    tasks = sorted({row["task"] for row in rows})
+    for task in tasks:
+        task_rows = [row for row in rows if row["task"] == task]
+        blocks.append(stacked_bar_chart(task_rows, label="lang",
+                                        parts=("compute_s", "comm_s"),
+                                        title=f"-- task: {task}"))
+    return "Fig. 18 — execution time on 32 cores (compute # / communication =)\n\n" + "\n\n".join(blocks)
+
+
+def fig19(rows: Sequence[Mapping[str, object]], thread_counts: Sequence[int] = (1, 2, 4, 8, 16, 32)) -> str:
+    """Fig. 19 from :func:`repro.experiments.table4.fig19_rows` rows."""
+    blocks = []
+    tasks = sorted({row["task"] for row in rows})
+    for task in tasks:
+        series: Dict[str, List[Tuple[int, float]]] = {}
+        for row in rows:
+            if row["task"] != task:
+                continue
+            curve = [(t, float(row[str(t)])) for t in thread_counts if str(t) in row]
+            series[str(row["series"])] = curve
+        blocks.append(speedup_chart(series, title=f"-- task: {task}", ideal=list(thread_counts)))
+    return "Fig. 19 — speedup over single core\n\n" + "\n\n".join(blocks)
+
+
+def fig20(rows: Sequence[Mapping[str, object]], value: str = "time_s") -> str:
+    """Fig. 20 from :func:`repro.experiments.table5.collect` rows."""
+    return grouped_bar_chart(rows, group="task", label="lang", value=value,
+                             title="Fig. 20 — concurrent tasks per language")

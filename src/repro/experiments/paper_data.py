@@ -1,0 +1,105 @@
+"""The numbers the paper reports, for side-by-side comparison.
+
+Only used for reporting and for "shape" assertions in the test-suite (who is
+fastest, rough ratios); the reproduction never feeds these numbers back into
+its own measurements or models' *outputs* (the simulator's cost constants are
+calibrated from the same measurements, which is documented in
+:mod:`repro.sim.languages`).
+"""
+
+from __future__ import annotations
+
+#: Table 1 — normalized (to fastest) comparison of optimizations on parallel tasks
+TABLE1 = {
+    "chain":   {"none": 27.70, "dynamic": 1.13, "static": 1.00, "qoq": 28.81, "all": 1.28},
+    "outer":   {"none": 78.95, "dynamic": 1.45, "static": 1.00, "qoq": 80.44, "all": 1.00},
+    "product": {"none": 49.99, "dynamic": 1.33, "static": 1.00, "qoq": 51.18, "all": 1.02},
+    "randmat": {"none": 345.61, "dynamic": 3.05, "static": 1.00, "qoq": 353.43, "all": 1.03},
+    "thresh":  {"none": 64.54, "dynamic": 1.33, "static": 1.00, "qoq": 66.08, "all": 1.05},
+    "winnow":  {"none": 53.14, "dynamic": 1.35, "static": 1.21, "qoq": 54.33, "all": 1.00},
+}
+
+#: Table 2 — times (seconds) for optimizations applied on concurrent benchmarks
+TABLE2 = {
+    "chameneos":  {"none": 21.41, "dynamic": 6.58, "static": 21.58, "qoq": 16.54, "all": 4.80},
+    "condition":  {"none": 12.41, "dynamic": 8.93, "static": 12.44, "qoq": 1.78, "all": 1.50},
+    "mutex":      {"none": 0.44, "dynamic": 0.45, "static": 0.44, "qoq": 0.46, "all": 0.47},
+    "prodcons":   {"none": 3.72, "dynamic": 1.88, "static": 3.71, "qoq": 1.98, "all": 1.42},
+    "threadring": {"none": 17.01, "dynamic": 5.27, "static": 17.08, "qoq": 16.41, "all": 5.80},
+}
+
+#: Section 4.4 — geometric means over all benchmarks per optimization level (seconds)
+SECTION44_GEOMEANS = {"none": 20.70, "dynamic": 1.99, "static": 2.24, "qoq": 16.21, "all": 1.36}
+SECTION44_OVERALL_SPEEDUP = 15.0
+
+#: Section 4.5 — EVE/Qs speedups over the production SCOOP runtime
+SECTION45_EVE = {"concurrent": 11.7, "parallel": 7.7, "overall": 9.7}
+
+#: Table 4 — parallel benchmark times (seconds); (task, lang, variant) -> {threads: time}
+#: variant "T" = total time, "C" = compute-only time
+TABLE4 = {
+    ("randmat", "cxx", "T"): {1: 0.44, 2: 0.23, 4: 0.13, 8: 0.08, 16: 0.06, 32: 0.08},
+    ("randmat", "erlang", "T"): {1: 30.93, 2: 18.01, 4: 10.20, 8: 5.77, 16: 4.05, 32: 4.14},
+    ("randmat", "erlang", "C"): {1: 20.69, 2: 11.26, 4: 5.63, 8: 2.99, 16: 1.73, 32: 1.50},
+    ("randmat", "go", "T"): {1: 0.78, 2: 0.43, 4: 0.24, 8: 0.14, 16: 0.09, 32: 0.08},
+    ("randmat", "haskell", "T"): {1: 0.68, 2: 0.43, 4: 0.36, 8: 0.44, 16: 0.62, 32: 1.03},
+    ("randmat", "qs", "T"): {1: 0.72, 2: 0.43, 4: 0.29, 8: 0.22, 16: 0.21, 32: 0.23},
+    ("randmat", "qs", "C"): {1: 0.59, 2: 0.30, 4: 0.15, 8: 0.08, 16: 0.05, 32: 0.05},
+    ("thresh", "cxx", "T"): {1: 1.00, 2: 0.66, 4: 0.34, 8: 0.18, 16: 0.12, 32: 0.11},
+    ("thresh", "erlang", "T"): {1: 31.82, 2: 22.35, 4: 17.77, 8: 14.48, 16: 12.88, 32: 11.96},
+    ("thresh", "erlang", "C"): {1: 19.30, 2: 10.74, 4: 5.97, 8: 2.77, 16: 1.47, 32: 0.89},
+    ("thresh", "go", "T"): {1: 0.95, 2: 0.60, 4: 0.37, 8: 0.22, 16: 0.17, 32: 0.17},
+    ("thresh", "haskell", "T"): {1: 1.56, 2: 0.96, 4: 0.69, 8: 0.55, 16: 0.51, 32: 0.50},
+    ("thresh", "qs", "T"): {1: 3.71, 2: 2.72, 4: 2.28, 8: 2.10, 16: 2.11, 32: 2.15},
+    ("thresh", "qs", "C"): {1: 1.87, 2: 1.08, 4: 0.54, 8: 0.31, 16: 0.16, 32: 0.09},
+    ("winnow", "cxx", "T"): {1: 2.04, 2: 1.03, 4: 0.53, 8: 0.29, 16: 0.18, 32: 0.15},
+    ("winnow", "erlang", "T"): {1: 31.03, 2: 26.02, 4: 25.04, 8: 24.75, 16: 24.38, 32: 23.95},
+    ("winnow", "erlang", "C"): {1: 4.06, 2: 2.58, 4: 1.84, 8: 1.46, 16: 1.29, 32: 1.24},
+    ("winnow", "go", "T"): {1: 2.47, 2: 1.29, 4: 0.71, 8: 0.46, 16: 0.32, 32: 0.28},
+    ("winnow", "haskell", "T"): {1: 5.43, 2: 2.77, 4: 1.42, 8: 0.80, 16: 0.48, 32: 0.52},
+    ("winnow", "qs", "T"): {1: 5.16, 2: 3.74, 4: 3.04, 8: 2.69, 16: 2.58, 32: 2.57},
+    ("winnow", "qs", "C"): {1: 2.83, 2: 1.40, 4: 0.72, 8: 0.36, 16: 0.19, 32: 0.10},
+    ("outer", "cxx", "T"): {1: 1.59, 2: 0.83, 4: 0.42, 8: 0.23, 16: 0.15, 32: 0.14},
+    ("outer", "erlang", "T"): {1: 61.57, 2: 38.21, 4: 21.19, 8: 17.57, 16: 11.67, 32: 8.05},
+    ("outer", "erlang", "C"): {1: 40.66, 2: 22.54, 4: 10.45, 8: 6.05, 16: 3.12, 32: 2.52},
+    ("outer", "go", "T"): {1: 2.47, 2: 1.44, 4: 0.84, 8: 0.57, 16: 0.60, 32: 0.67},
+    ("outer", "haskell", "T"): {1: 5.49, 2: 2.76, 4: 1.40, 8: 0.74, 16: 0.41, 32: 0.36},
+    ("outer", "qs", "T"): {1: 2.58, 2: 1.62, 4: 1.15, 8: 0.93, 16: 0.90, 32: 0.89},
+    ("outer", "qs", "C"): {1: 1.87, 2: 0.93, 4: 0.46, 8: 0.24, 16: 0.12, 32: 0.06},
+    ("product", "cxx", "T"): {1: 0.44, 2: 0.23, 4: 0.13, 8: 0.09, 16: 0.08, 32: 0.12},
+    ("product", "erlang", "T"): {1: 15.89, 2: 13.94, 4: 12.66, 8: 12.08, 16: 11.82, 32: 11.33},
+    ("product", "erlang", "C"): {1: 3.35, 2: 1.95, 4: 0.90, 8: 0.45, 16: 0.24, 32: 0.15},
+    ("product", "go", "T"): {1: 0.76, 2: 0.46, 4: 0.29, 8: 0.19, 16: 0.15, 32: 0.13},
+    ("product", "haskell", "T"): {1: 0.45, 2: 0.25, 4: 0.16, 8: 0.11, 16: 0.11, 32: 0.15},
+    ("product", "qs", "T"): {1: 1.49, 2: 1.33, 4: 1.27, 8: 1.24, 16: 1.28, 32: 1.34},
+    ("product", "qs", "C"): {1: 0.32, 2: 0.16, 4: 0.08, 8: 0.04, 16: 0.02, 32: 0.01},
+    ("chain", "cxx", "T"): {1: 5.57, 2: 2.76, 4: 1.42, 8: 0.76, 16: 0.43, 32: 0.32},
+    ("chain", "erlang", "T"): {1: 120.59, 2: 69.00, 4: 32.06, 8: 18.48, 16: 13.23, 32: 16.01},
+    ("chain", "erlang", "C"): {1: 119.68, 2: 68.13, 4: 30.93, 8: 17.75, 16: 12.63, 32: 15.15},
+    ("chain", "go", "T"): {1: 7.39, 2: 4.09, 4: 2.39, 8: 1.79, 16: 1.93, 32: 2.60},
+    ("chain", "haskell", "T"): {1: 13.78, 2: 7.71, 4: 4.62, 8: 3.30, 16: 2.74, 32: 2.94},
+    ("chain", "qs", "T"): {1: 5.60, 2: 2.88, 4: 1.56, 8: 0.97, 16: 0.68, 32: 0.67},
+    ("chain", "qs", "C"): {1: 5.54, 2: 2.75, 4: 1.40, 8: 0.74, 16: 0.40, 32: 0.25},
+}
+
+#: Table 5 — concurrent benchmark times (seconds)
+TABLE5 = {
+    "chameneos":  {"cxx": 0.32, "erlang": 8.67, "go": 2.40, "haskell": 61.97, "qs": 4.71},
+    "condition":  {"cxx": 15.92, "erlang": 2.15, "go": 5.95, "haskell": 26.05, "qs": 1.48},
+    "mutex":      {"cxx": 0.14, "erlang": 6.13, "go": 0.17, "haskell": 0.86, "qs": 0.47},
+    "prodcons":   {"cxx": 0.40, "erlang": 8.78, "go": 0.66, "haskell": 2.99, "qs": 1.33},
+    "threadring": {"cxx": 34.13, "erlang": 3.30, "go": 13.98, "haskell": 57.44, "qs": 5.82},
+}
+
+#: Section 5 geometric means (seconds)
+SECTION5_GEOMEANS = {
+    "parallel_total": {"cxx": 0.32, "go": 0.57, "haskell": 0.89, "qs": 1.35, "erlang": 18.07},
+    "parallel_compute": {"qs": 0.29, "cxx": 0.32, "go": 0.57, "haskell": 0.89, "erlang": 4.32},
+    "concurrent": {"cxx": 1.57, "go": 1.82, "qs": 1.91, "erlang": 5.01, "haskell": 12.20},
+    "all": {"cxx": 0.71, "go": 1.02, "qs": 1.61, "haskell": 3.30, "erlang": 9.51},
+}
+
+PARALLEL_TASK_ORDER = ("chain", "outer", "product", "randmat", "thresh", "winnow")
+CONCURRENT_TASK_ORDER = ("chameneos", "condition", "mutex", "prodcons", "threadring")
+LEVEL_ORDER = ("none", "dynamic", "static", "qoq", "all")
+LANGUAGE_ORDER = ("cxx", "erlang", "go", "haskell", "qs")

@@ -1,0 +1,50 @@
+"""Small helpers for printing experiment tables as aligned text."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+
+def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | None = None,
+                 title: str | None = None) -> str:
+    """Render a list of row dicts as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no data)"
+    columns = list(columns) if columns is not None else list(rows[0].keys())
+    widths = {col: len(col) for col in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            text = f"{value:.3f}" if isinstance(value, float) else str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[col] for col in columns))
+    for cells in rendered:
+        lines.append("  ".join(cell.ljust(widths[col]) for cell, col in zip(cells, columns)))
+    return "\n".join(lines)
+
+
+def pivot(rows: Iterable[Mapping[str, object]], index: str, column: str, value: str) -> List[Dict[str, object]]:
+    """Pivot long-form rows into wide-form rows keyed by ``index``."""
+    table: Dict[object, Dict[str, object]] = {}
+    for row in rows:
+        entry = table.setdefault(row[index], {index: row[index]})
+        entry[str(row[column])] = row[value]
+    return list(table.values())
+
+
+def normalize_rows(rows: Dict[str, float]) -> Dict[str, float]:
+    """Normalize a mapping of values to its minimum (Table 1 style)."""
+    positive = {k: v for k, v in rows.items() if v > 0}
+    if not positive:
+        return {k: 0.0 for k in rows}
+    best = min(positive.values())
+    return {k: (v / best if v > 0 else 0.0) for k, v in rows.items()}

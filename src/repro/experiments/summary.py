@@ -1,0 +1,72 @@
+"""Section 4.4: geometric-mean summary of the optimization comparison.
+
+The paper reports geometric means over *all* benchmarks of 20.70 s (none),
+1.99 s (Dynamic), 2.24 s (Static), 16.21 s (QoQ) and 1.36 s (All) — an
+overall ~15x speedup of the full SCOOP/Qs runtime over the unoptimized one.
+
+This driver computes the same kind of summary from the threaded runtime:
+geometric means per optimization level of (a) the communication operations
+performed and (b) wall-clock time, plus the resulting "All vs. none"
+speedups.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from repro.config import LEVEL_ORDER
+from repro.experiments import table1, table2
+from repro.experiments.report import format_table
+from repro.util.timing import geometric_mean
+from repro.workloads.params import concurrent_preset, parallel_preset
+
+
+def collect(parallel_preset_name: str = "small", concurrent_preset_name: str = "small") -> Dict[str, object]:
+    levels = [level.value for level in LEVEL_ORDER]
+    parallel_rows = table1.collect(parallel_preset(parallel_preset_name))
+    concurrent_rows = table2.collect(concurrent_preset(concurrent_preset_name))
+
+    per_level_ops: Dict[str, List[float]] = {level: [] for level in levels}
+    per_level_time: Dict[str, List[float]] = {level: [] for level in levels}
+    for row in parallel_rows:
+        per_level_ops[row["level"]].append(max(1.0, float(row["comm_ops"])))
+        per_level_time[row["level"]].append(max(1e-9, float(row["total_s"])))
+    for row in concurrent_rows:
+        per_level_ops[row["level"]].append(max(1.0, float(row["comm_ops"])))
+        per_level_time[row["level"]].append(max(1e-9, float(row["time_s"])))
+
+    geo_ops = {level: geometric_mean(values) for level, values in per_level_ops.items()}
+    geo_time = {level: geometric_mean(values) for level, values in per_level_time.items()}
+    return {
+        "geomean_comm_ops": geo_ops,
+        "geomean_time_s": geo_time,
+        "speedup_all_vs_none_ops": geo_ops["none"] / geo_ops["all"],
+        "speedup_all_vs_none_time": geo_time["none"] / geo_time["all"],
+        "parallel_rows": parallel_rows,
+        "concurrent_rows": concurrent_rows,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="small", choices=["tiny", "small"])
+    args = parser.parse_args()
+    data = collect(args.preset, args.preset)
+    rows = [
+        {"level": level,
+         "geomean_comm_ops": round(data["geomean_comm_ops"][level], 1),
+         "geomean_time_s": round(data["geomean_time_s"][level], 4)}
+        for level in [lvl.value for lvl in LEVEL_ORDER]
+    ]
+    print(format_table(rows, title="Section 4.4 summary (reproduced)"))
+    print()
+    print(f"All-optimizations speedup over no optimizations "
+          f"(communication work): {data['speedup_all_vs_none_ops']:.1f}x")
+    print(f"All-optimizations speedup over no optimizations "
+          f"(wall clock)         : {data['speedup_all_vs_none_time']:.1f}x")
+    print("Paper reports ~15x on its testbed.")
+
+
+if __name__ == "__main__":
+    main()

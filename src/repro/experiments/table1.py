@@ -1,0 +1,79 @@
+"""Table 1 / Fig. 16: effect of the optimizations on the parallel tasks.
+
+The paper reports, for each Cowichan task, the communication time of every
+optimization level normalized to the fastest level.  This driver runs every
+(task, level) pair on the threaded runtime and reports two normalized
+quantities:
+
+* ``comm_ops`` — the number of client/handler interactions actually
+  performed (sync round-trips, packaged calls, reservations); deterministic
+  and independent of the interpreter, this is the primary reproduction of
+  the paper's claim (fewer round trips is *why* the optimized runtime is
+  faster), and
+* ``comm_s`` — measured wall-clock communication time, which under the GIL
+  still tracks the same ordering for the communication-bound tasks.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from repro.config import LEVEL_ORDER
+from repro.experiments.report import format_table, normalize_rows
+from repro.workloads.cowichan.scoop import COWICHAN_TASKS, run_cowichan
+from repro.workloads.params import ParallelSizes, parallel_preset
+
+
+def collect(sizes: ParallelSizes, tasks: List[str] | None = None,
+            levels: List[str] | None = None, verify: bool = False) -> List[Dict[str, object]]:
+    """Long-form rows: one per (task, level)."""
+    tasks = tasks or sorted(COWICHAN_TASKS)
+    levels = levels or [level.value for level in LEVEL_ORDER]
+    rows: List[Dict[str, object]] = []
+    for task in tasks:
+        for level in levels:
+            result = run_cowichan(task, level, sizes, verify=verify)
+            rows.append(
+                {
+                    "task": task,
+                    "level": level,
+                    "comm_ops": result.communication_ops,
+                    "sync_roundtrips": result.sync_roundtrips,
+                    "syncs_elided": result.counters["syncs_elided"],
+                    "comm_s": result.comm_seconds,
+                    "total_s": result.total_seconds,
+                }
+            )
+    return rows
+
+
+def normalized_table(rows: List[Dict[str, object]], value: str = "comm_ops") -> List[Dict[str, object]]:
+    """Table 1 shape: one row per task, one column per level, normalized."""
+    tasks = sorted({row["task"] for row in rows})
+    out: List[Dict[str, object]] = []
+    for task in tasks:
+        per_level = {row["level"]: float(row[value]) for row in rows if row["task"] == task}
+        normalized = normalize_rows(per_level)
+        out.append({"task": task, **{level: round(normalized[level], 2) for level in per_level}})
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="small", choices=["tiny", "small", "paper"])
+    parser.add_argument("--verify", action="store_true", help="check results against the sequential reference")
+    args = parser.parse_args()
+    sizes = parallel_preset(args.preset)
+    rows = collect(sizes, verify=args.verify)
+    print(format_table(rows, title=f"Raw measurements (preset={args.preset}, nr={sizes.nr}, workers={sizes.workers})"))
+    print()
+    print(format_table(normalized_table(rows, "comm_ops"),
+                       title="Table 1 (reproduced, normalized communication operations)"))
+    print()
+    print(format_table(normalized_table(rows, "comm_s"),
+                       title="Fig. 16 (reproduced, normalized communication wall-clock time)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Table 2 / Fig. 17: effect of the optimizations on the concurrent tasks.
+
+Runs every coordination benchmark under every optimization level on the
+threaded runtime and reports wall-clock time together with the communication
+work performed (the deterministic quantity).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from repro.config import LEVEL_ORDER
+from repro.experiments.report import format_table, pivot
+from repro.workloads.concurrent.runner import CONCURRENT_TASKS, run_concurrent
+from repro.workloads.params import ConcurrentSizes, concurrent_preset
+
+
+def collect(sizes: ConcurrentSizes, tasks: List[str] | None = None,
+            levels: List[str] | None = None) -> List[Dict[str, object]]:
+    tasks = tasks or sorted(CONCURRENT_TASKS)
+    levels = levels or [level.value for level in LEVEL_ORDER]
+    rows: List[Dict[str, object]] = []
+    for task in tasks:
+        for level in levels:
+            result = run_concurrent(task, level, sizes)
+            rows.append(
+                {
+                    "task": task,
+                    "level": level,
+                    "time_s": result.total_seconds,
+                    "comm_ops": result.communication_ops,
+                    "sync_roundtrips": result.sync_roundtrips,
+                    "lock_waits": result.counters["lock_waits"],
+                    "context_value": str(result.value)[:40],
+                }
+            )
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="small", choices=["tiny", "small", "paper"])
+    args = parser.parse_args()
+    sizes = concurrent_preset(args.preset)
+    rows = collect(sizes)
+    print(format_table(rows, columns=["task", "level", "time_s", "comm_ops", "sync_roundtrips", "lock_waits"],
+                       title=f"Raw measurements (preset={args.preset}, n={sizes.n}, m={sizes.m})"))
+    print()
+    wide = pivot(rows, index="task", column="level", value="time_s")
+    print(format_table(wide, title="Table 2 / Fig. 17 (reproduced, wall-clock seconds)"))
+    wide_ops = pivot(rows, index="task", column="level", value="comm_ops")
+    print()
+    print(format_table(wide_ops, title="Communication operations per level"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Table 3: characteristics of the compared languages."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.experiments.report import format_table
+from repro.sim.languages import language_table
+
+
+def collect() -> List[Dict[str, str]]:
+    return language_table()
+
+
+def main() -> None:
+    print(format_table(collect(), title="Table 3 (reproduced): language characteristics"))
+
+
+if __name__ == "__main__":
+    main()

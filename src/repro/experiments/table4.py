@@ -1,0 +1,112 @@
+"""Table 4 / Fig. 18 / Fig. 19: the parallel tasks across languages and cores.
+
+These results come from the calibrated performance model
+(:mod:`repro.sim.parallel_model`), evaluated at the paper's problem sizes:
+wall-clock measurements of the other languages cannot be reproduced inside a
+Python process, but their *shape* (rankings, compute/communication split,
+scaling behaviour) can — and is checked against the published numbers in the
+test-suite and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from repro.experiments.report import format_table
+from repro.sim.languages import LANGUAGE_ORDER
+from repro.sim.parallel_model import simulate_parallel, simulate_parallel_sweep, speedup_curve
+from repro.util.timing import geometric_mean
+from repro.workloads.params import PAPER_PARALLEL, ParallelSizes
+
+THREAD_COUNTS = (1, 2, 4, 8, 16, 32)
+
+
+def collect(sizes: ParallelSizes = PAPER_PARALLEL) -> List[Dict[str, object]]:
+    """Table 4 rows: one per (task, language), columns per thread count."""
+    rows: List[Dict[str, object]] = []
+    for estimate in simulate_parallel_sweep(thread_counts=THREAD_COUNTS, sizes=sizes):
+        rows.append(estimate.row())
+    return rows
+
+
+def table4_rows(sizes: ParallelSizes = PAPER_PARALLEL) -> List[Dict[str, object]]:
+    """Wide-form rows matching the layout of the paper's Table 4."""
+    out: List[Dict[str, object]] = []
+    for task in ("randmat", "thresh", "winnow", "outer", "product", "chain"):
+        for lang in LANGUAGE_ORDER:
+            total_row: Dict[str, object] = {"task": task, "lang": lang, "variant": "T"}
+            compute_row: Dict[str, object] = {"task": task, "lang": lang, "variant": "C"}
+            for threads in THREAD_COUNTS:
+                est = simulate_parallel(task, lang, threads, sizes)
+                total_row[str(threads)] = round(est.total_seconds, 2)
+                compute_row[str(threads)] = round(est.compute_seconds, 2)
+            out.append(total_row)
+            if lang in ("erlang", "qs"):
+                # the paper only lists compute-only rows for Erlang and SCOOP/Qs
+                out.append(compute_row)
+    return out
+
+
+def fig18_rows(sizes: ParallelSizes = PAPER_PARALLEL, threads: int = 32) -> List[Dict[str, object]]:
+    """Fig. 18: execution time at 32 cores split into compute + communication."""
+    rows: List[Dict[str, object]] = []
+    for task in ("chain", "outer", "product", "randmat", "thresh", "winnow"):
+        for lang in LANGUAGE_ORDER:
+            est = simulate_parallel(task, lang, threads, sizes)
+            rows.append({
+                "task": task,
+                "lang": lang,
+                "total_s": round(est.total_seconds, 3),
+                "compute_s": round(est.compute_seconds, 3),
+                "comm_s": round(est.comm_seconds, 3),
+            })
+    return rows
+
+
+def fig19_rows(sizes: ParallelSizes = PAPER_PARALLEL) -> List[Dict[str, object]]:
+    """Fig. 19: speedup over single-core for every task and language."""
+    rows: List[Dict[str, object]] = []
+    for task in ("chain", "outer", "product", "randmat", "thresh", "winnow"):
+        for lang in LANGUAGE_ORDER:
+            for compute_only in ([False, True] if lang in ("erlang", "qs") else [False]):
+                curve = speedup_curve(task, lang, THREAD_COUNTS, sizes, compute_only=compute_only)
+                label = f"{lang} (comp.)" if compute_only else lang
+                row: Dict[str, object] = {"task": task, "series": label}
+                for threads, speedup in curve:
+                    row[str(threads)] = round(speedup, 2)
+                rows.append(row)
+    return rows
+
+
+def geometric_means(sizes: ParallelSizes = PAPER_PARALLEL, threads: int = 32) -> Dict[str, Dict[str, float]]:
+    """Section 5.2.1 geometric means: total and compute-only, per language."""
+    tasks = ("chain", "outer", "product", "randmat", "thresh", "winnow")
+    total: Dict[str, float] = {}
+    compute: Dict[str, float] = {}
+    for lang in LANGUAGE_ORDER:
+        estimates = [simulate_parallel(task, lang, threads, sizes) for task in tasks]
+        total[lang] = round(geometric_mean([e.total_seconds for e in estimates]), 2)
+        compute[lang] = round(geometric_mean([e.compute_seconds for e in estimates]), 2)
+    return {"total": total, "compute": compute}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--nr", type=int, default=PAPER_PARALLEL.nr)
+    parser.add_argument("--nw", type=int, default=PAPER_PARALLEL.nw)
+    args = parser.parse_args()
+    sizes = PAPER_PARALLEL.scaled(nr=args.nr, nw=args.nw)
+    print(format_table(table4_rows(sizes), title="Table 4 (modelled, seconds)"))
+    print()
+    print(format_table(fig18_rows(sizes), title="Fig. 18 (modelled, 32 cores)"))
+    print()
+    print(format_table(fig19_rows(sizes), title="Fig. 19 (modelled speedups)"))
+    print()
+    means = geometric_means(sizes)
+    print("Geometric means, total  :", means["total"])
+    print("Geometric means, compute:", means["compute"])
+
+
+if __name__ == "__main__":
+    main()

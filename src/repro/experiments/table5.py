@@ -1,0 +1,52 @@
+"""Table 5 / Fig. 20: the concurrent tasks across languages.
+
+Like Table 4 these come from the calibrated performance model
+(:mod:`repro.sim.concurrent_model`) evaluated at the paper's benchmark
+parameters; the reproduced quantity is the shape of the comparison, checked
+in the test-suite (who is fastest/slowest per task, geometric-mean ordering).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List
+
+from repro.experiments.report import format_table, pivot
+from repro.sim.concurrent_model import CONCURRENT_SIM_TASKS, simulate_concurrent
+from repro.sim.languages import LANGUAGE_ORDER
+from repro.util.timing import geometric_mean
+from repro.workloads.params import PAPER_CONCURRENT, ConcurrentSizes
+
+
+def collect(sizes: ConcurrentSizes = PAPER_CONCURRENT) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for task in sorted(CONCURRENT_SIM_TASKS):
+        for lang in LANGUAGE_ORDER:
+            est = simulate_concurrent(task, lang, sizes)
+            rows.append({"task": task, "lang": lang, "time_s": round(est.total_seconds, 2)})
+    return rows
+
+
+def table5_rows(sizes: ConcurrentSizes = PAPER_CONCURRENT) -> List[Dict[str, object]]:
+    return pivot(collect(sizes), index="task", column="lang", value="time_s")
+
+
+def geometric_means(sizes: ConcurrentSizes = PAPER_CONCURRENT) -> Dict[str, float]:
+    """Section 5.3 geometric means per language."""
+    means: Dict[str, float] = {}
+    for lang in LANGUAGE_ORDER:
+        times = [simulate_concurrent(task, lang, sizes).total_seconds for task in CONCURRENT_SIM_TASKS]
+        means[lang] = round(geometric_mean(times), 2)
+    return means
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.parse_args()
+    print(format_table(table5_rows(), title="Table 5 / Fig. 20 (modelled, seconds)"))
+    print()
+    print("Geometric means:", geometric_means())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Queue substrate of the SCOOP/Qs runtime.
+
+The paper's runtime is built on two specialised queues (Section 3.1):
+
+* a multiple-producer single-consumer queue (the *queue-of-queues*) that
+  clients enqueue their private queues into, and
+* a single-producer single-consumer queue (the *private queue*) a client
+  shares with a handler to log calls.
+
+This package provides both, plus the higher-level :class:`PrivateQueue`
+(call queue with END/SYNC markers and the dynamic ``synced`` flag) and
+:class:`QueueOfQueues` used by :mod:`repro.core`.
+"""
+
+from repro.queues.spsc import SPSCQueue
+from repro.queues.mpsc import MPSCQueue
+from repro.queues.private_queue import PrivateQueue, CallRequest, SyncRequest, EndMarker, END
+from repro.queues.qoq import QueueOfQueues
+
+__all__ = [
+    "SPSCQueue",
+    "MPSCQueue",
+    "PrivateQueue",
+    "QueueOfQueues",
+    "CallRequest",
+    "SyncRequest",
+    "EndMarker",
+    "END",
+]

@@ -1,0 +1,71 @@
+"""Multiple-producer single-consumer queue.
+
+Used for the queue-of-queues: many clients enqueue their private queues,
+exactly one handler dequeues them (Section 3.1).  As with the SPSC queue we
+rely on the GIL-atomicity of ``deque.append`` for the producer fast path and
+only take the condition variable to park/wake the single consumer.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class MPSCQueue(Generic[T]):
+    """Unbounded MPSC FIFO with a blocking single consumer."""
+
+    __slots__ = ("_items", "_cond", "_closed")
+
+    def __init__(self) -> None:
+        self._items: Deque[T] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- producers -------------------------------------------------------
+    def put(self, item: T) -> None:
+        """Enqueue from any thread; never blocks."""
+        if self._closed:
+            raise RuntimeError("cannot enqueue into a closed MPSC queue")
+        self._items.append(item)
+        with self._cond:
+            self._cond.notify()
+
+    def close(self) -> None:
+        """No producer will enqueue again; wakes the consumer for shutdown."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- consumer ---------------------------------------------------------
+    def get(self, timeout: Optional[float] = None) -> Optional[T]:
+        """Dequeue the next item; ``None`` means closed-and-drained."""
+        try:
+            return self._items.popleft()
+        except IndexError:
+            pass
+        with self._cond:
+            while True:
+                try:
+                    return self._items.popleft()
+                except IndexError:
+                    if self._closed:
+                        return None
+                    if not self._cond.wait(timeout=timeout):
+                        return None
+
+    def try_get(self) -> tuple[bool, Optional[T]]:
+        try:
+            return True, self._items.popleft()
+        except IndexError:
+            return False, None
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed

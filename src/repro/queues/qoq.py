@@ -1,0 +1,57 @@
+"""The queue-of-queues: a handler's request queue (Fig. 4).
+
+Clients enqueue *private queues* (their reservations); the single handler
+dequeues private queues in FIFO order and drains each one before moving on,
+which is exactly what preserves the paper's second reasoning guarantee
+(requests from one client are processed in order, with no interleaving).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.queues.mpsc import MPSCQueue
+from repro.queues.private_queue import PrivateQueue
+from repro.util.counters import Counters
+
+
+class QueueOfQueues:
+    """MPSC queue of :class:`PrivateQueue` objects owned by one handler."""
+
+    __slots__ = ("counters", "_queue")
+
+    def __init__(self, counters: Optional[Counters] = None) -> None:
+        self.counters = counters or Counters()
+        self._queue: MPSCQueue = MPSCQueue()
+
+    # -- client side (many producers) --------------------------------------
+    def enqueue(self, private_queue: PrivateQueue) -> None:
+        """Insert a client's private queue at the tail (rule *separate*).
+
+        This is the completely asynchronous reservation step: the client
+        never waits for the handler, regardless of what the handler is doing.
+        """
+        self.counters.bump("qoq_enqueues")
+        self.counters.bump("reservations")
+        self._queue.put(private_queue)
+
+    # -- handler side (single consumer) -------------------------------------
+    def dequeue(self, timeout: Optional[float] = None) -> Optional[PrivateQueue]:
+        """Pop the next private queue; ``None`` means the handler should stop.
+
+        Mirrors the boolean-returning ``qoq.dequeue`` in Fig. 7: ``False``
+        (here ``None`` after close) corresponds to "no more work", signalling
+        handler shutdown rather than mere emptiness.
+        """
+        return self._queue.get(timeout=timeout)
+
+    def close(self) -> None:
+        """No client will ever reserve this handler again (shutdown)."""
+        self._queue.close()
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def closed(self) -> bool:
+        return self._queue.closed

@@ -1,0 +1,224 @@
+"""Socket-backed private queues: the paper's future-work experiment (Section 7).
+
+The conclusion of the paper proposes "further explor[ing] the utility of the
+private queue design, in particular the usage of sockets as the underlying
+implementation" — the private queue is an SPSC channel, so nothing stops it
+from running over a byte stream between processes or machines.  This module
+prototypes exactly that:
+
+* :class:`SocketPrivateQueue` exposes the same client/handler surface as
+  :class:`~repro.queues.private_queue.PrivateQueue` (``enqueue_call`` /
+  ``enqueue_sync`` / ``enqueue_end`` / ``dequeue`` plus the dynamic ``synced``
+  flag) but moves every request over a connected pair of stream sockets with
+  a tiny length-prefixed wire format;
+* calls are *described*, not pickled: the client ships ``(feature, args,
+  kwargs)`` and the handler side resolves the feature on its local object,
+  which is exactly the discipline a distributed SCOOP would need (objects
+  never leave their region — only requests and query results travel).
+
+The prototype is deliberately synchronous and unoptimized; its purpose is to
+show the queue-of-queues protocol is transport agnostic and to measure the
+per-request overhead a socket hop adds (see ``benchmarks/bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ScoopError
+from repro.util.counters import Counters
+
+#: wire header: 4-byte big-endian payload length
+_HEADER = struct.Struct(">I")
+
+#: request kinds on the wire
+_CALL, _SYNC, _END, _RESULT, _ERROR = "call", "sync", "end", "result", "error"
+
+
+def _send_message(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    data = json.dumps(payload).encode("utf-8")
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    chunks = b""
+    while len(chunks) < count:
+        chunk = sock.recv(count - len(chunks))
+        if not chunk:
+            return None
+        chunks += chunk
+    return chunks
+
+
+def _recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    body = _recv_exact(sock, length)
+    if body is None:
+        return None
+    return json.loads(body.decode("utf-8"))
+
+
+@dataclass
+class WireRequest:
+    """One decoded request on the handler side of the socket."""
+
+    kind: str
+    feature: str = ""
+    args: Tuple[Any, ...] = ()
+    kwargs: Optional[Dict[str, Any]] = None
+
+    @property
+    def is_end(self) -> bool:
+        return self.kind == _END
+
+    @property
+    def is_sync(self) -> bool:
+        return self.kind == _SYNC
+
+
+class SocketPrivateQueue:
+    """A private queue whose transport is a connected socket pair.
+
+    The client half lives wherever the client thread/process runs; the
+    handler half (:class:`SocketQueueServer`) drains requests against a local
+    object.  Only JSON-serialisable arguments and results are supported —
+    a real distributed runtime would substitute a richer codec, but the
+    protocol (call / sync / end / result) is already the one the paper's
+    private queues implement in shared memory.
+    """
+
+    def __init__(self, counters: Optional[Counters] = None) -> None:
+        self.counters = counters or Counters()
+        client_sock, handler_sock = socket.socketpair()
+        self._client_sock = client_sock
+        self._handler_sock = handler_sock
+        #: dynamic sync-coalescing flag, same meaning as the in-memory queue
+        self.synced = False
+        self.closed_by_client = False
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def enqueue_call(self, feature: str, *args: Any, **kwargs: Any) -> None:
+        """Log an asynchronous call (rule *call*) across the socket."""
+        self.counters.bump("pq_enqueues")
+        self.counters.bump("async_calls")
+        self.synced = False
+        with self._lock:
+            _send_message(self._client_sock, {"kind": _CALL, "feature": feature,
+                                              "args": list(args), "kwargs": kwargs})
+
+    def query(self, feature: str, *args: Any, **kwargs: Any) -> Any:
+        """Synchronous query: ship the request, block for the result message."""
+        self.counters.bump("queries")
+        self.counters.bump("sync_roundtrips")
+        self.synced = False
+        with self._lock:
+            _send_message(self._client_sock, {"kind": _SYNC, "feature": feature,
+                                              "args": list(args), "kwargs": kwargs})
+            reply = _recv_message(self._client_sock)
+        if reply is None:
+            raise ScoopError("the handler side of the socket queue closed unexpectedly")
+        if reply["kind"] == _ERROR:
+            raise ScoopError(f"remote query {feature!r} failed: {reply['message']}")
+        self.synced = True
+        return reply["value"]
+
+    def enqueue_end(self) -> None:
+        """Close the block (rule *separate*'s trailing END)."""
+        self.counters.bump("pq_enqueues")
+        self.closed_by_client = True
+        self.synced = False
+        with self._lock:
+            _send_message(self._client_sock, {"kind": _END})
+
+    def close_client(self) -> None:
+        self._client_sock.close()
+
+    # ------------------------------------------------------------------
+    # handler side
+    # ------------------------------------------------------------------
+    def dequeue(self, timeout: Optional[float] = None) -> Optional[WireRequest]:
+        """Receive the next request (``None`` on timeout or closed peer)."""
+        self._handler_sock.settimeout(timeout)
+        try:
+            message = _recv_message(self._handler_sock)
+        except socket.timeout:
+            return None
+        if message is None:
+            return None
+        return WireRequest(
+            kind=message["kind"],
+            feature=message.get("feature", ""),
+            args=tuple(message.get("args", ())),
+            kwargs=message.get("kwargs") or {},
+        )
+
+    def reply(self, value: Any) -> None:
+        _send_message(self._handler_sock, {"kind": _RESULT, "value": value})
+
+    def reply_error(self, message: str) -> None:
+        _send_message(self._handler_sock, {"kind": _ERROR, "message": message})
+
+    def close_handler(self) -> None:
+        self._handler_sock.close()
+
+
+class SocketQueueServer:
+    """Drains a :class:`SocketPrivateQueue` against a local object.
+
+    This is the Fig. 7 inner loop with a socket as the queue: calls are
+    applied asynchronously, sync/query requests are applied and answered,
+    END terminates the drain.  It runs on its own thread so tests and
+    benchmarks can drive the client side synchronously.
+    """
+
+    def __init__(self, queue: SocketPrivateQueue, target: Any,
+                 counters: Optional[Counters] = None) -> None:
+        self.queue = queue
+        self.target = target
+        self.counters = counters or queue.counters
+        self.executed: int = 0
+        self._thread = threading.Thread(target=self._drain, name="socket-handler", daemon=True)
+        self.failures: list = []
+
+    def start(self) -> "SocketQueueServer":
+        self._thread.start()
+        return self
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise ScoopError("socket queue server did not drain its queue in time")
+
+    def _apply(self, request: WireRequest) -> Any:
+        method = getattr(self.target, request.feature)
+        return method(*request.args, **(request.kwargs or {}))
+
+    def _drain(self) -> None:
+        while True:
+            request = self.queue.dequeue(timeout=5.0)
+            if request is None or request.is_end:
+                return
+            if request.is_sync:
+                try:
+                    self.queue.reply(self._apply(request))
+                except Exception as exc:  # noqa: BLE001 - shipped back to the client
+                    self.queue.reply_error(repr(exc))
+                continue
+            # asynchronous call
+            self.counters.bump("calls_executed")
+            self.executed += 1
+            try:
+                self._apply(request)
+            except Exception as exc:  # noqa: BLE001 - recorded like Handler.failures
+                self.failures.append(exc)

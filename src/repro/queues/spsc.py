@@ -1,0 +1,90 @@
+"""Single-producer single-consumer bounded-wait queue.
+
+The paper observes (Section 3.1) that once a private queue has been dequeued
+by a handler, the communication becomes single-producer (the client)
+single-consumer (the handler), so a queue specialised for that case can be
+used.  CPython cannot express a true lock-free ring buffer, but it *can*
+exploit the fact that ``collections.deque.append`` and ``popleft`` are
+atomic with respect to the GIL, so the fast path of this queue performs no
+locking at all; a condition variable is only touched when the consumer has
+to block waiting for data.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class SPSCQueue(Generic[T]):
+    """Unbounded SPSC FIFO with a blocking consumer and non-blocking producer."""
+
+    __slots__ = ("_items", "_cond", "_closed")
+
+    def __init__(self) -> None:
+        self._items: Deque[T] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    # -- producer side -------------------------------------------------
+    def put(self, item: T) -> None:
+        """Enqueue ``item``; never blocks (the queue is unbounded)."""
+        self._items.append(item)
+        # Only wake the consumer if it might be sleeping; uncontended appends
+        # stay lock free thanks to the GIL-atomic deque.
+        with self._cond:
+            self._cond.notify()
+
+    def close(self) -> None:
+        """Signal that no more items will ever be produced."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    # -- consumer side -------------------------------------------------
+    def get(self, timeout: Optional[float] = None) -> Optional[T]:
+        """Dequeue the next item, blocking until one is available.
+
+        Returns ``None`` when the queue has been closed and drained, mirroring
+        the boolean-returning ``dequeue`` of the paper's C implementation
+        (``False`` meaning "no more work", Fig. 7).
+        """
+        # Fast path: data already available.
+        try:
+            return self._items.popleft()
+        except IndexError:
+            pass
+        with self._cond:
+            while True:
+                try:
+                    return self._items.popleft()
+                except IndexError:
+                    if self._closed:
+                        return None
+                    if not self._cond.wait(timeout=timeout):
+                        return None
+
+    def try_get(self) -> tuple[bool, Optional[T]]:
+        """Non-blocking dequeue; returns ``(found, item)``."""
+        try:
+            return True, self._items.popleft()
+        except IndexError:
+            return False, None
+
+    # -- introspection ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def peek(self) -> Optional[Any]:
+        """Return the head item without removing it (None when empty)."""
+        try:
+            return self._items[0]
+        except IndexError:
+            return None

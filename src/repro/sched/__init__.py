@@ -1,0 +1,40 @@
+"""Lightweight-task substrate.
+
+The paper's runtime is layered as *task switching*, *lightweight threads*
+and *handlers* (Section 3).  This package is the Python analogue of the two
+lower layers: cooperative tasks driven by a scheduler that models an
+``ncores``-wide machine in virtual time.  It is used directly by the
+discrete-event simulator (:mod:`repro.sim`) and indirectly by the semantics
+explorer; the threaded runtime (:mod:`repro.core`) uses OS threads instead
+but records the same scheduling events through the shared counters.
+"""
+
+from repro.sched.tasks import (
+    Task,
+    TaskState,
+    Compute,
+    Wait,
+    Signal,
+    Spawn,
+    Put,
+    Get,
+    Handoff,
+    SimEvent,
+    SimChannel,
+)
+from repro.sched.scheduler import CooperativeScheduler
+
+__all__ = [
+    "Task",
+    "TaskState",
+    "Compute",
+    "Wait",
+    "Signal",
+    "Spawn",
+    "Put",
+    "Get",
+    "Handoff",
+    "SimEvent",
+    "SimChannel",
+    "CooperativeScheduler",
+]

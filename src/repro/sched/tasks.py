@@ -1,0 +1,176 @@
+"""Cooperative tasks and the effects they may yield to the scheduler.
+
+A task is a Python generator that *yields effects*; the scheduler interprets
+each effect, advancing virtual time and resuming the generator with the
+effect's result (if any).  The available effects are:
+
+``Compute(duration)``
+    Occupy one core for ``duration`` units of virtual time.
+``Wait(event)``
+    Block until the :class:`SimEvent` is signalled.
+``Signal(event)``
+    Signal an event, waking every waiter (takes no virtual time).
+``Spawn(generator, name)``
+    Create a new task; the spawned :class:`Task` is sent back to the parent.
+``Put(channel, item)`` / ``Get(channel)``
+    Unbounded channel operations; ``Get`` blocks on an empty channel and the
+    received item is sent back into the generator.
+``Handoff(task)``
+    Scheduling hint implementing the paper's direct handler-to-client
+    hand-off: the named task should be the next one scheduled on this core,
+    bypassing the global ready queue (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Generator, Iterable, List, Optional
+
+
+class TaskState(enum.Enum):
+    READY = "ready"
+    COMPUTING = "computing"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+_task_ids = itertools.count()
+
+
+class Task:
+    """A lightweight cooperative task wrapping a generator of effects."""
+
+    __slots__ = (
+        "tid",
+        "name",
+        "gen",
+        "state",
+        "result",
+        "error",
+        "send_value",
+        "last_core",
+        "waiters",
+    )
+
+    def __init__(self, gen: Generator, name: Optional[str] = None) -> None:
+        self.tid = next(_task_ids)
+        self.name = name or f"task-{self.tid}"
+        self.gen = gen
+        self.state = TaskState.READY
+        self.result: Any = None
+        self.error: BaseException | None = None
+        #: value to send into the generator on next resume
+        self.send_value: Any = None
+        #: index of the core this task last computed on (for switch accounting)
+        self.last_core: int | None = None
+        #: tasks waiting for this task to finish (join support)
+        self.waiters: List["SimEvent"] = []
+
+    @property
+    def done(self) -> bool:
+        return self.state in (TaskState.DONE, TaskState.FAILED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"Task({self.name}, {self.state.value})"
+
+
+# ----------------------------------------------------------------------------
+# Effects
+# ----------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Compute:
+    """Occupy a core for ``duration`` virtual time units."""
+
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("compute duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class Wait:
+    event: "SimEvent"
+
+
+@dataclass(frozen=True)
+class Signal:
+    event: "SimEvent"
+
+
+@dataclass(frozen=True)
+class Spawn:
+    gen: Generator
+    name: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Put:
+    channel: "SimChannel"
+    item: Any
+
+
+@dataclass(frozen=True)
+class Get:
+    channel: "SimChannel"
+
+
+@dataclass(frozen=True)
+class Handoff:
+    task: Task
+
+
+Effect = "Compute | Wait | Signal | Spawn | Put | Get | Handoff"
+
+
+# ----------------------------------------------------------------------------
+# Synchronisation primitives living in virtual time
+# ----------------------------------------------------------------------------
+class SimEvent:
+    """One-shot (but resettable) event in virtual time."""
+
+    __slots__ = ("name", "is_set", "waiters")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.is_set = False
+        self.waiters: List[Task] = []
+
+    def reset(self) -> None:
+        self.is_set = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SimEvent({self.name or hex(id(self))}, set={self.is_set}, waiters={len(self.waiters)})"
+
+
+class SimChannel:
+    """Unbounded FIFO channel in virtual time (items + blocked readers)."""
+
+    __slots__ = ("name", "items", "readers")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.items: Deque[Any] = deque()
+        self.readers: Deque[Task] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"SimChannel({self.name or hex(id(self))}, items={len(self.items)}, readers={len(self.readers)})"
+
+
+def as_generator(effects: Iterable[Effect]) -> Generator:
+    """Lift a plain iterable of effects into a task generator.
+
+    Convenient for tests and simple simulated workloads that do not need the
+    values sent back by the scheduler.
+    """
+    def gen():
+        for effect in effects:
+            yield effect
+    return gen()

@@ -1,0 +1,105 @@
+"""Executable operational semantics of SCOOP/Qs (Section 2 of the paper).
+
+The modules mirror the paper's formalisation:
+
+* :mod:`repro.semantics.syntax`  — the statement syntax ``s ::= separate x s
+  | call(x,f) | query(x,f) | wait h | release h | end | skip``;
+* :mod:`repro.semantics.state`   — handler triples ``(h, q_h, s)`` whose
+  request queues are queues of handler-tagged private queues;
+* :mod:`repro.semantics.rules`   — the inference rules of Fig. 3, plus the
+  generalized multi-reservation separate rule of Section 2.4 and the
+  modified query rule of Section 3.2;
+* :mod:`repro.semantics.explorer`— exhaustive interleaving exploration,
+  guarantee checking (the two reasoning guarantees of Section 2.2) and
+  deadlock detection (Section 2.5);
+* :mod:`repro.semantics.programs`— the paper's example programs (Figs. 1, 5
+  and 6) expressed in the syntax;
+* :mod:`repro.semantics.waitgraph` — the static reservation/query wait-for
+  graph and its cycle analysis (the cheap companion to the exhaustive
+  deadlock search of Section 2.5);
+* :mod:`repro.semantics.generator` — random well-formed programs for
+  property-based testing of the guarantees;
+* :mod:`repro.semantics.lockbased` — the *original* lock-based SCOOP
+  protocol (Fig. 2) as an executable semantics, so the Section 2.5
+  comparison (Fig. 6 deadlocks under locks, not under Qs) can be checked
+  mechanically.
+"""
+
+from repro.semantics.syntax import (
+    Call,
+    End,
+    Feature,
+    Query,
+    Release,
+    Separate,
+    Seq,
+    Skip,
+    Stmt,
+    Wait,
+    seq,
+)
+from repro.semantics.state import Configuration, HandlerState, PrivateQueueEntry, initial_configuration
+from repro.semantics.rules import Transition, enabled_transitions, is_terminal
+from repro.semantics.explorer import (
+    ExplorationResult,
+    Explorer,
+    check_handler_guarantee,
+    collect_traces,
+)
+from repro.semantics.waitgraph import (
+    WaitEdge,
+    WaitGraph,
+    build_wait_graph,
+    is_statically_deadlock_free,
+    potential_deadlock_cycles,
+)
+from repro.semantics.generator import (
+    ProgramSpec,
+    random_configuration,
+    random_program,
+    random_programs,
+)
+from repro.semantics.lockbased import (
+    LockExplorer,
+    LockState,
+    compare_with_qs,
+    enabled_lock_transitions,
+)
+
+__all__ = [
+    "Stmt",
+    "Separate",
+    "Call",
+    "Query",
+    "Wait",
+    "Release",
+    "End",
+    "Skip",
+    "Seq",
+    "Feature",
+    "seq",
+    "Configuration",
+    "HandlerState",
+    "PrivateQueueEntry",
+    "initial_configuration",
+    "Transition",
+    "enabled_transitions",
+    "is_terminal",
+    "Explorer",
+    "ExplorationResult",
+    "collect_traces",
+    "check_handler_guarantee",
+    "WaitEdge",
+    "WaitGraph",
+    "build_wait_graph",
+    "potential_deadlock_cycles",
+    "is_statically_deadlock_free",
+    "ProgramSpec",
+    "random_program",
+    "random_programs",
+    "random_configuration",
+    "LockState",
+    "LockExplorer",
+    "enabled_lock_transitions",
+    "compare_with_qs",
+]

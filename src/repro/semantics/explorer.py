@@ -1,0 +1,193 @@
+"""State-space exploration of the semantics: interleavings, guarantees, deadlock.
+
+For small programs (the paper's figures) the whole interleaving space can be
+enumerated.  The explorer provides:
+
+* :class:`Explorer.explore` — breadth-first enumeration of every reachable
+  configuration, classifying terminal states and deadlocks (Section 2.5);
+* :func:`collect_traces` — every maximal trace of events (bounded), used to
+  enumerate the possible execution orders of Fig. 1;
+* :func:`check_handler_guarantee` — verifies the paper's second reasoning
+  guarantee on a trace: the calls logged from one separate block are executed
+  by the handler in logging order with no interleaved calls from other
+  clients.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import DeadlockError, SemanticsError
+from repro.semantics.rules import Event, Transition, enabled_transitions
+from repro.semantics.state import Configuration
+
+
+@dataclass
+class ExplorationResult:
+    """Summary of an exhaustive exploration."""
+
+    states_visited: int
+    terminal_states: List[Configuration] = field(default_factory=list)
+    deadlock_states: List[Configuration] = field(default_factory=list)
+    truncated: bool = False
+
+    @property
+    def has_deadlock(self) -> bool:
+        return bool(self.deadlock_states)
+
+
+class Explorer:
+    """Exhaustive and randomised exploration of a configuration's behaviours."""
+
+    def __init__(self, max_states: int = 200_000) -> None:
+        self.max_states = max_states
+
+    # ------------------------------------------------------------------
+    # exhaustive state exploration
+    # ------------------------------------------------------------------
+    def explore(self, initial: Configuration) -> ExplorationResult:
+        """Visit every reachable configuration (bounded by ``max_states``)."""
+        seen: Set[Configuration] = {initial}
+        frontier: deque[Configuration] = deque([initial])
+        result = ExplorationResult(states_visited=0)
+        while frontier:
+            config = frontier.popleft()
+            result.states_visited += 1
+            transitions = enabled_transitions(config)
+            if not transitions:
+                if config.terminal:
+                    result.terminal_states.append(config)
+                else:
+                    result.deadlock_states.append(config)
+                continue
+            for transition in transitions:
+                succ = transition.config
+                if succ not in seen:
+                    if len(seen) >= self.max_states:
+                        result.truncated = True
+                        continue
+                    seen.add(succ)
+                    frontier.append(succ)
+        return result
+
+    def assert_deadlock_free(self, initial: Configuration) -> ExplorationResult:
+        result = self.explore(initial)
+        if result.has_deadlock:
+            raise DeadlockError(
+                f"{len(result.deadlock_states)} deadlocked configuration(s) reachable; "
+                f"first: {result.deadlock_states[0]}"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # random walks (for programs whose full space is too large)
+    # ------------------------------------------------------------------
+    def random_run(self, initial: Configuration, seed: int = 0,
+                   max_steps: int = 100_000) -> Tuple[Configuration, List[Event]]:
+        """Follow one random schedule to completion; returns (final, events)."""
+        rng = random.Random(seed)
+        config = initial
+        events: List[Event] = []
+        for _ in range(max_steps):
+            transitions = enabled_transitions(config)
+            if not transitions:
+                if not config.terminal:
+                    raise DeadlockError(f"random schedule deadlocked: {config}")
+                return config, events
+            transition = rng.choice(transitions)
+            if transition.event is not None:
+                events.append(transition.event)
+            config = transition.config
+        raise SemanticsError(f"random run did not terminate within {max_steps} steps")
+
+
+def collect_traces(initial: Configuration, max_traces: int = 10_000,
+                   max_depth: int = 10_000,
+                   kinds: Sequence[str] = ("exec", "exec-client")) -> List[Tuple[Event, ...]]:
+    """Enumerate the event traces of every maximal execution (DFS).
+
+    Only events whose ``kind`` is in ``kinds`` are recorded, which keeps the
+    traces focused on what the reasoning guarantees talk about (the order in
+    which features execute).  Raises :class:`DeadlockError` if a maximal
+    execution gets stuck before reaching a terminal configuration.
+
+    Different interleavings frequently converge on the same configuration
+    with the same recorded prefix (commuting administrative steps), so the
+    search memoises ``(configuration, trace)`` pairs; without that the number
+    of *paths* explodes combinatorially even for the paper's small figures
+    while the number of distinct pairs stays small.
+    """
+    traces: Set[Tuple[Event, ...]] = set()
+    stack: List[Tuple[Configuration, Tuple[Event, ...]]] = [(initial, ())]
+    seen: Set[Tuple[Configuration, Tuple[Event, ...]]] = {(initial, ())}
+    while stack:
+        config, trace = stack.pop()
+        if len(trace) > max_depth:
+            raise SemanticsError("trace exceeded maximum depth")
+        transitions = enabled_transitions(config)
+        if not transitions:
+            if not config.terminal:
+                raise DeadlockError(f"execution deadlocked after {len(trace)} events: {config}")
+            traces.add(trace)
+            if len(traces) >= max_traces:
+                break
+            continue
+        for transition in transitions:
+            extended = trace
+            if transition.event is not None and transition.event.kind in kinds:
+                extended = trace + (transition.event,)
+            key = (transition.config, extended)
+            if key in seen:
+                continue
+            seen.add(key)
+            stack.append((transition.config, extended))
+    return sorted(traces, key=lambda t: tuple(str(e) for e in t))
+
+
+def check_handler_guarantee(events: Iterable[Event]) -> None:
+    """Check reasoning guarantee 2 (Section 2.2) on an execution trace.
+
+    For every handler, the features executed on behalf of one private queue
+    (one separate block) must (a) appear in the order they were logged and
+    (b) form a contiguous run — no feature from another client's block may
+    be interleaved.  Raises :class:`SemanticsError` when violated.
+    """
+    events = list(events)
+    # (a) per-block execution order must match per-block logging order
+    logged: Dict[Tuple[str, Optional[int]], List[str]] = {}
+    executed: Dict[Tuple[str, Optional[int]], List[str]] = {}
+    for event in events:
+        if event.kind == "log" and event.feature != "end":
+            logged.setdefault((event.handler, event.block), []).append(event.feature)
+        if event.kind == "exec":
+            executed.setdefault((event.handler, event.block), []).append(event.feature)
+    for key, features in executed.items():
+        expected = logged.get(key, [])
+        prefix = expected[: len(features)]
+        if features != prefix:
+            raise SemanticsError(
+                f"handler {key[0]!r} executed block {key[1]} features {features} "
+                f"but they were logged as {expected}"
+            )
+    # (b) per-handler executions must be contiguous per block
+    per_handler: Dict[str, List[Optional[int]]] = {}
+    for event in events:
+        if event.kind == "exec":
+            per_handler.setdefault(event.handler, []).append(event.block)
+    for handler, blocks in per_handler.items():
+        seen_closed: Set[Optional[int]] = set()
+        current: Optional[int] = None
+        for block in blocks:
+            if block == current:
+                continue
+            if block in seen_closed:
+                raise SemanticsError(
+                    f"handler {handler!r} interleaved executions of block {block} "
+                    f"with another client's block"
+                )
+            if current is not None:
+                seen_closed.add(current)
+            current = block

@@ -1,0 +1,135 @@
+"""Random well-formed SCOOP programs for property-based testing.
+
+The guarantees of Section 2.2 are universally quantified over programs; the
+hand-written figures only witness a handful of shapes.  This module generates
+random *well-formed* client programs (every call/query is protected by a
+separate block reserving its target) so hypothesis can exercise the
+semantics, the explorer and the guarantee checkers over a much larger space:
+
+* :class:`ProgramSpec` — bounded parameters of the generated population
+  (handlers, clients, nesting depth, block length, whether queries appear);
+* :func:`random_program` / :func:`random_configuration` — deterministic
+  generation from a seed (usable outside hypothesis, e.g. by the CLI's
+  ``explore --random`` command);
+* :func:`program_strategy` — the hypothesis strategy built on the same
+  generator, used by ``tests/test_semantics_properties.py``.
+
+Generated programs are guaranteed to be *well formed*; they are **not**
+guaranteed to be deadlock free — that is precisely what the properties then
+check (queries issued under nested reservations may form cycles, mirroring
+Fig. 6).  ``ProgramSpec(queries_in_nested_blocks=False)`` restricts the
+population to programs whose wait-for graph is acyclic, giving a space where
+deadlock freedom *is* expected and assertable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.semantics.state import Configuration, initial_configuration
+from repro.semantics.syntax import Call, Query, Separate, Stmt, seq
+
+
+@dataclass(frozen=True)
+class ProgramSpec:
+    """Bounds on the generated programs (kept small: the explorer is exponential)."""
+
+    handlers: Sequence[str] = ("x", "y")
+    clients: Sequence[str] = ("c1", "c2")
+    max_blocks_per_client: int = 2
+    max_calls_per_block: int = 3
+    max_nesting: int = 2
+    allow_queries: bool = True
+    #: queries issued while more than one handler is reserved can create
+    #: wait-for cycles (Fig. 6); disable to generate a population whose
+    #: wait-for graph is guaranteed acyclic (hence deadlock free)
+    queries_in_nested_blocks: bool = True
+    features: Sequence[str] = ("f", "g", "h", "probe")
+    client_executed_queries: bool = False
+
+    def validate(self) -> None:
+        if not self.handlers:
+            raise ValueError("at least one handler is required")
+        if not self.clients:
+            raise ValueError("at least one client is required")
+        if self.max_nesting < 1 or self.max_blocks_per_client < 1:
+            raise ValueError("nesting depth and block count must be at least 1")
+
+
+def _random_block(rng: random.Random, spec: ProgramSpec, available: List[str],
+                  depth: int, held: List[str]) -> Stmt:
+    """One separate block reserving a random subset of the available handlers."""
+    k = rng.randint(1, min(2, len(available)))
+    targets = tuple(rng.sample(available, k))
+    held = held + list(targets)
+
+    body: List[Stmt] = []
+    n_actions = rng.randint(1, spec.max_calls_per_block)
+    for _ in range(n_actions):
+        roll = rng.random()
+        remaining = [h for h in spec.handlers if h not in held]
+        if roll < 0.25 and depth < spec.max_nesting and remaining:
+            body.append(_random_block(rng, spec, remaining, depth + 1, held))
+            continue
+        target = rng.choice(list(targets) if rng.random() < 0.8 or not held else held)
+        feature = rng.choice(list(spec.features))
+        # A query can only contribute a wait-for edge when at least one *other*
+        # handler is reserved around it; with queries_in_nested_blocks=False we
+        # only emit queries while a single handler is held, so the generated
+        # population is guaranteed acyclic (and therefore deadlock free).
+        if (
+            spec.allow_queries
+            and rng.random() < 0.3
+            and (spec.queries_in_nested_blocks or len(held) == 1)
+        ):
+            body.append(Query(target, feature, client_executed=spec.client_executed_queries))
+        else:
+            body.append(Call(target, feature))
+    return Separate(targets, seq(*body))
+
+
+def random_program(rng_or_seed, spec: Optional[ProgramSpec] = None) -> Stmt:
+    """One random client program (a sequence of separate blocks)."""
+    spec = spec or ProgramSpec()
+    spec.validate()
+    rng = rng_or_seed if isinstance(rng_or_seed, random.Random) else random.Random(rng_or_seed)
+    blocks = [
+        _random_block(rng, spec, list(spec.handlers), 1, [])
+        for _ in range(rng.randint(1, spec.max_blocks_per_client))
+    ]
+    return seq(*blocks)
+
+
+def random_configuration(seed: int, spec: Optional[ProgramSpec] = None) -> Configuration:
+    """A full configuration: every client runs a random program, suppliers idle."""
+    spec = spec or ProgramSpec()
+    spec.validate()
+    rng = random.Random(seed)
+    programs: Dict[str, Stmt] = {
+        client: random_program(rng, spec) for client in spec.clients
+    }
+    return initial_configuration(programs, extra_handlers=spec.handlers)
+
+
+def random_programs(seed: int, spec: Optional[ProgramSpec] = None) -> Dict[str, Stmt]:
+    """The per-client programs alone (for the wait-graph analysis)."""
+    spec = spec or ProgramSpec()
+    spec.validate()
+    rng = random.Random(seed)
+    return {client: random_program(rng, spec) for client in spec.clients}
+
+
+def program_strategy(spec: Optional[ProgramSpec] = None):
+    """A hypothesis strategy producing ``(seed, configuration)`` pairs.
+
+    Imported lazily so the library itself does not depend on hypothesis.
+    """
+    from hypothesis import strategies as st
+
+    spec = spec or ProgramSpec()
+
+    return st.integers(min_value=0, max_value=2**32 - 1).map(
+        lambda seed: (seed, random_configuration(seed, spec))
+    )

@@ -1,0 +1,111 @@
+"""The paper's example programs, expressed in the semantics' syntax.
+
+These are used by the tests and the documentation to show that the
+executable semantics reproduces the behaviours the paper describes:
+
+* :func:`fig1_two_clients`   — the introductory example; exactly the two
+  interleavings listed in Section 2.1 are observable on handler ``x``.
+* :func:`fig5_multi_reservation` — two clients each reserving ``x`` and ``y``
+  together and painting them the same colour; any later observer sees equal
+  colours.
+* :func:`fig6_nested`        — the nested-reservation example of Section 2.5;
+  deadlock-free under SCOOP/Qs because reservations never block.
+* :func:`fig6_with_queries`  — the same program with queries added to the
+  innermost blocks, which reintroduces the possibility of deadlock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.semantics.state import Configuration, initial_configuration
+from repro.semantics.syntax import Call, Query, Separate, Stmt, seq
+
+
+def fig1_two_clients(client_executed_queries: bool = False) -> Configuration:
+    """Fig. 1: two clients sharing handler ``x``.
+
+    Thread 1: separate x do x.foo(); a := long_comp(); x.bar() end
+    Thread 2: separate x do x.bar(); b := short_comp(); c := x.baz() end
+
+    Local computations (``long_comp``/``short_comp``) do not involve the
+    handler and are omitted; they cannot affect the order of calls on ``x``.
+    """
+    thread1: Stmt = Separate(("x",), seq(Call("x", "foo"), Call("x", "bar")))
+    thread2: Stmt = Separate(
+        ("x",),
+        seq(Call("x", "bar"), Query("x", "baz", client_executed=client_executed_queries)),
+    )
+    return initial_configuration({"t1": thread1, "t2": thread2}, extra_handlers=["x"])
+
+
+def fig5_multi_reservation() -> Configuration:
+    """Fig. 5: two clients atomically reserving ``x`` and ``y`` together."""
+    thread1: Stmt = Separate(("x", "y"), seq(Call("x", "set_red"), Call("y", "set_red")))
+    thread2: Stmt = Separate(("x", "y"), seq(Call("x", "set_blue"), Call("y", "set_blue")))
+    return initial_configuration({"t1": thread1, "t2": thread2}, extra_handlers=["x", "y"])
+
+
+def fig5_nested_reservation() -> Configuration:
+    """The nested (non-atomic) variant of Fig. 5: the colours can race.
+
+    Reserving ``x`` and then ``y`` in nested blocks leaves a window in which
+    the other client can slip its private queue in between — the race the
+    multi-reservation rule exists to exclude.
+    """
+    thread1: Stmt = Separate(("x",), Separate(("y",), seq(Call("x", "set_red"), Call("y", "set_red"))))
+    thread2: Stmt = Separate(("x",), Separate(("y",), seq(Call("x", "set_blue"), Call("y", "set_blue"))))
+    return initial_configuration({"t1": thread1, "t2": thread2}, extra_handlers=["x", "y"])
+
+
+def fig6_nested(with_queries: bool = False, client_executed_queries: bool = False,
+                query_inner: bool = True) -> Configuration:
+    """Fig. 6: nested reservations in opposite orders.
+
+    Without queries this cannot deadlock under SCOOP/Qs: reservations and
+    asynchronous calls never block, so the inconsistent nesting order that
+    deadlocks the original lock-based SCOOP is harmless (Section 2.5).
+
+    With ``with_queries=True`` each client additionally issues a blocking
+    query from its innermost block.  When the query targets the handler
+    reserved by the *inner* block (``query_inner=True``, the default) a
+    circular wait becomes reachable and some schedules deadlock — this is the
+    "one must also use queries to achieve the same effect" observation of
+    Section 2.5.  Querying only the outer-reserved handler instead
+    (``query_inner=False``) turns out to be deadlock-free under the
+    queue-of-queues semantics because the FIFO insertion order of the
+    reservations contradicts the circular wait; the test-suite checks both
+    variants.
+    """
+    def client(outer: str, inner: str, add_query: bool) -> Stmt:
+        body: Stmt = seq(Call("x", "foo"), Call("y", "bar"))
+        if add_query:
+            target = inner if query_inner else outer
+            body = seq(body, Query(target, "value", client_executed=client_executed_queries))
+        return Separate((outer,), Separate((inner,), body))
+
+    client1 = client("x", "y", with_queries)
+    client2 = client("y", "x", with_queries)
+    return initial_configuration({"c1": client1, "c2": client2}, extra_handlers=["x", "y"])
+
+
+def single_block(client: str, handler: str, features: list[str]) -> Configuration:
+    """A single client logging ``features`` on ``handler`` in one block."""
+    body = seq(*[Call(handler, f) for f in features])
+    return initial_configuration({client: Separate((handler,), body)}, extra_handlers=[handler])
+
+
+def paper_programs() -> Dict[str, Configuration]:
+    """Name -> configuration, for documentation and sweep tests."""
+    return {
+        "fig1": fig1_two_clients(),
+        "fig5": fig5_multi_reservation(),
+        "fig5-nested": fig5_nested_reservation(),
+        "fig6": fig6_nested(),
+        "fig6-queries": fig6_with_queries(),
+    }
+
+
+def fig6_with_queries() -> Configuration:
+    """Fig. 6 plus the innermost queries that make deadlock possible again."""
+    return fig6_nested(with_queries=True)

@@ -1,0 +1,287 @@
+"""The inference rules of Fig. 3, executable.
+
+:func:`enabled_transitions` enumerates every transition a configuration can
+take; each :class:`Transition` records the rule applied, the handler that
+took the step, the successor configuration and an optional *trace event*
+used by the guarantee checker.
+
+Rules implemented (names as in the paper):
+
+* ``separate``  — single *and* multi reservation (Section 2.4): the client
+  atomically inserts an empty private queue into every reserved handler's
+  request queue and appends ``call(x, end)`` for each after its body.
+* ``call``      — append the feature to the client's private queue on the
+  target (non-blocking).
+* ``query``     — original form: append ``[f, release h]`` and wait;
+  modified form (Section 3.2): append only ``release h``; the feature is
+  executed on the client after synchronisation.
+* ``sync``      — the joint wait/release step.
+* ``run``       — an idle handler takes the next request out of the head
+  private queue.
+* ``end``       — the handler finishes a private queue and moves on.
+* ``exec``      — (administrative) a dequeued feature executes on the
+  handler; this is where the trace event for guarantee checking is emitted.
+
+Sequential composition is handled by normalising away leading ``skip``
+statements (the ``seqSkip`` rule) when successor configurations are built,
+which removes stutter steps without changing the set of observable
+behaviours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SemanticsError
+from repro.semantics.state import Configuration, HandlerState, PrivateQueueEntry
+from repro.semantics.syntax import (
+    Call,
+    End,
+    Feature,
+    Query,
+    Release,
+    Separate,
+    Seq,
+    Skip,
+    Stmt,
+    Wait,
+    seq,
+)
+
+#: the reserved feature name used by ``call(x, end)``
+END_FEATURE = "end"
+
+
+# ----------------------------------------------------------------------------
+# trace events
+# ----------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Event:
+    """Observable event attached to a transition (for guarantee checking)."""
+
+    kind: str                    # reserve | log | exec | exec-client | end-block
+    handler: str                 # the handler where the event takes place
+    client: Optional[str] = None
+    feature: Optional[str] = None
+    block: Optional[int] = None
+
+    def __str__(self) -> str:
+        parts = [self.kind, self.handler]
+        if self.client:
+            parts.append(f"client={self.client}")
+        if self.feature:
+            parts.append(f"feature={self.feature}")
+        if self.block is not None:
+            parts.append(f"block={self.block}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Transition:
+    """One small step ``P => Q``."""
+
+    rule: str
+    handler: str
+    config: Configuration
+    event: Optional[Event] = None
+
+    def __str__(self) -> str:
+        return f"--{self.rule}@{self.handler}--> {self.config}"
+
+
+# ----------------------------------------------------------------------------
+# sequential composition helpers (seq / seqSkip)
+# ----------------------------------------------------------------------------
+def _normalize(stmt: Stmt) -> Stmt:
+    """Drop leading skips: ``skip; s -> s`` (rule seqSkip), recursively."""
+    while isinstance(stmt, Seq):
+        first = _normalize(stmt.first)
+        if isinstance(first, Skip):
+            stmt = stmt.rest
+            continue
+        if first is not stmt.first:
+            stmt = Seq(first, stmt.rest)
+        break
+    return stmt
+
+
+def _decompose(stmt: Stmt) -> Tuple[Stmt, Callable[[Stmt], Stmt]]:
+    """Find the leftmost redex and a function rebuilding the whole program."""
+    stmt = _normalize(stmt)
+    if isinstance(stmt, Seq):
+        redex, rebuild = _decompose(stmt.first)
+
+        def rebuild_outer(new: Stmt) -> Stmt:
+            rebuilt = rebuild(new)
+            if isinstance(_normalize(rebuilt), Skip):
+                return _normalize(stmt.rest)
+            return _normalize(Seq(rebuilt, stmt.rest))
+
+        return redex, rebuild_outer
+    return stmt, lambda new: _normalize(new)
+
+
+# ----------------------------------------------------------------------------
+# the rules
+# ----------------------------------------------------------------------------
+def enabled_transitions(config: Configuration) -> List[Transition]:
+    """All transitions enabled in ``config`` (the non-determinism to explore)."""
+    transitions: List[Transition] = []
+    for handler in config.handlers:
+        transitions.extend(_handler_transitions(config, handler))
+    return transitions
+
+
+def is_terminal(config: Configuration) -> bool:
+    return config.terminal
+
+
+def _handler_transitions(config: Configuration, handler: HandlerState) -> List[Transition]:
+    out: List[Transition] = []
+    redex, rebuild = _decompose(handler.program)
+
+    if isinstance(redex, Separate):
+        out.append(_rule_separate(config, handler, redex, rebuild))
+    elif isinstance(redex, Call):
+        out.append(_rule_call(config, handler, redex, rebuild))
+    elif isinstance(redex, Query):
+        out.append(_rule_query(config, handler, redex, rebuild))
+    elif isinstance(redex, Wait):
+        sync = _rule_sync(config, handler, redex, rebuild)
+        if sync is not None:
+            out.append(sync)
+    elif isinstance(redex, Feature):
+        out.append(_rule_exec(config, handler, redex, rebuild))
+    elif isinstance(redex, End):
+        out.append(_rule_end(config, handler, rebuild))
+    elif isinstance(redex, Release):
+        # a Release redex can only step through the joint sync rule, which is
+        # generated from the waiting handler's side; nothing to do here.
+        pass
+    elif isinstance(redex, Skip):
+        run = _rule_run(config, handler)
+        if run is not None:
+            out.append(run)
+    else:  # pragma: no cover - defensive
+        raise SemanticsError(f"cannot step statement {redex!r}")
+    return out
+
+
+def _rule_separate(config: Configuration, handler: HandlerState, stmt: Separate,
+                   rebuild: Callable[[Stmt], Stmt]) -> Transition:
+    """The generalized separate rule (resMany/endMany of Section 2.4)."""
+    targets = stmt.targets
+    for target in targets:
+        if not config.has(target):
+            raise SemanticsError(f"separate block reserves unknown handler {target!r}")
+    new_states: List[HandlerState] = []
+    entry_id = config.next_entry_id
+    for offset, target in enumerate(targets):
+        supplier = config.get(target)
+        if supplier.name == handler.name:
+            raise SemanticsError(f"handler {handler.name!r} cannot reserve itself")
+        new_states.append(
+            supplier.enqueue_entry(PrivateQueueEntry(client=handler.name, entry_id=entry_id + offset))
+        )
+    ends = seq(*[Call(target, END_FEATURE) for target in targets])
+    new_program = rebuild(seq(stmt.body, ends))
+    new_handler = handler.with_program(new_program)
+    new_config = config.replace_handlers(new_states + [new_handler]).bump_entry_id(len(targets))
+    event = Event(kind="reserve", handler=",".join(targets), client=handler.name, block=entry_id)
+    return Transition("separate", handler.name, new_config, event)
+
+
+def _rule_call(config: Configuration, handler: HandlerState, stmt: Call,
+               rebuild: Callable[[Stmt], Stmt]) -> Transition:
+    supplier = config.get(stmt.target)
+    entry = supplier.last_entry_for(handler.name)
+    if entry is None:
+        raise SemanticsError(
+            f"{handler.name!r} calls {stmt.target}.{stmt.feature} without reserving {stmt.target!r}"
+        )
+    if stmt.feature == END_FEATURE:
+        payload: Stmt = End()
+        event = Event(kind="end-block", handler=stmt.target, client=handler.name, block=entry.entry_id)
+    else:
+        payload = Feature(stmt.feature, client=handler.name, block=entry.entry_id)
+        event = Event(kind="log", handler=stmt.target, client=handler.name,
+                      feature=stmt.feature, block=entry.entry_id)
+    new_supplier = supplier.append_to_last(handler.name, payload)
+    new_handler = handler.with_program(rebuild(Skip()))
+    new_config = config.replace_handlers([new_supplier, new_handler])
+    return Transition("call", handler.name, new_config, event)
+
+
+def _rule_query(config: Configuration, handler: HandlerState, stmt: Query,
+                rebuild: Callable[[Stmt], Stmt]) -> Transition:
+    supplier = config.get(stmt.target)
+    entry = supplier.last_entry_for(handler.name)
+    if entry is None:
+        raise SemanticsError(
+            f"{handler.name!r} queries {stmt.target}.{stmt.feature} without reserving {stmt.target!r}"
+        )
+    if stmt.client_executed:
+        # modified rule (Section 3.2): only the release marker is shipped;
+        # the feature body executes on the client after synchronisation.
+        new_supplier = supplier.append_to_last(handler.name, Release(handler.name))
+        wait = Wait(stmt.target, then_execute=stmt.feature, client=handler.name, block=entry.entry_id)
+    else:
+        new_supplier = supplier.append_to_last(
+            handler.name,
+            Feature(stmt.feature, client=handler.name, block=entry.entry_id),
+            Release(handler.name),
+        )
+        wait = Wait(stmt.target)
+    event = Event(kind="log", handler=stmt.target, client=handler.name,
+                  feature=stmt.feature, block=entry.entry_id)
+    new_handler = handler.with_program(rebuild(wait))
+    new_config = config.replace_handlers([new_supplier, new_handler])
+    return Transition("query", handler.name, new_config, event)
+
+
+def _rule_sync(config: Configuration, handler: HandlerState, stmt: Wait,
+               rebuild: Callable[[Stmt], Stmt]) -> Optional[Transition]:
+    """wait x (at the client) and release h (at the supplier) step together."""
+    supplier = config.get(stmt.handler)
+    supplier_redex, supplier_rebuild = _decompose(supplier.program)
+    if not (isinstance(supplier_redex, Release) and supplier_redex.handler == handler.name):
+        return None
+    event = None
+    if stmt.then_execute is not None:
+        event = Event(kind="exec-client", handler=stmt.handler, client=handler.name,
+                      feature=stmt.then_execute, block=stmt.block)
+    new_handler = handler.with_program(rebuild(Skip()))
+    new_supplier = supplier.with_program(supplier_rebuild(Skip()))
+    new_config = config.replace_handlers([new_handler, new_supplier])
+    return Transition("sync", handler.name, new_config, event)
+
+
+def _rule_run(config: Configuration, handler: HandlerState) -> Optional[Transition]:
+    head = handler.head_entry()
+    if head is None or head.empty:
+        return None
+    stmt, new_entry = head.pop()
+    new_handler = handler.replace_head(new_entry).with_program(stmt)
+    new_config = config.replace_handler(new_handler)
+    return Transition("run", handler.name, new_config, None)
+
+
+def _rule_end(config: Configuration, handler: HandlerState,
+              rebuild: Callable[[Stmt], Stmt]) -> Transition:
+    head = handler.head_entry()
+    if head is None or not head.empty:
+        raise SemanticsError(
+            f"handler {handler.name!r} reached end with a non-empty head private queue"
+        )
+    new_handler = handler.pop_head_entry().with_program(rebuild(Skip()))
+    event = Event(kind="served", handler=handler.name, client=head.client, block=head.entry_id)
+    return Transition("end", handler.name, config.replace_handler(new_handler), event)
+
+
+def _rule_exec(config: Configuration, handler: HandlerState, stmt: Feature,
+               rebuild: Callable[[Stmt], Stmt]) -> Transition:
+    event = Event(kind="exec", handler=handler.name, client=stmt.client,
+                  feature=stmt.name, block=stmt.block)
+    new_handler = handler.with_program(rebuild(Skip()))
+    return Transition("exec", handler.name, config.replace_handler(new_handler), event)

@@ -1,0 +1,161 @@
+"""Configurations of the operational semantics: parallel handler triples.
+
+A handler is the triple ``(h, q_h, s)`` of its identity, its request queue
+and the program it is executing (Section 2.3).  The request queue is a list
+of handler-tagged private queues — a queue of queues.  Configurations are
+parallel compositions of handlers; they are immutable and hashable so the
+explorer can treat them as states.
+
+Each private-queue entry additionally carries a unique ``entry_id`` (the
+identity of the reservation that created it).  The formal rules never branch
+on it — it exists so execution traces can be checked against the reasoning
+guarantees of Section 2.2 (which talk about "the calls logged within one
+separate block", i.e. one entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.errors import SemanticsError
+from repro.semantics.syntax import Skip, Stmt
+
+
+@dataclass(frozen=True)
+class PrivateQueueEntry:
+    """One client's private queue inside a handler's request queue."""
+
+    client: str
+    entry_id: int
+    items: Tuple[Stmt, ...] = ()
+
+    def append(self, *stmts: Stmt) -> "PrivateQueueEntry":
+        return replace(self, items=self.items + tuple(stmts))
+
+    def pop(self) -> tuple[Stmt, "PrivateQueueEntry"]:
+        if not self.items:
+            raise SemanticsError("cannot pop from an empty private queue entry")
+        return self.items[0], replace(self, items=self.items[1:])
+
+    @property
+    def empty(self) -> bool:
+        return not self.items
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(s) for s in self.items)
+        return f"[{self.client}#{self.entry_id} -> [{inner}]]"
+
+
+@dataclass(frozen=True)
+class HandlerState:
+    """The triple ``(h, q_h, s)``."""
+
+    name: str
+    queue: Tuple[PrivateQueueEntry, ...] = ()
+    program: Stmt = field(default_factory=Skip)
+
+    # -- queue manipulation (the operations the rules need) -----------------
+    def enqueue_entry(self, entry: PrivateQueueEntry) -> "HandlerState":
+        """``q_x + [h -> []]`` — add a fresh private queue at the end."""
+        return replace(self, queue=self.queue + (entry,))
+
+    def last_entry_for(self, client: str) -> Optional[PrivateQueueEntry]:
+        """Lookup ``q_x[h]``: the *last* occurrence of ``client``'s entry."""
+        for entry in reversed(self.queue):
+            if entry.client == client:
+                return entry
+        return None
+
+    def append_to_last(self, client: str, *stmts: Stmt) -> "HandlerState":
+        """Update ``q_x[h -> q_x[h] + stmts]`` on the last occurrence."""
+        for index in range(len(self.queue) - 1, -1, -1):
+            if self.queue[index].client == client:
+                new_entry = self.queue[index].append(*stmts)
+                new_queue = self.queue[:index] + (new_entry,) + self.queue[index + 1:]
+                return replace(self, queue=new_queue)
+        raise SemanticsError(
+            f"client {client!r} has no private queue on handler {self.name!r}; "
+            "calls must be wrapped in a separate block reserving the target"
+        )
+
+    def head_entry(self) -> Optional[PrivateQueueEntry]:
+        return self.queue[0] if self.queue else None
+
+    def replace_head(self, entry: PrivateQueueEntry) -> "HandlerState":
+        if not self.queue:
+            raise SemanticsError("handler has no private queues")
+        return replace(self, queue=(entry,) + self.queue[1:])
+
+    def pop_head_entry(self) -> "HandlerState":
+        if not self.queue:
+            raise SemanticsError("handler has no private queues")
+        return replace(self, queue=self.queue[1:])
+
+    def with_program(self, program: Stmt) -> "HandlerState":
+        return replace(self, program=program)
+
+    @property
+    def idle(self) -> bool:
+        return isinstance(self.program, Skip)
+
+    def __str__(self) -> str:
+        queue = " + ".join(str(e) for e in self.queue) or "[]"
+        return f"({self.name}, {queue}, {self.program})"
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """A parallel composition of handlers (plus a fresh-id counter)."""
+
+    handlers: Tuple[HandlerState, ...]
+    next_entry_id: int = 0
+
+    def __post_init__(self) -> None:
+        names = [h.name for h in self.handlers]
+        if len(set(names)) != len(names):
+            raise SemanticsError(f"duplicate handler names in configuration: {names}")
+
+    # -- access ---------------------------------------------------------------
+    def get(self, name: str) -> HandlerState:
+        for handler in self.handlers:
+            if handler.name == name:
+                return handler
+        raise SemanticsError(f"no handler named {name!r} in the configuration")
+
+    def has(self, name: str) -> bool:
+        return any(h.name == name for h in self.handlers)
+
+    def replace_handler(self, new_state: HandlerState) -> "Configuration":
+        handlers = tuple(new_state if h.name == new_state.name else h for h in self.handlers)
+        return replace(self, handlers=handlers)
+
+    def replace_handlers(self, new_states: Iterable[HandlerState]) -> "Configuration":
+        by_name: Dict[str, HandlerState] = {s.name: s for s in new_states}
+        handlers = tuple(by_name.get(h.name, h) for h in self.handlers)
+        return replace(self, handlers=handlers)
+
+    def bump_entry_id(self, by: int = 1) -> "Configuration":
+        return replace(self, next_entry_id=self.next_entry_id + by)
+
+    # -- predicates ---------------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        """Every handler idle with an empty request queue: execution finished."""
+        return all(h.idle and not h.queue for h in self.handlers)
+
+    def __str__(self) -> str:
+        return " || ".join(str(h) for h in self.handlers)
+
+
+def initial_configuration(programs: Dict[str, Stmt], extra_handlers: Iterable[str] = ()) -> Configuration:
+    """Build the starting configuration.
+
+    ``programs`` maps handler names to the program they execute (clients);
+    ``extra_handlers`` lists handlers that start idle (pure suppliers).
+    """
+    handlers = [HandlerState(name=name, program=program) for name, program in programs.items()]
+    for name in extra_handlers:
+        if name not in programs:
+            handlers.append(HandlerState(name=name))
+    return Configuration(tuple(handlers))

@@ -1,0 +1,146 @@
+"""Static deadlock analysis: reservation/query wait-for graphs.
+
+Section 2.5 of the paper observes that SCOOP/Qs removes the classic
+inconsistent-lock-order deadlock of Fig. 6 (reservations never block) but
+that deadlock is still possible once *queries* are involved: a query blocks
+its client until the supplier has drained every private queue ahead of it,
+so a cycle of "client C queries handler H while holding a reservation some
+other client needs before it can release H" can close.
+
+The state-space explorer of :mod:`repro.semantics.explorer` finds such
+deadlocks exhaustively but exponentially; this module provides the cheap
+static companion used by the CLI and the examples:
+
+* :func:`build_wait_graph` extracts, from the *program text* alone, a
+  directed graph whose nodes are handlers and whose edges ``a -> b`` mean
+  "some client may block on a query to ``b`` while holding a reservation of
+  ``a``";
+* :func:`potential_deadlock_cycles` reports the cycles of that graph — the
+  necessary condition for deadlock.  No cycles ⇒ the program is deadlock
+  free under SCOOP/Qs (queries are the only blocking operation).  Cycles are
+  *potential* only: the exhaustive explorer (or the runtime) decides whether
+  a schedule actually realises them, which is exactly the relationship the
+  test-suite checks on the paper's Fig. 6 variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.semantics.syntax import Call, Query, Separate, Seq, Skip, Stmt
+
+
+@dataclass(frozen=True)
+class WaitEdge:
+    """``holder`` is reserved while the client blocks on a query to ``target``."""
+
+    holder: str
+    target: str
+    client: str
+    feature: str
+
+    def __str__(self) -> str:
+        return f"{self.client}: holds {self.holder}, waits on {self.target}.{self.feature}()"
+
+
+@dataclass
+class WaitGraph:
+    """Handler-level wait-for graph extracted from a set of client programs."""
+
+    edges: List[WaitEdge] = field(default_factory=list)
+
+    def successors(self) -> Dict[str, Set[str]]:
+        out: Dict[str, Set[str]] = {}
+        for edge in self.edges:
+            out.setdefault(edge.holder, set()).add(edge.target)
+            out.setdefault(edge.target, set())
+        return out
+
+    def handlers(self) -> Set[str]:
+        return {e.holder for e in self.edges} | {e.target for e in self.edges}
+
+    def edges_between(self, holder: str, target: str) -> List[WaitEdge]:
+        return [e for e in self.edges if e.holder == holder and e.target == target]
+
+
+def _walk(stmt: Stmt, held: Tuple[str, ...], client: str, edges: List[WaitEdge]) -> None:
+    if isinstance(stmt, Seq):
+        _walk(stmt.first, held, client, edges)
+        _walk(stmt.rest, held, client, edges)
+    elif isinstance(stmt, Separate):
+        _walk(stmt.body, held + tuple(t for t in stmt.targets if t not in held), client, edges)
+    elif isinstance(stmt, Query):
+        for holder in held:
+            if holder != stmt.target:
+                edges.append(WaitEdge(holder=holder, target=stmt.target,
+                                      client=client, feature=stmt.feature))
+    elif isinstance(stmt, (Call, Skip)):
+        pass
+    # wait/release/end/feature never appear in source programs
+
+
+def build_wait_graph(programs: Dict[str, Stmt]) -> WaitGraph:
+    """Extract the wait-for graph of ``{client name -> program}``.
+
+    Only *queries* generate edges: a query to ``t`` issued while handlers
+    ``H`` are reserved contributes an edge ``h -> t`` for every ``h ∈ H``
+    other than ``t`` itself (waiting on a handler you exclusively hold the
+    head reservation of cannot be part of a cross-client cycle).
+    """
+    graph = WaitGraph()
+    for client, program in programs.items():
+        _walk(program, (), client, graph.edges)
+    return graph
+
+
+def potential_deadlock_cycles(graph: WaitGraph) -> List[Tuple[str, ...]]:
+    """Every elementary cycle of the wait-for graph (canonicalised, sorted).
+
+    The graphs coming out of SCOOP programs are tiny (one node per handler),
+    so a simple DFS enumeration is plenty; cycles are rotated so the
+    lexicographically smallest handler comes first and duplicates are
+    dropped.
+    """
+    succ = graph.successors()
+    cycles: Set[Tuple[str, ...]] = set()
+
+    def canonical(path: Sequence[str]) -> Tuple[str, ...]:
+        smallest = min(range(len(path)), key=lambda i: path[i])
+        rotated = tuple(path[smallest:]) + tuple(path[:smallest])
+        return rotated
+
+    def dfs(start: str, node: str, path: List[str], visited: Set[str]) -> None:
+        for nxt in sorted(succ.get(node, ())):
+            if nxt == start:
+                cycles.add(canonical(path))
+            elif nxt not in visited and nxt > start:
+                # only explore nodes lexicographically after the start so each
+                # cycle is discovered exactly once (from its smallest node)
+                visited.add(nxt)
+                dfs(start, nxt, path + [nxt], visited)
+                visited.discard(nxt)
+
+    for start in sorted(succ):
+        dfs(start, start, [start], {start})
+    return sorted(cycles)
+
+
+def is_statically_deadlock_free(programs: Dict[str, Stmt]) -> bool:
+    """``True`` when the wait-for graph is acyclic (sufficient, not necessary)."""
+    return not potential_deadlock_cycles(build_wait_graph(programs))
+
+
+def explain(graph: WaitGraph, cycles: Iterable[Tuple[str, ...]]) -> str:
+    """Human-readable description of the cycles (used by the CLI and examples)."""
+    cycles = list(cycles)
+    if not cycles:
+        return "no potential deadlock: the reservation/query wait-for graph is acyclic"
+    lines = [f"{len(cycles)} potential deadlock cycle(s) found:"]
+    for cycle in cycles:
+        ring = " -> ".join(cycle + (cycle[0],))
+        lines.append(f"  cycle {ring}")
+        for holder, target in zip(cycle, cycle[1:] + (cycle[0],)):
+            for edge in graph.edges_between(holder, target):
+                lines.append(f"    {edge}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Performance model for the cross-language comparison (Section 5).
+
+The paper compares SCOOP/Qs against C++/TBB, Go, Haskell and Erlang on a
+32-core Xeon.  Those language implementations (and that machine) are not
+available to a pure-Python reproduction, so this package provides a
+*calibrated performance model*:
+
+* :mod:`repro.sim.languages`       — the qualitative characteristics of
+  Table 3 plus per-operation cost profiles for each language, calibrated
+  against the paper's measurements;
+* :mod:`repro.sim.parallel_model`  — the Cowichan tasks: per-task work
+  profiles (compute work, elements communicated, serial fractions) combined
+  with the language profiles to produce total/computation times for any core
+  count (Table 4, Figs. 18–19);
+* :mod:`repro.sim.concurrent_model`— the coordination tasks: operation
+  counts per benchmark combined with per-operation coordination costs
+  (Table 5, Fig. 20).
+
+The model's purpose is to regenerate the *shape* of the paper's results
+(which language wins on which workload class, by roughly what factor, and
+where scaling saturates); it does not claim to re-measure the absolute
+numbers, which belong to the original testbed.
+"""
+
+from repro.sim.languages import LANGUAGES, LanguageProfile, language_table
+from repro.sim.parallel_model import (
+    PARALLEL_TASKS,
+    ParallelEstimate,
+    simulate_parallel,
+    simulate_parallel_sweep,
+)
+from repro.sim.concurrent_model import (
+    CONCURRENT_SIM_TASKS,
+    ConcurrentEstimate,
+    simulate_concurrent,
+)
+
+__all__ = [
+    "LANGUAGES",
+    "LanguageProfile",
+    "language_table",
+    "PARALLEL_TASKS",
+    "ParallelEstimate",
+    "simulate_parallel",
+    "simulate_parallel_sweep",
+    "CONCURRENT_SIM_TASKS",
+    "ConcurrentEstimate",
+    "simulate_concurrent",
+]

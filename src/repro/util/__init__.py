@@ -1,0 +1,14 @@
+"""Shared utilities: instrumentation counters, timing helpers, seeded RNG."""
+
+from repro.util.counters import Counters, CounterSnapshot
+from repro.util.timing import Stopwatch, geometric_mean
+from repro.util.rng import make_rng, lcg_stream
+
+__all__ = [
+    "Counters",
+    "CounterSnapshot",
+    "Stopwatch",
+    "geometric_mean",
+    "make_rng",
+    "lcg_stream",
+]

@@ -1,0 +1,80 @@
+"""Timing helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Iterable, Sequence
+
+
+class Stopwatch:
+    """Simple cumulative stopwatch built on ``time.perf_counter``.
+
+    Supports split timing so experiments can separate "computation" from
+    "communication" phases the way the paper's Fig. 18 does.
+    """
+
+    def __init__(self) -> None:
+        self._start: float | None = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        if self._start is not None:
+            raise RuntimeError("stopwatch already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("stopwatch not running")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self._start = None
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        if self._start is not None:
+            self.stop()
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, used for all the paper's cross-benchmark summaries.
+
+    Zero or negative values are rejected because the paper's data are strictly
+    positive times.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires strictly positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize_to_fastest(times: Sequence[float]) -> list[float]:
+    """Normalize a row of times to the fastest entry (Table 1 style)."""
+    if not times:
+        return []
+    best = min(times)
+    if best <= 0:
+        raise ValueError("times must be strictly positive")
+    return [t / best for t in times]
+
+
+def speedup_series(times_by_threads: Sequence[tuple[int, float]]) -> list[tuple[int, float]]:
+    """Convert (threads, time) pairs into (threads, speedup-vs-1-thread) pairs."""
+    if not times_by_threads:
+        return []
+    ordered = sorted(times_by_threads)
+    base_threads, base_time = ordered[0]
+    if base_threads != 1:
+        raise ValueError("speedup series requires a single-thread measurement")
+    if base_time <= 0:
+        raise ValueError("times must be strictly positive")
+    return [(threads, base_time / t) for threads, t in ordered]

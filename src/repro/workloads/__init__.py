@@ -1,0 +1,22 @@
+"""Benchmark workloads of the paper's evaluation (Section 4.1).
+
+* :mod:`repro.workloads.cowichan`   — the parallel (data-processing) tasks:
+  randmat, thresh, winnow, outer, product and their composition, chain;
+* :mod:`repro.workloads.concurrent` — the coordination tasks: mutex,
+  prodcons, condition, threadring, chameneos;
+* :mod:`repro.workloads.params`     — problem sizes (the paper's and scaled
+  versions suitable for a laptop / CI run);
+* :mod:`repro.workloads.results`    — the common result record with the
+  compute/communication split used by the experiments.
+"""
+
+from repro.workloads.params import ParallelSizes, ConcurrentSizes, PAPER_PARALLEL, PAPER_CONCURRENT
+from repro.workloads.results import WorkloadResult
+
+__all__ = [
+    "ParallelSizes",
+    "ConcurrentSizes",
+    "PAPER_PARALLEL",
+    "PAPER_CONCURRENT",
+    "WorkloadResult",
+]

@@ -1,0 +1,40 @@
+"""Coordination-heavy concurrent workloads (Section 4.1.2).
+
+``mutex``, ``prodcons``, ``condition`` (three interaction patterns designed
+by the paper's authors) plus ``threadring`` and ``chameneos`` from the
+Computer Language Benchmarks Game.  All five are implemented against the
+SCOOP/Qs client API: the shared state lives on handlers, the competing
+threads are runtime clients, and every interaction is a separate block.
+"""
+
+from repro.workloads.concurrent.shared import (
+    MeetingPlace,
+    ParityCounter,
+    RingNode,
+    SharedCounter,
+    SharedQueue,
+)
+from repro.workloads.concurrent.runner import (
+    CONCURRENT_TASKS,
+    run_chameneos,
+    run_concurrent,
+    run_condition,
+    run_mutex,
+    run_prodcons,
+    run_threadring,
+)
+
+__all__ = [
+    "SharedCounter",
+    "SharedQueue",
+    "ParityCounter",
+    "RingNode",
+    "MeetingPlace",
+    "CONCURRENT_TASKS",
+    "run_concurrent",
+    "run_mutex",
+    "run_prodcons",
+    "run_condition",
+    "run_threadring",
+    "run_chameneos",
+]

@@ -1,0 +1,226 @@
+"""Drivers for the concurrent workloads.
+
+Each ``run_*`` function takes a live :class:`~repro.core.runtime.QsRuntime`
+and a :class:`~repro.workloads.params.ConcurrentSizes` record, spawns the
+client threads the benchmark calls for, waits for completion and returns a
+:class:`~repro.workloads.results.WorkloadResult` whose value can be checked
+(total increments, consumed items, meetings performed, ...).
+
+These benchmarks have no meaningful "computation" phase — they are pure
+coordination — so their whole wall-clock time is reported as communication
+time, matching how the paper treats them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List
+
+from repro.config import OptimizationLevel, QsConfig
+from repro.core.runtime import QsRuntime
+from repro.util.timing import Stopwatch
+from repro.workloads.concurrent.shared import (
+    MeetingPlace,
+    ParityCounter,
+    RingNode,
+    SharedCounter,
+    SharedQueue,
+)
+from repro.workloads.params import ConcurrentSizes
+from repro.workloads.results import WorkloadResult
+
+
+def _finish(runtime: QsRuntime, name: str, value, watch: Stopwatch, before,
+            workers: int) -> WorkloadResult:
+    delta = runtime.counters.snapshot().diff(before)
+    return WorkloadResult(
+        name=name,
+        config=runtime.config.name,
+        value=value,
+        compute_seconds=0.0,
+        comm_seconds=watch.elapsed,
+        counters=delta,
+        workers=workers,
+    )
+
+
+# ----------------------------------------------------------------------------
+# mutex: n clients compete for one resource
+# ----------------------------------------------------------------------------
+def run_mutex(runtime: QsRuntime, sizes: ConcurrentSizes) -> WorkloadResult:
+    before = runtime.counters.snapshot()
+    counter = runtime.new_handler("mutex-resource").create(SharedCounter)
+
+    def client() -> None:
+        for _ in range(sizes.m):
+            with runtime.separate(counter) as c:
+                c.increment()
+
+    watch = Stopwatch()
+    with watch:
+        threads = [runtime.spawn_client(client, name=f"mutex-{i}") for i in range(sizes.n)]
+        for thread in threads:
+            thread.join()
+        with runtime.separate(counter) as c:
+            total = c.read()
+    return _finish(runtime, "mutex", total, watch, before, sizes.n)
+
+
+# ----------------------------------------------------------------------------
+# prodcons: n producers, n consumers, one unbounded queue
+# ----------------------------------------------------------------------------
+def run_prodcons(runtime: QsRuntime, sizes: ConcurrentSizes) -> WorkloadResult:
+    before = runtime.counters.snapshot()
+    queue = runtime.new_handler("prodcons-queue").create(SharedQueue)
+
+    def producer(base: int) -> None:
+        for i in range(sizes.m):
+            with runtime.separate(queue) as q:
+                q.push(base + i)
+
+    def consumer(collected: List[int]) -> None:
+        taken = 0
+        while taken < sizes.m:
+            with runtime.separate(queue) as q:
+                item = q.try_pop()
+            if item is not None:
+                collected.append(item)
+                taken += 1
+
+    watch = Stopwatch()
+    collected_by_consumer: List[List[int]] = [[] for _ in range(sizes.n)]
+    with watch:
+        threads = []
+        for i in range(sizes.n):
+            threads.append(runtime.spawn_client(producer, i * sizes.m, name=f"producer-{i}"))
+            threads.append(runtime.spawn_client(consumer, collected_by_consumer[i], name=f"consumer-{i}"))
+        for thread in threads:
+            thread.join()
+        with runtime.separate(queue) as q:
+            stats = q.stats()
+    consumed = sum(len(c) for c in collected_by_consumer)
+    return _finish(runtime, "prodcons", {"stats": stats, "consumed": consumed}, watch, before, 2 * sizes.n)
+
+
+# ----------------------------------------------------------------------------
+# condition: odd/even workers depend on each other to make progress
+# ----------------------------------------------------------------------------
+def run_condition(runtime: QsRuntime, sizes: ConcurrentSizes) -> WorkloadResult:
+    before = runtime.counters.snapshot()
+    counter = runtime.new_handler("condition-counter").create(ParityCounter)
+
+    def worker(parity: int) -> None:
+        done = 0
+        while done < sizes.m:
+            with runtime.separate(counter) as c:
+                if c.try_increment(parity):
+                    done += 1
+
+    watch = Stopwatch()
+    with watch:
+        threads = []
+        for i in range(sizes.n):
+            threads.append(runtime.spawn_client(worker, 0, name=f"even-{i}"))
+            threads.append(runtime.spawn_client(worker, 1, name=f"odd-{i}"))
+        for thread in threads:
+            thread.join()
+        with runtime.separate(counter) as c:
+            final = c.read()
+    return _finish(runtime, "condition", final, watch, before, 2 * sizes.n)
+
+
+# ----------------------------------------------------------------------------
+# threadring: a token passed around a ring of handlers
+# ----------------------------------------------------------------------------
+def run_threadring(runtime: QsRuntime, sizes: ConcurrentSizes) -> WorkloadResult:
+    before = runtime.counters.snapshot()
+    ring = sizes.ring_size
+    refs = [runtime.new_handler(f"ring-{i}").create(RingNode, i) for i in range(ring)]
+    done = threading.Event()
+
+    watch = Stopwatch()
+    with watch:
+        for i, ref in enumerate(refs):
+            with runtime.separate(ref) as node:
+                node.connect(refs[(i + 1) % ring], runtime, done)
+        with runtime.separate(refs[0]) as first:
+            first.take_token(sizes.nt)
+        if not done.wait(timeout=300.0):
+            raise TimeoutError("threadring did not finish in time")
+        with runtime.separate(*refs) as nodes:
+            nodes = nodes if isinstance(nodes, tuple) else (nodes,)
+            total_passes = sum(node.seen() for node in nodes)
+            final_node = next((node.finished_at() for node in nodes if node.finished_at() is not None), None)
+    return _finish(runtime, "threadring",
+                   {"passes": total_passes, "final_node": final_node}, watch, before, ring)
+
+
+# ----------------------------------------------------------------------------
+# chameneos: colour-changing creatures meeting at a meeting place
+# ----------------------------------------------------------------------------
+def run_chameneos(runtime: QsRuntime, sizes: ConcurrentSizes) -> WorkloadResult:
+    before = runtime.counters.snapshot()
+    place = runtime.new_handler("meeting-place").create(MeetingPlace, sizes.nc)
+    creatures = max(4, sizes.n)
+    colours = [MeetingPlace.COLOURS[i % len(MeetingPlace.COLOURS)] for i in range(creatures)]
+    meetings_by_creature = [0] * creatures
+
+    def creature(creature_id: int) -> None:
+        colour = colours[creature_id]
+        while True:
+            with runtime.separate(place) as mp:
+                status = mp.try_meet(creature_id, colour)
+            if status == "done":
+                return
+            if status == "paired":
+                mail = None
+                while mail is None:
+                    with runtime.separate(place) as mp:
+                        mail = mp.check_mail(creature_id)
+                _, other_colour = mail
+                colour = MeetingPlace.complement(colour, other_colour)
+                meetings_by_creature[creature_id] += 1
+                continue
+            # status == "wait": poll for the partner notification
+            while True:
+                with runtime.separate(place) as mp:
+                    mail = mp.check_mail(creature_id)
+                    finished = mp.meetings_done() >= sizes.nc
+                if mail is not None:
+                    _, other_colour = mail
+                    colour = MeetingPlace.complement(colour, other_colour)
+                    meetings_by_creature[creature_id] += 1
+                    break
+                if finished:
+                    return
+
+    watch = Stopwatch()
+    with watch:
+        threads = [runtime.spawn_client(creature, i, name=f"chameneos-{i}") for i in range(creatures)]
+        for thread in threads:
+            thread.join()
+        with runtime.separate(place) as mp:
+            meetings = mp.meetings_done()
+    return _finish(runtime, "chameneos",
+                   {"meetings": meetings, "per_creature": sum(meetings_by_creature)},
+                   watch, before, creatures)
+
+
+#: task name -> driver (the rows of Table 2 / Fig. 17)
+CONCURRENT_TASKS: Dict[str, Callable[[QsRuntime, ConcurrentSizes], WorkloadResult]] = {
+    "chameneos": run_chameneos,
+    "condition": run_condition,
+    "mutex": run_mutex,
+    "prodcons": run_prodcons,
+    "threadring": run_threadring,
+}
+
+
+def run_concurrent(task: str, config: "QsConfig | OptimizationLevel | str",
+                   sizes: ConcurrentSizes) -> WorkloadResult:
+    """Run one concurrent task under one optimization level in a fresh runtime."""
+    if task not in CONCURRENT_TASKS:
+        raise ValueError(f"unknown concurrent task {task!r}; choose from {sorted(CONCURRENT_TASKS)}")
+    with QsRuntime(config) as runtime:
+        result = CONCURRENT_TASKS[task](runtime, sizes)
+    return result

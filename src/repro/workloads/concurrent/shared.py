@@ -1,0 +1,178 @@
+"""Separate objects used by the concurrent workloads.
+
+Each class is an ordinary :class:`~repro.core.region.SeparateObject`; all of
+its state is only ever touched by its handler (or by a synced client running
+a query body), so the workloads are data-race free by construction — which
+is the point of the model.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.api import command, query
+from repro.core.region import SeparateObject
+
+
+class SharedCounter(SeparateObject):
+    """The single contended resource of the *mutex* benchmark."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    @command
+    def increment(self, by: int = 1) -> None:
+        self.value += by
+
+    @query
+    def read(self) -> int:
+        return self.value
+
+
+class SharedQueue(SeparateObject):
+    """Unbounded queue shared by producers and consumers (*prodcons*)."""
+
+    def __init__(self) -> None:
+        self.items: Deque[int] = deque()
+        self.produced = 0
+        self.consumed = 0
+
+    @command
+    def push(self, item: int) -> None:
+        self.items.append(item)
+        self.produced += 1
+
+    @query
+    def try_pop(self) -> Optional[int]:
+        """Pop an item, or ``None`` when the queue is currently empty.
+
+        Consumers must retry on ``None`` — they depend on the producers, the
+        producers never depend on them (the benchmark's defining asymmetry).
+        """
+        if not self.items:
+            return None
+        self.consumed += 1
+        return self.items.popleft()
+
+    @query
+    def stats(self) -> Tuple[int, int, int]:
+        return self.produced, self.consumed, len(self.items)
+
+
+class ParityCounter(SeparateObject):
+    """The shared variable of the *condition* benchmark.
+
+    "Odd" workers may only increment it when it is odd, "even" workers when
+    it is even; each group therefore depends on the other to make progress.
+    """
+
+    def __init__(self) -> None:
+        self.value = 0
+        self.increments = 0
+
+    @query
+    def try_increment(self, parity: int) -> bool:
+        """Increment iff the current value has the requested parity."""
+        if self.value % 2 != parity:
+            return False
+        self.value += 1
+        self.increments += 1
+        return True
+
+    @query
+    def read(self) -> int:
+        return self.value
+
+
+class RingNode(SeparateObject):
+    """One node of the *threadring*: forwards the token to its successor."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.next_ref = None          # SeparateRef of the successor
+        self.runtime = None           # set by the driver
+        self.passes_seen = 0
+        self.done_event: Optional[threading.Event] = None
+        self.final_node: Optional[int] = None
+
+    @command
+    def connect(self, next_ref, runtime, done_event) -> None:
+        self.next_ref = next_ref
+        self.runtime = runtime
+        self.done_event = done_event
+
+    @command
+    def take_token(self, hops_remaining: int) -> None:
+        """Receive the token; either stop or forward it to the next node.
+
+        Forwarding opens a separate block on the successor *from this
+        handler's thread* — handlers are clients of each other, exactly the
+        cyclic hand-off structure the paper's related-work section contrasts
+        with Cilk's DAG restriction.
+        """
+        self.passes_seen += 1
+        if hops_remaining <= 0:
+            self.final_node = self.index
+            if self.done_event is not None:
+                self.done_event.set()
+            return
+        with self.runtime.separate(self.next_ref) as nxt:
+            nxt.take_token(hops_remaining - 1)
+
+    @query
+    def seen(self) -> int:
+        return self.passes_seen
+
+    @query
+    def finished_at(self) -> Optional[int]:
+        return self.final_node
+
+
+class MeetingPlace(SeparateObject):
+    """The chameneos meeting place: pairs creatures and mixes their colours."""
+
+    COLOURS = ("blue", "red", "yellow")
+
+    def __init__(self, meetings: int) -> None:
+        self.meetings_left = meetings
+        self.waiting: Optional[Tuple[int, str]] = None
+        #: creature id -> (partner id, partner colour) delivered at next poll
+        self.mailbox: dict[int, Tuple[int, str]] = {}
+        self.total_meetings = 0
+
+    @query
+    def try_meet(self, creature_id: int, colour: str) -> str:
+        """Attempt to meet; returns one of ``"done"``, ``"wait"``, ``"paired"``."""
+        if self.meetings_left <= 0:
+            return "done"
+        if self.waiting is None:
+            self.waiting = (creature_id, colour)
+            return "wait"
+        other_id, other_colour = self.waiting
+        if other_id == creature_id:
+            return "wait"
+        self.waiting = None
+        self.meetings_left -= 1
+        self.total_meetings += 1
+        self.mailbox[other_id] = (creature_id, colour)
+        self.mailbox[creature_id] = (other_id, other_colour)
+        return "paired"
+
+    @query
+    def check_mail(self, creature_id: int) -> Optional[Tuple[int, str]]:
+        """Fetch (and clear) the partner notification for this creature."""
+        return self.mailbox.pop(creature_id, None)
+
+    @query
+    def meetings_done(self) -> int:
+        return self.total_meetings
+
+    @staticmethod
+    def complement(colour_a: str, colour_b: str) -> str:
+        """Colour mixing rule of the chameneos benchmark."""
+        if colour_a == colour_b:
+            return colour_a
+        remaining = [c for c in MeetingPlace.COLOURS if c not in (colour_a, colour_b)]
+        return remaining[0]

@@ -1,0 +1,48 @@
+"""The Cowichan parallel workloads (Section 4.1.1).
+
+``randmat``, ``thresh``, ``winnow``, ``outer`` and ``product`` plus their
+sequential composition ``chain``.  Each kernel exists twice:
+
+* a sequential numpy reference (:mod:`repro.workloads.cowichan.reference`)
+  used for correctness checks and as the "computation" baseline, and
+* a parallel SCOOP implementation (:mod:`repro.workloads.cowichan.scoop`)
+  that distributes row blocks over worker handlers, computes asynchronously
+  and pulls the results back with queries — the communication pattern whose
+  cost the paper's Fig. 16 analyses.
+"""
+
+from repro.workloads.cowichan.reference import (
+    chain as chain_reference,
+    outer as outer_reference,
+    product as product_reference,
+    randmat as randmat_reference,
+    thresh as thresh_reference,
+    winnow as winnow_reference,
+)
+from repro.workloads.cowichan.scoop import (
+    COWICHAN_TASKS,
+    run_chain,
+    run_cowichan,
+    run_outer,
+    run_product,
+    run_randmat,
+    run_thresh,
+    run_winnow,
+)
+
+__all__ = [
+    "randmat_reference",
+    "thresh_reference",
+    "winnow_reference",
+    "outer_reference",
+    "product_reference",
+    "chain_reference",
+    "COWICHAN_TASKS",
+    "run_cowichan",
+    "run_randmat",
+    "run_thresh",
+    "run_winnow",
+    "run_outer",
+    "run_product",
+    "run_chain",
+]

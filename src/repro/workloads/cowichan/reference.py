@@ -1,0 +1,121 @@
+"""Sequential reference implementations of the Cowichan kernels.
+
+These follow the classic Cowichan problem definitions used by the paper's
+benchmark suite (Wilson & Irvin).  They are pure numpy, single threaded, and
+serve two purposes: correctness oracles for the SCOOP implementations and
+the "computation only" baseline for the performance model.
+
+Kernels
+-------
+randmat(nr, nc, seed)        deterministic random integer matrix (row-seeded LCG)
+thresh(matrix, percent)      boolean mask selecting the top ``percent`` % values
+winnow(matrix, mask, nelts)  select ``nelts`` evenly-spaced masked points by value
+outer(points)                pairwise-distance matrix + distance-to-origin vector
+product(matrix, vector)      matrix-vector product
+chain(sizes)                 the composition randmat -> thresh -> winnow -> outer -> product
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import lcg_matrix
+
+Point = Tuple[int, int]
+
+#: value range of randmat entries (as in the reference Cowichan codes)
+RAND_LIMIT = 100
+
+
+def randmat(nr: int, nc: int, seed: int, limit: int = RAND_LIMIT) -> np.ndarray:
+    """Row-seeded random matrix of shape ``(nr, nc)`` with values in [0, limit)."""
+    if nr < 0 or nc < 0:
+        raise ValueError("matrix dimensions must be non-negative")
+    return lcg_matrix(seed, nr, nc, limit)
+
+
+def thresh(matrix: np.ndarray, percent: float) -> Tuple[np.ndarray, int]:
+    """Select the top ``percent`` % of values; returns ``(mask, threshold)``.
+
+    The threshold is the smallest value ``t`` such that keeping every element
+    ``>= t`` keeps at least ``percent`` % of all elements (histogram method,
+    as in the reference implementation).
+    """
+    if not 0 < percent <= 100:
+        raise ValueError("percent must be in (0, 100]")
+    values = np.asarray(matrix, dtype=np.int64)
+    total = values.size
+    if total == 0:
+        return np.zeros_like(values, dtype=bool), 0
+    target = (percent / 100.0) * total
+    limit = int(values.max()) + 1
+    histogram = np.bincount(values.ravel(), minlength=limit + 1)
+    kept = 0
+    threshold = 0
+    for value in range(limit, -1, -1):
+        kept += int(histogram[value]) if value < len(histogram) else 0
+        if kept >= target:
+            threshold = value
+            break
+    mask = values >= threshold
+    return mask, threshold
+
+
+def winnow(matrix: np.ndarray, mask: np.ndarray, nelts: int) -> List[Point]:
+    """Select ``nelts`` evenly spaced masked points, ordered by (value, i, j)."""
+    if matrix.shape != mask.shape:
+        raise ValueError("matrix and mask must have the same shape")
+    if nelts < 0:
+        raise ValueError("nelts must be non-negative")
+    coords = np.argwhere(mask)
+    candidates = sorted(
+        (int(matrix[i, j]), int(i), int(j)) for i, j in coords
+    )
+    n = len(candidates)
+    if n == 0 or nelts == 0:
+        return []
+    if nelts >= n:
+        return [(i, j) for _, i, j in candidates]
+    stride = n / nelts
+    picked = [candidates[int(k * stride)] for k in range(nelts)]
+    return [(i, j) for _, i, j in picked]
+
+
+def outer(points: Sequence[Point]) -> Tuple[np.ndarray, np.ndarray]:
+    """Pairwise-distance matrix and distance-to-origin vector.
+
+    ``omat[i, j]`` is the Euclidean distance between points ``i`` and ``j``
+    for ``i != j``; the diagonal is ``nelts * max_j omat[i, j]`` (making the
+    matrix diagonally dominant); ``vec[i]`` is the distance of point ``i``
+    from the origin.
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    n = len(pts)
+    if n == 0:
+        return np.zeros((0, 0)), np.zeros(0)
+    diff = pts[:, None, :] - pts[None, :, :]
+    omat = np.sqrt((diff ** 2).sum(axis=2))
+    row_max = omat.max(axis=1) if n > 1 else np.zeros(n)
+    np.fill_diagonal(omat, n * row_max)
+    vec = np.sqrt((pts ** 2).sum(axis=1))
+    return omat, vec
+
+
+def product(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Matrix-vector product."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    vector = np.asarray(vector, dtype=np.float64)
+    if matrix.ndim != 2 or vector.ndim != 1 or matrix.shape[1] != vector.shape[0]:
+        raise ValueError(f"incompatible shapes {matrix.shape} x {vector.shape}")
+    return matrix @ vector
+
+
+def chain(nr: int, percent: float, nw: int, seed: int) -> np.ndarray:
+    """The full Cowichan chain; returns the final product vector."""
+    m = randmat(nr, nr, seed)
+    mask, _ = thresh(m, percent)
+    points = winnow(m, mask, nw)
+    omat, vec = outer(points)
+    return product(omat, vec)

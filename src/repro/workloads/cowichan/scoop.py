@@ -1,0 +1,536 @@
+"""Parallel SCOOP implementations of the Cowichan kernels.
+
+Every kernel follows the structure the paper describes for its SCOOP
+versions (Sections 3.4 and 4.2):
+
+1. the master reserves all worker handlers in a single (multi-reservation)
+   separate block;
+2. inputs are *distributed* to the workers with a handful of asynchronous
+   commands (one per worker, carrying that worker's row block);
+3. the workers compute their block concurrently on their own handlers;
+   the master issues one cheap ``ready()`` query per worker as a barrier so
+   computation time can be measured separately from communication time;
+4. the results are *pulled* back element by element (or row by row) with
+   queries — the communication phase whose cost dominates Fig. 16 and which
+   the sync-coalescing optimizations attack.
+
+The ``chain`` composition keeps intermediate data resident on the workers
+between stages, which is why it has far less communication than the
+individual kernels — the same effect the paper reports.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.config import OptimizationLevel, QsConfig
+from repro.core.api import command, query
+from repro.core.region import SeparateObject, SeparateRef
+from repro.core.runtime import QsRuntime
+from repro.core.transfer import pull_elements
+from repro.util.timing import Stopwatch
+from repro.workloads.cowichan import reference
+from repro.workloads.cowichan.reference import RAND_LIMIT
+from repro.workloads.params import ParallelSizes
+from repro.workloads.results import WorkloadResult
+from repro.util.rng import lcg_stream
+
+
+# ----------------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------------
+def row_chunks(total_rows: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``total_rows`` into ``parts`` contiguous ``(start, count)`` blocks."""
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    base, extra = divmod(total_rows, parts)
+    chunks: List[Tuple[int, int]] = []
+    start = 0
+    for index in range(parts):
+        count = base + (1 if index < extra else 0)
+        chunks.append((start, count))
+        start += count
+    return chunks
+
+
+def _as_tuple(proxies) -> tuple:
+    return proxies if isinstance(proxies, tuple) else (proxies,)
+
+
+# ----------------------------------------------------------------------------
+# the worker: a separate object hosting row blocks and kernel computations
+# ----------------------------------------------------------------------------
+class CowichanWorker(SeparateObject):
+    """Holds row blocks of the matrices/vectors and computes kernel chunks."""
+
+    def __init__(self) -> None:
+        self.matrix_rows: Dict[int, np.ndarray] = {}
+        self.mask_rows: Dict[int, np.ndarray] = {}
+        self.float_rows: Dict[int, np.ndarray] = {}
+        self.points: List[Tuple[int, int]] = []
+        self.vector: np.ndarray | None = None
+        self.vec_values: Dict[int, float] = {}
+        self.result_values: Dict[int, float] = {}
+        self.candidates: List[Tuple[int, int, int]] = []
+
+    # -- barrier -----------------------------------------------------------
+    @query
+    def ready(self) -> bool:
+        """Cheap query used as a completion barrier for logged commands."""
+        return True
+
+    # -- randmat -------------------------------------------------------------
+    @command
+    def randmat_rows(self, start: int, count: int, ncols: int, seed: int, limit: int = RAND_LIMIT) -> None:
+        for row in range(start, start + count):
+            self.matrix_rows[row] = lcg_stream(seed + row, ncols, limit)
+
+    # -- data distribution ------------------------------------------------------
+    @command
+    def load_matrix_rows(self, rows: Dict[int, np.ndarray]) -> None:
+        for index, row in rows.items():
+            self.matrix_rows[index] = np.array(row, dtype=np.int64)
+
+    @command
+    def load_mask_rows(self, rows: Dict[int, np.ndarray]) -> None:
+        for index, row in rows.items():
+            self.mask_rows[index] = np.array(row, dtype=bool)
+
+    @command
+    def load_float_rows(self, rows: Dict[int, np.ndarray]) -> None:
+        for index, row in rows.items():
+            self.float_rows[index] = np.array(row, dtype=np.float64)
+
+    @command
+    def load_points(self, points: Sequence[Tuple[int, int]]) -> None:
+        self.points = [(int(i), int(j)) for i, j in points]
+
+    @command
+    def load_vector(self, vector: np.ndarray) -> None:
+        self.vector = np.array(vector, dtype=np.float64)
+
+    # -- thresh -----------------------------------------------------------------
+    @query
+    def histogram(self, limit: int) -> np.ndarray:
+        hist = np.zeros(limit + 1, dtype=np.int64)
+        for row in self.matrix_rows.values():
+            hist += np.bincount(row, minlength=limit + 1)[: limit + 1]
+        return hist
+
+    @command
+    def compute_mask(self, threshold: int) -> None:
+        for index, row in self.matrix_rows.items():
+            self.mask_rows[index] = row >= threshold
+
+    # -- winnow -----------------------------------------------------------------
+    @command
+    def compute_candidates(self) -> None:
+        found: List[Tuple[int, int, int]] = []
+        for index, mask_row in self.mask_rows.items():
+            row = self.matrix_rows[index]
+            for j in np.nonzero(mask_row)[0]:
+                found.append((int(row[j]), int(index), int(j)))
+        self.candidates = sorted(found)
+
+    @query
+    def candidate_count(self) -> int:
+        return len(self.candidates)
+
+    @query
+    def get_candidate(self, k: int) -> Tuple[int, int, int]:
+        return self.candidates[k]
+
+    # -- outer -------------------------------------------------------------------
+    @command
+    def compute_outer(self, start: int, count: int) -> None:
+        pts = np.asarray(self.points, dtype=np.float64)
+        n = len(pts)
+        for i in range(start, start + count):
+            diff = pts - pts[i]
+            row = np.sqrt((diff ** 2).sum(axis=1))
+            row_max = row.max() if n > 1 else 0.0
+            row[i] = n * row_max
+            self.float_rows[i] = row
+            self.vec_values[i] = float(np.sqrt((pts[i] ** 2).sum()))
+
+    # -- product ------------------------------------------------------------------
+    @command
+    def compute_product(self, start: int, count: int) -> None:
+        if self.vector is None:
+            raise ValueError("product requires the vector to be loaded first")
+        for i in range(start, start + count):
+            self.result_values[i] = float(self.float_rows[i] @ self.vector)
+
+    # -- element/row accessors (what the master pulls) ------------------------------
+    @query
+    def get_matrix_value(self, i: int, j: int) -> int:
+        return int(self.matrix_rows[i][j])
+
+    @query
+    def get_matrix_row(self, i: int) -> np.ndarray:
+        return np.array(self.matrix_rows[i])
+
+    @query
+    def get_mask_row(self, i: int) -> np.ndarray:
+        return np.array(self.mask_rows[i])
+
+    @query
+    def get_float_row(self, i: int) -> np.ndarray:
+        return np.array(self.float_rows[i])
+
+    @query
+    def get_vec_value(self, i: int) -> float:
+        return self.vec_values[i]
+
+    @query
+    def get_result_value(self, i: int) -> float:
+        return self.result_values[i]
+
+
+# ----------------------------------------------------------------------------
+# master-side drivers
+# ----------------------------------------------------------------------------
+def _make_workers(runtime: QsRuntime, count: int) -> List[SeparateRef]:
+    handlers = runtime.new_handlers(count, prefix="cowichan")
+    return [handler.create(CowichanWorker) for handler in handlers]
+
+
+def _barrier(proxies: Sequence) -> None:
+    for proxy in proxies:
+        proxy.ready()
+
+
+def _distribute_rows(proxies: Sequence, chunks: Sequence[Tuple[int, int]],
+                     rows_of: Callable[[int], np.ndarray], load: str) -> None:
+    for proxy, (start, count) in zip(proxies, chunks):
+        block = {row: rows_of(row) for row in range(start, start + count)}
+        getattr(proxy, load)(block)
+
+
+def _result(runtime: QsRuntime, name: str, value, compute: Stopwatch, comm: Stopwatch,
+            before, workers: int) -> WorkloadResult:
+    delta = runtime.counters.snapshot().diff(before)
+    return WorkloadResult(
+        name=name,
+        config=runtime.config.name,
+        value=value,
+        compute_seconds=compute.elapsed,
+        comm_seconds=comm.elapsed,
+        counters=delta,
+        workers=workers,
+    )
+
+
+def run_randmat(runtime: QsRuntime, sizes: ParallelSizes) -> WorkloadResult:
+    """randmat: workers generate row blocks; the master pulls every element."""
+    before = runtime.counters.snapshot()
+    workers = _make_workers(runtime, sizes.workers)
+    chunks = row_chunks(sizes.nr, sizes.workers)
+    compute, comm = Stopwatch(), Stopwatch()
+    matrix = np.zeros((sizes.nr, sizes.nr), dtype=np.int64)
+    with runtime.separate(*workers) as proxies:
+        proxies = _as_tuple(proxies)
+        with compute:
+            for proxy, (start, count) in zip(proxies, chunks):
+                proxy.randmat_rows(start, count, sizes.nr, sizes.seed, RAND_LIMIT)
+            _barrier(proxies)
+        with comm:
+            for proxy, (start, count) in zip(proxies, chunks):
+                if count == 0:
+                    continue
+                ncols = sizes.nr
+
+                def getter(obj, k, _start=start, _ncols=ncols):
+                    i, j = divmod(k, _ncols)
+                    return obj.get_matrix_value(_start + i, j)
+
+                flat, _ = pull_elements(runtime, proxy, getter, count * ncols)
+                matrix[start:start + count, :] = np.asarray(flat, dtype=np.int64).reshape(count, ncols)
+    return _result(runtime, "randmat", matrix, compute, comm, before, sizes.workers)
+
+
+def run_thresh(runtime: QsRuntime, sizes: ParallelSizes,
+               matrix: np.ndarray | None = None) -> WorkloadResult:
+    """thresh: distribute rows, reduce histograms, mask, pull mask rows."""
+    before = runtime.counters.snapshot()
+    if matrix is None:
+        matrix = reference.randmat(sizes.nr, sizes.nr, sizes.seed)
+    workers = _make_workers(runtime, sizes.workers)
+    chunks = row_chunks(matrix.shape[0], sizes.workers)
+    compute, comm = Stopwatch(), Stopwatch()
+    mask = np.zeros(matrix.shape, dtype=bool)
+    with runtime.separate(*workers) as proxies:
+        proxies = _as_tuple(proxies)
+        with compute:
+            _distribute_rows(proxies, chunks, lambda r: matrix[r], "load_matrix_rows")
+            histogram = np.zeros(RAND_LIMIT + 1, dtype=np.int64)
+            for proxy in proxies:
+                histogram += proxy.histogram(RAND_LIMIT)
+            threshold = _threshold_from_histogram(histogram, matrix.size, sizes.percent)
+            for proxy in proxies:
+                proxy.compute_mask(threshold)
+            _barrier(proxies)
+        with comm:
+            for proxy, (start, count) in zip(proxies, chunks):
+                if count == 0:
+                    continue
+                rows, _ = pull_elements(
+                    runtime, proxy, lambda obj, k, _s=start: obj.get_mask_row(_s + k), count
+                )
+                for offset, row in enumerate(rows):
+                    mask[start + offset, :] = row
+    return _result(runtime, "thresh", (mask, threshold), compute, comm, before, sizes.workers)
+
+
+def _threshold_from_histogram(histogram: np.ndarray, total: int, percent: float) -> int:
+    target = (percent / 100.0) * total
+    kept = 0
+    for value in range(len(histogram) - 1, -1, -1):
+        kept += int(histogram[value])
+        if kept >= target:
+            return value
+    return 0
+
+
+def run_winnow(runtime: QsRuntime, sizes: ParallelSizes,
+               matrix: np.ndarray | None = None,
+               mask: np.ndarray | None = None) -> WorkloadResult:
+    """winnow: workers extract local candidates; the master merges and selects."""
+    before = runtime.counters.snapshot()
+    if matrix is None:
+        matrix = reference.randmat(sizes.nr, sizes.nr, sizes.seed)
+    if mask is None:
+        mask, _ = reference.thresh(matrix, sizes.percent)
+    workers = _make_workers(runtime, sizes.workers)
+    chunks = row_chunks(matrix.shape[0], sizes.workers)
+    compute, comm = Stopwatch(), Stopwatch()
+    with runtime.separate(*workers) as proxies:
+        proxies = _as_tuple(proxies)
+        with compute:
+            _distribute_rows(proxies, chunks, lambda r: matrix[r], "load_matrix_rows")
+            _distribute_rows(proxies, chunks, lambda r: mask[r], "load_mask_rows")
+            for proxy in proxies:
+                proxy.compute_candidates()
+            _barrier(proxies)
+        with comm:
+            merged: List[Tuple[int, int, int]] = []
+            for proxy in proxies:
+                count = proxy.candidate_count()
+                if count == 0:
+                    continue
+                items, _ = pull_elements(runtime, proxy, lambda obj, k: obj.get_candidate(k), count)
+                merged.extend(items)
+        merged.sort()
+        points = _select_points(merged, sizes.nw)
+    return _result(runtime, "winnow", points, compute, comm, before, sizes.workers)
+
+
+def _select_points(candidates: List[Tuple[int, int, int]], nelts: int) -> List[Tuple[int, int]]:
+    n = len(candidates)
+    if n == 0 or nelts == 0:
+        return []
+    if nelts >= n:
+        return [(i, j) for _, i, j in candidates]
+    stride = n / nelts
+    return [(candidates[int(k * stride)][1], candidates[int(k * stride)][2]) for k in range(nelts)]
+
+
+def run_outer(runtime: QsRuntime, sizes: ParallelSizes,
+              points: List[Tuple[int, int]] | None = None) -> WorkloadResult:
+    """outer: distribute points to every worker, pull matrix rows + vector."""
+    before = runtime.counters.snapshot()
+    if points is None:
+        matrix = reference.randmat(sizes.nr, sizes.nr, sizes.seed)
+        mask, _ = reference.thresh(matrix, sizes.percent)
+        points = reference.winnow(matrix, mask, sizes.nw)
+    n = len(points)
+    workers = _make_workers(runtime, sizes.workers)
+    chunks = row_chunks(n, sizes.workers)
+    compute, comm = Stopwatch(), Stopwatch()
+    omat = np.zeros((n, n), dtype=np.float64)
+    vec = np.zeros(n, dtype=np.float64)
+    with runtime.separate(*workers) as proxies:
+        proxies = _as_tuple(proxies)
+        with compute:
+            for proxy in proxies:
+                proxy.load_points(points)
+            for proxy, (start, count) in zip(proxies, chunks):
+                proxy.compute_outer(start, count)
+            _barrier(proxies)
+        with comm:
+            for proxy, (start, count) in zip(proxies, chunks):
+                if count == 0:
+                    continue
+                rows, _ = pull_elements(
+                    runtime, proxy, lambda obj, k, _s=start: obj.get_float_row(_s + k), count
+                )
+                for offset, row in enumerate(rows):
+                    omat[start + offset, :] = row
+                values, _ = pull_elements(
+                    runtime, proxy, lambda obj, k, _s=start: obj.get_vec_value(_s + k), count
+                )
+                vec[start:start + count] = values
+    return _result(runtime, "outer", (omat, vec), compute, comm, before, sizes.workers)
+
+
+def run_product(runtime: QsRuntime, sizes: ParallelSizes,
+                matrix: np.ndarray | None = None,
+                vector: np.ndarray | None = None) -> WorkloadResult:
+    """product: distribute rows + vector, pull the result element by element."""
+    before = runtime.counters.snapshot()
+    if matrix is None or vector is None:
+        ref_matrix = reference.randmat(sizes.nr, sizes.nr, sizes.seed)
+        mask, _ = reference.thresh(ref_matrix, sizes.percent)
+        points = reference.winnow(ref_matrix, mask, sizes.nw)
+        matrix, vector = reference.outer(points)
+    n = matrix.shape[0]
+    workers = _make_workers(runtime, sizes.workers)
+    chunks = row_chunks(n, sizes.workers)
+    compute, comm = Stopwatch(), Stopwatch()
+    result = np.zeros(n, dtype=np.float64)
+    with runtime.separate(*workers) as proxies:
+        proxies = _as_tuple(proxies)
+        with compute:
+            _distribute_rows(proxies, chunks, lambda r: matrix[r], "load_float_rows")
+            for proxy in proxies:
+                proxy.load_vector(vector)
+            for proxy, (start, count) in zip(proxies, chunks):
+                proxy.compute_product(start, count)
+            _barrier(proxies)
+        with comm:
+            for proxy, (start, count) in zip(proxies, chunks):
+                if count == 0:
+                    continue
+                values, _ = pull_elements(
+                    runtime, proxy, lambda obj, k, _s=start: obj.get_result_value(_s + k), count
+                )
+                result[start:start + count] = values
+    return _result(runtime, "product", result, compute, comm, before, sizes.workers)
+
+
+def run_chain(runtime: QsRuntime, sizes: ParallelSizes) -> WorkloadResult:
+    """chain: all five kernels composed, keeping data resident on the workers."""
+    before = runtime.counters.snapshot()
+    workers = _make_workers(runtime, sizes.workers)
+    chunks = row_chunks(sizes.nr, sizes.workers)
+    compute, comm = Stopwatch(), Stopwatch()
+    with runtime.separate(*workers) as proxies:
+        proxies = _as_tuple(proxies)
+        # stage 1: randmat (stays on the workers)
+        with compute:
+            for proxy, (start, count) in zip(proxies, chunks):
+                proxy.randmat_rows(start, count, sizes.nr, sizes.seed, RAND_LIMIT)
+            _barrier(proxies)
+        # stage 2: thresh (histogram reduction is the only communication)
+        with comm:
+            histogram = np.zeros(RAND_LIMIT + 1, dtype=np.int64)
+            for proxy in proxies:
+                histogram += proxy.histogram(RAND_LIMIT)
+        threshold = _threshold_from_histogram(histogram, sizes.nr * sizes.nr, sizes.percent)
+        with compute:
+            for proxy in proxies:
+                proxy.compute_mask(threshold)
+            for proxy in proxies:
+                proxy.compute_candidates()
+            _barrier(proxies)
+        # stage 3: winnow (pull candidate points only)
+        with comm:
+            merged: List[Tuple[int, int, int]] = []
+            for proxy in proxies:
+                count = proxy.candidate_count()
+                if count == 0:
+                    continue
+                items, _ = pull_elements(runtime, proxy, lambda obj, k: obj.get_candidate(k), count)
+                merged.extend(items)
+        merged.sort()
+        points = _select_points(merged, sizes.nw)
+        n = len(points)
+        point_chunks = row_chunks(n, sizes.workers)
+        # stage 4: outer (rows stay on the workers; only the vector is pulled)
+        with compute:
+            for proxy in proxies:
+                proxy.load_points(points)
+            for proxy, (start, count) in zip(proxies, point_chunks):
+                proxy.compute_outer(start, count)
+            _barrier(proxies)
+        vec = np.zeros(n, dtype=np.float64)
+        with comm:
+            for proxy, (start, count) in zip(proxies, point_chunks):
+                if count == 0:
+                    continue
+                values, _ = pull_elements(
+                    runtime, proxy, lambda obj, k, _s=start: obj.get_vec_value(_s + k), count
+                )
+                vec[start:start + count] = values
+        # stage 5: product (broadcast the vector, pull the final result)
+        result = np.zeros(n, dtype=np.float64)
+        with compute:
+            for proxy in proxies:
+                proxy.load_vector(vec)
+            for proxy, (start, count) in zip(proxies, point_chunks):
+                proxy.compute_product(start, count)
+            _barrier(proxies)
+        with comm:
+            for proxy, (start, count) in zip(proxies, point_chunks):
+                if count == 0:
+                    continue
+                values, _ = pull_elements(
+                    runtime, proxy, lambda obj, k, _s=start: obj.get_result_value(_s + k), count
+                )
+                result[start:start + count] = values
+    return _result(runtime, "chain", result, compute, comm, before, sizes.workers)
+
+
+#: task name -> driver (the rows of Table 1 / Fig. 16)
+COWICHAN_TASKS: Dict[str, Callable[[QsRuntime, ParallelSizes], WorkloadResult]] = {
+    "randmat": run_randmat,
+    "thresh": run_thresh,
+    "winnow": run_winnow,
+    "outer": run_outer,
+    "product": run_product,
+    "chain": run_chain,
+}
+
+
+def run_cowichan(task: str, config: "QsConfig | OptimizationLevel | str",
+                 sizes: ParallelSizes, verify: bool = False) -> WorkloadResult:
+    """Run one Cowichan task under one optimization level in a fresh runtime."""
+    if task not in COWICHAN_TASKS:
+        raise ValueError(f"unknown Cowichan task {task!r}; choose from {sorted(COWICHAN_TASKS)}")
+    with QsRuntime(config) as runtime:
+        result = COWICHAN_TASKS[task](runtime, sizes)
+    if verify:
+        verify_against_reference(result, sizes)
+    return result
+
+
+def verify_against_reference(result: WorkloadResult, sizes: ParallelSizes) -> None:
+    """Check a SCOOP result against the sequential reference implementation."""
+    matrix = reference.randmat(sizes.nr, sizes.nr, sizes.seed)
+    mask, threshold = reference.thresh(matrix, sizes.percent)
+    if result.name == "randmat":
+        np.testing.assert_array_equal(result.value, matrix)
+    elif result.name == "thresh":
+        got_mask, got_threshold = result.value
+        assert got_threshold == threshold, (got_threshold, threshold)
+        np.testing.assert_array_equal(got_mask, mask)
+    elif result.name == "winnow":
+        expected = reference.winnow(matrix, mask, sizes.nw)
+        assert list(result.value) == list(expected)
+    elif result.name == "outer":
+        points = reference.winnow(matrix, mask, sizes.nw)
+        omat, vec = reference.outer(points)
+        got_omat, got_vec = result.value
+        np.testing.assert_allclose(got_omat, omat)
+        np.testing.assert_allclose(got_vec, vec)
+    elif result.name == "product":
+        points = reference.winnow(matrix, mask, sizes.nw)
+        omat, vec = reference.outer(points)
+        np.testing.assert_allclose(result.value, reference.product(omat, vec))
+    elif result.name == "chain":
+        np.testing.assert_allclose(result.value, reference.chain(sizes.nr, sizes.percent, sizes.nw, sizes.seed))
+    else:  # pragma: no cover - defensive
+        raise ValueError(f"no reference check for task {result.name!r}")

@@ -1,0 +1,84 @@
+"""Problem sizes for the benchmark suites.
+
+The paper (Section 4.1) uses ``nr = 10,000`` (so 10,000 x 10,000 matrices),
+``p = 1`` percent, ``nw = 10,000`` for the Cowichan problems and
+``n = 32, m = 20,000, nt = 600,000, nc = 5,000,000`` for the concurrent
+problems, on a 32-core Xeon.  Those sizes are far beyond what a pure-Python
+runtime under the GIL can execute in a test run, so every experiment accepts
+a :class:`ParallelSizes` / :class:`ConcurrentSizes` record and three presets
+are provided: ``paper`` (for reference), ``small`` (default for the
+experiment drivers) and ``tiny`` (default for unit tests and pytest-benchmark
+runs).  The *shape* of the results does not depend on the preset — only the
+magnitudes do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ParallelSizes:
+    """Sizes for the Cowichan chain."""
+
+    nr: int = 10_000        #: matrix side length (nr x nr)
+    percent: int = 1        #: thresh: top percentage to keep
+    nw: int = 10_000        #: winnow: number of points to select
+    workers: int = 32       #: number of worker handlers
+    seed: int = 42
+
+    def scaled(self, nr: int, nw: int | None = None, workers: int | None = None) -> "ParallelSizes":
+        return replace(self, nr=nr, nw=nw if nw is not None else min(self.nw, nr),
+                       workers=workers if workers is not None else self.workers)
+
+
+@dataclass(frozen=True)
+class ConcurrentSizes:
+    """Sizes for the coordination benchmarks."""
+
+    n: int = 32             #: number of competing threads / producers / consumers
+    m: int = 20_000         #: iterations per thread (mutex, prodcons, condition)
+    nt: int = 600_000       #: threadring token passes
+    nc: int = 5_000_000     #: chameneos meetings
+    ring_size: int = 503    #: number of nodes in the thread ring
+
+    def scaled(self, n: int | None = None, m: int | None = None, nt: int | None = None,
+               nc: int | None = None, ring_size: int | None = None) -> "ConcurrentSizes":
+        return ConcurrentSizes(
+            n=n if n is not None else self.n,
+            m=m if m is not None else self.m,
+            nt=nt if nt is not None else self.nt,
+            nc=nc if nc is not None else self.nc,
+            ring_size=ring_size if ring_size is not None else self.ring_size,
+        )
+
+
+#: the paper's configurations (kept for reference / the simulator)
+PAPER_PARALLEL = ParallelSizes()
+PAPER_CONCURRENT = ConcurrentSizes()
+
+#: sizes suitable for running the threaded runtime on one machine
+SMALL_PARALLEL = ParallelSizes(nr=48, percent=10, nw=48, workers=4)
+SMALL_CONCURRENT = ConcurrentSizes(n=4, m=120, nt=400, nc=120, ring_size=16)
+
+#: sizes suitable for unit tests and pytest-benchmark iterations
+TINY_PARALLEL = ParallelSizes(nr=16, percent=25, nw=16, workers=2)
+TINY_CONCURRENT = ConcurrentSizes(n=2, m=25, nt=60, nc=20, ring_size=6)
+
+
+PARALLEL_PRESETS = {"paper": PAPER_PARALLEL, "small": SMALL_PARALLEL, "tiny": TINY_PARALLEL}
+CONCURRENT_PRESETS = {"paper": PAPER_CONCURRENT, "small": SMALL_CONCURRENT, "tiny": TINY_CONCURRENT}
+
+
+def parallel_preset(name: str) -> ParallelSizes:
+    try:
+        return PARALLEL_PRESETS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown parallel preset {name!r}; choose from {sorted(PARALLEL_PRESETS)}") from exc
+
+
+def concurrent_preset(name: str) -> ConcurrentSizes:
+    try:
+        return CONCURRENT_PRESETS[name]
+    except KeyError as exc:
+        raise ValueError(f"unknown concurrent preset {name!r}; choose from {sorted(CONCURRENT_PRESETS)}") from exc

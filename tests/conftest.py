@@ -1,0 +1,40 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import LEVEL_ORDER, OptimizationLevel, QsConfig
+from repro.core.runtime import QsRuntime
+
+ALL_LEVELS = [level.value for level in LEVEL_ORDER]
+
+
+@pytest.fixture(params=ALL_LEVELS)
+def level(request) -> str:
+    """Every optimization level the paper evaluates."""
+    return request.param
+
+
+@pytest.fixture
+def runtime(level):
+    """A fresh runtime per test, parameterised over all optimization levels."""
+    rt = QsRuntime(level)
+    yield rt
+    rt.shutdown()
+
+
+@pytest.fixture
+def qs_runtime():
+    """A fully optimized runtime (the common case for functional tests)."""
+    rt = QsRuntime(OptimizationLevel.ALL)
+    yield rt
+    rt.shutdown()
+
+
+@pytest.fixture
+def baseline_runtime():
+    """The lock-based (no optimizations) runtime."""
+    rt = QsRuntime(QsConfig.none())
+    yield rt
+    rt.shutdown()

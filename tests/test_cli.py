@@ -1,0 +1,120 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestParser:
+    def test_every_subcommand_registered(self):
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("levels", "experiment", "figures", "ir", "explore", "trace"):
+            assert command in text
+
+    def test_missing_subcommand_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])
+
+
+class TestLevels:
+    def test_levels_matrix_lists_all_five_columns(self, capsys):
+        code, out = run_cli(capsys, "levels")
+        assert code == 0
+        for level in ("none", "dynamic", "static", "qoq", "all"):
+            assert level in out
+        assert "qoq" in out and "dyn-sync" in out
+
+
+class TestIr:
+    def test_fig14_demo_elides_loop_syncs(self, capsys):
+        code, out = run_cli(capsys, "ir", "--demo", "fig14", "--opt", "elide")
+        assert code == 0
+        assert "sync coalescing removed 2/3 syncs" in out
+        assert "sync-sets" in out and "dominator tree" in out
+
+    def test_fig15_demo_blocked_by_aliasing_until_told_otherwise(self, capsys):
+        _, out_conservative = run_cli(capsys, "ir", "--demo", "fig15", "--opt", "elide")
+        assert "removed 0/3" in out_conservative
+        _, out_distinct = run_cli(capsys, "ir", "--demo", "fig15", "--opt", "elide",
+                                  "--distinct", "h_p,i_p")
+        assert "removed 2/3" in out_distinct
+
+    def test_lowering_then_eliding_straightline_queries(self, capsys):
+        code, out = run_cli(capsys, "ir", "--demo", "straightline", "--lower", "--opt", "elide")
+        assert code == 0
+        assert "after query lowering" in out
+        assert "removed 3/4 syncs" in out
+
+    def test_ir_from_file_round_trips(self, capsys, tmp_path):
+        from repro.compiler.builder import fig14_loop
+        from repro.compiler.printer import print_function
+
+        path = tmp_path / "fn.ir"
+        path.write_text(print_function(fig14_loop()), encoding="utf-8")
+        code, out = run_cli(capsys, "ir", "--file", str(path), "--opt", "hoist")
+        assert code == 0
+        assert "hoisted" in out
+
+    def test_unknown_demo_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["ir", "--demo", "does-not-exist"])
+
+
+class TestExplore:
+    def test_fig6_without_queries_reports_no_deadlock(self, capsys):
+        code, out = run_cli(capsys, "explore", "--program", "fig6")
+        assert code == 0
+        assert "acyclic" in out
+        assert "0 deadlocked" in out
+
+    def test_fig6_with_queries_reports_cycle_and_deadlock(self, capsys):
+        code, out = run_cli(capsys, "explore", "--program", "fig6-queries")
+        assert code == 1
+        assert "potential deadlock cycle" in out
+        assert "deadlocked" in out
+
+    def test_random_program_exploration(self, capsys):
+        code, out = run_cli(capsys, "explore", "--random", "7", "--max-states", "50000")
+        assert code in (0, 1)
+        assert "random configuration (seed 7)" in out
+        assert "explored" in out
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "--program", "fig99"])
+
+
+class TestTrace:
+    def test_trace_run_checks_guarantees(self, capsys):
+        code, out = run_cli(capsys, "trace", "--clients", "2", "--iterations", "2", "--tail", "5")
+        assert code == 0
+        assert "recorded" in out
+        assert "reasoning guarantees hold" in out
+
+    def test_trace_run_on_the_lock_based_level(self, capsys):
+        code, out = run_cli(capsys, "trace", "--level", "none", "--clients", "2", "--iterations", "1")
+        assert code == 0
+        assert "level 'none'" in out
+
+
+class TestExperimentAndFigures:
+    def test_experiment_table5_runs_from_the_cli(self, capsys):
+        code, out = run_cli(capsys, "experiment", "table5")
+        assert code == 0
+        assert "Table 5" in out and "Geometric means" in out
+
+    def test_figures_fig20_renders(self, capsys):
+        code, out = run_cli(capsys, "figures", "fig20")
+        assert code == 0
+        assert "Fig. 20" in out and "chameneos" in out

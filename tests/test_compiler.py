@@ -1,0 +1,260 @@
+"""Tests for the compiler substrate: IR, alias info, the sync-set analysis of
+Figs. 12–13, the worked examples of Figs. 14–15, lowering and the IR
+interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.alias import AliasInfo
+from repro.compiler.builder import (
+    FunctionBuilder,
+    fig14_loop,
+    fig15_loop,
+    pull_loop,
+    straightline_queries,
+)
+from repro.compiler.interp import IRInterpreter
+from repro.compiler.ir import AsyncCallInstr, CallInstr, LocalInstr, QueryInstr, SyncInstr
+from repro.compiler.lowering import lower_queries
+from repro.compiler.pass_manager import PassManager
+from repro.compiler.sync_analysis import SyncSetAnalysis, update_sync
+from repro.compiler.sync_elision import SyncElisionPass
+from repro.core.api import query
+from repro.core.region import SeparateObject
+from repro.core.runtime import QsRuntime
+from repro.errors import CompilerError
+
+
+class TestIR:
+    def test_builder_and_structure(self):
+        b = FunctionBuilder("f", entry="B1")
+        b.block("B1").sync("h").jump("B2")
+        b.block("B2").local("x := h[i]", handler="h").branch("B2", "B3")
+        b.block("B3").ret()
+        fn = b.build()
+        assert fn.reachable_blocks() == ["B1", "B2", "B3"]
+        assert fn.predecessors()["B2"] == ["B1", "B2"]
+        assert fn.handlers() == {"h"}
+        assert fn.count_instructions(SyncInstr) == 1
+        assert "sync h" in fn.dump()
+
+    def test_unknown_successor_rejected(self):
+        b = FunctionBuilder("f", entry="B1")
+        b.block("B1").jump("missing")
+        with pytest.raises(CompilerError):
+            b.build()
+
+    def test_missing_entry_rejected(self):
+        b = FunctionBuilder("f", entry="nope")
+        b.block("B1")
+        with pytest.raises(CompilerError):
+            b.build()
+
+    def test_copy_is_structural(self):
+        fn = fig14_loop()
+        clone = fn.copy()
+        assert clone.dump() == fn.dump()
+        clone.block("B2").instructions.clear()
+        assert fn.block("B2").instructions
+
+
+class TestAliasInfo:
+    def test_worst_case_everything_aliases(self):
+        info = AliasInfo.worst_case()
+        assert info.may_alias("a", "b")
+        assert info.may_alias("a", "a")
+
+    def test_declared_distinct(self):
+        info = AliasInfo()
+        info.declare_distinct("a", "b")
+        assert not info.may_alias("a", "b")
+        assert not info.may_alias("b", "a")
+        assert info.may_alias("a", "c")
+
+    def test_no_aliasing_constructor(self):
+        info = AliasInfo.no_aliasing(["x", "y", "z"])
+        assert not info.may_alias("x", "z")
+        assert info.aliases_of("x", ["x", "y", "z"]) == {"x"}
+
+    def test_self_distinct_rejected(self):
+        with pytest.raises(ValueError):
+            AliasInfo().declare_distinct("a", "a")
+
+
+class TestUpdateSync:
+    def test_sync_adds_async_removes(self):
+        b = FunctionBuilder("f").block("entry")
+        b.sync("h").async_call("h")
+        block = b.raw
+        assert update_sync(block, frozenset()) == frozenset()
+
+    def test_query_counts_as_sync(self):
+        b = FunctionBuilder("f").block("entry")
+        b.query("h")
+        assert update_sync(b.raw, frozenset()) == {"h"}
+
+    def test_clobbering_call_clears_set(self):
+        b = FunctionBuilder("f").block("entry")
+        b.sync("h").call("helper")
+        assert update_sync(b.raw, frozenset()) == frozenset()
+
+    def test_readonly_call_preserves_set(self):
+        b = FunctionBuilder("f").block("entry")
+        b.sync("h").call("helper", readonly=True)
+        assert update_sync(b.raw, frozenset()) == {"h"}
+
+    def test_async_on_possible_alias_removes_both(self):
+        b = FunctionBuilder("f").block("entry")
+        b.sync("h").sync("i").async_call("i")
+        # worst case: h may alias i, so the async call invalidates both
+        assert update_sync(b.raw, frozenset()) == frozenset()
+        distinct = AliasInfo.no_aliasing(["h", "i"])
+        assert update_sync(b.raw, frozenset(), distinct, frozenset({"h", "i"})) == {"h"}
+
+
+class TestPaperExamples:
+    def test_fig14_sync_sets_label_edges_with_handler(self):
+        sync_sets = SyncSetAnalysis().run(fig14_loop())
+        assert sync_sets.edge_label("B1", "B2") == {"h_p"}
+        assert sync_sets.edge_label("B2", "B2") == {"h_p"}
+        assert sync_sets.edge_label("B2", "B3") == {"h_p"}
+
+    def test_fig14_loop_syncs_removed(self):
+        optimized, report = SyncElisionPass().run(fig14_loop())
+        # the syncs in the loop body (B2) and the exit (B3) are redundant
+        assert report.total_syncs == 3
+        assert report.removed_syncs == 2
+        assert set(report.removed_by_block) == {"B2", "B3"}
+        assert optimized.block("B1").instructions  # the first sync stays
+        assert not any(isinstance(i, SyncInstr) for i in optimized.block("B2").instructions)
+
+    def test_fig15_aliasing_blocks_coalescing(self):
+        _, report = SyncElisionPass().run(fig15_loop())
+        assert report.removed_syncs == 0
+        sync_sets = report.sync_sets
+        assert sync_sets.edge_label("B2", "B3") == frozenset()
+
+    def test_fig15_with_alias_facts_recovers_coalescing(self):
+        aliases = AliasInfo.no_aliasing(["h_p", "i_p"])
+        _, report = SyncElisionPass(aliases).run(fig15_loop())
+        assert report.removed_syncs == 2
+
+    def test_pessimistic_iteration_agrees_on_paper_examples(self):
+        for fn in (fig14_loop(), fig15_loop()):
+            optimistic = SyncElisionPass(optimistic=True).run(fn)[1].removed_syncs
+            pessimistic = SyncElisionPass(optimistic=False).run(fn)[1].removed_syncs
+            assert optimistic == pessimistic
+
+
+class TestLoweringAndElision:
+    def test_lowering_splits_queries(self):
+        lowered = lower_queries(straightline_queries("h", 3))
+        instrs = lowered.block("B0").instructions
+        kinds = [type(i).__name__ for i in instrs]
+        assert kinds == ["SyncInstr", "LocalInstr"] * 3
+
+    def test_straightline_all_but_first_sync_removed(self):
+        lowered = lower_queries(straightline_queries("h", 10))
+        _, report = SyncElisionPass().run(lowered)
+        assert report.total_syncs == 10
+        assert report.removed_syncs == 9
+
+    def test_pass_manager_composes(self):
+        pm = PassManager([SyncElisionPass()])
+        result = pm.run(lower_queries(straightline_queries("h", 4)))
+        assert result.reports["sync-coalescing"].removed_syncs == 3
+
+    @given(st.lists(st.sampled_from(["sync", "async", "query", "local", "clobber", "readonly"]),
+                    min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_property_elision_is_sound_and_monotone(self, ops):
+        """The pass never removes a sync that is not provably redundant:
+        replaying the optimized block must leave every handler that the
+        original left synced still synced (we only ever *drop* redundant
+        syncs, never change the final synced state)."""
+        b = FunctionBuilder("prop", entry="B0").block("B0")
+        for op in ops:
+            if op == "sync":
+                b.sync("h")
+            elif op == "async":
+                b.async_call("h")
+            elif op == "query":
+                b.query("h")
+            elif op == "local":
+                b.local("work")
+            elif op == "clobber":
+                b.call("other")
+            else:
+                b.call("pure", readonly=True)
+        b.ret()
+        from repro.compiler.ir import Function
+        original = Function("prop", [b.raw], "B0")
+        optimized, report = SyncElisionPass().run(original)
+        assert 0 <= report.removed_syncs <= report.total_syncs
+        # final sync-set must be identical for original and optimized block
+        out_original = update_sync(original.block("B0"), frozenset())
+        out_optimized = update_sync(optimized.block("B0"), frozenset())
+        assert out_original == out_optimized
+
+
+class _Table(SeparateObject):
+    def __init__(self, n):
+        self.data = np.arange(float(n))
+
+    @query
+    def get(self, i):
+        return float(self.data[i])
+
+
+class TestInterpreter:
+    @pytest.mark.parametrize("level", ["none", "dynamic", "static", "qoq", "all"])
+    def test_pull_loop_executes_and_counts(self, level):
+        n = 25
+        with QsRuntime(level) as rt:
+            ref = rt.new_handler("table").create(_Table, n)
+            values = []
+
+            def body(obj, env):
+                values.append(obj.data[env["i"]])
+                env["i"] += 1
+
+            fn = pull_loop("src", action=body)
+            with rt.separate(ref):
+                interp = IRInterpreter(rt, {"src": ref})
+                interp.execute(fn, trace=["head"] + ["body"] * n + ["exit"], env={"i": 0})
+            stats = rt.stats()
+        assert values == list(range(n))
+        if level in ("none", "qoq"):
+            assert stats.sync_roundtrips >= n
+        else:
+            assert stats.sync_roundtrips <= 2
+
+    def test_unknown_binding_rejected(self, qs_runtime):
+        interp = IRInterpreter(qs_runtime, {})
+        with pytest.raises(CompilerError):
+            interp.execute(straightline_queries("h", 1))
+
+    def test_multiple_successors_require_trace(self, qs_runtime):
+        ref = qs_runtime.new_handler("t").create(_Table, 4)
+        with qs_runtime.separate(ref):
+            interp = IRInterpreter(qs_runtime, {"src": ref})
+            with pytest.raises(CompilerError):
+                interp.execute(pull_loop("src"))
+
+    def test_controller_drives_control_flow(self, qs_runtime):
+        ref = qs_runtime.new_handler("t").create(_Table, 4)
+        fn = pull_loop("src", action=lambda obj, env: env.__setitem__("i", env["i"] + 1))
+        seen = {"count": 0}
+
+        def controller(block, env):
+            if block == "head":
+                return "body"
+            if block == "body":
+                seen["count"] += 1
+                return "body" if seen["count"] < 3 else "exit"
+            return None
+
+        with qs_runtime.separate(ref):
+            IRInterpreter(qs_runtime, {"src": ref}).execute(fn, controller=controller, env={"i": 0})
+        assert seen["count"] == 3

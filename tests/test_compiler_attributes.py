@@ -1,0 +1,196 @@
+"""Tests for whole-program call graphs and readonly/readnone inference."""
+
+import pytest
+
+from repro.compiler.attributes import (
+    AttributeInference,
+    Effect,
+    apply_attributes,
+    infer_and_apply,
+)
+from repro.compiler.builder import FunctionBuilder
+from repro.compiler.ir import CallInstr
+from repro.compiler.program import Program
+from repro.compiler.sync_elision import SyncElisionPass
+from repro.errors import CompilerError
+
+
+def fn_pure(name="pure"):
+    b = FunctionBuilder(name, entry="entry")
+    b.block("entry").local("compute locally").ret()
+    return b.build()
+
+
+def fn_reader(name="reader"):
+    b = FunctionBuilder(name, entry="entry")
+    b.block("entry").sync("h").local("read", handler="h").ret()
+    return b.build()
+
+
+def fn_writer(name="writer"):
+    b = FunctionBuilder(name, entry="entry")
+    b.block("entry").async_call("h", note="push").ret()
+    return b.build()
+
+
+def fn_calling(name, callee, **flags):
+    b = FunctionBuilder(name, entry="entry")
+    b.block("entry").call(callee, **flags).ret()
+    return b.build()
+
+
+class TestProgramStructure:
+    def test_duplicate_function_rejected(self):
+        program = Program.from_functions([fn_pure()])
+        with pytest.raises(CompilerError):
+            program.add(fn_pure())
+
+    def test_call_graph_and_external_callees(self):
+        program = Program.from_functions([fn_calling("main", "helper"), fn_pure("helper")])
+        graph = program.call_graph()
+        assert graph["main"] == {"helper"}
+        assert graph["helper"] == set()
+        assert program.callers_of("helper") == {"main"}
+        assert program.external_callees() == set()
+
+        program2 = Program.from_functions([fn_calling("main", "libc_memcpy")])
+        assert program2.external_callees() == {"libc_memcpy"}
+
+    def test_bottom_up_order_visits_callees_first(self):
+        program = Program.from_functions(
+            [fn_calling("a", "b"), fn_calling("b", "c"), fn_pure("c")]
+        )
+        order = program.bottom_up_order()
+        assert order.index("c") < order.index("b") < order.index("a")
+
+    def test_bottom_up_order_handles_recursion(self):
+        program = Program.from_functions([fn_calling("even", "odd"), fn_calling("odd", "even")])
+        order = program.bottom_up_order()
+        assert sorted(order) == ["even", "odd"]
+
+    def test_replace_unknown_function_rejected(self):
+        program = Program.from_functions([fn_pure()])
+        with pytest.raises(CompilerError):
+            program.replace(fn_pure("other"))
+
+    def test_summary_counts_instructions(self):
+        program = Program.from_functions([fn_reader(), fn_writer()])
+        summary = program.summary()
+        assert summary["reader"]["syncs"] == 1
+        assert summary["writer"]["async_calls"] == 1
+
+
+class TestEffectLattice:
+    def test_join_takes_the_stronger_effect(self):
+        assert Effect.READNONE.join(Effect.READONLY) is Effect.READONLY
+        assert Effect.READONLY.join(Effect.CLOBBERS) is Effect.CLOBBERS
+        assert Effect.READNONE.join(Effect.READNONE) is Effect.READNONE
+
+    def test_flag_names(self):
+        assert Effect.READNONE.flag_name == "readnone"
+        assert Effect.READONLY.flag_name == "readonly"
+        assert Effect.CLOBBERS.flag_name is None
+
+
+class TestInference:
+    def test_leaf_effects(self):
+        program = Program.from_functions([fn_pure(), fn_reader(), fn_writer()])
+        summary = AttributeInference().run(program)
+        assert summary.effects["pure"] is Effect.READNONE
+        assert summary.effects["reader"] is Effect.READONLY
+        assert summary.effects["writer"] is Effect.CLOBBERS
+
+    def test_effects_propagate_through_calls(self):
+        program = Program.from_functions(
+            [
+                fn_pure("leaf"),
+                fn_calling("wraps_pure", "leaf"),
+                fn_reader("reads"),
+                fn_calling("wraps_reader", "reads"),
+                fn_writer("writes"),
+                fn_calling("wraps_writer", "writes"),
+            ]
+        )
+        summary = AttributeInference().run(program)
+        assert summary.effects["wraps_pure"] is Effect.READNONE
+        assert summary.effects["wraps_reader"] is Effect.READONLY
+        assert summary.effects["wraps_writer"] is Effect.CLOBBERS
+
+    def test_external_calls_assumed_clobbering_by_default(self):
+        program = Program.from_functions([fn_calling("main", "mystery")])
+        summary = AttributeInference().run(program)
+        assert summary.effects["main"] is Effect.CLOBBERS
+        assert summary.effect_of("mystery") is Effect.CLOBBERS
+
+    def test_external_assumption_can_be_relaxed(self):
+        program = Program.from_functions([fn_calling("main", "sqrt")])
+        summary = AttributeInference(assume_external=Effect.READNONE).run(program)
+        assert summary.effects["main"] is Effect.READNONE
+
+    def test_explicit_flags_on_call_sites_trusted(self):
+        program = Program.from_functions([fn_calling("main", "mystery", readnone=True)])
+        summary = AttributeInference().run(program)
+        assert summary.effects["main"] is Effect.READNONE
+
+    def test_mutual_recursion_converges(self):
+        even = FunctionBuilder("even", entry="e")
+        even.block("e").local().call("odd").ret()
+        odd = FunctionBuilder("odd", entry="e")
+        odd.block("e").sync("h").call("even").ret()
+        program = Program.from_functions([even.build(), odd.build()])
+        summary = AttributeInference().run(program)
+        # nothing clobbers, but odd reads handler state -> both are READONLY
+        assert summary.effects["even"] is Effect.READONLY
+        assert summary.effects["odd"] is Effect.READONLY
+
+    def test_summary_partitions(self):
+        program = Program.from_functions([fn_pure(), fn_reader(), fn_writer()])
+        summary = AttributeInference().run(program)
+        assert summary.readnone_functions() == ["pure"]
+        assert summary.readonly_functions() == ["reader"]
+        assert summary.clobbering_functions() == ["writer"]
+
+
+class TestApplication:
+    def test_apply_sets_flags_on_call_sites(self):
+        program = Program.from_functions([fn_calling("main", "leaf"), fn_pure("leaf")])
+        summary = AttributeInference().run(program)
+        changed = apply_attributes(program, summary)
+        assert changed == 1
+        (site,) = program.call_sites("main")
+        assert site.instr.readnone and not site.instr.readonly
+
+    def test_attributes_unlock_sync_coalescing_across_a_call(self):
+        """The motivating pipeline: a helper call between two queries clears
+        the sync-set unless inference marks the helper readnone."""
+        b = FunctionBuilder("client", entry="entry")
+        b.block("entry").sync("h").local("read 1", handler="h").call("helper").sync("h").local(
+            "read 2", handler="h"
+        ).ret()
+        client = b.build()
+        program = Program.from_functions([client, fn_pure("helper")])
+
+        # without attribute inference the second sync must stay
+        _, before = SyncElisionPass().run(program.function("client"))
+        assert before.removed_syncs == 0
+
+        infer_and_apply(program)
+        _, after = SyncElisionPass().run(program.function("client"))
+        assert after.removed_syncs == 1
+
+    def test_clobbering_helper_still_blocks_coalescing(self):
+        b = FunctionBuilder("client", entry="entry")
+        b.block("entry").sync("h").call("helper").sync("h").ret()
+        program = Program.from_functions([b.build(), fn_writer("helper")])
+        infer_and_apply(program)
+        _, report = SyncElisionPass().run(program.function("client"))
+        assert report.removed_syncs == 0
+
+    def test_apply_never_weakens_existing_flags(self):
+        fn = fn_calling("main", "mystery", readonly=True)
+        program = Program.from_functions([fn])
+        summary = AttributeInference().run(program)
+        changed = apply_attributes(program, summary)
+        assert changed == 0
+        (site,) = program.call_sites("main")
+        assert site.instr.readonly

@@ -1,0 +1,146 @@
+"""Tests for dominator computation and dominance frontiers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.builder import FunctionBuilder, fig14_loop, fig15_loop
+from repro.compiler.dominators import compute_dominators, dominator_tree_lines
+from repro.errors import CompilerError
+
+
+def diamond():
+    """entry -> (left | right) -> join."""
+    b = FunctionBuilder("diamond", entry="entry")
+    b.block("entry").local("cond").branch("left", "right")
+    b.block("left").local("l").jump("join")
+    b.block("right").local("r").jump("join")
+    b.block("join").local("j").ret()
+    return b.build()
+
+
+def nested_loops():
+    """entry -> outer_head -> inner_head -> inner_body -> (inner_head | outer_latch)
+    outer_latch -> (outer_head | exit)."""
+    b = FunctionBuilder("nested", entry="entry")
+    b.block("entry").local().jump("outer_head")
+    b.block("outer_head").local().jump("inner_head")
+    b.block("inner_head").local().jump("inner_body")
+    b.block("inner_body").local().branch("inner_head", "outer_latch")
+    b.block("outer_latch").local().branch("outer_head", "exit")
+    b.block("exit").local().ret()
+    return b.build()
+
+
+class TestImmediateDominators:
+    def test_entry_is_its_own_idom(self):
+        tree = compute_dominators(diamond())
+        assert tree.immediate_dominator("entry") is None
+        assert tree.idom["entry"] == "entry"
+
+    def test_diamond_join_dominated_by_entry_not_by_arms(self):
+        tree = compute_dominators(diamond())
+        assert tree.immediate_dominator("join") == "entry"
+        assert tree.dominates("entry", "join")
+        assert not tree.dominates("left", "join")
+        assert not tree.dominates("right", "join")
+
+    def test_straightline_chain_of_dominators(self):
+        fn = fig14_loop()
+        tree = compute_dominators(fn)
+        assert tree.dominators_of("B3") == ["B3", "B2", "B1"]
+        assert tree.depth("B3") == 2
+
+    def test_loop_body_dominated_by_header(self):
+        tree = compute_dominators(nested_loops())
+        assert tree.dominates("outer_head", "inner_body")
+        assert tree.dominates("inner_head", "inner_body")
+        assert not tree.dominates("inner_body", "inner_head")
+
+    def test_strict_dominance_excludes_self(self):
+        tree = compute_dominators(diamond())
+        assert tree.dominates("left", "left")
+        assert not tree.strictly_dominates("left", "left")
+
+    def test_children_partition_reachable_blocks(self):
+        fn = nested_loops()
+        tree = compute_dominators(fn)
+        all_children = [c for kids in tree.children.values() for c in kids]
+        # every reachable block except the entry appears exactly once as a child
+        assert sorted(all_children) == sorted(set(fn.reachable_blocks()) - {"entry"})
+
+    def test_unreachable_block_rejected_in_queries(self):
+        b = FunctionBuilder("unreach", entry="entry")
+        b.block("entry").local().ret()
+        b.block("island").local().ret()
+        tree = compute_dominators(b.build())
+        with pytest.raises(CompilerError):
+            tree.dominates("entry", "island")
+
+    def test_unknown_block_rejected(self):
+        tree = compute_dominators(diamond())
+        with pytest.raises(CompilerError):
+            tree.dominators_of("nope")
+
+
+class TestDominanceFrontier:
+    def test_diamond_frontier_is_join(self):
+        tree = compute_dominators(diamond())
+        frontier = tree.dominance_frontier()
+        assert frontier["left"] == ["join"]
+        assert frontier["right"] == ["join"]
+        assert frontier["join"] == []
+
+    def test_loop_header_in_its_latch_frontier(self):
+        fn = fig14_loop()  # B2 branches back to itself
+        tree = compute_dominators(fn)
+        frontier = tree.dominance_frontier()
+        assert "B2" in frontier["B2"]
+
+    def test_tree_printer_lists_every_reachable_block_once(self):
+        fn = nested_loops()
+        tree = compute_dominators(fn)
+        lines = [line.strip() for line in dominator_tree_lines(tree)]
+        assert sorted(lines) == sorted(fn.reachable_blocks())
+
+
+class TestDominatorProperties:
+    @given(data=st.data(), n_blocks=st.integers(min_value=2, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_idom_strictly_dominates_and_entry_dominates_all(self, data, n_blocks):
+        """On random CFGs: the entry dominates every reachable block, and every
+        non-entry block's immediate dominator strictly dominates it."""
+        names = [f"b{i}" for i in range(n_blocks)]
+        b = FunctionBuilder("random", entry="b0")
+        for i, name in enumerate(names):
+            # successors drawn from the full block set; may create loops
+            n_succ = data.draw(st.integers(min_value=0, max_value=2), label=f"succ_count_{i}")
+            succs = data.draw(
+                st.lists(st.sampled_from(names), min_size=n_succ, max_size=n_succ, unique=True),
+                label=f"succs_{i}",
+            )
+            builder = b.block(name).local(f"body {name}")
+            if succs:
+                builder.branch(*succs)
+            else:
+                builder.ret()
+        fn = b.build()
+        tree = compute_dominators(fn)
+        for block in fn.reachable_blocks():
+            assert tree.dominates("b0", block)
+            idom = tree.immediate_dominator(block)
+            if block != "b0":
+                assert idom is not None
+                assert tree.strictly_dominates(idom, block)
+
+    @given(n=st.integers(min_value=1, max_value=30))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_chain_dominators_are_prefixes(self, n):
+        b = FunctionBuilder("chain", entry="b0")
+        for i in range(n):
+            blk = b.block(f"b{i}").local()
+            if i + 1 < n:
+                blk.jump(f"b{i+1}")
+            else:
+                blk.ret()
+        tree = compute_dominators(b.build())
+        assert tree.dominators_of(f"b{n-1}") == [f"b{i}" for i in range(n - 1, -1, -1)]

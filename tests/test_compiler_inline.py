@@ -1,0 +1,123 @@
+"""Tests for call-site inlining and its interaction with sync coalescing."""
+
+import pytest
+
+from repro.compiler.attributes import AttributeInference, Effect
+from repro.compiler.builder import FunctionBuilder
+from repro.compiler.inline import InlinePass, inline_program
+from repro.compiler.ir import CallInstr, LocalInstr, SyncInstr
+from repro.compiler.program import Program
+from repro.compiler.sync_elision import SyncElisionPass
+from repro.compiler.verify import verify_function
+
+
+def single_block_helper(name="helper", sync_handler=None):
+    b = FunctionBuilder(name, entry="entry")
+    block = b.block("entry")
+    if sync_handler:
+        block.sync(sync_handler)
+    block.local(f"body of {name}").ret()
+    return b.build()
+
+
+def multi_block_helper(name="looping_helper"):
+    b = FunctionBuilder(name, entry="head")
+    b.block("head").local().jump("tail")
+    b.block("tail").local().ret()
+    return b.build()
+
+
+def caller_calling(callee, name="caller"):
+    b = FunctionBuilder(name, entry="entry")
+    b.block("entry").local("before").call(callee).local("after").ret()
+    return b.build()
+
+
+class TestInlining:
+    def test_single_block_callee_is_spliced_in(self):
+        program = Program.from_functions([caller_calling("helper"), single_block_helper()])
+        report = inline_program(program)
+        assert report.inlined_sites == 1
+        assert report.per_callee == {"helper": 1}
+        caller = program.function("caller")
+        assert caller.count_instructions(CallInstr) == 0
+        notes = [i.note for i in caller.block("entry").instructions if isinstance(i, LocalInstr)]
+        assert notes == ["before", "body of helper", "after"]
+        assert verify_function(caller) == []
+
+    def test_multi_block_callee_is_skipped_with_a_reason(self):
+        program = Program.from_functions([caller_calling("looping_helper"), multi_block_helper()])
+        report = inline_program(program)
+        assert report.inlined_sites == 0
+        assert report.skipped[("caller", "entry", "looping_helper")] == "callee has more than one basic block"
+        assert program.function("caller").count_instructions(CallInstr) == 1
+
+    def test_external_callee_is_skipped(self):
+        program = Program.from_functions([caller_calling("memcpy")])
+        report = inline_program(program)
+        assert report.inlined_sites == 0
+        assert "not defined" in report.skipped[("caller", "entry", "memcpy")]
+
+    def test_recursive_call_is_never_inlined(self):
+        b = FunctionBuilder("rec", entry="entry")
+        b.block("entry").local().call("rec").ret()
+        program = Program.from_functions([b.build()])
+        report = inline_program(program)
+        assert report.inlined_sites == 0
+        assert report.skipped[("rec", "entry", "rec")] == "recursive call"
+
+    def test_call_chains_are_flattened_over_iterations(self):
+        # a -> b -> c, every callee single-block
+        a = caller_calling("b", name="a")
+        b_fn = caller_calling("c", name="b")
+        c = single_block_helper("c")
+        program = Program.from_functions([a, b_fn, c])
+        report = inline_program(program)
+        assert report.per_callee["c"] >= 1 and report.per_callee["b"] == 1
+        assert program.function("a").count_instructions(CallInstr) == 0
+        assert report.iterations >= 2
+
+    def test_inlined_body_is_a_copy_not_shared(self):
+        program = Program.from_functions([caller_calling("helper"), single_block_helper()])
+        inline_program(program)
+        caller_instr = [i for i in program.function("caller").block("entry").instructions
+                        if isinstance(i, LocalInstr) and i.note == "body of helper"][0]
+        helper_instr = program.function("helper").block("entry").instructions[-1]
+        assert caller_instr is not helper_instr
+
+    def test_single_function_entry_point_without_program_is_a_no_op(self):
+        fn = caller_calling("helper")
+        out, report = InlinePass().run(fn)
+        assert out.count_instructions(CallInstr) == 1
+        assert report.inlined_sites == 0
+
+
+class TestInliningUnlocksOptimizations:
+    def test_inlining_exposes_the_callees_syncs_to_coalescing(self):
+        """A readonly helper that itself syncs ``h`` hides that fact behind the
+        call; inlining reveals it and the caller's second sync disappears."""
+        caller = FunctionBuilder("client", entry="entry")
+        caller.block("entry").call("read_helper", readonly=True).sync("h").local(
+            "use h", handler="h").ret()
+        program = Program.from_functions(
+            [caller.build(), single_block_helper("read_helper", sync_handler="h")]
+        )
+
+        # without inlining: the readonly call preserves the (empty) sync-set,
+        # so the caller's own sync must stay
+        _, before = SyncElisionPass().run(program.function("client"))
+        assert before.removed_syncs == 0
+
+        inline_program(program)
+        _, after = SyncElisionPass().run(program.function("client"))
+        assert after.removed_syncs == 1
+
+    def test_inlining_then_attribute_inference_still_agrees(self):
+        """Inlining must not change what the effect inference concludes."""
+        program = Program.from_functions(
+            [caller_calling("helper"), single_block_helper("helper")]
+        )
+        before = AttributeInference().run(program).effects["caller"]
+        inline_program(program)
+        after = AttributeInference().run(program).effects["caller"]
+        assert before is Effect.READNONE and after is Effect.READNONE

@@ -1,0 +1,192 @@
+"""Tests for natural-loop detection and the sync-hoisting pass."""
+
+import pytest
+
+from repro.compiler.alias import AliasInfo
+from repro.compiler.builder import FunctionBuilder, fig14_loop, fig15_loop
+from repro.compiler.ir import SyncInstr
+from repro.compiler.loops import find_loops, preheader_candidate, verify_loop_info
+from repro.compiler.sync_elision import SyncElisionPass
+from repro.compiler.sync_hoisting import SyncHoistingPass
+from repro.compiler.verify import verify_elision_safety, verify_function
+
+
+def loop_without_preloop_sync():
+    """A pull loop whose *only* sync is inside the body (no Fig. 14 B1 sync).
+
+    head:  (no handler traffic)
+    body:  sync h_p ; x[i] := a[i]    -> body | exit
+    exit:  (nothing)
+    """
+    b = FunctionBuilder("body_only_sync", entry="head")
+    b.block("head").local("i := 0").jump("body")
+    b.block("body").sync("h_p").local("x[i] := a[i]", handler="h_p").branch("body", "exit")
+    b.block("exit").local("done").ret()
+    return b.build()
+
+
+def nested_loop_function():
+    b = FunctionBuilder("nested", entry="entry")
+    b.block("entry").local().jump("outer")
+    b.block("outer").local().jump("inner")
+    b.block("inner").sync("h_p").local("pull", handler="h_p").branch("inner", "latch")
+    b.block("latch").local().branch("outer", "exit")
+    b.block("exit").local().ret()
+    return b.build()
+
+
+class TestLoopDetection:
+    def test_fig14_self_loop_found(self):
+        info = find_loops(fig14_loop())
+        assert len(info.loops) == 1
+        loop = info.loops[0]
+        assert loop.header == "B2"
+        assert loop.blocks == frozenset({"B2"})
+        assert loop.back_edges == (("B2", "B2"),)
+        verify_loop_info(info)
+
+    def test_loop_exits_identified(self):
+        info = find_loops(fig14_loop())
+        (loop,) = info.loops
+        assert loop.exits(info.function) == [("B2", "B3")]
+
+    def test_straightline_function_has_no_loops(self):
+        b = FunctionBuilder("straight", entry="a")
+        b.block("a").sync("h").jump("b")
+        b.block("b").query("h").ret()
+        info = find_loops(b.build())
+        assert info.loops == []
+
+    def test_nested_loops_and_containment(self):
+        info = find_loops(nested_loop_function())
+        headers = {loop.header for loop in info.loops}
+        assert headers == {"outer", "inner"}
+        outer = info.loop_with_header("outer")
+        inner = info.loop_with_header("inner")
+        assert outer.contains_loop(inner)
+        assert not inner.contains_loop(outer)
+        assert info.parent_of(inner) is outer
+        assert info.parent_of(outer) is None
+        assert info.top_level_loops() == [outer]
+        verify_loop_info(info)
+
+    def test_nesting_depth(self):
+        info = find_loops(nested_loop_function())
+        assert info.nesting_depth("inner") == 2
+        assert info.nesting_depth("latch") == 1
+        assert info.nesting_depth("entry") == 0
+        assert info.innermost_loop_of("inner").header == "inner"
+
+    def test_preheader_candidate_unique_entry(self):
+        fn = loop_without_preloop_sync()
+        info = find_loops(fn)
+        (loop,) = info.loops
+        assert preheader_candidate(fn, loop) == "head"
+
+    def test_preheader_candidate_missing_when_two_entries(self):
+        b = FunctionBuilder("two_entries", entry="e")
+        b.block("e").local().branch("p1", "p2")
+        b.block("p1").local().jump("loop")
+        b.block("p2").local().jump("loop")
+        b.block("loop").sync("h").branch("loop", "out")
+        b.block("out").local().ret()
+        fn = b.build()
+        (loop,) = find_loops(fn).loops
+        assert preheader_candidate(fn, loop) is None
+
+    def test_loop_invalidation_facts(self):
+        info_fig15 = find_loops(fig15_loop())
+        (loop,) = info_fig15.loops
+        worst = AliasInfo.worst_case()
+        distinct = AliasInfo.no_aliasing(["h_p", "i_p"])
+        # with worst-case aliasing the async call on i_p invalidates h_p ...
+        assert info_fig15.loop_invalidates(loop, "h_p", worst)
+        # ... but with the variables declared distinct it does not
+        assert not info_fig15.loop_invalidates(loop, "h_p", distinct)
+
+
+class TestSyncHoisting:
+    def test_hoists_body_sync_into_preheader(self):
+        fn = loop_without_preloop_sync()
+        optimized, report = SyncHoistingPass().run(fn)
+        assert report.hoisted == [("h_p", "body", "head")]
+        # the pre-header now ends with the sync and the body sync is gone
+        head_instrs = optimized.block("head").instructions
+        assert any(isinstance(i, SyncInstr) and i.handler == "h_p" for i in head_instrs)
+        assert not any(isinstance(i, SyncInstr) for i in optimized.block("body").instructions)
+        assert verify_function(optimized) == []
+
+    def test_hoisting_preserves_sync_before_reads(self):
+        fn = loop_without_preloop_sync()
+        optimized, _ = SyncHoistingPass().run(fn)
+        assert verify_elision_safety(fn, optimized) == []
+
+    def test_elision_alone_cannot_remove_the_body_sync(self):
+        """The baseline pass keeps the body sync because the entry edge into
+        the loop is unsynced; hoisting is what unlocks the removal."""
+        fn = loop_without_preloop_sync()
+        elided, report = SyncElisionPass().run(fn)
+        assert report.removed_syncs == 0
+        assert any(isinstance(i, SyncInstr) for i in elided.block("body").instructions)
+
+    def test_aliased_async_call_blocks_hoisting(self):
+        b = FunctionBuilder("aliased", entry="head")
+        b.block("head").local().jump("body")
+        (
+            b.block("body")
+            .sync("h_p")
+            .local("pull", handler="h_p")
+            .async_call("i_p", note="push")
+            .branch("body", "exit")
+        )
+        b.block("exit").local().ret()
+        fn = b.build()
+        _, report = SyncHoistingPass(AliasInfo.worst_case()).run(fn)
+        assert report.hoisted == []
+        assert "body" in report.skipped
+
+    def test_distinct_aliases_unlock_hoisting(self):
+        b = FunctionBuilder("aliased", entry="head")
+        b.block("head").local().jump("body")
+        (
+            b.block("body")
+            .sync("h_p")
+            .local("pull", handler="h_p")
+            .async_call("i_p", note="push")
+            .branch("body", "exit")
+        )
+        b.block("exit").local().ret()
+        fn = b.build()
+        optimized, report = SyncHoistingPass(AliasInfo.no_aliasing(["h_p", "i_p"])).run(fn)
+        assert ("h_p", "body", "head") in report.hoisted
+        assert not any(isinstance(i, SyncInstr) for i in optimized.block("body").instructions)
+
+    def test_conditional_sync_not_hoisted(self):
+        """A sync that only runs on some iterations must stay where it is."""
+        b = FunctionBuilder("conditional", entry="head")
+        b.block("head").local().jump("loop_head")
+        b.block("loop_head").local("if cond").branch("maybe_sync", "latch")
+        b.block("maybe_sync").sync("h_p").local("pull", handler="h_p").jump("latch")
+        b.block("latch").local().branch("loop_head", "exit")
+        b.block("exit").local().ret()
+        fn = b.build()
+        _, report = SyncHoistingPass().run(fn)
+        assert report.hoisted == []
+
+    def test_fig14_hoisting_is_a_no_op_but_still_elides(self):
+        """Fig. 14 already has the pre-loop sync; hoisting adds nothing and the
+        follow-up elision matches the plain elision pass."""
+        fn = fig14_loop()
+        hoisted, report = SyncHoistingPass().run(fn)
+        _, plain = SyncElisionPass().run(fn)
+        assert report.elision is not None
+        assert report.elision.removed_syncs == plain.removed_syncs
+        assert hoisted.count_instructions(SyncInstr) == 1
+
+    def test_without_elide_flag_body_sync_remains(self):
+        fn = loop_without_preloop_sync()
+        optimized, report = SyncHoistingPass(then_elide=False).run(fn)
+        assert report.elision is None
+        # hoisted copy added but the original body sync is untouched
+        assert any(isinstance(i, SyncInstr) for i in optimized.block("body").instructions)
+        assert any(isinstance(i, SyncInstr) for i in optimized.block("head").instructions)

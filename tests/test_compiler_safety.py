@@ -1,0 +1,88 @@
+"""Property-based safety of the sync optimizations.
+
+The sync-coalescing and sync-hoisting passes must never remove a round trip
+the program actually needs: at every point where the client reads handler
+state (a query body / handler-tagged local), a handler that was provably
+synced in the original function must still be provably synced in the
+optimized one.  These properties are checked over random CFGs, with and
+without aliasing knowledge.
+"""
+
+from hypothesis import given, settings
+
+from repro.compiler.alias import AliasInfo
+from repro.compiler.ir import SyncInstr
+from repro.compiler.lowering import lower_queries
+from repro.compiler.sync_analysis import SyncSetAnalysis
+from repro.compiler.sync_elision import SyncElisionPass
+from repro.compiler.sync_hoisting import SyncHoistingPass
+from repro.compiler.verify import verify_elision_safety, verify_function
+
+from tests.test_compiler_textual import _random_functions
+
+
+def _new_problems(original, optimized):
+    """Verifier findings introduced by the pass (pre-existing ones excluded).
+
+    Random functions may legitimately contain unreachable blocks; a pass is
+    only at fault for problems the input did not already have.
+    """
+    before = set(verify_function(original))
+    return [p for p in verify_function(optimized) if p not in before]
+
+
+class TestElisionSafety:
+    @given(fn=_random_functions())
+    @settings(max_examples=80, deadline=None)
+    def test_elision_preserves_syncedness_of_every_read(self, fn):
+        optimized, report = SyncElisionPass().run(fn)
+        assert _new_problems(fn, optimized) == []
+        assert verify_elision_safety(fn, optimized) == []
+        assert report.removed_syncs <= report.total_syncs
+
+    @given(fn=_random_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_elision_with_no_alias_facts_is_also_safe(self, fn):
+        aliases = AliasInfo.no_aliasing(sorted(fn.handlers()))
+        optimized, _ = SyncElisionPass(aliases).run(fn)
+        assert verify_elision_safety(fn, optimized, aliases) == []
+
+    @given(fn=_random_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_elision_never_increases_sync_count(self, fn):
+        optimized, _ = SyncElisionPass().run(fn)
+        assert optimized.count_instructions(SyncInstr) <= fn.count_instructions(SyncInstr)
+
+    @given(fn=_random_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_lowering_then_eliding_is_safe(self, fn):
+        lowered = lower_queries(fn)
+        optimized, _ = SyncElisionPass().run(lowered)
+        assert verify_elision_safety(lowered, optimized) == []
+
+    @given(fn=_random_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_elision_is_idempotent(self, fn):
+        once, first = SyncElisionPass().run(fn)
+        twice, second = SyncElisionPass().run(once)
+        assert second.removed_syncs == 0
+        assert once.count_instructions(SyncInstr) == twice.count_instructions(SyncInstr)
+
+
+class TestHoistingSafety:
+    @given(fn=_random_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_hoisting_preserves_syncedness_and_structure(self, fn):
+        optimized, _ = SyncHoistingPass().run(fn)
+        assert _new_problems(fn, optimized) == []
+        assert verify_elision_safety(fn, optimized) == []
+
+    @given(fn=_random_functions())
+    @settings(max_examples=40, deadline=None)
+    def test_hoisting_only_strengthens_exit_sync_sets(self, fn):
+        """Hoisting adds syncs, so every block's exit sync-set can only grow."""
+        optimized, _ = SyncHoistingPass(then_elide=False).run(fn)
+        before = SyncSetAnalysis().run(fn)
+        after = SyncSetAnalysis().run(optimized)
+        for name in fn.reachable_blocks():
+            assert before.exit(name) <= after.exit(name)

@@ -1,0 +1,215 @@
+"""Tests for the textual IR printer/parser round trip and the verifier."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler.builder import FunctionBuilder, fig14_loop, fig15_loop, straightline_queries
+from repro.compiler.ir import (
+    AsyncCallInstr,
+    BasicBlock,
+    CallInstr,
+    Function,
+    LocalInstr,
+    QueryInstr,
+    SyncInstr,
+)
+from repro.compiler.parser import parse_function, parse_functions, parse_program
+from repro.compiler.printer import print_function, print_program
+from repro.compiler.program import Program
+from repro.compiler.sync_elision import SyncElisionPass
+from repro.compiler.verify import assert_valid, verify_function, verify_program
+from repro.errors import CompilerError
+
+
+def _structurally_equal(a: Function, b: Function) -> bool:
+    if a.name != b.name or a.entry != b.entry or set(a.blocks) != set(b.blocks):
+        return False
+    for name, block in a.blocks.items():
+        other = b.blocks[name]
+        if block.successors != other.successors:
+            return False
+        if [i.brief() for i in block.instructions] != [i.brief() for i in other.instructions]:
+            return False
+    return True
+
+
+class TestPrinter:
+    def test_every_instruction_kind_printable(self):
+        b = FunctionBuilder("all_kinds", entry="entry")
+        (
+            b.block("entry")
+            .sync("h")
+            .async_call("h", note="push x")
+            .query("h", note="read y")
+            .local("t := t+1", handler="h")
+            .local("pure local")
+            .call("helper", readonly=True)
+            .call("opaque")
+            .ret()
+        )
+        text = print_function(b.build())
+        for keyword in ("sync h", 'async h "push x"', 'query h "read y"', "call helper readonly", "call opaque"):
+            assert keyword in text
+
+    def test_print_program_contains_every_function(self):
+        program = Program.from_functions([fig14_loop(), fig15_loop()], name="figs")
+        text = print_program(program)
+        assert text.startswith("program figs")
+        assert "function fig14" in text and "function fig15" in text
+
+
+class TestParser:
+    def test_round_trip_fig14(self):
+        fn = fig14_loop()
+        again = parse_function(print_function(fn))
+        assert _structurally_equal(fn, again)
+
+    def test_round_trip_program(self):
+        program = Program.from_functions(
+            [fig14_loop(), fig15_loop(), straightline_queries("h", 3)], name="figs"
+        )
+        again = parse_program(print_program(program))
+        assert again.name == "figs"
+        assert set(again.functions) == set(program.functions)
+        for name in program.functions:
+            assert _structurally_equal(program.function(name), again.function(name))
+
+    def test_parse_quoted_notes_with_spaces(self):
+        text = '''
+        function f entry b0
+          block b0 ->
+            local "x[i] := a[i] + 1" @h_p
+        '''
+        fn = parse_function(text)
+        (instr,) = fn.block("b0").instructions
+        assert isinstance(instr, LocalInstr)
+        assert instr.note == "x[i] := a[i] + 1"
+        assert instr.handler == "h_p"
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = """
+        # a comment
+        function f entry main
+
+          block main ->
+            # another comment
+            sync h
+        """
+        fn = parse_function(text)
+        assert fn.count_instructions(SyncInstr) == 1
+
+    def test_optimized_function_round_trips(self):
+        optimized, _ = SyncElisionPass().run(fig14_loop())
+        again = parse_function(print_function(optimized))
+        assert _structurally_equal(optimized, again)
+
+    @pytest.mark.parametrize(
+        "bad_text, fragment",
+        [
+            ("function f entry b0\n  sync h", "outside of a block"),
+            ("block b0 ->\n  sync h", "outside of a function"),
+            ("function f entry b0\n  block b0 ->\n    sync", "exactly one handler"),
+            ("function f entry b0\n  block b0 ->\n    warp h", "unknown instruction"),
+            ("function f entry b0\n  block b0 ->\n    call f banana", "unknown call flags"),
+            ("function f entry missing\n  block b0 ->\n    sync h", "entry"),
+            ("", "no functions"),
+        ],
+    )
+    def test_parse_errors_are_reported(self, bad_text, fragment):
+        with pytest.raises(CompilerError) as err:
+            parse_functions(bad_text)
+        assert fragment in str(err.value)
+
+    def test_multiple_functions_split_correctly(self):
+        text = print_function(fig14_loop()) + "\n\n" + print_function(fig15_loop())
+        fns = parse_functions(text)
+        assert [fn.name for fn in fns] == ["fig14", "fig15"]
+
+
+class TestVerifier:
+    def test_paper_examples_are_valid(self):
+        assert verify_function(fig14_loop()) == []
+        assert verify_function(fig15_loop()) == []
+
+    def test_undefined_successor_detected_by_constructor(self):
+        with pytest.raises(CompilerError):
+            Function("broken", [BasicBlock("a", [], ["missing"])], "a")
+
+    def test_unreachable_block_reported(self):
+        fn = Function("f", [BasicBlock("a", [], []), BasicBlock("island", [], [])], "a")
+        problems = verify_function(fn)
+        assert any("unreachable" in p for p in problems)
+
+    def test_empty_handler_name_reported(self):
+        fn = Function("f", [BasicBlock("a", [SyncInstr("")], [])], "a")
+        assert any("empty handler" in p for p in verify_function(fn))
+
+    def test_conflicting_call_flags_reported(self):
+        fn = Function("f", [BasicBlock("a", [CallInstr("g", readonly=True, readnone=True)], [])], "a")
+        assert any("both readonly and readnone" in p for p in verify_function(fn))
+
+    def test_program_verifier_flags_stale_attributes(self):
+        # caller claims the callee is readnone, but the callee issues an async call
+        caller = Function("caller", [BasicBlock("e", [CallInstr("writer", readnone=True)], [])], "e")
+        writer = Function("writer", [BasicBlock("e", [AsyncCallInstr("h")], [])], "e")
+        problems = verify_program(Program.from_functions([caller, writer]))
+        assert any("flagged readnone" in p for p in problems)
+
+    def test_assert_valid_raises_with_details(self):
+        fn = Function("f", [BasicBlock("a", [SyncInstr("")], [])], "a")
+        with pytest.raises(CompilerError) as err:
+            assert_valid(fn)
+        assert "empty handler" in str(err.value)
+
+    def test_assert_valid_accepts_clean_program(self):
+        assert_valid(Program.from_functions([fig14_loop(), fig15_loop()]))
+
+
+_HANDLER_NAMES = st.sampled_from(["h", "h_p", "i_p", "worker0"])
+
+
+@st.composite
+def _random_functions(draw):
+    """Random (but always structurally valid) IR functions."""
+    n_blocks = draw(st.integers(min_value=1, max_value=5))
+    names = [f"b{i}" for i in range(n_blocks)]
+    blocks = []
+    for name in names:
+        n_instr = draw(st.integers(min_value=0, max_value=4))
+        instructions = []
+        for _ in range(n_instr):
+            kind = draw(st.sampled_from(["sync", "async", "query", "local", "call"]))
+            handler = draw(_HANDLER_NAMES)
+            if kind == "sync":
+                instructions.append(SyncInstr(handler))
+            elif kind == "async":
+                instructions.append(
+                    AsyncCallInstr(handler, note=draw(st.sampled_from(["", "push", "set x"])))
+                )
+            elif kind == "query":
+                instructions.append(QueryInstr(handler, note=draw(st.sampled_from(["", "read"]))))
+            elif kind == "local":
+                instructions.append(
+                    LocalInstr(
+                        note=draw(st.sampled_from(["", "x := 1", "a b c"])),
+                        handler=draw(st.sampled_from([None, handler])),
+                    )
+                )
+            else:
+                instructions.append(
+                    CallInstr(
+                        draw(st.sampled_from(["helper", "compute", "ext"])),
+                        readonly=draw(st.booleans()),
+                    )
+                )
+        successors = draw(st.lists(st.sampled_from(names), min_size=0, max_size=2, unique=True))
+        blocks.append(BasicBlock(name, instructions, successors))
+    return Function("random_fn", blocks, "b0")
+
+
+class TestRoundTripProperty:
+    @given(fn=_random_functions())
+    @settings(max_examples=60, deadline=None)
+    def test_print_parse_round_trip_preserves_structure(self, fn):
+        again = parse_function(print_function(fn))
+        assert _structurally_equal(fn, again)

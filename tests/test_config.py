@@ -1,0 +1,67 @@
+"""Tests for the optimization-level configuration."""
+
+import pytest
+
+from repro.config import LEVEL_ORDER, OptimizationLevel, QsConfig
+
+
+class TestOptimizationLevel:
+    def test_parse_strings(self):
+        assert OptimizationLevel.parse("all") is OptimizationLevel.ALL
+        assert OptimizationLevel.parse("NONE") is OptimizationLevel.NONE
+        assert OptimizationLevel.parse(OptimizationLevel.QOQ) is OptimizationLevel.QOQ
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            OptimizationLevel.parse("turbo")
+
+    def test_level_order_matches_paper_columns(self):
+        assert [level.value for level in LEVEL_ORDER] == ["none", "dynamic", "static", "qoq", "all"]
+
+
+class TestQsConfig:
+    def test_none_disables_everything(self):
+        config = QsConfig.none()
+        assert not config.use_qoq
+        assert not config.dynamic_sync_coalescing
+        assert not config.static_sync_coalescing
+        assert not config.client_executed_queries
+        assert not config.private_queue_cache
+
+    def test_all_enables_everything(self):
+        config = QsConfig.all()
+        assert all(config.flag_tuple())
+
+    def test_dynamic_level_has_dynamic_but_not_static(self):
+        config = QsConfig.from_level("dynamic")
+        assert config.dynamic_sync_coalescing
+        assert not config.static_sync_coalescing
+        assert config.client_executed_queries
+
+    def test_static_level_has_static_but_not_dynamic(self):
+        config = QsConfig.from_level("static")
+        assert config.static_sync_coalescing
+        assert not config.dynamic_sync_coalescing
+
+    def test_qoq_level_keeps_packaged_queries(self):
+        config = QsConfig.from_level("qoq")
+        assert config.use_qoq
+        assert not config.client_executed_queries
+
+    def test_with_overrides_single_flag(self):
+        config = QsConfig.all().with_(use_qoq=False)
+        assert not config.use_qoq
+        assert config.dynamic_sync_coalescing
+
+    def test_level_round_trip(self):
+        for level in LEVEL_ORDER:
+            assert QsConfig.from_level(level).level is level
+
+    def test_describe_mentions_flags(self):
+        assert "qoq" in QsConfig.all().describe()
+        assert "no optimizations" in QsConfig.none().describe()
+
+    def test_configs_are_hashable_and_comparable(self):
+        assert QsConfig.from_level("all") == QsConfig.all()
+        assert QsConfig.all() != QsConfig.none()
+        {QsConfig.all(), QsConfig.none()}

@@ -1,0 +1,77 @@
+"""The example scripts must run end to end (they are part of the public API surface)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=False,
+    )
+
+
+def test_examples_directory_contents():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {"quickstart.py", "cowichan_pipeline.py", "bank_transfers.py",
+            "chameneos_redux.py", "sync_coalescing_tour.py",
+            "dining_philosophers.py", "monitored_pipeline.py",
+            "deadlock_analysis.py"} <= names
+
+
+def test_quickstart_runs():
+    proc = run_example("quickstart.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "final balance" in proc.stdout
+
+
+def test_cowichan_pipeline_runs_small():
+    proc = run_example("cowichan_pipeline.py", "--nr", "16", "--workers", "2")
+    assert proc.returncode == 0, proc.stderr
+    assert "all results match the sequential reference" in proc.stdout
+
+
+def test_bank_transfers_conserves_money():
+    proc = run_example("bank_transfers.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "money conserved" in proc.stdout
+
+
+def test_chameneos_example_runs():
+    proc = run_example("chameneos_redux.py", "--meetings", "30", "--creatures", "4")
+    assert proc.returncode == 0, proc.stderr
+    assert "meetings=30" in proc.stdout
+
+
+def test_sync_coalescing_tour_runs():
+    proc = run_example("sync_coalescing_tour.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "Fig. 14 loop: removed 2/3 syncs" in proc.stdout
+    assert "Fig. 15 loop (possible aliasing): removed 0/3" in proc.stdout
+
+
+def test_dining_philosophers_never_deadlocks_and_serves_all_meals():
+    proc = run_example("dining_philosophers.py", "--philosophers", "4", "--rounds", "6")
+    assert proc.returncode == 0, proc.stderr
+    assert "all 24 meals served, no deadlock" in proc.stdout
+
+
+def test_monitored_pipeline_verifies_guarantees():
+    proc = run_example("monitored_pipeline.py", "--jobs", "12", "--workers", "2")
+    assert proc.returncode == 0, proc.stderr
+    assert "jobs completed        : 12" in proc.stdout
+    assert "reasoning guarantees verified" in proc.stdout
+
+
+def test_deadlock_analysis_reproduces_section_2_5():
+    proc = run_example("deadlock_analysis.py")
+    assert proc.returncode == 0, proc.stderr
+    assert "both Section 2.5 claims verified" in proc.stdout

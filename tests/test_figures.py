@@ -1,0 +1,97 @@
+"""Tests for the text figure renderers."""
+
+import pytest
+
+from repro.experiments import figures
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = figures.bar_chart({"fast": 1.0, "slow": 10.0}, width=20)
+        fast_line, slow_line = chart.splitlines()
+        assert slow_line.count("#") == 20
+        assert 1 <= fast_line.count("#") <= 3
+
+    def test_log_scale_keeps_small_bars_visible(self):
+        chart = figures.bar_chart({"opt": 1.0, "unopt": 1000.0}, width=30, log_scale=True)
+        opt_line = chart.splitlines()[0]
+        # on a linear scale this bar would be invisible; log scale keeps ~1/4
+        assert opt_line.count("#") >= 5
+
+    def test_zero_and_empty_inputs(self):
+        assert "(no data)" in figures.bar_chart({}, title="t")
+        chart = figures.bar_chart({"a": 0.0, "b": 2.0})
+        assert chart.splitlines()[0].count("#") == 0
+
+    def test_title_and_values_present(self):
+        chart = figures.bar_chart({"x": 3.5}, title="My title")
+        assert chart.startswith("My title")
+        assert "3.50" in chart
+
+    def test_grouped_chart_has_one_block_per_group(self):
+        rows = [
+            {"task": "randmat", "level": "none", "v": 10.0},
+            {"task": "randmat", "level": "all", "v": 1.0},
+            {"task": "thresh", "level": "none", "v": 6.0},
+            {"task": "thresh", "level": "all", "v": 2.0},
+        ]
+        chart = figures.grouped_bar_chart(rows, group="task", label="level", value="v")
+        assert chart.count("-- task:") == 2
+        assert "randmat" in chart and "thresh" in chart
+
+
+class TestStackedAndSpeedup:
+    def test_stacked_chart_uses_distinct_fills_and_totals(self):
+        rows = [
+            {"lang": "qs", "compute_s": 1.0, "comm_s": 3.0},
+            {"lang": "cxx", "compute_s": 0.5, "comm_s": 0.1},
+        ]
+        chart = figures.stacked_bar_chart(rows, label="lang", parts=("compute_s", "comm_s"))
+        assert "#" in chart and "=" in chart
+        assert "4.00" in chart          # qs total
+        assert "legend" in chart
+
+    def test_speedup_chart_plots_every_series(self):
+        chart = figures.speedup_chart(
+            {"qs": [(1, 1.0), (32, 10.0)], "erlang": [(1, 1.0), (32, 2.0)]},
+            ideal=[1, 32],
+        )
+        assert "q" in chart and "e" in chart and "." in chart
+        assert "legend" in chart
+
+    def test_speedup_chart_empty(self):
+        assert "(no data)" in figures.speedup_chart({})
+
+
+class TestFigureAdapters:
+    def test_fig16_adapter_consumes_table1_rows(self):
+        rows = [
+            {"task": "randmat", "level": "none", "comm_ops": 500},
+            {"task": "randmat", "level": "all", "comm_ops": 4},
+        ]
+        chart = figures.fig16(rows)
+        assert "Fig. 16" in chart and "randmat" in chart and "none" in chart
+
+    def test_fig18_adapter_splits_compute_and_comm(self):
+        rows = [
+            {"task": "chain", "lang": "qs", "total_s": 0.7, "compute_s": 0.25, "comm_s": 0.45},
+            {"task": "chain", "lang": "cxx", "total_s": 0.3, "compute_s": 0.3, "comm_s": 0.0},
+        ]
+        chart = figures.fig18(rows)
+        assert "Fig. 18" in chart and "chain" in chart and "legend" in chart
+
+    def test_fig19_adapter_builds_series_from_thread_columns(self):
+        rows = [
+            {"task": "chain", "series": "qs", "1": 1.0, "2": 1.9, "4": 3.5},
+            {"task": "chain", "series": "go", "1": 1.0, "2": 1.8, "4": 3.0},
+        ]
+        chart = figures.fig19(rows, thread_counts=(1, 2, 4))
+        assert "Fig. 19" in chart and "qs" in chart and "go" in chart
+
+    def test_fig20_adapter(self):
+        rows = [
+            {"task": "mutex", "lang": "qs", "time_s": 0.47},
+            {"task": "mutex", "lang": "haskell", "time_s": 0.86},
+        ]
+        chart = figures.fig20(rows)
+        assert "Fig. 20" in chart and "mutex" in chart and "haskell" in chart

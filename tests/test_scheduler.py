@@ -1,0 +1,200 @@
+"""Tests for the lightweight-task layer (virtual-time cooperative scheduler)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sched.scheduler import CooperativeScheduler
+from repro.sched.tasks import (
+    Compute,
+    Get,
+    Handoff,
+    Put,
+    Signal,
+    SimChannel,
+    SimEvent,
+    Spawn,
+    Wait,
+    as_generator,
+)
+
+
+class TestBasics:
+    def test_single_task_compute_advances_time(self):
+        sched = CooperativeScheduler(ncores=1)
+        sched.spawn(as_generator([Compute(5.0), Compute(2.5)]))
+        assert sched.run() == pytest.approx(7.5)
+
+    def test_two_cores_run_in_parallel(self):
+        sched = CooperativeScheduler(ncores=2)
+        sched.spawn(as_generator([Compute(4.0)]))
+        sched.spawn(as_generator([Compute(4.0)]))
+        assert sched.run() == pytest.approx(4.0)
+
+    def test_one_core_serialises(self):
+        sched = CooperativeScheduler(ncores=1)
+        sched.spawn(as_generator([Compute(4.0)]))
+        sched.spawn(as_generator([Compute(4.0)]))
+        assert sched.run() == pytest.approx(8.0)
+
+    def test_task_result_captured(self):
+        sched = CooperativeScheduler()
+
+        def work():
+            yield Compute(1.0)
+            return "done"
+
+        task = sched.spawn(work())
+        sched.run()
+        assert task.result == "done"
+        assert task.done
+
+    def test_invalid_core_count(self):
+        with pytest.raises(ValueError):
+            CooperativeScheduler(ncores=0)
+
+    def test_negative_compute_rejected(self):
+        with pytest.raises(ValueError):
+            Compute(-1.0)
+
+    def test_failing_task_raises_simulation_error(self):
+        sched = CooperativeScheduler()
+
+        def bad():
+            yield Compute(1.0)
+            raise RuntimeError("boom")
+
+        sched.spawn(bad())
+        with pytest.raises(SimulationError):
+            sched.run()
+
+
+class TestSynchronisation:
+    def test_event_wait_and_signal(self):
+        sched = CooperativeScheduler(ncores=2)
+        event = SimEvent("go")
+        order = []
+
+        def waiter():
+            yield Wait(event)
+            order.append("woke")
+            yield Compute(1.0)
+
+        def signaller():
+            yield Compute(3.0)
+            order.append("signalling")
+            yield Signal(event)
+
+        sched.spawn(waiter())
+        sched.spawn(signaller())
+        total = sched.run()
+        assert order == ["signalling", "woke"]
+        assert total == pytest.approx(4.0)
+
+    def test_channel_put_get(self):
+        sched = CooperativeScheduler(ncores=2)
+        channel = SimChannel()
+        received = []
+
+        def producer():
+            for i in range(3):
+                yield Compute(1.0)
+                yield Put(channel, i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield Get(channel)
+                received.append(item)
+                yield Compute(0.5)
+
+        sched.spawn(producer())
+        sched.spawn(consumer())
+        sched.run()
+        assert received == [0, 1, 2]
+
+    def test_spawn_returns_child_task(self):
+        sched = CooperativeScheduler()
+        seen = {}
+
+        def child():
+            yield Compute(1.0)
+            return 99
+
+        def parent():
+            task = yield Spawn(child(), "kid")
+            seen["child"] = task
+            yield Compute(0.5)
+
+        sched.spawn(parent())
+        sched.run()
+        assert seen["child"].name == "kid"
+        assert seen["child"].result == 99
+
+    def test_join_event(self):
+        sched = CooperativeScheduler(ncores=2)
+
+        def worker():
+            yield Compute(2.0)
+
+        task = sched.spawn(worker())
+        done = sched.join_event(task)
+        woken = []
+
+        def waiter():
+            yield Wait(done)
+            woken.append(True)
+
+        sched.spawn(waiter())
+        sched.run()
+        assert woken == [True]
+
+    def test_deadlock_detection(self):
+        sched = CooperativeScheduler()
+        event = SimEvent("never")
+
+        def stuck():
+            yield Wait(event)
+
+        sched.spawn(stuck())
+        with pytest.raises(DeadlockError):
+            sched.run()
+
+    def test_handoff_counts_no_context_switch(self):
+        sched = CooperativeScheduler(ncores=1)
+        event = SimEvent()
+
+        def handler():
+            yield Compute(1.0)
+            client_task = sched.tasks[1]
+            yield Handoff(client_task)
+            yield Signal(event)
+
+        def client():
+            yield Wait(event)
+            yield Compute(1.0)
+
+        sched.spawn(handler(), "handler")
+        sched.spawn(client(), "client")
+        sched.run()
+        assert sched.counters.get("handoffs") == 1
+
+
+class TestScaling:
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=20))
+    def test_makespan_bounds(self, ncores, ntasks):
+        """Virtual makespan is bounded by work/p below and total work above."""
+        sched = CooperativeScheduler(ncores=ncores)
+        for _ in range(ntasks):
+            sched.spawn(as_generator([Compute(1.0)]))
+        total = sched.run()
+        assert total >= ntasks / ncores - 1e-9
+        assert total <= ntasks + 1e-9
+
+    def test_embarrassingly_parallel_speedup(self):
+        times = {}
+        for cores in (1, 4):
+            sched = CooperativeScheduler(ncores=cores)
+            for _ in range(8):
+                sched.spawn(as_generator([Compute(1.0)]))
+            times[cores] = sched.run()
+        assert times[1] / times[4] == pytest.approx(4.0)

@@ -1,0 +1,240 @@
+"""Tests for the executable operational semantics (Fig. 3, Sections 2.2–2.5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import DeadlockError, SemanticsError
+from repro.semantics.explorer import Explorer, check_handler_guarantee, collect_traces
+from repro.semantics.programs import (
+    fig1_two_clients,
+    fig5_multi_reservation,
+    fig5_nested_reservation,
+    fig6_nested,
+    fig6_with_queries,
+    paper_programs,
+    single_block,
+)
+from repro.semantics.rules import enabled_transitions
+from repro.semantics.state import Configuration, HandlerState, initial_configuration
+from repro.semantics.syntax import Call, Query, Separate, Seq, Skip, seq
+
+
+class TestSyntax:
+    def test_seq_builder(self):
+        stmt = seq(Call("x", "a"), Call("x", "b"), Call("x", "c"))
+        assert isinstance(stmt, Seq)
+        assert str(stmt).count("x.") == 3
+
+    def test_seq_of_nothing_is_skip(self):
+        assert isinstance(seq(), Skip)
+
+    def test_separate_validation(self):
+        with pytest.raises(ValueError):
+            Separate((), Skip())
+        with pytest.raises(ValueError):
+            Separate(("x", "x"), Skip())
+
+
+class TestStateOperations:
+    def test_last_occurrence_lookup_and_update(self):
+        from repro.semantics.state import PrivateQueueEntry
+
+        handler = HandlerState(
+            "x",
+            queue=(
+                PrivateQueueEntry("c", 0, (Call("x", "old"),)),
+                PrivateQueueEntry("d", 1),
+                PrivateQueueEntry("c", 2),
+            ),
+        )
+        assert handler.last_entry_for("c").entry_id == 2
+        updated = handler.append_to_last("c", Skip())
+        assert updated.queue[2].items == (Skip(),)
+        assert updated.queue[0].items == (Call("x", "old"),)
+
+    def test_append_without_registration_rejected(self):
+        handler = HandlerState("x")
+        with pytest.raises(SemanticsError):
+            handler.append_to_last("c", Skip())
+
+    def test_duplicate_handler_names_rejected(self):
+        with pytest.raises(SemanticsError):
+            Configuration((HandlerState("x"), HandlerState("x")))
+
+    def test_initial_configuration_terminal_only_when_empty(self):
+        config = initial_configuration({}, extra_handlers=["x"])
+        assert config.terminal
+        busy = initial_configuration({"c": Call("x", "f")}, extra_handlers=["x"])
+        assert not busy.terminal
+
+
+class TestRules:
+    def test_call_outside_separate_rejected(self):
+        config = initial_configuration({"c": Call("x", "f")}, extra_handlers=["x"])
+        with pytest.raises(SemanticsError):
+            enabled_transitions(config)
+
+    def test_separate_registers_and_appends_end_call(self):
+        config = initial_configuration({"c": Separate(("x",), Call("x", "f"))}, extra_handlers=["x"])
+        (transition,) = [t for t in enabled_transitions(config) if t.rule == "separate"]
+        supplier = transition.config.get("x")
+        assert len(supplier.queue) == 1
+        assert supplier.queue[0].client == "c"
+        assert "end" in str(transition.config.get("c").program)
+
+    def test_multi_reservation_registers_atomically(self):
+        config = fig5_multi_reservation()
+        transitions = [t for t in enabled_transitions(config) if t.rule == "separate"]
+        assert len(transitions) == 2  # one per client, each reserving x and y together
+        after = transitions[0].config
+        assert len(after.get("x").queue) == 1
+        assert len(after.get("y").queue) == 1
+
+    def test_terminal_state_reached(self):
+        config = single_block("c", "x", ["f", "g"])
+        explorer = Explorer()
+        result = explorer.explore(config)
+        assert result.terminal_states
+        assert not result.deadlock_states
+        for terminal in result.terminal_states:
+            assert terminal.get("x").queue == ()
+
+
+class TestFig1:
+    def test_exactly_the_two_interleavings_of_the_paper(self):
+        traces = collect_traces(fig1_two_clients())
+        orders = {tuple(e.feature for e in t if e.handler == "x") for t in traces}
+        assert orders == {
+            ("foo", "bar", "bar", "baz"),
+            ("bar", "baz", "foo", "bar"),
+        }
+
+    def test_client_executed_query_variant_same_orders(self):
+        traces = collect_traces(fig1_two_clients(client_executed_queries=True))
+        orders = {tuple(e.feature for e in t if e.handler == "x") for t in traces}
+        assert orders == {
+            ("foo", "bar", "bar", "baz"),
+            ("bar", "baz", "foo", "bar"),
+        }
+
+    def test_guarantee_holds_on_every_trace(self):
+        for trace in collect_traces(fig1_two_clients(), kinds=("exec", "exec-client", "log")):
+            check_handler_guarantee(trace)
+
+    def test_guarantee_checker_detects_violations(self):
+        from repro.semantics.rules import Event
+
+        bad_trace = [
+            Event(kind="log", handler="x", client="a", feature="f1", block=0),
+            Event(kind="log", handler="x", client="a", feature="f2", block=0),
+            Event(kind="log", handler="x", client="b", feature="g", block=1),
+            Event(kind="exec", handler="x", client="a", feature="f1", block=0),
+            Event(kind="exec", handler="x", client="b", feature="g", block=1),
+            Event(kind="exec", handler="x", client="a", feature="f2", block=0),
+        ]
+        with pytest.raises(SemanticsError):
+            check_handler_guarantee(bad_trace)
+
+    def test_out_of_order_execution_detected(self):
+        from repro.semantics.rules import Event
+
+        bad_trace = [
+            Event(kind="log", handler="x", client="a", feature="f1", block=0),
+            Event(kind="log", handler="x", client="a", feature="f2", block=0),
+            Event(kind="exec", handler="x", client="a", feature="f2", block=0),
+            Event(kind="exec", handler="x", client="a", feature="f1", block=0),
+        ]
+        with pytest.raises(SemanticsError):
+            check_handler_guarantee(bad_trace)
+
+
+class TestFig5:
+    def test_atomic_reservation_keeps_colours_consistent(self):
+        """Every terminal state of Fig. 5 has x and y painted the same colour."""
+        traces = collect_traces(fig5_multi_reservation())
+        for trace in traces:
+            colours = {}
+            for event in trace:
+                if event.kind == "exec":
+                    colours.setdefault(event.handler, []).append(event.feature)
+            assert colours["x"] == colours["y"]
+
+    def test_nested_reservation_can_race(self):
+        """The nested variant admits schedules where the colours differ."""
+        traces = collect_traces(fig5_nested_reservation())
+        mismatched = False
+        for trace in traces:
+            colours = {}
+            for event in trace:
+                if event.kind == "exec":
+                    colours.setdefault(event.handler, []).append(event.feature)
+            if colours.get("x") != colours.get("y"):
+                mismatched = True
+                break
+        assert mismatched
+
+
+class TestFig6Deadlock:
+    def test_without_queries_no_deadlock(self):
+        result = Explorer().explore(fig6_nested(with_queries=False))
+        assert not result.has_deadlock
+
+    def test_outer_queries_still_deadlock_free(self):
+        result = Explorer().explore(fig6_nested(with_queries=True, query_inner=False))
+        assert not result.has_deadlock
+
+    def test_inner_queries_can_deadlock(self):
+        result = Explorer().explore(fig6_with_queries())
+        assert result.has_deadlock
+
+    def test_random_run_reports_deadlock_or_finishes(self):
+        explorer = Explorer()
+        config = fig6_with_queries()
+        outcomes = set()
+        for seed in range(30):
+            try:
+                final, _ = explorer.random_run(config, seed=seed)
+                outcomes.add("finished")
+                assert final.terminal
+            except DeadlockError:
+                outcomes.add("deadlocked")
+        assert "finished" in outcomes  # deadlock is possible, not certain
+
+    def test_assert_deadlock_free_raises_on_fig6_queries(self):
+        with pytest.raises(DeadlockError):
+            Explorer().assert_deadlock_free(fig6_with_queries())
+
+
+class TestGuaranteeProperty:
+    @given(
+        features_a=st.lists(st.sampled_from(["f", "g", "h"]), min_size=1, max_size=4),
+        features_b=st.lists(st.sampled_from(["p", "q", "r"]), min_size=1, max_size=4),
+        use_query=st.booleans(),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_two_clients_never_interleave_within_blocks(self, features_a, features_b, use_query, seed):
+        """Property: for arbitrary small two-client programs sharing one
+        handler, (a) no interleaving deadlocks and (b) randomly sampled
+        schedules always satisfy the reasoning guarantee."""
+        body_a = [Call("x", f) for f in features_a]
+        body_b = [Call("x", f) for f in features_b]
+        if use_query:
+            body_b.append(Query("x", "probe"))
+        config = initial_configuration(
+            {
+                "a": Separate(("x",), seq(*body_a)),
+                "b": Separate(("x",), seq(*body_b)),
+            },
+            extra_handlers=["x"],
+        )
+        explorer = Explorer()
+        result = explorer.assert_deadlock_free(config)
+        assert result.terminal_states
+        for offset in range(3):
+            _, events = explorer.random_run(config, seed=seed + offset)
+            check_handler_guarantee(events)
+
+    def test_paper_programs_registry(self):
+        programs = paper_programs()
+        assert set(programs) == {"fig1", "fig5", "fig5-nested", "fig6", "fig6-queries"}

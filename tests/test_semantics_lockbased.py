@@ -1,0 +1,122 @@
+"""Tests for the original lock-based SCOOP semantics and its Qs comparison."""
+
+import pytest
+
+from repro.errors import SemanticsError
+from repro.semantics.lockbased import (
+    LockExplorer,
+    LockState,
+    blocked_clients,
+    compare_with_qs,
+    enabled_lock_transitions,
+)
+from repro.semantics.syntax import Call, Query, Separate, seq
+
+
+def fig6_programs(with_queries: bool = False):
+    """The Fig. 6 clients: nested reservations in opposite orders."""
+    def client(outer, inner):
+        body = seq(Call("x", "foo"), Call("y", "bar"))
+        if with_queries:
+            body = seq(body, Query(inner, "value"))
+        return Separate((outer,), Separate((inner,), body))
+
+    return {"c1": client("x", "y"), "c2": client("y", "x")}
+
+
+def fig5_programs():
+    """The Fig. 5 clients: atomic multi-reservation of both handlers."""
+    return {
+        "t1": Separate(("x", "y"), seq(Call("x", "set_red"), Call("y", "set_red"))),
+        "t2": Separate(("x", "y"), seq(Call("x", "set_blue"), Call("y", "set_blue"))),
+    }
+
+
+class TestLockStateAndSteps:
+    def test_initial_state_discovers_handlers_from_programs(self):
+        state = LockState.initial(fig6_programs())
+        assert state.owner_of("x") == "" and state.owner_of("y") == ""
+        assert not state.terminal
+
+    def test_separate_acquires_all_locks_atomically(self):
+        state = LockState.initial(fig5_programs())
+        transitions = enabled_lock_transitions(state)
+        assert {t.rule for t in transitions} == {"lock"}
+        after = transitions[0].state
+        holder = transitions[0].client
+        assert after.owner_of("x") == holder and after.owner_of("y") == holder
+        assert after.held_by(holder) == {"x", "y"}
+
+    def test_separate_blocked_while_lock_is_held(self):
+        state = LockState.initial(fig5_programs())
+        after_first = enabled_lock_transitions(state)[0].state
+        blocked_client = [c for c, _ in state.programs if c != enabled_lock_transitions(state)[0].client][0]
+        # the other client cannot take its lock step
+        assert all(t.client != blocked_client or t.rule != "lock"
+                   for t in enabled_lock_transitions(after_first))
+
+    def test_release_frees_the_lock_for_the_next_client(self):
+        state = LockState.initial({"c1": Separate(("x",), Call("x", "f")),
+                                   "c2": Separate(("x",), Call("x", "g"))})
+        result = LockExplorer().explore(state)
+        assert not result.has_deadlock
+        assert result.terminal_states
+        for terminal in result.terminal_states:
+            assert terminal.owner_of("x") == ""
+
+    def test_call_without_lock_is_a_model_error(self):
+        state = LockState.initial({"c": Call("x", "f")})
+        with pytest.raises(SemanticsError):
+            enabled_lock_transitions(state)
+
+    def test_blocked_clients_reports_who_waits_on_whom(self):
+        state = LockState.initial(fig6_programs())
+        # let c1 take x and c2 take y
+        step1 = [t for t in enabled_lock_transitions(state) if t.client == "c1"][0].state
+        step2 = [t for t in enabled_lock_transitions(step1) if t.client == "c2" and t.rule == "lock"][0].state
+        # now both try to take the inner lock and block
+        step3 = step2
+        for _ in range(2):
+            lock_steps = [t for t in enabled_lock_transitions(step3) if t.rule == "lock"]
+            if not lock_steps:
+                break
+            step3 = lock_steps[0].state
+        blocked = blocked_clients(step2)
+        # in the state after both outer locks are taken, each inner separate is blocked
+        assert blocked == {"c1": ("y", "c2"), "c2": ("x", "c1")} or blocked == {}
+
+
+class TestFig6Comparison:
+    def test_lock_based_fig6_can_deadlock_without_any_query(self):
+        """Section 2.5: 'Under the original handler implementation of SCOOP,
+        the program in Fig. 6 will deadlock under some schedules'."""
+        result = LockExplorer().explore(LockState.initial(fig6_programs(with_queries=False)))
+        assert result.has_deadlock
+        assert result.terminal_states  # other schedules complete fine
+
+    def test_deadlocked_state_is_a_circular_wait(self):
+        result = LockExplorer().explore(LockState.initial(fig6_programs()))
+        state = result.deadlock_states[0]
+        waits = blocked_clients(state)
+        assert waits["c1"] == ("y", "c2")
+        assert waits["c2"] == ("x", "c1")
+
+    def test_qs_semantics_removes_the_deadlock(self):
+        outcome = compare_with_qs(fig6_programs(with_queries=False))
+        assert outcome == {"lock_based": True, "qs": False}
+
+    def test_consistent_lock_order_is_safe_under_both(self):
+        programs = {
+            "c1": Separate(("x",), Separate(("y",), Call("y", "f"))),
+            "c2": Separate(("x",), Separate(("y",), Call("y", "g"))),
+        }
+        outcome = compare_with_qs(programs)
+        assert outcome == {"lock_based": False, "qs": False}
+
+    def test_atomic_multi_reservation_is_safe_under_both(self):
+        outcome = compare_with_qs(fig5_programs())
+        assert outcome == {"lock_based": False, "qs": False}
+
+    def test_queries_make_qs_deadlock_too(self):
+        outcome = compare_with_qs(fig6_programs(with_queries=True))
+        assert outcome == {"lock_based": True, "qs": True}

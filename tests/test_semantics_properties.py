@@ -1,0 +1,121 @@
+"""Property-based tests of the semantics over randomly generated programs."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.errors import DeadlockError
+from repro.semantics.explorer import Explorer, check_handler_guarantee
+from repro.semantics.generator import (
+    ProgramSpec,
+    random_configuration,
+    random_program,
+    random_programs,
+)
+from repro.semantics.syntax import Call, Query, Separate, Seq, Skip, Stmt
+from repro.semantics.waitgraph import is_statically_deadlock_free
+
+#: a deliberately small population: the explorer is exponential in program size
+SMALL_SPEC = ProgramSpec(
+    handlers=("x", "y"),
+    clients=("c1", "c2"),
+    max_blocks_per_client=1,
+    max_calls_per_block=2,
+    max_nesting=2,
+)
+
+#: queries never issued under nested reservations: deadlock freedom is expected
+SAFE_SPEC = ProgramSpec(
+    handlers=("x", "y"),
+    clients=("c1", "c2"),
+    max_blocks_per_client=2,
+    max_calls_per_block=2,
+    max_nesting=1,
+)
+
+SEEDS = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _well_formed(stmt: Stmt, reserved=frozenset()) -> bool:
+    """Every call/query targets a handler reserved by an enclosing block."""
+    if isinstance(stmt, Seq):
+        return _well_formed(stmt.first, reserved) and _well_formed(stmt.rest, reserved)
+    if isinstance(stmt, Separate):
+        return _well_formed(stmt.body, reserved | set(stmt.targets))
+    if isinstance(stmt, (Call, Query)):
+        return stmt.target in reserved
+    return isinstance(stmt, Skip)
+
+
+class TestGenerator:
+    @given(seed=SEEDS)
+    @settings(max_examples=100, deadline=None)
+    def test_generated_programs_are_well_formed(self, seed):
+        program = random_program(seed, SMALL_SPEC)
+        assert _well_formed(program)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_generation_is_deterministic_in_the_seed(self, seed):
+        assert random_program(seed, SMALL_SPEC) == random_program(seed, SMALL_SPEC)
+        assert random_programs(seed, SMALL_SPEC) == random_programs(seed, SMALL_SPEC)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=30, deadline=None)
+    def test_configuration_contains_every_client_and_handler(self, seed):
+        config = random_configuration(seed, SMALL_SPEC)
+        names = {h.name for h in config.handlers}
+        assert set(SMALL_SPEC.clients) <= names
+        assert set(SMALL_SPEC.handlers) <= names
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            ProgramSpec(handlers=()).validate()
+        with pytest.raises(ValueError):
+            ProgramSpec(max_nesting=0).validate()
+
+    def test_safe_spec_never_queries_under_nested_blocks(self):
+        spec = ProgramSpec(
+            handlers=("x", "y"), clients=("c1",), max_nesting=2,
+            queries_in_nested_blocks=False, max_calls_per_block=3,
+        )
+        for seed in range(200):
+            assert is_statically_deadlock_free(random_programs(seed, spec))
+
+
+class TestGuaranteeProperties:
+    @given(seed=SEEDS)
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_every_random_schedule_respects_the_reasoning_guarantee(self, seed):
+        """Across random programs and random schedules: when execution completes,
+        the handler-side execution order matches the logging order per block
+        with no interleaving (guarantee 2 of Section 2.2)."""
+        config = random_configuration(seed, SMALL_SPEC)
+        explorer = Explorer()
+        for offset in range(3):
+            try:
+                _, events = explorer.random_run(config, seed=seed + offset)
+            except DeadlockError:
+                continue  # deadlock is legal for programs with query cycles
+            check_handler_guarantee(events)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_flat_blocks_are_deadlock_free(self, seed):
+        """Programs whose blocks are never nested cannot deadlock under
+        SCOOP/Qs: a blocking query only waits on a handler no other
+        reservation is stacked behind."""
+        config = random_configuration(seed, SAFE_SPEC)
+        result = Explorer(max_states=80_000).explore(config)
+        assert not result.has_deadlock
+        assert result.terminal_states or result.truncated
+
+    @given(seed=SEEDS)
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_static_analysis_sound_on_random_programs(self, seed):
+        """Acyclic wait-for graph implies the explorer finds no deadlock."""
+        programs = random_programs(seed, SMALL_SPEC)
+        if not is_statically_deadlock_free(programs):
+            return
+        config = random_configuration(seed, SMALL_SPEC)
+        result = Explorer(max_states=80_000).explore(config)
+        assert not result.has_deadlock

@@ -1,0 +1,112 @@
+"""Tests for the static wait-for-graph deadlock analysis (Section 2.5)."""
+
+import pytest
+
+from repro.semantics.explorer import Explorer
+from repro.semantics.generator import ProgramSpec, random_configuration, random_programs
+from repro.semantics.programs import fig1_two_clients, fig6_nested
+from repro.semantics.syntax import Call, Query, Separate, seq
+from repro.semantics.waitgraph import (
+    build_wait_graph,
+    explain,
+    is_statically_deadlock_free,
+    potential_deadlock_cycles,
+)
+
+
+def fig6_programs(with_queries: bool, query_inner: bool = True):
+    """Fig. 6's client programs as a plain name -> statement mapping."""
+    def client(outer, inner):
+        body = seq(Call("x", "foo"), Call("y", "bar"))
+        if with_queries:
+            body = seq(body, Query(inner if query_inner else outer, "value"))
+        return Separate((outer,), Separate((inner,), body))
+
+    return {"c1": client("x", "y"), "c2": client("y", "x")}
+
+
+class TestWaitGraphConstruction:
+    def test_asynchronous_calls_create_no_edges(self):
+        programs = fig6_programs(with_queries=False)
+        graph = build_wait_graph(programs)
+        assert graph.edges == []
+        assert is_statically_deadlock_free(programs)
+
+    def test_nested_query_creates_edge_from_outer_to_inner(self):
+        programs = fig6_programs(with_queries=True)
+        graph = build_wait_graph(programs)
+        assert {(e.holder, e.target) for e in graph.edges} == {("x", "y"), ("y", "x")}
+        assert {e.client for e in graph.edges} == {"c1", "c2"}
+
+    def test_query_on_the_only_held_handler_creates_no_edge(self):
+        # Fig. 1: t2 queries x while holding only x -> no cross-handler wait
+        graph = build_wait_graph({"t1": Separate(("x",), Query("x", "baz"))})
+        assert graph.edges == []
+
+    def test_multi_reservation_query_edges_from_every_other_held_handler(self):
+        program = Separate(("x", "y", "z"), Query("z", "value"))
+        graph = build_wait_graph({"c": program})
+        assert {(e.holder, e.target) for e in graph.edges} == {("x", "z"), ("y", "z")}
+
+
+class TestCycleDetection:
+    def test_fig6_with_inner_queries_has_a_cycle(self):
+        programs = fig6_programs(with_queries=True, query_inner=True)
+        cycles = potential_deadlock_cycles(build_wait_graph(programs))
+        assert cycles == [("x", "y")]
+        assert not is_statically_deadlock_free(programs)
+
+    def test_fig6_without_queries_is_acyclic(self):
+        assert potential_deadlock_cycles(build_wait_graph(fig6_programs(False))) == []
+
+    def test_self_loops_do_not_arise_from_well_formed_programs(self):
+        programs = fig6_programs(with_queries=True)
+        graph = build_wait_graph(programs)
+        assert all(e.holder != e.target for e in graph.edges)
+
+    def test_explain_mentions_every_cycle_edge(self):
+        programs = fig6_programs(with_queries=True)
+        graph = build_wait_graph(programs)
+        text = explain(graph, potential_deadlock_cycles(graph))
+        assert "x -> y -> x" in text
+        assert "c1" in text and "c2" in text
+
+    def test_explain_for_acyclic_graph(self):
+        graph = build_wait_graph(fig6_programs(False))
+        assert "acyclic" in explain(graph, potential_deadlock_cycles(graph))
+
+    def test_three_handler_cycle(self):
+        programs = {
+            "c1": Separate(("a",), Separate(("b",), Query("b", "v"))),
+            "c2": Separate(("b",), Separate(("c",), Query("c", "v"))),
+            "c3": Separate(("c",), Separate(("a",), Query("a", "v"))),
+        }
+        cycles = potential_deadlock_cycles(build_wait_graph(programs))
+        assert ("a", "b", "c") in cycles
+
+
+class TestAgreementWithExplorer:
+    """The static analysis is a sound over-approximation of the explorer."""
+
+    def test_acyclic_graph_implies_no_reachable_deadlock_fig6(self):
+        assert is_statically_deadlock_free(fig6_programs(False))
+        result = Explorer().explore(fig6_nested(with_queries=False))
+        assert not result.has_deadlock
+
+    def test_cycle_is_necessary_for_the_paper_deadlock(self):
+        assert not is_statically_deadlock_free(fig6_programs(True))
+        result = Explorer().explore(fig6_nested(with_queries=True))
+        assert result.has_deadlock  # here the potential cycle is realised
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_soundness_on_random_programs(self, seed):
+        """If the wait-for graph is acyclic, the explorer must find no deadlock."""
+        spec = ProgramSpec(max_blocks_per_client=1, max_calls_per_block=2)
+        programs = random_programs(seed, spec)
+        config = random_configuration(seed, spec)
+        if is_statically_deadlock_free(programs):
+            result = Explorer(max_states=60_000).explore(config)
+            assert not result.has_deadlock, (
+                f"seed {seed}: static analysis said deadlock-free but the explorer "
+                f"found {len(result.deadlock_states)} deadlock state(s)"
+            )

@@ -1,0 +1,154 @@
+"""Tests for the cross-language performance model (Tables 3-5, Figs. 18-20).
+
+The model is checked for *shape* against the paper's published results: who
+wins on which workload class, how the compute/communication split behaves,
+where scaling saturates.  Absolute values are only checked to be positive
+and finite.
+"""
+
+import pytest
+
+from repro.experiments import paper_data
+from repro.sim.concurrent_model import simulate_concurrent, simulate_concurrent_sweep
+from repro.sim.languages import LANGUAGE_ORDER, get_language, language_table
+from repro.sim.parallel_model import (
+    PARALLEL_TASKS,
+    simulate_parallel,
+    simulate_parallel_sweep,
+    speedup_curve,
+)
+from repro.util.timing import geometric_mean
+from repro.workloads.params import PAPER_CONCURRENT, PAPER_PARALLEL
+
+
+class TestLanguageProfiles:
+    def test_table3_reproduced(self):
+        rows = {row["Language"]: row for row in language_table()}
+        assert rows["SCOOP/Qs"]["Races"] == "none"
+        assert rows["SCOOP/Qs"]["Memory"] == "Non-shared"
+        assert rows["SCOOP/Qs"]["Approach"] == "Active Objects"
+        assert rows["C++/TBB"]["Races"] == "possible"
+        assert rows["C++/TBB"]["Threads"] == "OS"
+        assert rows["Erlang"]["Memory"] == "Non-shared"
+        assert rows["Haskell"]["Memory"] == "STM"
+        assert rows["Go"]["Threads"] == "light"
+        assert len(rows) == 5
+
+    def test_aliases(self):
+        assert get_language("C++/TBB").name == "cxx"
+        assert get_language("SCOOP").name == "qs"
+        with pytest.raises(ValueError):
+            get_language("rust")
+
+    def test_only_safe_languages_are_race_free(self):
+        race_free = {name for name in LANGUAGE_ORDER if get_language(name).races == "none"}
+        assert race_free == {"qs", "erlang", "haskell"}
+
+
+class TestParallelModel:
+    def test_every_cell_positive(self):
+        for estimate in simulate_parallel_sweep():
+            assert estimate.total_seconds > 0
+            assert estimate.compute_seconds > 0
+            assert estimate.comm_seconds >= 0
+            assert estimate.total_seconds == pytest.approx(
+                estimate.compute_seconds + estimate.comm_seconds)
+
+    def test_fig18_total_time_ranking_at_32_cores(self):
+        """Section 5.2.1: geometric means order cxx < go < haskell < qs < erlang."""
+        means = {}
+        for lang in LANGUAGE_ORDER:
+            times = [simulate_parallel(t, lang, 32).total_seconds for t in PARALLEL_TASKS]
+            means[lang] = geometric_mean(times)
+        assert means["cxx"] < means["go"] < means["haskell"] < means["qs"] < means["erlang"]
+
+    def test_compute_only_puts_qs_first(self):
+        """With communication removed, SCOOP/Qs is competitive (paper: 1st/2nd)."""
+        means = {}
+        for lang in LANGUAGE_ORDER:
+            times = [simulate_parallel(t, lang, 32).compute_seconds for t in PARALLEL_TASKS]
+            means[lang] = geometric_mean(times)
+        assert means["qs"] <= means["go"]
+        assert means["qs"] <= means["haskell"]
+        assert means["qs"] <= means["erlang"]
+        assert means["qs"] <= means["cxx"] * 1.2
+
+    def test_qs_total_time_plateaus_with_cores(self):
+        """The Qs communication is serial, so total time stops improving."""
+        t8 = simulate_parallel("thresh", "qs", 8).total_seconds
+        t32 = simulate_parallel("thresh", "qs", 32).total_seconds
+        assert t32 > 0.5 * t8  # far from linear scaling
+        c8 = simulate_parallel("thresh", "qs", 8).compute_seconds
+        c32 = simulate_parallel("thresh", "qs", 32).compute_seconds
+        assert c32 < 0.5 * c8  # but compute keeps scaling
+
+    def test_erlang_slowest_on_every_parallel_task(self):
+        for task in PARALLEL_TASKS:
+            times = {lang: simulate_parallel(task, lang, 32).total_seconds for lang in LANGUAGE_ORDER}
+            assert max(times, key=times.get) == "erlang"
+
+    def test_speedup_curves_match_documented_anomalies(self):
+        # most languages reach >= 5x on chain (paper Section 5.2.2) ...
+        for lang in ("cxx", "qs", "haskell"):
+            curve = dict(speedup_curve("chain", lang))
+            assert curve[32] >= 5.0
+        # ... Go's chain degrades past 8 cores
+        go_curve = dict(speedup_curve("chain", "go"))
+        assert go_curve[32] < go_curve[8]
+        # Haskell's randmat saturates / degrades
+        hs_curve = dict(speedup_curve("randmat", "haskell"))
+        assert hs_curve[32] < 3.0
+        # Erlang's winnow cannot speed up past ~2-3x
+        erl_curve = dict(speedup_curve("winnow", "erlang"))
+        assert erl_curve[32] < 3.0
+        # compute-only Qs scales nearly linearly
+        qs_comp = dict(speedup_curve("thresh", "qs", compute_only=True))
+        assert qs_comp[32] > 15.0
+
+    def test_scaling_with_problem_size(self):
+        small = simulate_parallel("randmat", "qs", 8, PAPER_PARALLEL.scaled(nr=1000))
+        large = simulate_parallel("randmat", "qs", 8, PAPER_PARALLEL.scaled(nr=2000))
+        assert large.total_seconds > small.total_seconds
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            simulate_parallel("sorting", "qs", 4)
+        with pytest.raises(ValueError):
+            simulate_parallel("randmat", "qs", 0)
+
+
+class TestConcurrentModel:
+    def test_every_cell_positive(self):
+        for estimate in simulate_concurrent_sweep():
+            assert estimate.total_seconds > 0
+
+    def test_table5_winners_and_losers(self):
+        """Per-task fastest/slowest language matches Table 5."""
+        for task, row in paper_data.TABLE5.items():
+            modelled = {lang: simulate_concurrent(task, lang).total_seconds for lang in LANGUAGE_ORDER}
+            assert min(modelled, key=modelled.get) == min(row, key=row.get), task
+            assert max(modelled, key=modelled.get) == max(row, key=row.get), task
+
+    def test_geometric_mean_ordering_matches_section53(self):
+        """cxx < go < qs < erlang < haskell (Section 5.3)."""
+        means = {}
+        for lang in LANGUAGE_ORDER:
+            times = [simulate_concurrent(t, lang).total_seconds for t in paper_data.TABLE5]
+            means[lang] = geometric_mean(times)
+        assert means["cxx"] < means["go"] < means["qs"] < means["erlang"] < means["haskell"]
+
+    def test_rough_magnitudes_against_paper(self):
+        """Modelled values are within a factor 2 of the published numbers."""
+        for task, row in paper_data.TABLE5.items():
+            for lang, published in row.items():
+                modelled = simulate_concurrent(task, lang).total_seconds
+                assert modelled == pytest.approx(published, rel=1.0), (task, lang)
+
+    def test_sizes_scale_linearly(self):
+        half = PAPER_CONCURRENT.scaled(nt=PAPER_CONCURRENT.nt // 2)
+        full = simulate_concurrent("threadring", "qs").total_seconds
+        assert simulate_concurrent("threadring", "qs", half).total_seconds == pytest.approx(full / 2)
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            simulate_concurrent("barrier", "qs")

@@ -1,0 +1,106 @@
+"""Tests for the socket-backed private queue prototype (Section 7 future work)."""
+
+import pytest
+
+from repro.errors import ScoopError
+from repro.queues.socket_queue import SocketPrivateQueue, SocketQueueServer, WireRequest
+from repro.util.counters import Counters
+
+
+class Counter:
+    """Plain object living on the handler side of the socket."""
+
+    def __init__(self):
+        self.value = 0
+        self.calls = []
+
+    def increment(self, by=1):
+        self.value += by
+        self.calls.append(("increment", by))
+
+    def read(self):
+        return self.value
+
+    def fail(self):
+        raise RuntimeError("deliberate failure")
+
+
+@pytest.fixture
+def channel():
+    counters = Counters()
+    queue = SocketPrivateQueue(counters)
+    target = Counter()
+    server = SocketQueueServer(queue, target, counters).start()
+    yield queue, target, server, counters
+    queue.enqueue_end() if not queue.closed_by_client else None
+    server.join(timeout=5)
+    queue.close_client()
+    queue.close_handler()
+
+
+class TestProtocol:
+    def test_async_calls_applied_in_order(self, channel):
+        queue, target, server, _ = channel
+        queue.enqueue_call("increment", 1)
+        queue.enqueue_call("increment", 2)
+        queue.enqueue_call("increment", 3)
+        queue.enqueue_end()
+        server.join(timeout=5)
+        assert target.value == 6
+        assert [c[1] for c in target.calls] == [1, 2, 3]
+        assert server.executed == 3
+
+    def test_query_returns_result_and_sets_synced(self, channel):
+        queue, target, server, _ = channel
+        queue.enqueue_call("increment", 5)
+        assert queue.synced is False
+        assert queue.query("read") == 5
+        assert queue.synced is True
+
+    def test_async_call_invalidates_synced_flag(self, channel):
+        queue, target, server, _ = channel
+        queue.query("read")
+        assert queue.synced
+        queue.enqueue_call("increment", 1)
+        assert not queue.synced
+
+    def test_query_sees_all_previously_logged_calls(self, channel):
+        """The ordering guarantee across the socket: every call logged before
+        the query is applied before the query executes."""
+        queue, target, server, _ = channel
+        for i in range(20):
+            queue.enqueue_call("increment", 1)
+        assert queue.query("read") == 20
+
+    def test_remote_error_is_reported_to_the_client(self, channel):
+        queue, target, server, _ = channel
+        with pytest.raises(ScoopError) as err:
+            queue.query("fail")
+        assert "deliberate failure" in str(err.value)
+
+    def test_counters_track_the_wire_traffic(self, channel):
+        queue, _, server, counters = channel
+        queue.enqueue_call("increment", 1)
+        queue.query("read")
+        snap = counters.snapshot()
+        assert snap["async_calls"] == 1
+        assert snap["sync_roundtrips"] == 1
+        assert snap["pq_enqueues"] >= 1
+
+    def test_end_terminates_the_server(self, channel):
+        queue, _, server, _ = channel
+        queue.enqueue_call("increment", 1)
+        queue.enqueue_end()
+        server.join(timeout=5)
+        assert queue.closed_by_client
+
+    def test_dequeue_timeout_returns_none(self):
+        queue = SocketPrivateQueue()
+        assert queue.dequeue(timeout=0.05) is None
+        queue.close_client()
+        queue.close_handler()
+
+    def test_wire_request_flags(self):
+        assert WireRequest(kind="end").is_end
+        assert WireRequest(kind="sync").is_sync
+        assert not WireRequest(kind="call").is_end

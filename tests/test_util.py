@@ -1,0 +1,148 @@
+"""Tests for counters, timing helpers and the deterministic RNG."""
+
+import math
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.counters import Counters, CounterSnapshot
+from repro.util.rng import lcg_matrix, lcg_next, lcg_stream
+from repro.util.timing import Stopwatch, geometric_mean, normalize_to_fastest, speedup_series
+
+
+class TestCounters:
+    def test_bump_and_get(self):
+        counters = Counters()
+        counters.bump("queries")
+        counters.add("queries", 4)
+        assert counters.get("queries") == 5
+
+    def test_negative_amount_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().add("queries", -1)
+
+    def test_snapshot_is_immutable_copy(self):
+        counters = Counters()
+        counters.bump("async_calls")
+        snap = counters.snapshot()
+        counters.bump("async_calls")
+        assert snap["async_calls"] == 1
+        assert counters.get("async_calls") == 2
+
+    def test_snapshot_diff(self):
+        counters = Counters()
+        counters.add("pq_enqueues", 3)
+        before = counters.snapshot()
+        counters.add("pq_enqueues", 4)
+        delta = counters.snapshot().diff(before)
+        assert delta["pq_enqueues"] == 4
+
+    def test_attribute_access_on_snapshot(self):
+        snap = CounterSnapshot({"sync_roundtrips": 7})
+        assert snap.sync_roundtrips == 7
+        assert snap.async_calls == 0
+        with pytest.raises(AttributeError):
+            snap.not_a_counter
+
+    def test_communication_ops_definition(self):
+        snap = CounterSnapshot({"async_calls": 2, "sync_roundtrips": 3, "qoq_enqueues": 4,
+                                "lock_acquisitions": 1, "syncs_elided": 99})
+        assert snap.communication_ops == 10
+
+    def test_merge_accumulates(self):
+        a, b = Counters(), Counters()
+        a.add("queries", 2)
+        b.add("queries", 5)
+        a.merge(b)
+        assert a.get("queries") == 7
+
+    def test_thread_safety_of_increments(self):
+        counters = Counters()
+
+        def work():
+            for _ in range(1000):
+                counters.bump("calls_executed")
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters.get("calls_executed") == 8000
+
+    def test_reset(self):
+        counters = Counters()
+        counters.bump("handoffs")
+        counters.reset()
+        assert counters.get("handoffs") == 0
+
+
+class TestTiming:
+    def test_geometric_mean_simple(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([3, 3, 3]) == pytest.approx(3.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_normalize_to_fastest(self):
+        assert normalize_to_fastest([2.0, 4.0, 1.0]) == [2.0, 4.0, 1.0]
+
+    def test_speedup_series_requires_single_thread_base(self):
+        assert speedup_series([(1, 10.0), (2, 5.0)]) == [(1, 1.0), (2, 2.0)]
+        with pytest.raises(ValueError):
+            speedup_series([(2, 5.0), (4, 2.5)])
+
+    def test_stopwatch_accumulates(self):
+        watch = Stopwatch()
+        with watch:
+            pass
+        first = watch.elapsed
+        with watch:
+            pass
+        assert watch.elapsed >= first
+
+    def test_stopwatch_misuse(self):
+        watch = Stopwatch()
+        with pytest.raises(RuntimeError):
+            watch.stop()
+        watch.start()
+        with pytest.raises(RuntimeError):
+            watch.start()
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=20))
+    def test_geometric_mean_between_min_and_max(self, values):
+        mean = geometric_mean(values)
+        assert min(values) <= mean * (1 + 1e-9)
+        assert mean <= max(values) * (1 + 1e-9)
+
+
+class TestRng:
+    def test_lcg_next_deterministic(self):
+        assert lcg_next(1) == lcg_next(1)
+        assert lcg_next(1) != lcg_next(2)
+
+    def test_lcg_stream_range_and_determinism(self):
+        a = lcg_stream(seed=7, count=100, limit=50)
+        b = lcg_stream(seed=7, count=100, limit=50)
+        np.testing.assert_array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 50
+
+    def test_lcg_stream_validation(self):
+        with pytest.raises(ValueError):
+            lcg_stream(1, -1)
+        with pytest.raises(ValueError):
+            lcg_stream(1, 10, limit=0)
+
+    def test_lcg_matrix_rows_are_row_seeded(self):
+        matrix = lcg_matrix(seed=3, nrows=4, ncols=8)
+        np.testing.assert_array_equal(matrix[2], lcg_stream(5, 8))
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    def test_lcg_stays_in_modulus(self, state):
+        assert 0 <= lcg_next(state) < 2**31

@@ -1,0 +1,109 @@
+"""Tests for the coordination workloads (mutex, prodcons, condition,
+threadring, chameneos) across optimization levels."""
+
+import pytest
+
+from repro.core.runtime import QsRuntime
+from repro.workloads.concurrent.runner import (
+    CONCURRENT_TASKS,
+    run_chameneos,
+    run_concurrent,
+    run_condition,
+    run_mutex,
+    run_prodcons,
+    run_threadring,
+)
+from repro.workloads.concurrent.shared import MeetingPlace, SharedQueue
+from repro.workloads.params import ConcurrentSizes, TINY_CONCURRENT, concurrent_preset
+
+SIZES = TINY_CONCURRENT
+
+
+class TestMutex:
+    def test_no_lost_updates(self, runtime):
+        result = run_mutex(runtime, SIZES)
+        assert result.value == SIZES.n * SIZES.m
+
+    def test_counts_reservations(self, qs_runtime):
+        result = run_mutex(qs_runtime, SIZES)
+        assert result.counters["reservations"] >= SIZES.n * SIZES.m
+
+
+class TestProdCons:
+    def test_everything_produced_is_consumed(self, runtime):
+        result = run_prodcons(runtime, SIZES)
+        produced, consumed, remaining = result.value["stats"]
+        assert produced == SIZES.n * SIZES.m
+        assert consumed == SIZES.n * SIZES.m
+        assert remaining == 0
+        assert result.value["consumed"] == SIZES.n * SIZES.m
+
+    def test_shared_queue_semantics(self):
+        queue = SharedQueue()
+        assert queue.try_pop() is None
+        queue.push(1)
+        queue.push(2)
+        assert queue.try_pop() == 1
+        assert queue.stats() == (2, 1, 1)
+
+
+class TestCondition:
+    def test_alternating_increments_reach_total(self, runtime):
+        result = run_condition(runtime, SIZES)
+        assert result.value == 2 * SIZES.n * SIZES.m
+
+
+class TestThreadring:
+    def test_token_passed_exact_number_of_times(self, qs_runtime):
+        result = run_threadring(qs_runtime, SIZES)
+        # the token is taken nt+1 times (initial injection + nt forwards)
+        assert result.value["passes"] == SIZES.nt + 1
+        assert result.value["final_node"] == SIZES.nt % SIZES.ring_size
+
+    def test_small_ring_unoptimized(self, baseline_runtime):
+        sizes = ConcurrentSizes(n=2, m=5, nt=20, nc=5, ring_size=4)
+        result = run_threadring(baseline_runtime, sizes)
+        assert result.value["passes"] == 21
+        assert result.value["final_node"] == 20 % 4
+
+
+class TestChameneos:
+    def test_exact_number_of_meetings(self, runtime):
+        result = run_chameneos(runtime, SIZES)
+        assert result.value["meetings"] == SIZES.nc
+        # every meeting involves exactly two creatures
+        assert result.value["per_creature"] == 2 * SIZES.nc
+
+    def test_colour_complement_rules(self):
+        assert MeetingPlace.complement("blue", "blue") == "blue"
+        assert MeetingPlace.complement("blue", "red") == "yellow"
+        assert MeetingPlace.complement("red", "yellow") == "blue"
+
+
+class TestRunner:
+    def test_all_tasks_registered(self):
+        assert set(CONCURRENT_TASKS) == {"chameneos", "condition", "mutex", "prodcons", "threadring"}
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            run_concurrent("philosophers", "all", SIZES)
+
+    @pytest.mark.parametrize("task", sorted(CONCURRENT_TASKS))
+    def test_fresh_runtime_wrapper(self, task):
+        result = run_concurrent(task, "all", SIZES)
+        assert result.name == task
+        assert result.config == "all"
+        assert result.total_seconds >= 0
+
+    def test_optimizations_reduce_communication_work(self):
+        """Fig. 17's direction: the optimized runtime does less communication
+        work on the coordination benchmarks than the unoptimized one."""
+        for task in ("prodcons", "chameneos", "condition"):
+            noisy = run_concurrent(task, "none", SIZES)
+            quiet = run_concurrent(task, "all", SIZES)
+            assert quiet.communication_ops < noisy.communication_ops
+
+    def test_presets(self):
+        assert concurrent_preset("tiny").m <= concurrent_preset("small").m
+        with pytest.raises(ValueError):
+            concurrent_preset("gigantic")

@@ -1,0 +1,177 @@
+"""Tests for the Cowichan kernels: sequential references and SCOOP versions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.cowichan import reference
+from repro.workloads.cowichan.scoop import (
+    COWICHAN_TASKS,
+    CowichanWorker,
+    row_chunks,
+    run_cowichan,
+)
+from repro.workloads.params import ParallelSizes, TINY_PARALLEL, parallel_preset
+
+SIZES = TINY_PARALLEL
+
+
+class TestReference:
+    def test_randmat_deterministic_and_bounded(self):
+        a = reference.randmat(10, 12, seed=3)
+        b = reference.randmat(10, 12, seed=3)
+        np.testing.assert_array_equal(a, b)
+        assert a.shape == (10, 12)
+        assert a.min() >= 0 and a.max() < reference.RAND_LIMIT
+        assert not np.array_equal(a, reference.randmat(10, 12, seed=4))
+
+    def test_thresh_selects_requested_fraction(self):
+        matrix = reference.randmat(30, 30, seed=1)
+        mask, threshold = reference.thresh(matrix, percent=25)
+        kept = mask.sum() / matrix.size * 100
+        assert kept >= 25
+        assert (matrix[mask] >= threshold).all()
+        assert (matrix[~mask] < threshold).all()
+
+    def test_thresh_full_percentage_keeps_everything(self):
+        matrix = reference.randmat(5, 5, seed=1)
+        mask, threshold = reference.thresh(matrix, percent=100)
+        assert mask.all()
+        assert threshold == matrix.min()
+
+    def test_thresh_validation(self):
+        with pytest.raises(ValueError):
+            reference.thresh(np.zeros((2, 2), dtype=int), percent=0)
+
+    def test_winnow_sorted_selection(self):
+        matrix = reference.randmat(12, 12, seed=2)
+        mask, _ = reference.thresh(matrix, percent=50)
+        points = reference.winnow(matrix, mask, 10)
+        assert len(points) == 10
+        values = [matrix[i, j] for i, j in points]
+        assert values == sorted(values)
+        assert all(mask[i, j] for i, j in points)
+
+    def test_winnow_requests_more_than_available(self):
+        matrix = np.array([[5, 1], [2, 9]])
+        mask = np.array([[True, False], [False, True]])
+        points = reference.winnow(matrix, mask, 10)
+        assert points == [(0, 0), (1, 1)]
+
+    def test_winnow_empty_mask(self):
+        matrix = np.zeros((3, 3), dtype=int)
+        assert reference.winnow(matrix, np.zeros((3, 3), dtype=bool), 5) == []
+
+    def test_outer_diagonal_dominance_and_symmetry(self):
+        points = [(0, 0), (3, 4), (6, 8)]
+        omat, vec = reference.outer(points)
+        assert omat.shape == (3, 3)
+        np.testing.assert_allclose(vec, [0.0, 5.0, 10.0])
+        off_diag = omat - np.diag(np.diag(omat))
+        np.testing.assert_allclose(off_diag, off_diag.T)
+        for i in range(3):
+            assert omat[i, i] >= off_diag[i].max()
+
+    def test_product_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.random((6, 6))
+        vector = rng.random(6)
+        np.testing.assert_allclose(reference.product(matrix, vector), matrix @ vector)
+
+    def test_product_shape_validation(self):
+        with pytest.raises(ValueError):
+            reference.product(np.zeros((2, 3)), np.zeros(2))
+
+    def test_chain_composes_kernels(self):
+        result = reference.chain(nr=12, percent=30, nw=8, seed=5)
+        matrix = reference.randmat(12, 12, 5)
+        mask, _ = reference.thresh(matrix, 30)
+        points = reference.winnow(matrix, mask, 8)
+        omat, vec = reference.outer(points)
+        np.testing.assert_allclose(result, reference.product(omat, vec))
+
+    @given(st.integers(min_value=1, max_value=12), st.integers(min_value=1, max_value=12),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_randmat_property_shape_and_determinism(self, nr, nc, seed):
+        a = reference.randmat(nr, nc, seed)
+        assert a.shape == (nr, nc)
+        np.testing.assert_array_equal(a, reference.randmat(nr, nc, seed))
+
+    @given(st.integers(min_value=2, max_value=10), st.integers(min_value=1, max_value=99))
+    @settings(max_examples=20, deadline=None)
+    def test_thresh_property_mask_consistent_with_threshold(self, n, percent):
+        matrix = reference.randmat(n, n, seed=7)
+        mask, threshold = reference.thresh(matrix, percent)
+        np.testing.assert_array_equal(mask, matrix >= threshold)
+
+
+class TestRowChunks:
+    def test_partition_covers_everything_without_overlap(self):
+        chunks = row_chunks(10, 3)
+        assert chunks == [(0, 4), (4, 3), (7, 3)]
+        assert sum(c for _, c in chunks) == 10
+
+    def test_more_workers_than_rows(self):
+        chunks = row_chunks(2, 4)
+        assert sum(c for _, c in chunks) == 2
+        assert len(chunks) == 4
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            row_chunks(5, 0)
+
+    @given(st.integers(min_value=0, max_value=200), st.integers(min_value=1, max_value=16))
+    def test_property_partition(self, total, parts):
+        chunks = row_chunks(total, parts)
+        assert len(chunks) == parts
+        assert sum(count for _, count in chunks) == total
+        position = 0
+        for start, count in chunks:
+            assert start == position
+            position += count
+
+
+class TestScoopImplementations:
+    @pytest.mark.parametrize("task", sorted(COWICHAN_TASKS))
+    def test_matches_reference_fully_optimized(self, task):
+        run_cowichan(task, "all", SIZES, verify=True)
+
+    @pytest.mark.parametrize("task", ["randmat", "product", "chain"])
+    def test_matches_reference_unoptimized(self, task):
+        run_cowichan(task, "none", SIZES, verify=True)
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(ValueError):
+            run_cowichan("sorting", "all", SIZES)
+
+    def test_communication_shape_none_vs_all(self):
+        noisy = run_cowichan("randmat", "none", SIZES)
+        quiet = run_cowichan("randmat", "all", SIZES)
+        assert noisy.sync_roundtrips >= 10 * max(1, quiet.sync_roundtrips)
+        assert noisy.communication_ops > quiet.communication_ops
+
+    def test_chain_has_less_communication_than_randmat(self):
+        chain = run_cowichan("chain", "none", SIZES)
+        randmat = run_cowichan("randmat", "none", SIZES)
+        assert chain.communication_ops < randmat.communication_ops
+
+    def test_worker_count_respected(self):
+        sizes = ParallelSizes(nr=12, percent=25, nw=12, workers=3)
+        result = run_cowichan("randmat", "all", sizes, verify=True)
+        assert result.workers == 3
+
+    def test_single_worker_still_correct(self):
+        sizes = ParallelSizes(nr=10, percent=25, nw=10, workers=1)
+        run_cowichan("thresh", "all", sizes, verify=True)
+
+    def test_presets_available(self):
+        assert parallel_preset("tiny").nr <= parallel_preset("small").nr <= parallel_preset("paper").nr
+        with pytest.raises(ValueError):
+            parallel_preset("huge")
+
+    def test_worker_histogram_consistency(self):
+        worker = CowichanWorker()
+        worker.matrix_rows[0] = np.array([1, 2, 2, 3])
+        hist = worker.histogram(10)
+        assert hist[2] == 2 and hist[1] == 1 and hist[3] == 1
