@@ -1,0 +1,30 @@
+# Convenience targets mirroring what CI runs (.github/workflows/ci.yml).
+#
+#   make install     editable install with dev extras (ruff, pytest, ...)
+#   make lint        ruff over the whole repo
+#   make test        the tier-1 test suite
+#   make bench       micro-benchmarks at the tiny preset
+#   make bench-backends   threaded-vs-sim / batched-vs-not comparison JSON
+
+PYTHON ?= python
+
+.PHONY: install lint test bench bench-backends clean
+
+install:
+	$(PYTHON) -m pip install -e .[dev]
+
+lint:
+	$(PYTHON) -m ruff check src tests benchmarks examples
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_micro.py -q --benchmark-disable-gc
+
+bench-backends:
+	$(PYTHON) benchmarks/bench_backends.py
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .ruff_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

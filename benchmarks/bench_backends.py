@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Benchmark the execution backends and the batched QoQ drain fast path.
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/bench_backends.py [--smoke] [--out FILE]
+
+Produces ``BENCH_backends.json`` — the first entry in the repo's performance
+trajectory — with three measurements:
+
+``pingpong``
+    The handler-side drain hot path in isolation: a producer bursts
+    requests into a private queue, a consumer drains them exactly like the
+    handler loop does (dequeue, type-dispatch, execute, count).  Compared
+    per-request (the pre-batching code path) vs. with
+    :meth:`~repro.queues.private_queue.PrivateQueue.dequeue_batch`.  This is
+    the number the batching optimization is accountable to.
+
+``runtime_pingpong``
+    The same comparison end to end on the real threaded runtime (client
+    thread pings commands + a query, handler pongs), via
+    ``QsConfig.with_(qoq_batch=...)``.  Wall-clock, so noisier — reported
+    for context, not gated.
+
+``backends``
+    The bank-transfer workload under ``threads`` vs. ``sim``: wall-clock
+    seconds for both, plus the simulator's deterministic virtual time and
+    its schedule fingerprint across two runs (must match).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+from typing import Dict
+
+from repro import QsRuntime, SeparateObject, command, query
+from repro.config import QsConfig
+from repro.queues.private_queue import CallRequest, PrivateQueue
+from repro.util.counters import Counters
+
+
+def _noop() -> None:
+    return None
+
+
+# ----------------------------------------------------------------------------
+# 1. drain hot path: per-request vs batched
+# ----------------------------------------------------------------------------
+def _drain_requests_per_second(total: int, burst: int, batch_size: int) -> float:
+    """Drain ``total`` preloaded requests; return drained requests/second.
+
+    The producer side is identical either way, so only the drain (the
+    handler's per-lock-acquisition work) is timed; like the queue micros in
+    ``bench_micro.py``, the request bodies are not executed — execution cost
+    is identical under both paths and is covered by ``runtime_pingpong``.
+    ``batch_size == 0`` measures the pre-batching per-request path
+    (``pq.dequeue`` once per request); otherwise ``pq.dequeue_batch`` with
+    the handler's batch counters, mirroring ``Handler._drain_private_queue``.
+    """
+    counters = Counters()
+    pq = PrivateQueue(counters=counters)
+    drained = 0
+    elapsed = 0.0
+    while drained < total:
+        # bursts model a client that keeps logging while the handler drains;
+        # production happens off the clock
+        for _ in range(burst):
+            pq.enqueue_call(CallRequest(fn=_noop))
+        start = time.perf_counter()
+        if batch_size == 0:
+            # the pre-batching hot path: one dequeue call per request
+            # (same shape as bench_micro's private-queue drain loop)
+            while pq.dequeue(timeout=0.0) is not None:
+                drained += 1
+        else:
+            while len(pq):
+                batch = pq.dequeue_batch(batch_size, timeout=0.0)
+                counters.bump("qoq_batch_drains")
+                counters.add("qoq_batch_size_sum", len(batch))
+                drained += len(batch)
+        elapsed += time.perf_counter() - start
+    return drained / elapsed
+
+
+def bench_pingpong(total: int, burst: int, batch_size: int, repeats: int = 5) -> Dict:
+    unbatched = max(_drain_requests_per_second(total, burst, 0) for _ in range(repeats))
+    batched = max(_drain_requests_per_second(total, burst, batch_size) for _ in range(repeats))
+    return {
+        "requests": total,
+        "burst": burst,
+        "batch_size": batch_size,
+        "unbatched_requests_per_s": round(unbatched),
+        "batched_requests_per_s": round(batched),
+        "speedup": round(batched / unbatched, 3),
+    }
+
+
+# ----------------------------------------------------------------------------
+# 2. end-to-end threaded runtime ping-pong
+# ----------------------------------------------------------------------------
+class _Pong(SeparateObject):
+    def __init__(self) -> None:
+        self.hits = 0
+
+    @command
+    def ping(self) -> None:
+        self.hits += 1
+
+    @query
+    def count(self) -> int:
+        return self.hits
+
+
+def _runtime_pingpong_seconds(qoq_batch: int, blocks: int, pings: int) -> float:
+    config = QsConfig.all().with_(qoq_batch=qoq_batch)
+    with QsRuntime(config) as rt:
+        ref = rt.new_handler("pong").create(_Pong)
+        start = time.perf_counter()
+        for _ in range(blocks):
+            with rt.separate(ref) as p:
+                for _ in range(pings):
+                    p.ping()
+                p.count()
+        elapsed = time.perf_counter() - start
+    return elapsed
+
+
+def bench_runtime_pingpong(blocks: int, pings: int, batch_size: int, repeats: int = 3) -> Dict:
+    unbatched = min(_runtime_pingpong_seconds(1, blocks, pings) for _ in range(repeats))
+    batched = min(_runtime_pingpong_seconds(batch_size, blocks, pings) for _ in range(repeats))
+    return {
+        "blocks": blocks,
+        "pings_per_block": pings,
+        "batch_size": batch_size,
+        "unbatched_s": round(unbatched, 4),
+        "batched_s": round(batched, 4),
+        "speedup": round(unbatched / batched, 3),
+    }
+
+
+# ----------------------------------------------------------------------------
+# 3. threaded vs simulated backend on the bank workload
+# ----------------------------------------------------------------------------
+class _Account(SeparateObject):
+    def __init__(self, balance: int) -> None:
+        self.balance = balance
+
+    @command
+    def credit(self, amount: int) -> None:
+        self.balance += amount
+
+    @command
+    def debit(self, amount: int) -> None:
+        self.balance -= amount
+
+    @query
+    def read(self) -> int:
+        return self.balance
+
+
+def _bank(backend: str, clients: int, transfers: int) -> Dict:
+    start = time.perf_counter()
+    with QsRuntime("all", backend=backend) as rt:
+        alice = rt.new_handler("alice").create(_Account, 1_000)
+        bob = rt.new_handler("bob").create(_Account, 1_000)
+
+        def transferrer(seed: int) -> None:
+            for i in range(transfers):
+                amount = 1 + (seed * 7 + i) % 20
+                with rt.separate(alice, bob) as (a, b):
+                    a.debit(amount)
+                    b.credit(amount)
+
+        for i in range(clients):
+            rt.spawn_client(transferrer, i, name=f"transfer-{i}")
+        rt.join_clients()
+        with rt.separate(alice, bob) as (a, b):
+            balances = (a.read(), b.read())
+        virtual = rt.backend.now() if backend == "sim" else None
+    return {
+        "wall_s": round(time.perf_counter() - start, 4),
+        "balances": balances,
+        "virtual_time": virtual,
+    }
+
+
+def bench_backends(clients: int, transfers: int) -> Dict:
+    threads = _bank("threads", clients, transfers)
+    sim_a = _bank("sim", clients, transfers)
+    sim_b = _bank("sim", clients, transfers)
+    return {
+        "workload": {"clients": clients, "transfers_per_client": transfers},
+        "threads": threads,
+        "sim": sim_a,
+        "parity": threads["balances"] == sim_a["balances"],
+        "sim_deterministic": (sim_a["balances"] == sim_b["balances"]
+                              and sim_a["virtual_time"] == sim_b["virtual_time"]),
+    }
+
+
+# ----------------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------------
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: BENCH_backends.json at the repo root)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI smoke runs")
+    parser.add_argument("--batch-size", type=int, default=64)
+    args = parser.parse_args()
+
+    if args.smoke:
+        total, burst = 20_000, 64
+        blocks, pings = 100, 20
+        clients, transfers = 2, 10
+    else:
+        total, burst = 200_000, 64
+        blocks, pings = 500, 50
+        clients, transfers = 4, 40
+
+    results = {
+        "meta": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "smoke": args.smoke,
+        },
+        "pingpong": bench_pingpong(total, burst, args.batch_size),
+        "runtime_pingpong": bench_runtime_pingpong(blocks, pings, args.batch_size),
+        "backends": bench_backends(clients, transfers),
+    }
+
+    out = pathlib.Path(args.out) if args.out else (
+        pathlib.Path(__file__).resolve().parent.parent / "BENCH_backends.json")
+    out.write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+
+    ping = results["pingpong"]
+    print(f"pingpong drain: {ping['unbatched_requests_per_s']:,} -> "
+          f"{ping['batched_requests_per_s']:,} req/s  ({ping['speedup']}x batched)")
+    rtp = results["runtime_pingpong"]
+    print(f"runtime pingpong: {rtp['unbatched_s']}s -> {rtp['batched_s']}s "
+          f"({rtp['speedup']}x batched)")
+    bank = results["backends"]
+    print(f"bank: threads {bank['threads']['wall_s']}s | sim {bank['sim']['wall_s']}s "
+          f"(virtual {bank['sim']['virtual_time']}) parity={bank['parity']} "
+          f"deterministic={bank['sim_deterministic']}")
+    print(f"wrote {out}")
+
+    ok = ping["speedup"] >= 1.2 and bank["parity"] and bank["sim_deterministic"]
+    if not ok:
+        print("BENCH REGRESSION: expectations not met", file=sys.stderr)
+        # smoke runs (CI) only need the JSON artifact; tiny sizes are too
+        # noisy to gate on, so the regression check is full-size only
+        return 0 if args.smoke else 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

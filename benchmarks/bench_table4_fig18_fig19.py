@@ -7,7 +7,6 @@ sweep (every task x language x thread count) and stores the headline numbers
 
 from __future__ import annotations
 
-import pytest
 
 from repro.experiments.table4 import fig18_rows, fig19_rows, geometric_means, table4_rows
 

@@ -3,7 +3,7 @@
 
 Run with::
 
-    python examples/bank_transfers.py
+    python examples/bank_transfers.py [--backend threads|sim]
 
 This is the paper's Fig. 5 pattern (Section 2.4): a client that reserves two
 handlers *in one separate block* sees a consistent combined state, no matter
@@ -11,11 +11,17 @@ how many other clients are transferring money concurrently.  The invariant
 checked at the end — total money is conserved, and every observer that
 reserved both accounts together saw a conserved total as well — would not
 hold with nested (non-atomic) reservations.
+
+``--backend sim`` runs the exact same program deterministically in virtual
+time on the cooperative scheduler (see ``docs/backends.md``); the final
+balances are identical either way.
 """
 
+import argparse
 import random
 
 from repro import QsRuntime, SeparateObject, command, query
+from repro.backends import BACKEND_NAMES
 
 
 class Account(SeparateObject):
@@ -41,8 +47,13 @@ INITIAL = 1_000
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                        help="execution backend (default: threads, or $REPRO_BACKEND)")
+    args = parser.parse_args()
+
     observed_totals = []
-    with QsRuntime("all") as rt:
+    with QsRuntime("all", backend=args.backend) as rt:
         alice = rt.new_handler("alice").create(Account, INITIAL)
         bob = rt.new_handler("bob").create(Account, INITIAL)
 

@@ -4,6 +4,7 @@
 Run with::
 
     python examples/dining_philosophers.py [--philosophers 5] [--rounds 20]
+                                           [--backend threads|sim]
 
 The classic deadlock happens when each philosopher picks up one fork and then
 waits for the other.  Under the original lock-based SCOOP the equivalent
@@ -22,6 +23,7 @@ from __future__ import annotations
 import argparse
 
 from repro import OptimizationLevel, QsRuntime, SeparateObject, command, query
+from repro.backends import BACKEND_NAMES
 
 
 class Fork(SeparateObject):
@@ -46,10 +48,12 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--philosophers", type=int, default=5)
     parser.add_argument("--rounds", type=int, default=20)
+    parser.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                        help="execution backend (default: threads, or $REPRO_BACKEND)")
     args = parser.parse_args()
     n = args.philosophers
 
-    with QsRuntime(OptimizationLevel.ALL) as rt:
+    with QsRuntime(OptimizationLevel.ALL, backend=args.backend) as rt:
         forks = [rt.new_handler(f"fork-{i}").create(Fork, i) for i in range(n)]
         meals = [0] * n
 

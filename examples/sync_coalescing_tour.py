@@ -48,10 +48,12 @@ def show_compiler() -> None:
     print(f"  Fig. 14 loop: removed {report14.removed_syncs}/{report14.total_syncs} syncs "
           f"(blocks {sorted(report14.removed_by_block)})")
     _, report15 = SyncElisionPass().run(fig15_loop())
-    print(f"  Fig. 15 loop (possible aliasing): removed {report15.removed_syncs}/{report15.total_syncs} syncs")
+    print(f"  Fig. 15 loop (possible aliasing): "
+          f"removed {report15.removed_syncs}/{report15.total_syncs} syncs")
     aliases = AliasInfo.no_aliasing(["h_p", "i_p"])
     _, report15b = SyncElisionPass(aliases).run(fig15_loop())
-    print(f"  Fig. 15 loop (compiler told h_p != i_p): removed {report15b.removed_syncs}/{report15b.total_syncs} syncs")
+    print(f"  Fig. 15 loop (compiler told h_p != i_p): "
+          f"removed {report15b.removed_syncs}/{report15b.total_syncs} syncs")
 
 
 def show_runtime() -> None:

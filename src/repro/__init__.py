@@ -4,7 +4,10 @@ This package reproduces the PPoPP 2015 paper by West, Nanz and Meyer:
 
 * :mod:`repro.core`       — the SCOOP/Qs runtime (handlers, separate blocks,
   queue-of-queues, client-executed queries, dynamic sync coalescing);
-* :mod:`repro.queues`     — the SPSC/MPSC queue substrate;
+* :mod:`repro.backends`   — pluggable execution backends: OS threads or the
+  deterministic virtual-time simulator (see ``docs/backends.md``);
+* :mod:`repro.queues`     — the SPSC/MPSC queue substrate with the batched
+  drain fast path;
 * :mod:`repro.sched`      — the lightweight-task / virtual-time scheduler;
 * :mod:`repro.semantics`  — the executable operational semantics of Fig. 3;
 * :mod:`repro.compiler`   — the IR and the static sync-coalescing pass;
@@ -35,8 +38,24 @@ Quickstart::
         with rt.separate(account) as acc:
             acc.deposit(42)                  # asynchronous
             print(acc.current_balance())     # synchronous -> 142
+
+The same program runs unmodified on either execution backend:
+
+* ``QsRuntime()`` — **threads** (the default): one OS thread per handler
+  and client, real parallelism, wall-clock time;
+* ``QsRuntime(backend="sim")`` — the **simulator**: deterministic
+  cooperative scheduling in virtual time, reproducible schedules, and
+  built-in deadlock detection (a hang becomes a ``DeadlockError`` naming
+  the stuck participants).
+
+Backends can also be selected per config (``QsConfig(backend="sim")``),
+per process (the ``REPRO_BACKEND`` environment variable), or from the
+command line (``repro --backend sim run bank-transfers``).  Install with
+``pip install -e .[dev]`` and see the ``Makefile`` for the lint / test /
+bench entry points CI uses.
 """
 
+from repro.backends import ExecutionBackend, SimBackend, ThreadedBackend, create_backend
 from repro.config import LEVEL_ORDER, OptimizationLevel, QsConfig
 from repro.core import (
     Expanded,
@@ -79,6 +98,10 @@ __all__ = [
     "LockBasedRuntime",
     "qs_runtime",
     "lock_based_runtime",
+    "ExecutionBackend",
+    "ThreadedBackend",
+    "SimBackend",
+    "create_backend",
     "Handler",
     "SeparateObject",
     "SeparateRef",

@@ -1,0 +1,64 @@
+"""Pluggable execution backends for the SCOOP/Qs runtime.
+
+The protocol machinery (queue-of-queues, private queues, sync coalescing)
+is backend-agnostic; a backend decides how handlers and clients *execute*:
+
+========== ==============================================================
+``threads`` one OS thread per handler/client; real parallelism and
+            wall-clock time (the default)
+``sim``     cooperative tasks on the virtual-time
+            :class:`~repro.sched.scheduler.CooperativeScheduler`;
+            deterministic, reproducible schedules with built-in deadlock
+            detection
+========== ==============================================================
+
+Select one with ``QsRuntime(backend="sim")``, ``QsConfig(backend="sim")``,
+the ``REPRO_BACKEND`` environment variable, or ``repro --backend sim ...``
+on the command line.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.backends.base import ClientHandle, ExecutionBackend
+from repro.backends.sim import SimBackend, SimClientHandle, SimEventHandle, SimLock
+from repro.backends.threaded import ThreadedBackend
+
+#: registered backend factories, keyed by every accepted spelling
+BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
+    "threads": ThreadedBackend,
+    "threaded": ThreadedBackend,
+    "sim": SimBackend,
+    "virtual": SimBackend,
+}
+
+#: canonical names (one per backend), for CLI choices and error messages
+BACKEND_NAMES = ("threads", "sim")
+
+
+def create_backend(name: "str | ExecutionBackend | None") -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through) to a backend."""
+    if name is None:
+        return ThreadedBackend()
+    if isinstance(name, ExecutionBackend):
+        return name
+    factory = BACKENDS.get(str(name).lower())
+    if factory is None:
+        valid = ", ".join(BACKEND_NAMES)
+        raise ValueError(f"unknown execution backend {name!r}; expected one of {valid}")
+    return factory()
+
+
+__all__ = [
+    "ExecutionBackend",
+    "ClientHandle",
+    "ThreadedBackend",
+    "SimBackend",
+    "SimClientHandle",
+    "SimEventHandle",
+    "SimLock",
+    "BACKENDS",
+    "BACKEND_NAMES",
+    "create_backend",
+]

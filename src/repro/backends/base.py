@@ -1,0 +1,140 @@
+"""The execution-backend interface of the SCOOP/Qs runtime.
+
+The paper's central claim is that the reasoning guarantees survive the Qs
+runtime redesign; the evaluation demonstrates it by running the *same*
+programs under multiple protocol configurations.  This module extends that
+methodology one level down: the :class:`~repro.core.runtime.QsRuntime` is
+parameterised by an :class:`ExecutionBackend` that decides *how* handlers and
+clients actually execute, while all protocol logic (queue-of-queues,
+private queues, sync coalescing, reservations) stays shared:
+
+* :class:`~repro.backends.threaded.ThreadedBackend` — one OS thread per
+  handler and per spawned client; real parallelism, wall-clock time.
+* :class:`~repro.backends.sim.SimBackend` — every handler and client is a
+  task of the :class:`~repro.sched.scheduler.CooperativeScheduler`;
+  execution is serialised deterministically, time is virtual, and a stuck
+  configuration raises :class:`~repro.errors.DeadlockError` instead of
+  hanging.
+
+A backend supplies three groups of primitives:
+
+1. *synchronisation objects* (`create_event`, `create_lock`) used wherever a
+   client must wait for a handler (sync release, query result boxes) or
+   exclude other clients (the lock-based protocol's reservation locks);
+2. *handler plumbing* (`start_handler`, `handler_next_queue`,
+   `handler_next_batch`, `notify_handler`, `stop_handler`) — the blocking
+   parts of the handler loop of Fig. 7;
+3. *client plumbing* (`spawn_client`, `join_client`) plus a clock
+   (`now`, `sleep`) used by wait-condition back-off.
+
+Everything else — the request protocol itself — never changes between
+backends, which is what makes backend-parity testing meaningful.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, List, Optional
+
+
+class ClientHandle(ABC):
+    """Something ``spawn_client`` returns that a caller can ``join``.
+
+    The threaded backend returns the :class:`threading.Thread` itself (which
+    already satisfies this protocol); the sim backend returns a handle whose
+    ``join`` waits in virtual time.
+    """
+
+    @abstractmethod
+    def join(self, timeout: Optional[float] = None) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class ExecutionBackend(ABC):
+    """Strategy object deciding how handlers and clients execute."""
+
+    #: short name used by ``--backend`` and ``QsConfig.backend``
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, runtime: Any) -> None:
+        """Bind this backend to a runtime (called once, from ``QsRuntime``)."""
+        self.runtime = runtime
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Tear down backend-owned resources (scheduler thread, ...)."""
+
+    # ------------------------------------------------------------------
+    # synchronisation primitives
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def create_event(self) -> Any:
+        """A ``threading.Event``-compatible object (wait/set/is_set/clear)."""
+
+    @abstractmethod
+    def create_lock(self) -> Any:
+        """A ``threading.Lock``-compatible object (acquire/release)."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """The backend's clock: wall-clock seconds or virtual time."""
+
+    @abstractmethod
+    def sleep(self, seconds: float) -> None:
+        """Back off for ``seconds`` on the backend's clock."""
+
+    # ------------------------------------------------------------------
+    # handler plumbing (the blocking half of the handler loop, Fig. 7)
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def start_handler(self, handler: Any) -> None:
+        """Begin executing ``handler._loop`` (thread or scheduler task)."""
+
+    @abstractmethod
+    def stop_handler(self, handler: Any, timeout: float = 5.0) -> None:
+        """Wait until the handler's loop has terminated.
+
+        Called after the handler's stop flag is set and its queue-of-queues
+        closed; the backend only has to wake and join the loop.
+        """
+
+    @abstractmethod
+    def handler_next_queue(self, handler: Any) -> Optional[Any]:
+        """Block until the next private queue is available (rule *run*).
+
+        Returns ``None`` when the handler should shut down (queue-of-queues
+        closed and drained).
+        """
+
+    @abstractmethod
+    def handler_next_batch(self, handler: Any, private_queue: Any,
+                           max_items: int) -> Optional[List[Any]]:
+        """Block until request(s) are available on ``private_queue``.
+
+        Returns a non-empty batch of requests (at most ``max_items``, never
+        crossing an END marker) or ``None`` when the handler should abandon
+        the queue because the runtime is shutting down.
+        """
+
+    def notify_handler(self, handler: Any) -> None:
+        """Hint that new work was enqueued for ``handler``.
+
+        The threaded backend relies on the queues' internal condition
+        variables, so this is a no-op there; the sim backend uses it to wake
+        the handler's task (and to charge virtual time for the operation).
+        """
+
+    # ------------------------------------------------------------------
+    # client plumbing
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def spawn_client(self, fn: Callable[[], None], name: Optional[str] = None) -> Any:
+        """Run ``fn`` as a new client; returns a joinable handle."""
+
+    def join_client(self, handle: Any, timeout: Optional[float] = None) -> None:
+        handle.join(timeout=timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"

@@ -18,10 +18,17 @@ command            what it does
 ``explore``        run the operational-semantics explorer on a paper program
                    or on a randomly generated one, plus the static wait-for
                    graph deadlock analysis (Section 2.5)
-``trace``          run a small traced workload on the threaded runtime, dump
-                   the instrumentation events and check the reasoning
+``trace``          run a small traced workload on the runtime, dump the
+                   instrumentation events and check the reasoning
                    guarantees on the actual execution
+``run``            run one of the built-in end-to-end examples
+                   (``bank-transfers``, ``dining-philosophers``)
 =================  ==========================================================
+
+The global ``--backend {threads,sim}`` option selects the execution backend
+for the commands that run the runtime (``run``, ``trace``): OS threads in
+wall-clock time, or the deterministic virtual-time simulator — e.g.
+``repro --backend sim run bank-transfers``.
 
 Every sub-command prints plain text only; exit status 0 means success, 1 is
 used for analysis results that found problems (deadlock cycles, guarantee
@@ -32,7 +39,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.config import LEVEL_ORDER, QsConfig
 
@@ -163,7 +170,7 @@ def cmd_ir(args: argparse.Namespace) -> int:
     for line in dominator_tree_lines(compute_dominators(function)):
         print(" ", line)
     loops = find_loops(function)
-    print(f"natural loops: {', '.join(str(l) for l in loops.loops) or '(none)'}")
+    print(f"natural loops: {', '.join(str(loop) for loop in loops.loops) or '(none)'}")
     print()
 
     if args.opt == "elide":
@@ -221,6 +228,118 @@ def cmd_explore(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a built-in example end to end (on the selected backend).
+
+    The examples are deterministic (seeded RNGs), so the printed balances
+    and meal counts are identical under ``--backend threads`` and
+    ``--backend sim`` — which is exactly the backend-parity claim.
+    """
+    import random
+
+    from repro import QsRuntime, SeparateObject, command, query
+
+    if args.clients < 0 or args.iterations < 0:
+        raise SystemExit("repro run: --clients and --iterations must be non-negative")
+    if args.example == "dining-philosophers" and args.clients < 2:
+        raise SystemExit("repro run: dining-philosophers needs at least 2 philosophers "
+                         "(a lone philosopher has only one fork)")
+
+    if args.example == "bank-transfers":
+
+        class Account(SeparateObject):
+            def __init__(self, balance: int) -> None:
+                self.balance = balance
+
+            @command
+            def credit(self, amount: int) -> None:
+                self.balance += amount
+
+            @command
+            def debit(self, amount: int) -> None:
+                self.balance -= amount
+
+            @query
+            def read(self) -> int:
+                return self.balance
+
+        initial = 1_000
+        # backend=None lets QsRuntime apply the documented resolution order
+        # (explicit flag > REPRO_BACKEND > config default)
+        with QsRuntime("all", backend=args.backend) as rt:
+            backend = rt.backend.name
+            alice = rt.new_handler("alice").create(Account, initial)
+            bob = rt.new_handler("bob").create(Account, initial)
+
+            def transferrer(seed: int) -> None:
+                rng = random.Random(seed)
+                for _ in range(args.iterations):
+                    amount = rng.randint(1, 20)
+                    with rt.separate(alice, bob) as (a, b):
+                        a.debit(amount)
+                        b.credit(amount)
+
+            for i in range(args.clients):
+                rt.spawn_client(transferrer, i, name=f"transfer-{i}")
+            rt.join_clients()
+            with rt.separate(alice, bob) as (a, b):
+                balances = (a.read(), b.read())
+
+        total = sum(balances)
+        print(f"backend={backend} clients={args.clients} transfers={args.clients * args.iterations}")
+        print(f"final balances: alice={balances[0]} bob={balances[1]}")
+        if total != 2 * initial:
+            print(f"money NOT conserved: total {total} != {2 * initial}")
+            return 1
+        print(f"total {total} (money conserved)")
+        return 0
+
+    # dining-philosophers
+    class Fork(SeparateObject):
+        def __init__(self) -> None:
+            self.uses = 0
+
+        @command
+        def use(self) -> None:
+            self.uses += 1
+
+        @query
+        def total_uses(self) -> int:
+            return self.uses
+
+    n = args.clients
+    with QsRuntime("all", backend=args.backend) as rt:
+        backend = rt.backend.name
+        forks = [rt.new_handler(f"fork-{i}").create(Fork) for i in range(n)]
+        meals = [0] * n
+
+        def philosopher(i: int) -> None:
+            left, right = forks[i], forks[(i + 1) % n]
+            for _ in range(args.iterations):
+                # both forks reserved atomically: no lock-order deadlock
+                with rt.separate(left, right) as (fl, fr):
+                    fl.use()
+                    fr.use()
+                    meals[i] += 1
+
+        for i in range(n):
+            rt.spawn_client(philosopher, i, name=f"philosopher-{i}")
+        rt.join_clients()
+        with rt.separate(*forks) as proxies:
+            proxies = proxies if isinstance(proxies, tuple) else (proxies,)
+            uses = [proxy.total_uses() for proxy in proxies]
+
+    expected = n * args.iterations
+    print(f"backend={backend} philosophers={n} rounds={args.iterations}")
+    print(f"meals: {meals}")
+    print(f"fork uses: {uses}")
+    if sum(meals) != expected or sum(uses) != 2 * expected:
+        print("outcome INCONSISTENT")
+        return 1
+    print(f"all {expected} meals served, no deadlock")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     from repro import QsRuntime, SeparateObject, command, query
     from repro.core.guarantees import check_runtime
@@ -241,7 +360,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         def current(self):
             return self.balance
 
-    with QsRuntime(args.level, trace=True) as rt:
+    with QsRuntime(args.level, trace=True, backend=args.backend) as rt:
         account = rt.new_handler("account").create(Account, 100)
 
         def client(n: int) -> None:
@@ -277,8 +396,13 @@ def cmd_trace(args: argparse.Namespace) -> int:
 # parser wiring
 # ----------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    from repro.backends import BACKEND_NAMES
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
+                        help="execution backend for commands that run the runtime "
+                             "(default: threads, or the REPRO_BACKEND environment variable)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("levels", help="show the optimization-level feature matrix").set_defaults(func=cmd_levels)
@@ -310,8 +434,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--max-states", type=int, default=200_000)
     p_explore.set_defaults(func=cmd_explore)
 
+    p_run = sub.add_parser("run", help="run a built-in end-to-end example")
+    p_run.add_argument("example", choices=["bank-transfers", "dining-philosophers"])
+    p_run.add_argument("--clients", type=int, default=4,
+                       help="transferring clients / philosophers")
+    p_run.add_argument("--iterations", type=int, default=20,
+                       help="transfers per client / rounds per philosopher")
+    p_run.set_defaults(func=cmd_run)
+
     p_trace = sub.add_parser("trace", help="run a traced workload and check the guarantees")
-    p_trace.add_argument("--level", default="all", choices=[l.value for l in LEVEL_ORDER])
+    p_trace.add_argument("--level", default="all", choices=[level.value for level in LEVEL_ORDER])
     p_trace.add_argument("--clients", type=int, default=3)
     p_trace.add_argument("--iterations", type=int, default=4)
     p_trace.add_argument("--tail", type=int, default=20, help="how many trailing events to print")

@@ -35,6 +35,18 @@ Supporting infrastructure mirroring what the paper gets from LLVM for free:
   check that the sync optimizations never drop a needed sync.
 """
 
+from repro.compiler.alias import AliasInfo
+from repro.compiler.attributes import (
+    AttributeInference,
+    AttributeSummary,
+    Effect,
+    apply_attributes,
+    infer_and_apply,
+)
+from repro.compiler.builder import FunctionBuilder
+from repro.compiler.dominators import DominatorTree, compute_dominators
+from repro.compiler.inline import InlinePass, InlineReport, inline_program
+from repro.compiler.interp import IRInterpreter
 from repro.compiler.ir import (
     AsyncCallInstr,
     BasicBlock,
@@ -45,26 +57,14 @@ from repro.compiler.ir import (
     QueryInstr,
     SyncInstr,
 )
-from repro.compiler.builder import FunctionBuilder
-from repro.compiler.alias import AliasInfo
-from repro.compiler.sync_analysis import SyncSetAnalysis, SyncSets, update_sync
-from repro.compiler.sync_elision import SyncElisionPass, ElisionReport
-from repro.compiler.sync_hoisting import HoistReport, SyncHoistingPass
-from repro.compiler.pass_manager import PassManager
-from repro.compiler.interp import IRInterpreter
-from repro.compiler.dominators import DominatorTree, compute_dominators
 from repro.compiler.loops import Loop, LoopInfo, find_loops
-from repro.compiler.program import Program
-from repro.compiler.attributes import (
-    AttributeInference,
-    AttributeSummary,
-    Effect,
-    apply_attributes,
-    infer_and_apply,
-)
-from repro.compiler.inline import InlinePass, InlineReport, inline_program
-from repro.compiler.printer import print_function, print_program
 from repro.compiler.parser import parse_function, parse_functions, parse_program
+from repro.compiler.pass_manager import PassManager
+from repro.compiler.printer import print_function, print_program
+from repro.compiler.program import Program
+from repro.compiler.sync_analysis import SyncSetAnalysis, SyncSets, update_sync
+from repro.compiler.sync_elision import ElisionReport, SyncElisionPass
+from repro.compiler.sync_hoisting import HoistReport, SyncHoistingPass
 from repro.compiler.verify import (
     assert_valid,
     verify_elision_safety,

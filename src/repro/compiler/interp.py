@@ -13,7 +13,7 @@ times) or by a *controller* callback deciding which successor to take.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Optional, Sequence
+from typing import Any, Callable, Dict, Optional, Sequence
 
 from repro.compiler.alias import AliasInfo
 from repro.compiler.ir import (
@@ -139,7 +139,8 @@ class IRInterpreter:
             elif isinstance(instr, LocalInstr):
                 if instr.handler is not None:
                     action = instr.action or _noop_handler_action
-                    env["__last__"] = client.presynced_query(self._ref(instr.handler), lambda obj, _a=action: _a(obj, env))
+                    env["__last__"] = client.presynced_query(
+                        self._ref(instr.handler), lambda obj, _a=action: _a(obj, env))
                 elif instr.action is not None:
                     env["__last__"] = instr.action(env)
             elif isinstance(instr, CallInstr):

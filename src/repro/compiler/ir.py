@@ -22,7 +22,7 @@ runtime by :mod:`repro.compiler.interp`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.errors import CompilerError
 

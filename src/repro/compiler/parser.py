@@ -98,7 +98,7 @@ def parse_functions(text: str) -> List[Function]:
         _Line(i + 1, raw.strip())
         for i, raw in enumerate(text.splitlines())
     ]
-    lines = [l for l in lines if l.text and not l.text.startswith("#")]
+    lines = [ln for ln in lines if ln.text and not ln.text.startswith("#")]
 
     functions: List[Function] = []
     current_name: Optional[str] = None

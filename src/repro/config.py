@@ -82,6 +82,18 @@ class QsConfig:
     direct_handoff:
         After a sync, pass control directly from the handler to the waiting
         client instead of going through the global scheduler (Section 3.2).
+    qoq_batch:
+        Maximum number of requests a handler drains from a private queue per
+        blocking acquisition (the batched fast path).  ``1`` restores the
+        one-request-per-acquisition behaviour; the default amortises the
+        per-request synchronisation cost on busy queues.  A mechanical
+        dequeue optimization rather than a protocol change, it is enabled
+        at every optimization level except ``NONE`` (which, true to its
+        name, runs with nothing at all).
+    backend:
+        Execution backend the runtime uses: ``"threads"`` (OS threads,
+        wall-clock time) or ``"sim"`` (deterministic virtual time on the
+        cooperative scheduler).  See :mod:`repro.backends`.
     """
 
     use_qoq: bool = True
@@ -90,6 +102,8 @@ class QsConfig:
     client_executed_queries: bool = True
     private_queue_cache: bool = True
     direct_handoff: bool = True
+    qoq_batch: int = 16
+    backend: str = "threads"
     name: str = "all"
     extras: dict = field(default_factory=dict, compare=False)
 
@@ -108,6 +122,7 @@ class QsConfig:
                 client_executed_queries=False,
                 private_queue_cache=False,
                 direct_handoff=False,
+                qoq_batch=1,
                 name=level.value,
             )
         if level is OptimizationLevel.DYNAMIC:
@@ -187,4 +202,7 @@ class QsConfig:
             flags.append("pq-cache")
         if self.direct_handoff:
             flags.append("handoff")
-        return f"QsConfig({self.name}: {'+'.join(flags) if flags else 'no optimizations'})"
+        if self.qoq_batch > 1:
+            flags.append(f"batch={self.qoq_batch}")
+        summary = "+".join(flags) if flags else "no optimizations"
+        return f"QsConfig({self.name}: {summary}, backend={self.backend})"

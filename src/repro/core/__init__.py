@@ -1,6 +1,6 @@
 """The SCOOP/Qs threaded runtime: handlers, clients, separate blocks."""
 
-from repro.core.api import command, query, method_kind, is_command, is_query
+from repro.core.api import command, is_command, is_query, method_kind, query
 from repro.core.baseline import LockBasedRuntime, baseline_config
 from repro.core.client import Client, Reservation
 from repro.core.conditions import WaitOutcome, WaitStrategy, reserve_when

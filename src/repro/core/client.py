@@ -27,12 +27,14 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.backends.base import ExecutionBackend
+from repro.backends.threaded import ThreadedBackend
 from repro.config import QsConfig
-from repro.errors import NotReservedError, ReservationError
 from repro.core.expanded import prepare_arguments
 from repro.core.handler import Handler
 from repro.core.region import SeparateRef
-from repro.queues.private_queue import CallRequest, PrivateQueue
+from repro.errors import NotReservedError, ReservationError
+from repro.queues.private_queue import CallRequest, PrivateQueue, ResultBox, SyncRequest
 from repro.util.counters import Counters
 from repro.util.tracing import NullTracer, Tracer
 
@@ -79,6 +81,7 @@ class Client:
         counters: Optional[Counters] = None,
         name: Optional[str] = None,
         tracer: "Tracer | NullTracer | None" = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.config = config
         self.counters = counters or Counters()
@@ -86,6 +89,8 @@ class Client:
         # explicit None check: an empty Tracer has len() == 0 and must not be
         # mistaken for "no tracer"
         self.tracer = tracer if tracer is not None else NullTracer()
+        #: execution backend supplying wait events and wake-up notifications
+        self.backend = backend if backend is not None else ThreadedBackend()
         #: stack of live reservations per handler (innermost last), so nested
         #: separate blocks on the same handler behave like the formal model
         #: (lookup uses the *last* occurrence).
@@ -109,11 +114,12 @@ class Client:
         reservations: List[Reservation] = []
         if not self.config.use_qoq:
             # Original SCOOP: take the handler locks for the whole block.
-            # Locks are acquired in a canonical order so the runtime itself
-            # never deadlocks on a *single* multi-reservation; nested blocks
-            # can of course still deadlock, which is the behaviour the paper
-            # discusses in Section 2.5 (see the semantics explorer).
-            for handler in sorted(unique, key=id):
+            # Locks are acquired in a canonical (creation) order so the
+            # runtime itself never deadlocks on a *single* multi-reservation;
+            # nested blocks can of course still deadlock, which is the
+            # behaviour the paper discusses in Section 2.5 (see the
+            # semantics explorer).
+            for handler in sorted(unique, key=lambda h: h.seq):
                 acquired = handler.reservation_lock.acquire(blocking=False)
                 if not acquired:
                     self.counters.bump("lock_waits")
@@ -126,7 +132,7 @@ class Client:
             self.counters.bump("multi_reservations")
             # Section 3.3: insert every private queue atomically with respect
             # to other multi-reservations by holding each handler's spinlock.
-            ordered = sorted(range(len(unique)), key=lambda i: id(unique[i]))
+            ordered = sorted(range(len(unique)), key=lambda i: unique[i].seq)
             for i in ordered:
                 unique[i].spinlock.acquire()
             try:
@@ -137,6 +143,8 @@ class Client:
                     unique[i].spinlock.release()
         else:
             unique[0].qoq.enqueue(queues[0])
+        for handler in unique:
+            self.backend.notify_handler(handler)
 
         for handler, queue in zip(unique, queues):
             reservation = Reservation(handler, queue, holds_lock=not self.config.use_qoq)
@@ -155,6 +163,7 @@ class Client:
                     f"separate blocks must be released innermost-first (handler {handler.name!r})"
                 )
             reservation.private_queue.enqueue_end()
+            self.backend.notify_handler(handler)
             self.tracer.record("release", handler.name, client=self.name,
                                block=reservation.private_queue.block_id)
             handler.owner.revoke_sync_access(threading.current_thread())
@@ -164,7 +173,7 @@ class Client:
             if self.config.private_queue_cache:
                 self._pq_cache.setdefault(handler, []).append(reservation.private_queue)
         if not self.config.use_qoq:
-            for reservation in sorted(reservations, key=lambda r: id(r.handler), reverse=True):
+            for reservation in sorted(reservations, key=lambda r: r.handler.seq, reverse=True):
                 if reservation.holds_lock:
                     reservation.handler.reservation_lock.release()
 
@@ -215,6 +224,7 @@ class Client:
         self.tracer.record("log-call", handler.name, client=self.name,
                            feature=method, block=queue.block_id)
         queue.enqueue_call(request)
+        self.backend.notify_handler(handler)
 
     def call_function(self, ref: SeparateRef, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
         """Asynchronously apply ``fn(raw_object, *args, **kwargs)`` on the handler."""
@@ -229,6 +239,7 @@ class Client:
         self.tracer.record("log-call", handler.name, client=self.name,
                            feature=feature, block=queue.block_id)
         queue.enqueue_call(request)
+        self.backend.notify_handler(handler)
 
     def query(self, ref: SeparateRef, method: str, *args: Any, **kwargs: Any) -> Any:
         """Issue a synchronous query and return its result."""
@@ -274,7 +285,8 @@ class Client:
             self.counters.bump("syncs_elided")
             self.tracer.record("sync-elided", handler.name, client=self.name, block=queue.block_id)
             return False
-        request = queue.enqueue_sync()
+        request = queue.enqueue_sync(SyncRequest(release=self.backend.create_event()))
+        self.backend.notify_handler(handler)
         request.release.wait()
         queue.synced = True
         handler.owner.grant_sync_access(threading.current_thread())
@@ -306,8 +318,10 @@ class Client:
         handler = ref.handler
         queue = self.queue_for(handler)
         request = CallRequest(fn=fn, args=(ref._raw(),), payload_bytes=_payload_size(args, kwargs),
-                              feature=feature, block=queue.block_id)
+                              feature=feature, block=queue.block_id,
+                              result=ResultBox(event=self.backend.create_event()))
         box = queue.enqueue_query(request)
+        self.backend.notify_handler(handler)
         return box.wait()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper

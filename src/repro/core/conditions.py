@@ -26,7 +26,6 @@ and available directly for code that wants explicit control.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -113,9 +112,13 @@ def reserve_when(
         if ref.handler not in handlers:
             handlers.append(ref.handler)
 
+    # the back-off and the timeout run on the *backend's* clock: wall-clock
+    # seconds under threads, virtual time under the simulator (where a real
+    # sleep would stall the whole simulation without advancing anything)
+    backend = client.backend
     outcome = WaitOutcome()
     backoff = strategy.initial_backoff
-    started = time.monotonic()
+    started = backend.now()
 
     while True:
         reservations = client.reserve(handlers)
@@ -126,7 +129,7 @@ def reserve_when(
             client.release(reservations)
             raise
         if satisfied:
-            outcome.waited_seconds = time.monotonic() - started
+            outcome.waited_seconds = backend.now() - started
             return reservations, proxies, outcome
 
         # condition not met: give the supplier back so another client can
@@ -137,7 +140,7 @@ def reserve_when(
         for handler in handlers:
             client.tracer.record("wait-retry", handler.name, client=client.name)
 
-        elapsed = time.monotonic() - started
+        elapsed = backend.now() - started
         if strategy.timeout is not None and elapsed >= strategy.timeout:
             raise WaitConditionTimeout(
                 f"wait condition not satisfied after {outcome.retries} attempts "
@@ -148,5 +151,5 @@ def reserve_when(
                 f"wait condition not satisfied after {outcome.retries} attempts"
             )
         if backoff > 0:
-            time.sleep(backoff)
+            backend.sleep(backoff)
         backoff = strategy.next_backoff(backoff)

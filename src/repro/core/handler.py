@@ -1,10 +1,19 @@
-"""Handlers: the active-object threads of the SCOOP/Qs runtime.
+"""Handlers: the active objects of the SCOOP/Qs runtime.
 
 A handler owns a set of objects and a *queue of queues* of requests
 (Fig. 4).  Its main loop is a direct transcription of Fig. 7 of the paper:
 repeatedly dequeue a private queue from the queue-of-queues (rule *run*),
 drain calls out of it until the END marker (rule *end*), then move to the
 next private queue.
+
+The loop itself is execution-backend agnostic: *what* happens to a request
+is decided here, while *how the handler blocks* (OS thread + condition
+variables, or a virtual-time scheduler task) is delegated to the runtime's
+:class:`~repro.backends.base.ExecutionBackend`.  Draining uses the batched
+fast path of :meth:`~repro.queues.private_queue.PrivateQueue.dequeue_batch`:
+up to ``config.qoq_batch`` requests per blocking acquisition, with the
+``qoq_batch_drains``/``qoq_batch_size_sum`` counters recording how well the
+batching amortises.
 
 Two locks exist purely to reproduce protocol variants evaluated in the
 paper:
@@ -19,23 +28,27 @@ paper:
 
 from __future__ import annotations
 
+import itertools
 import threading
 from typing import Any, Callable, List, Optional
 
+from repro.backends.base import ExecutionBackend
+from repro.backends.threaded import ThreadedBackend
 from repro.config import QsConfig
-from repro.errors import HandlerShutdownError
 from repro.core.region import HandlerOwner, SeparateObject, SeparateRef
+from repro.errors import HandlerShutdownError
 from repro.queues.private_queue import CallRequest, EndMarker, PrivateQueue, SyncRequest
 from repro.queues.qoq import QueueOfQueues
 from repro.util.counters import Counters
 from repro.util.tracing import NullTracer, Tracer
 
-#: how often a handler parked on an open private queue re-checks for shutdown
-_PQ_POLL_SECONDS = 0.05
+#: process-wide creation order, used to order multi-handler lock
+#: acquisitions deterministically (``id()`` varies between runs)
+_handler_seq = itertools.count()
 
 
 class Handler:
-    """An active object: one OS thread applying requests from its clients."""
+    """An active object: one thread of execution applying client requests."""
 
     def __init__(
         self,
@@ -44,23 +57,29 @@ class Handler:
         counters: Optional[Counters] = None,
         daemon: bool = True,
         tracer: "Tracer | NullTracer | None" = None,
+        backend: Optional[ExecutionBackend] = None,
     ) -> None:
         self.name = name
         self.config = config or QsConfig.all()
         self.counters = counters or Counters()
         # explicit None check: an empty Tracer has len() == 0 and is falsy
         self.tracer = tracer if tracer is not None else NullTracer()
+        self.backend = backend if backend is not None else ThreadedBackend()
+        #: deterministic creation index (canonical lock-ordering key)
+        self.seq = next(_handler_seq)
+        self.daemon = daemon
         self.owner = HandlerOwner(name)
         self.qoq = QueueOfQueues(self.counters)
         #: held for a whole separate block in the lock-based (non-QoQ) protocol
-        self.reservation_lock = threading.Lock()
+        self.reservation_lock = self.backend.create_lock()
         #: makes multi-handler reservations atomic (Section 3.3)
-        self.spinlock = threading.Lock()
+        self.spinlock = self.backend.create_lock()
         #: exceptions raised by asynchronous calls (no client is waiting)
         self.failures: List[BaseException] = []
         self._stop = threading.Event()
         self._started = False
-        self._thread = threading.Thread(target=self._loop, name=f"handler:{name}", daemon=daemon)
+        self._stopped = False
+        self._thread: Optional[threading.Thread] = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -68,24 +87,24 @@ class Handler:
     def start(self) -> "Handler":
         if not self._started:
             self._started = True
-            self.owner.bind_thread(self._thread)
-            self._thread.start()
+            self.backend.start_handler(self)
         return self
 
     def shutdown(self, timeout: float = 5.0) -> None:
         """Stop accepting reservations, drain outstanding work and join."""
-        if not self._started:
+        if not self._started or self._stopped:
             return
+        self._stopped = True
         self._stop.set()
         self.qoq.close()
-        self._thread.join(timeout=timeout)
+        self.backend.stop_handler(self, timeout=timeout)
 
     @property
     def alive(self) -> bool:
-        return self._started and self._thread.is_alive()
+        return self._started and self._thread is not None and self._thread.is_alive()
 
     @property
-    def thread(self) -> threading.Thread:
+    def thread(self) -> Optional[threading.Thread]:
         return self._thread
 
     # ------------------------------------------------------------------
@@ -107,50 +126,50 @@ class Handler:
     # ------------------------------------------------------------------
     def _loop(self) -> None:
         while True:
-            private_queue = self.qoq.dequeue()
+            private_queue = self.backend.handler_next_queue(self)
             if private_queue is None:
                 # queue-of-queues closed and drained: no more work, shut down
                 break
             self._drain_private_queue(private_queue)
 
     def _drain_private_queue(self, private_queue: PrivateQueue) -> None:
+        max_items = max(1, self.config.qoq_batch)
         while True:
-            request = private_queue.dequeue(timeout=_PQ_POLL_SECONDS)
-            if request is None:
-                # nothing arrived yet; keep waiting unless we are shutting down
-                # and the client already closed the block (defensive: a client
-                # crash without END must not wedge the handler forever).
-                if self._stop.is_set() and private_queue.closed_by_client and len(private_queue) == 0:
-                    return
-                if self._stop.is_set() and self.qoq.closed and len(private_queue) == 0 and not private_queue.closed_by_client:
-                    # runtime shutting down with an abandoned reservation
-                    return
-                continue
-            if isinstance(request, EndMarker):
-                # rule *end*: switch to the next private queue
-                self.tracer.record("end-block", self.name, client=private_queue.client_name,
-                                   block=private_queue.block_id)
+            batch = self.backend.handler_next_batch(self, private_queue, max_items)
+            if batch is None:
+                # runtime shutting down with the block abandoned (client
+                # crashed without END, or the reservation was never used)
                 return
-            if isinstance(request, SyncRequest):
-                # rule *sync*: release the waiting client; we then park on this
-                # queue until the client logs more requests (or END)
-                request.fire()
-                continue
-            if isinstance(request, CallRequest):
-                self.counters.bump("calls_executed")
-                # packaged queries (a result box is attached) are recorded
-                # separately so the guarantee checker can distinguish them
-                # from the block's logged commands
-                kind = "exec" if request.result is None else "exec-query"
-                block = request.block if request.block is not None else private_queue.block_id
-                self.tracer.record(kind, self.name, client=private_queue.client_name,
-                                   feature=request.feature or None, block=block)
-                try:
-                    request.execute()
-                except BaseException as exc:  # asynchronous call failed
-                    self.failures.append(exc)
-                continue
-            raise HandlerShutdownError(f"handler {self.name!r} received unknown request {request!r}")
+            self.counters.bump("qoq_batch_drains")
+            self.counters.add("qoq_batch_size_sum", len(batch))
+            for request in batch:
+                if isinstance(request, EndMarker):
+                    # rule *end*: switch to the next private queue (a batch
+                    # never extends past an END marker)
+                    self.tracer.record("end-block", self.name, client=private_queue.client_name,
+                                       block=private_queue.block_id)
+                    return
+                if isinstance(request, SyncRequest):
+                    # rule *sync*: release the waiting client; we then park on
+                    # this queue until the client logs more requests (or END)
+                    request.fire()
+                    continue
+                if isinstance(request, CallRequest):
+                    self.counters.bump("calls_executed")
+                    # packaged queries (a result box is attached) are recorded
+                    # separately so the guarantee checker can distinguish them
+                    # from the block's logged commands
+                    kind = "exec" if request.result is None else "exec-query"
+                    block = request.block if request.block is not None else private_queue.block_id
+                    self.tracer.record(kind, self.name, client=private_queue.client_name,
+                                       feature=request.feature or None, block=block)
+                    try:
+                        request.execute()
+                    except BaseException as exc:  # asynchronous call failed
+                        self.failures.append(exc)
+                    continue
+                raise HandlerShutdownError(
+                    f"handler {self.name!r} received unknown request {request!r}")
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Handler({self.name!r}, alive={self.alive})"

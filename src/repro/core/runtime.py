@@ -27,29 +27,43 @@ evaluates; everything the runtime does is recorded in a shared
 
 from __future__ import annotations
 
+import os
 import threading
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.backends import ExecutionBackend, create_backend
 from repro.config import OptimizationLevel, QsConfig
-from repro.errors import RuntimeShutdownError, ScoopError
 from repro.core.client import Client
 from repro.core.handler import Handler
 from repro.core.region import SeparateRef
 from repro.core.separate import SeparateBlock
-from repro.util.counters import Counters, CounterSnapshot
+from repro.errors import RuntimeShutdownError, ScoopError
+from repro.util.counters import CounterSnapshot, Counters
 from repro.util.tracing import NullTracer, Tracer
 
 
 class QsRuntime:
-    """Owner of handlers, clients and runtime configuration."""
+    """Owner of handlers, clients and runtime configuration.
+
+    ``backend`` selects how handlers and clients execute (see
+    :mod:`repro.backends`): ``"threads"`` (the default) or ``"sim"``.  The
+    resolution order is: explicit ``backend`` argument, then the
+    ``REPRO_BACKEND`` environment variable, then ``config.backend`` — so
+    existing programs can be switched to the simulator without touching
+    their source.
+    """
 
     def __init__(self, config: "QsConfig | OptimizationLevel | str | None" = None,
-                 trace: bool = False, trace_max_events: int = 1_000_000) -> None:
+                 trace: bool = False, trace_max_events: int = 1_000_000,
+                 backend: "ExecutionBackend | str | None" = None) -> None:
         if config is None:
             config = QsConfig.all()
         elif isinstance(config, (OptimizationLevel, str)):
             config = QsConfig.from_level(config)
         self.config: QsConfig = config
+        if backend is None:
+            backend = os.environ.get("REPRO_BACKEND") or self.config.backend
+        self.backend: ExecutionBackend = create_backend(backend)
         self.counters = Counters()
         #: runtime instrumentation (Section 7's "SCOOP-specific instrumentation")
         self.tracer: "Tracer | NullTracer" = Tracer(trace_max_events) if trace else NullTracer()
@@ -58,8 +72,9 @@ class QsRuntime:
         self._lock = threading.Lock()
         self._local = threading.local()
         self._shutdown = False
-        self._client_threads: List[threading.Thread] = []
+        self._client_handles: List[Any] = []
         self._client_errors: List[BaseException] = []
+        self.backend.attach(self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -68,17 +83,24 @@ class QsRuntime:
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self.shutdown()
+        # don't let collected failures mask an exception already unwinding
+        # through the block (e.g. a DeadlockError from the sim backend)
+        self.shutdown(check_failures=exc_type is None)
 
     def shutdown(self, timeout: float = 10.0, check_failures: bool = True) -> None:
-        """Join client threads, retire all handlers, optionally re-raise errors."""
+        """Join clients, retire all handlers, optionally re-raise errors."""
         if self._shutdown:
             return
         self._shutdown = True
-        for thread in self._client_threads:
-            thread.join(timeout=timeout)
+        for handle in self._client_handles:
+            try:
+                self.backend.join_client(handle, timeout=timeout)
+            except ScoopError as exc:  # e.g. deadlock detected while joining
+                self._client_errors.append(exc)
+                break
         for handler in list(self._handlers.values()):
             handler.shutdown(timeout=timeout)
+        self.backend.shutdown(timeout=timeout)
         if check_failures:
             failures = self.handler_failures()
             if self._client_errors:
@@ -106,7 +128,8 @@ class QsRuntime:
                 name = f"handler-{self._handler_seq}"
             if name in self._handlers:
                 raise ScoopError(f"a handler named {name!r} already exists")
-            handler = Handler(name, config=self.config, counters=self.counters, tracer=self.tracer)
+            handler = Handler(name, config=self.config, counters=self.counters,
+                              tracer=self.tracer, backend=self.backend)
             self._handlers[name] = handler
         return handler.start()
 
@@ -142,7 +165,7 @@ class QsRuntime:
         client = getattr(self._local, "client", None)
         if client is None:
             client = Client(self.config, self.counters, name=threading.current_thread().name,
-                            tracer=self.tracer)
+                            tracer=self.tracer, backend=self.backend)
             self._local.client = client
         return client
 
@@ -171,10 +194,14 @@ class QsRuntime:
         return self.tracer.events(**criteria) if self.tracer.enabled else []
 
     # ------------------------------------------------------------------
-    # client threads (concurrent workloads spawn these)
+    # clients (concurrent workloads spawn these)
     # ------------------------------------------------------------------
-    def spawn_client(self, fn: Callable[..., None], *args, name: Optional[str] = None, **kwargs) -> threading.Thread:
-        """Run ``fn`` in a new client thread; errors are collected for shutdown."""
+    def spawn_client(self, fn: Callable[..., None], *args, name: Optional[str] = None, **kwargs) -> Any:
+        """Run ``fn`` as a new client; errors are collected for shutdown.
+
+        Returns a joinable handle: a real :class:`threading.Thread` under the
+        threaded backend, a virtual-time handle under the sim backend.
+        """
         self._check_open()
 
         def _run() -> None:
@@ -183,17 +210,25 @@ class QsRuntime:
             except BaseException as exc:  # surfaced at shutdown
                 self._client_errors.append(exc)
 
-        thread = threading.Thread(target=_run, name=name or f"client:{fn.__name__}", daemon=True)
-        self._client_threads.append(thread)
-        thread.start()
-        return thread
+        handle = self.backend.spawn_client(_run, name=name or f"client:{fn.__name__}")
+        self._client_handles.append(handle)
+        return handle
 
     def join_clients(self, timeout: Optional[float] = None) -> None:
-        """Wait for every spawned client thread to finish."""
-        for thread in self._client_threads:
-            thread.join(timeout=timeout)
+        """Wait for every spawned client to finish."""
+        for handle in self._client_handles:
+            self.backend.join_client(handle, timeout=timeout)
         if self._client_errors:
             raise ScoopError("a client thread raised") from self._client_errors[0]
+
+    def event(self):
+        """A backend-appropriate event for coordination inside workloads.
+
+        Use this instead of :class:`threading.Event` in code that must run
+        on both backends: the threaded backend returns a real thread event,
+        the sim backend one that waits in virtual time.
+        """
+        return self.backend.create_event()
 
     # ------------------------------------------------------------------
     # statistics
@@ -205,7 +240,8 @@ class QsRuntime:
         self.counters.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"QsRuntime(config={self.config.name}, handlers={len(self._handlers)})"
+        return (f"QsRuntime(config={self.config.name}, backend={self.backend.name}, "
+                f"handlers={len(self._handlers)})")
 
 
 def lock_based_runtime() -> QsRuntime:

@@ -15,7 +15,7 @@ fills the tables also draws the figures.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 
 def _fmt(value: float) -> str:

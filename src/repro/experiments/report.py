@@ -32,7 +32,8 @@ def format_table(rows: Sequence[Mapping[str, object]], columns: Sequence[str] | 
     return "\n".join(lines)
 
 
-def pivot(rows: Iterable[Mapping[str, object]], index: str, column: str, value: str) -> List[Dict[str, object]]:
+def pivot(rows: Iterable[Mapping[str, object]], index: str, column: str,
+          value: str) -> List[Dict[str, object]]:
     """Pivot long-form rows into wide-form rows keyed by ``index``."""
     table: Dict[object, Dict[str, object]] = {}
     for row in rows:

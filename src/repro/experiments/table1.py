@@ -62,11 +62,13 @@ def normalized_table(rows: List[Dict[str, object]], value: str = "comm_ops") -> 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--preset", default="small", choices=["tiny", "small", "paper"])
-    parser.add_argument("--verify", action="store_true", help="check results against the sequential reference")
+    parser.add_argument("--verify", action="store_true",
+                        help="check results against the sequential reference")
     args = parser.parse_args()
     sizes = parallel_preset(args.preset)
     rows = collect(sizes, verify=args.verify)
-    print(format_table(rows, title=f"Raw measurements (preset={args.preset}, nr={sizes.nr}, workers={sizes.workers})"))
+    title = f"Raw measurements (preset={args.preset}, nr={sizes.nr}, workers={sizes.workers})"
+    print(format_table(rows, title=title))
     print()
     print(format_table(normalized_table(rows, "comm_ops"),
                        title="Table 1 (reproduced, normalized communication operations)"))

@@ -15,7 +15,7 @@ from repro.experiments.report import format_table, pivot
 from repro.sim.concurrent_model import CONCURRENT_SIM_TASKS, simulate_concurrent
 from repro.sim.languages import LANGUAGE_ORDER
 from repro.util.timing import geometric_mean
-from repro.workloads.params import PAPER_CONCURRENT, ConcurrentSizes
+from repro.workloads.params import ConcurrentSizes, PAPER_CONCURRENT
 
 
 def collect(sizes: ConcurrentSizes = PAPER_CONCURRENT) -> List[Dict[str, object]]:

@@ -12,10 +12,10 @@ This package provides both, plus the higher-level :class:`PrivateQueue`
 :class:`QueueOfQueues` used by :mod:`repro.core`.
 """
 
-from repro.queues.spsc import SPSCQueue
 from repro.queues.mpsc import MPSCQueue
-from repro.queues.private_queue import PrivateQueue, CallRequest, SyncRequest, EndMarker, END
-from repro.queues.qoq import QueueOfQueues
+from repro.queues.private_queue import CallRequest, END, EndMarker, PrivateQueue, SyncRequest
+from repro.queues.qoq import QueueOfQueues, SHUTDOWN
+from repro.queues.spsc import SPSCQueue
 
 __all__ = [
     "SPSCQueue",
@@ -26,4 +26,5 @@ __all__ = [
     "SyncRequest",
     "EndMarker",
     "END",
+    "SHUTDOWN",
 ]

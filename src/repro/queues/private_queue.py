@@ -49,12 +49,17 @@ END = EndMarker()
 
 
 class ResultBox:
-    """One-shot slot used to return a query result to a waiting client."""
+    """One-shot slot used to return a query result to a waiting client.
+
+    ``event`` may be any ``threading.Event``-compatible object; execution
+    backends supply their own (the sim backend's events wait in virtual
+    time) and the default is a plain thread event.
+    """
 
     __slots__ = ("_event", "value", "error")
 
-    def __init__(self) -> None:
-        self._event = threading.Event()
+    def __init__(self, event: Any = None) -> None:
+        self._event = event if event is not None else threading.Event()
         self.value: Any = None
         self.error: BaseException | None = None
 
@@ -173,9 +178,16 @@ class PrivateQueue:
         self._queue.put(request)
         return request.result
 
-    def enqueue_sync(self) -> SyncRequest:
-        """Send the SYNC marker (optimized query protocol, Fig. 10b)."""
-        request = SyncRequest()
+    def enqueue_sync(self, request: Optional[SyncRequest] = None) -> SyncRequest:
+        """Send the SYNC marker (optimized query protocol, Fig. 10b).
+
+        The caller may supply a prebuilt :class:`SyncRequest` whose release
+        event was created by the execution backend (so the wait happens in
+        the backend's notion of time); by default a plain thread event is
+        used.
+        """
+        if request is None:
+            request = SyncRequest()
         self.counters.bump("pq_enqueues")
         self.counters.bump("sync_roundtrips")
         self._queue.put(request)
@@ -196,6 +208,32 @@ class PrivateQueue:
         loop treats that as "keep waiting" unless it is shutting down).
         """
         return self._queue.get(timeout=timeout)
+
+    def dequeue_batch(self, max_items: int, timeout: Optional[float] = None) -> list:
+        """Drain up to ``max_items`` requests in one go (the batched fast path).
+
+        The single blocking acquisition happens only for the *first* request;
+        the rest are popped non-blocking, so a busy queue is drained at a
+        fraction of the per-request synchronisation cost.  A batch never
+        crosses an END marker: private queues are reused across separate
+        blocks, and requests logged by the *next* block must wait until the
+        handler re-dequeues this queue from its queue-of-queues.
+
+        Returns a possibly-empty list (empty = ``timeout`` elapsed).
+        """
+        batch = self._queue.get_batch(max_items, stop_type=EndMarker)
+        if batch:
+            return batch
+        # queue empty: block (up to ``timeout``) for the first request, then
+        # sweep up whatever arrived in the meantime
+        first = self._queue.get(timeout=timeout)
+        if first is None:
+            return []
+        if isinstance(first, EndMarker) or max_items <= 1:
+            return [first]
+        rest = self._queue.get_batch(max_items - 1, stop_type=EndMarker)
+        rest.insert(0, first)
+        return rest
 
     # -- bookkeeping --------------------------------------------------------
     def reset_for_reuse(self) -> None:

@@ -15,6 +15,25 @@ from repro.queues.private_queue import PrivateQueue
 from repro.util.counters import Counters
 
 
+class _ShutdownSentinel:
+    """Returned by ``dequeue`` when the queue is closed *and* drained.
+
+    Distinct from ``None`` (which now unambiguously means "timed out, try
+    again"): the handler loop of Fig. 7 needs to tell "no more work ever"
+    apart from "no work yet", and conflating the two made a timed-out poll
+    look like a shutdown request.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "SHUTDOWN"
+
+
+#: singleton returned by :meth:`QueueOfQueues.dequeue` after close+drain
+SHUTDOWN = _ShutdownSentinel()
+
+
 class QueueOfQueues:
     """MPSC queue of :class:`PrivateQueue` objects owned by one handler."""
 
@@ -36,14 +55,30 @@ class QueueOfQueues:
         self._queue.put(private_queue)
 
     # -- handler side (single consumer) -------------------------------------
-    def dequeue(self, timeout: Optional[float] = None) -> Optional[PrivateQueue]:
-        """Pop the next private queue; ``None`` means the handler should stop.
+    def dequeue(self, timeout: Optional[float] = None) -> "PrivateQueue | _ShutdownSentinel | None":
+        """Pop the next private queue.
 
-        Mirrors the boolean-returning ``qoq.dequeue`` in Fig. 7: ``False``
-        (here ``None`` after close) corresponds to "no more work", signalling
-        handler shutdown rather than mere emptiness.
+        Mirrors the boolean-returning ``qoq.dequeue`` in Fig. 7: the
+        :data:`SHUTDOWN` sentinel corresponds to ``False`` ("no more work",
+        the queue was closed and drained), while ``None`` means the
+        ``timeout`` elapsed with the queue still open — the caller should
+        poll again.
         """
-        return self._queue.get(timeout=timeout)
+        item = self._queue.get(timeout=timeout)
+        if item is not None:
+            return item
+        if self._queue.closed and len(self._queue) == 0:
+            return SHUTDOWN
+        return None
+
+    def try_dequeue(self) -> "PrivateQueue | _ShutdownSentinel | None":
+        """Non-blocking :meth:`dequeue` (same ``SHUTDOWN``/``None`` contract)."""
+        found, item = self._queue.try_get()
+        if found:
+            return item
+        if self._queue.closed:
+            return SHUTDOWN
+        return None
 
     def close(self) -> None:
         """No client will ever reserve this handler again (shutdown)."""

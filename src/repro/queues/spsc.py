@@ -74,6 +74,30 @@ class SPSCQueue(Generic[T]):
         except IndexError:
             return False, None
 
+    def get_batch(self, max_items: int, stop_type: "type | None" = None) -> list:
+        """Non-blocking bulk dequeue of up to ``max_items`` items.
+
+        The whole batch is popped in one tight loop over bound methods —
+        this is the drain fast path: one ``get_batch`` call amortises the
+        per-item call overhead of repeated ``get``/``try_get``.  When
+        ``stop_type`` is given, the batch ends right after the first item of
+        that type (used to keep a drain from crossing an END marker).
+        """
+        popleft = self._items.popleft
+        batch: list = []
+        append = batch.append
+        try:
+            # ``type(item) is None`` is never true, so no stop_type means no
+            # extra branch beyond this single identity check
+            for _ in range(max_items):
+                item = popleft()
+                append(item)
+                if type(item) is stop_type:
+                    break
+        except IndexError:
+            pass
+        return batch
+
     # -- introspection ---------------------------------------------------
     def __len__(self) -> int:
         return len(self._items)

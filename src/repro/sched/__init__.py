@@ -9,20 +9,20 @@ explorer; the threaded runtime (:mod:`repro.core`) uses OS threads instead
 but records the same scheduling events through the shared counters.
 """
 
+from repro.sched.scheduler import CooperativeScheduler
 from repro.sched.tasks import (
-    Task,
-    TaskState,
     Compute,
-    Wait,
-    Signal,
-    Spawn,
-    Put,
     Get,
     Handoff,
-    SimEvent,
+    Put,
+    Signal,
     SimChannel,
+    SimEvent,
+    Spawn,
+    Task,
+    TaskState,
+    Wait,
 )
-from repro.sched.scheduler import CooperativeScheduler
 
 __all__ = [
     "Task",

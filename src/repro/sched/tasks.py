@@ -26,7 +26,7 @@ from __future__ import annotations
 import enum
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Deque, Generator, Iterable, List, Optional
 
 
@@ -161,7 +161,8 @@ class SimChannel:
         return len(self.items)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"SimChannel({self.name or hex(id(self))}, items={len(self.items)}, readers={len(self.readers)})"
+        return (f"SimChannel({self.name or hex(id(self))}, "
+                f"items={len(self.items)}, readers={len(self.readers)})")
 
 
 def as_generator(effects: Iterable[Effect]) -> Generator:

@@ -25,6 +25,26 @@ The modules mirror the paper's formalisation:
   mechanically.
 """
 
+from repro.semantics.explorer import (
+    ExplorationResult,
+    Explorer,
+    check_handler_guarantee,
+    collect_traces,
+)
+from repro.semantics.generator import (
+    ProgramSpec,
+    random_configuration,
+    random_program,
+    random_programs,
+)
+from repro.semantics.lockbased import (
+    LockExplorer,
+    LockState,
+    compare_with_qs,
+    enabled_lock_transitions,
+)
+from repro.semantics.rules import Transition, enabled_transitions, is_terminal
+from repro.semantics.state import Configuration, HandlerState, PrivateQueueEntry, initial_configuration
 from repro.semantics.syntax import (
     Call,
     End,
@@ -38,32 +58,12 @@ from repro.semantics.syntax import (
     Wait,
     seq,
 )
-from repro.semantics.state import Configuration, HandlerState, PrivateQueueEntry, initial_configuration
-from repro.semantics.rules import Transition, enabled_transitions, is_terminal
-from repro.semantics.explorer import (
-    ExplorationResult,
-    Explorer,
-    check_handler_guarantee,
-    collect_traces,
-)
 from repro.semantics.waitgraph import (
     WaitEdge,
     WaitGraph,
     build_wait_graph,
     is_statically_deadlock_free,
     potential_deadlock_cycles,
-)
-from repro.semantics.generator import (
-    ProgramSpec,
-    random_configuration,
-    random_program,
-    random_programs,
-)
-from repro.semantics.lockbased import (
-    LockExplorer,
-    LockState,
-    compare_with_qs,
-    enabled_lock_transitions,
 )
 
 __all__ = [

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import DeadlockError, SemanticsError
-from repro.semantics.rules import Event, Transition, enabled_transitions
+from repro.semantics.rules import Event, enabled_transitions
 from repro.semantics.state import Configuration
 
 

@@ -26,7 +26,7 @@ static companion used by the CLI and the examples:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.semantics.syntax import Call, Query, Separate, Seq, Skip, Stmt
 

@@ -22,17 +22,17 @@ where scaling saturates); it does not claim to re-measure the absolute
 numbers, which belong to the original testbed.
 """
 
+from repro.sim.concurrent_model import (
+    CONCURRENT_SIM_TASKS,
+    ConcurrentEstimate,
+    simulate_concurrent,
+)
 from repro.sim.languages import LANGUAGES, LanguageProfile, language_table
 from repro.sim.parallel_model import (
     PARALLEL_TASKS,
     ParallelEstimate,
     simulate_parallel,
     simulate_parallel_sweep,
-)
-from repro.sim.concurrent_model import (
-    CONCURRENT_SIM_TASKS,
-    ConcurrentEstimate,
-    simulate_concurrent,
 )
 
 __all__ = [

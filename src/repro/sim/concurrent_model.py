@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List
 
 from repro.sim.languages import LANGUAGE_ORDER, LanguageProfile, get_language
-from repro.workloads.params import PAPER_CONCURRENT, ConcurrentSizes
+from repro.workloads.params import ConcurrentSizes, PAPER_CONCURRENT
 
 
 @dataclass(frozen=True)

@@ -1,8 +1,8 @@
 """Shared utilities: instrumentation counters, timing helpers, seeded RNG."""
 
-from repro.util.counters import Counters, CounterSnapshot
+from repro.util.counters import CounterSnapshot, Counters
+from repro.util.rng import lcg_stream, make_rng
 from repro.util.timing import Stopwatch, geometric_mean
-from repro.util.rng import make_rng, lcg_stream
 
 __all__ = [
     "Counters",

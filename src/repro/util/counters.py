@@ -10,6 +10,9 @@ The counters correspond directly to the cost sources discussed in the paper:
 * ``sync_roundtrips``   -- sync messages actually sent to a handler
 * ``syncs_elided``      -- sync operations skipped by dynamic/static coalescing
 * ``qoq_enqueues``      -- private queues inserted into a queue-of-queues
+* ``qoq_batch_drains``  -- batched drain passes over a private queue
+* ``qoq_batch_size_sum``-- requests drained across all batch passes (the
+                           mean batch size is ``sum / drains``)
 * ``pq_enqueues``       -- entries inserted into private queues
 * ``lock_acquisitions`` -- handler request-lock acquisitions (lock-based mode)
 * ``lock_waits``        -- times a client had to wait for the handler lock
@@ -29,6 +32,8 @@ COUNTER_NAMES = (
     "sync_roundtrips",
     "syncs_elided",
     "qoq_enqueues",
+    "qoq_batch_drains",
+    "qoq_batch_size_sum",
     "pq_enqueues",
     "lock_acquisitions",
     "lock_waits",

@@ -25,7 +25,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence
 
 #: event kinds emitted by the runtime (kept as plain strings for cheap checks)

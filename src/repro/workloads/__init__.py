@@ -10,7 +10,7 @@
   compute/communication split used by the experiments.
 """
 
-from repro.workloads.params import ParallelSizes, ConcurrentSizes, PAPER_PARALLEL, PAPER_CONCURRENT
+from repro.workloads.params import ConcurrentSizes, PAPER_CONCURRENT, PAPER_PARALLEL, ParallelSizes
 from repro.workloads.results import WorkloadResult
 
 __all__ = [

@@ -7,13 +7,6 @@ SCOOP/Qs client API: the shared state lives on handlers, the competing
 threads are runtime clients, and every interaction is a separate block.
 """
 
-from repro.workloads.concurrent.shared import (
-    MeetingPlace,
-    ParityCounter,
-    RingNode,
-    SharedCounter,
-    SharedQueue,
-)
 from repro.workloads.concurrent.runner import (
     CONCURRENT_TASKS,
     run_chameneos,
@@ -22,6 +15,13 @@ from repro.workloads.concurrent.runner import (
     run_mutex,
     run_prodcons,
     run_threadring,
+)
+from repro.workloads.concurrent.shared import (
+    MeetingPlace,
+    ParityCounter,
+    RingNode,
+    SharedCounter,
+    SharedQueue,
 )
 
 __all__ = [

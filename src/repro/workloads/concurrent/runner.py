@@ -13,7 +13,6 @@ time, matching how the paper treats them.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Dict, List
 
 from repro.config import OptimizationLevel, QsConfig
@@ -136,7 +135,8 @@ def run_threadring(runtime: QsRuntime, sizes: ConcurrentSizes) -> WorkloadResult
     before = runtime.counters.snapshot()
     ring = sizes.ring_size
     refs = [runtime.new_handler(f"ring-{i}").create(RingNode, i) for i in range(ring)]
-    done = threading.Event()
+    # backend-neutral event: real under threads, virtual-time under sim
+    done = runtime.event()
 
     watch = Stopwatch()
     with watch:

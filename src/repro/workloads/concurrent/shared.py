@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Optional, Tuple
 
 from repro.core.api import command, query
 from repro.core.region import SeparateObject

@@ -21,7 +21,6 @@ individual kernels — the same effect the paper reports.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -31,12 +30,12 @@ from repro.core.api import command, query
 from repro.core.region import SeparateObject, SeparateRef
 from repro.core.runtime import QsRuntime
 from repro.core.transfer import pull_elements
+from repro.util.rng import lcg_stream
 from repro.util.timing import Stopwatch
 from repro.workloads.cowichan import reference
 from repro.workloads.cowichan.reference import RAND_LIMIT
 from repro.workloads.params import ParallelSizes
 from repro.workloads.results import WorkloadResult
-from repro.util.rng import lcg_stream
 
 
 # ----------------------------------------------------------------------------
@@ -531,6 +530,7 @@ def verify_against_reference(result: WorkloadResult, sizes: ParallelSizes) -> No
         omat, vec = reference.outer(points)
         np.testing.assert_allclose(result.value, reference.product(omat, vec))
     elif result.name == "chain":
-        np.testing.assert_allclose(result.value, reference.chain(sizes.nr, sizes.percent, sizes.nw, sizes.seed))
+        np.testing.assert_allclose(
+            result.value, reference.chain(sizes.nr, sizes.percent, sizes.nw, sizes.seed))
     else:  # pragma: no cover - defensive
         raise ValueError(f"no reference check for task {result.name!r}")

@@ -81,4 +81,5 @@ def concurrent_preset(name: str) -> ConcurrentSizes:
     try:
         return CONCURRENT_PRESETS[name]
     except KeyError as exc:
-        raise ValueError(f"unknown concurrent preset {name!r}; choose from {sorted(CONCURRENT_PRESETS)}") from exc
+        raise ValueError(
+            f"unknown concurrent preset {name!r}; choose from {sorted(CONCURRENT_PRESETS)}") from exc

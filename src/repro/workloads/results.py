@@ -10,7 +10,7 @@ paper reports), and the runtime counter deltas accumulated during the run
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 from repro.util.counters import CounterSnapshot
 

@@ -1,0 +1,323 @@
+"""Backend parity: the same programs, observations and counters either way.
+
+The point of the backend seam is that *nothing observable about a program*
+depends on whether it runs on OS threads or on the virtual-time simulator.
+These tests run the paper's flagship scenarios — bank transfers with an
+auditor (Fig. 5), dining philosophers (Section 2.4), a sync-coalescing
+block — under both backends and assert identical results and identical
+schedule-independent counters; plus the sim-only guarantees: bitwise
+reproducibility and deadlock detection.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import DeadlockError, QsRuntime, SeparateObject, command, query
+from repro.backends import SimBackend, ThreadedBackend, create_backend
+from repro.config import QsConfig
+from repro.workloads.concurrent.runner import run_concurrent
+from repro.workloads.params import ConcurrentSizes
+
+BACKENDS = ("threads", "sim")
+
+#: counters whose values are schedule-independent for the workloads below
+#: (retry-style counters like lock_waits or wait_condition_retries are not)
+PARITY_COUNTERS = (
+    "async_calls",
+    "queries",
+    "sync_roundtrips",
+    "syncs_elided",
+    "reservations",
+    "multi_reservations",
+    "qoq_enqueues",
+    "calls_executed",
+)
+
+
+class Account(SeparateObject):
+    def __init__(self, balance: int) -> None:
+        self.balance = balance
+
+    @command
+    def credit(self, amount: int) -> None:
+        self.balance += amount
+
+    @command
+    def debit(self, amount: int) -> None:
+        self.balance -= amount
+
+    @query
+    def read(self) -> int:
+        return self.balance
+
+
+class Fork(SeparateObject):
+    def __init__(self) -> None:
+        self.uses = 0
+
+    @command
+    def use(self) -> None:
+        self.uses += 1
+
+    @query
+    def total_uses(self) -> int:
+        return self.uses
+
+
+class Counter(SeparateObject):
+    def __init__(self) -> None:
+        self.value = 0
+
+    @command
+    def increment(self) -> None:
+        self.value += 1
+
+    @query
+    def read(self) -> int:
+        return self.value
+
+
+# ----------------------------------------------------------------------------
+# workload drivers (shared by the parity assertions)
+# ----------------------------------------------------------------------------
+def bank_workload(backend: str) -> dict:
+    observed = []
+    with QsRuntime("all", backend=backend) as rt:
+        alice = rt.new_handler("alice").create(Account, 1_000)
+        bob = rt.new_handler("bob").create(Account, 1_000)
+
+        def transferrer(seed: int) -> None:
+            rng = random.Random(seed)
+            for _ in range(15):
+                amount = rng.randint(1, 20)
+                with rt.separate(alice, bob) as (a, b):
+                    a.debit(amount)
+                    b.credit(amount)
+
+        def auditor() -> None:
+            for _ in range(8):
+                with rt.separate(alice, bob) as (a, b):
+                    observed.append(a.read() + b.read())
+
+        for i in range(3):
+            rt.spawn_client(transferrer, i, name=f"transfer-{i}")
+        rt.spawn_client(auditor, name="auditor")
+        rt.join_clients()
+        with rt.separate(alice, bob) as (a, b):
+            final = (a.read(), b.read())
+        counters = {name: rt.stats()[name] for name in PARITY_COUNTERS}
+    return {"final": final, "observed": observed, "counters": counters}
+
+
+def philosophers_workload(backend: str) -> dict:
+    n, rounds = 5, 6
+    with QsRuntime("all", backend=backend) as rt:
+        forks = [rt.new_handler(f"fork-{i}").create(Fork) for i in range(n)]
+        meals = [0] * n
+
+        def philosopher(i: int) -> None:
+            left, right = forks[i], forks[(i + 1) % n]
+            for _ in range(rounds):
+                with rt.separate(left, right) as (fl, fr):
+                    fl.use()
+                    fr.use()
+                    meals[i] += 1
+
+        for i in range(n):
+            rt.spawn_client(philosopher, i, name=f"philosopher-{i}")
+        rt.join_clients()
+        with rt.separate(*forks) as proxies:
+            uses = [proxy.total_uses() for proxy in proxies]
+        counters = {name: rt.stats()[name] for name in PARITY_COUNTERS}
+    return {"meals": meals, "uses": uses, "counters": counters}
+
+
+def coalescing_workload(backend: str) -> dict:
+    """Back-to-back queries in one block: one sync, the rest elided."""
+    with QsRuntime("all", backend=backend) as rt:
+        ref = rt.new_handler("counter").create(Counter)
+        values = []
+        for _ in range(4):
+            with rt.separate(ref) as c:
+                c.increment()
+                values.append((c.read(), c.read(), c.read()))
+        counters = {name: rt.stats()[name] for name in PARITY_COUNTERS}
+    return {"values": values, "counters": counters}
+
+
+# ----------------------------------------------------------------------------
+# per-backend correctness
+# ----------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestEachBackend:
+    def test_bank_conserves_money(self, backend):
+        result = bank_workload(backend)
+        assert sum(result["final"]) == 2_000
+        assert all(total == 2_000 for total in result["observed"])
+
+    def test_philosophers_all_eat(self, backend):
+        result = philosophers_workload(backend)
+        assert result["meals"] == [6] * 5
+        assert sum(result["uses"]) == 2 * sum(result["meals"])
+
+    def test_sync_coalescing_counts(self, backend):
+        result = coalescing_workload(backend)
+        assert result["values"] == [(1, 1, 1), (2, 2, 2), (3, 3, 3), (4, 4, 4)]
+        # per block: the first read syncs, the two repeats are elided
+        assert result["counters"]["sync_roundtrips"] == 4
+        assert result["counters"]["syncs_elided"] == 8
+
+    def test_workloads_runner_unmodified(self, backend):
+        sizes = ConcurrentSizes(n=2, m=5, nt=20, ring_size=4, nc=10)
+        config = QsConfig.all().with_(backend=backend)
+        assert run_concurrent("mutex", config, sizes).value == 10
+        assert run_concurrent("threadring", config, sizes).value["passes"] == 21
+
+
+# ----------------------------------------------------------------------------
+# cross-backend parity
+# ----------------------------------------------------------------------------
+@pytest.mark.parametrize("workload", [bank_workload, philosophers_workload,
+                                      coalescing_workload],
+                         ids=["bank", "philosophers", "coalescing"])
+def test_backends_agree(workload):
+    results = {backend: workload(backend) for backend in BACKENDS}
+    threads, sim = results["threads"], results["sim"]
+    assert threads == sim, "observable results and counters must not depend on the backend"
+
+
+# ----------------------------------------------------------------------------
+# sim-only guarantees
+# ----------------------------------------------------------------------------
+class TestSimDeterminism:
+    def _run(self):
+        with QsRuntime("all", backend="sim") as rt:
+            result = bank_workload_inline(rt)
+            virtual = rt.backend.now()
+            fingerprint = rt.backend.schedule_trace()
+            counters = rt.stats().as_dict()
+        return result, virtual, fingerprint, counters
+
+    def test_identical_runs(self):
+        first = self._run()
+        second = self._run()
+        assert first == second
+
+    def test_virtual_time_advances(self):
+        _, virtual, _, _ = self._run()
+        assert virtual > 0
+
+
+def bank_workload_inline(rt) -> tuple:
+    alice = rt.new_handler("alice").create(Account, 500)
+    bob = rt.new_handler("bob").create(Account, 500)
+
+    def transferrer(seed: int) -> None:
+        rng = random.Random(seed)
+        for _ in range(10):
+            with rt.separate(alice, bob) as (a, b):
+                amount = rng.randint(1, 9)
+                a.debit(amount)
+                b.credit(amount)
+
+    for i in range(3):
+        rt.spawn_client(transferrer, i, name=f"t-{i}")
+    rt.join_clients()
+    with rt.separate(alice, bob) as (a, b):
+        return (a.read(), b.read())
+
+
+class TestSimDeadlockDetection:
+    def test_circular_wait_is_reported(self):
+        """A hang under threads becomes an immediate DeadlockError under sim."""
+        with pytest.raises(DeadlockError):
+            with QsRuntime("all", backend="sim") as rt:
+                r1 = rt.new_handler("h1").create(Counter)
+                r2 = rt.new_handler("h2").create(Counter)
+                ea, eb = rt.event(), rt.event()
+
+                def a() -> None:
+                    with rt.separate(r1):
+                        ea.set()
+                        eb.wait()
+                        with rt.separate(r2) as y:
+                            y.read()
+
+                def b() -> None:
+                    with rt.separate(r2):
+                        eb.set()
+                        ea.wait()
+                        with rt.separate(r1) as y:
+                            y.read()
+
+                rt.spawn_client(a, name="A")
+                rt.spawn_client(b, name="B")
+                rt.join_clients()
+
+    def test_deadlock_free_program_is_clean(self):
+        # the multi-reservation variant of the same program cannot deadlock
+        with QsRuntime("all", backend="sim") as rt:
+            r1 = rt.new_handler("h1").create(Counter)
+            r2 = rt.new_handler("h2").create(Counter)
+
+            def worker() -> None:
+                with rt.separate(r1, r2) as (x, y):
+                    x.increment()
+                    y.increment()
+
+            rt.spawn_client(worker, name="A")
+            rt.spawn_client(worker, name="B")
+            rt.join_clients()
+            with rt.separate(r1, r2) as (x, y):
+                assert (x.read(), y.read()) == (2, 2)
+
+
+# ----------------------------------------------------------------------------
+# selection plumbing
+# ----------------------------------------------------------------------------
+class TestBackendSelection:
+    def test_create_backend_names(self):
+        assert isinstance(create_backend("threads"), ThreadedBackend)
+        assert isinstance(create_backend("threaded"), ThreadedBackend)
+        assert isinstance(create_backend("sim"), SimBackend)
+        instance = ThreadedBackend()
+        assert create_backend(instance) is instance
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            create_backend("quantum")
+
+    def test_config_carries_backend(self):
+        config = QsConfig.all().with_(backend="sim")
+        with QsRuntime(config) as rt:
+            assert rt.backend.name == "sim"
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "sim")
+        with QsRuntime("all") as rt:
+            assert rt.backend.name == "sim"
+
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "sim")
+        with QsRuntime("all", backend="threads") as rt:
+            assert rt.backend.name == "threads"
+
+    def test_sim_backend_cannot_be_reattached(self):
+        backend = SimBackend()
+        with QsRuntime("all", backend=backend):
+            pass
+        with pytest.raises(Exception, match="cannot be attached twice"):
+            QsRuntime("all", backend=backend)
+
+    def test_runtime_event_matches_backend(self):
+        with QsRuntime("all") as rt:
+            event = rt.event()
+            event.set()
+            assert event.is_set()
+        with QsRuntime("all", backend="sim") as rt:
+            event = rt.event()
+            event.set()
+            assert event.is_set()

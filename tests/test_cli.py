@@ -15,8 +15,9 @@ class TestParser:
     def test_every_subcommand_registered(self):
         parser = build_parser()
         text = parser.format_help()
-        for command in ("levels", "experiment", "figures", "ir", "explore", "trace"):
+        for command in ("levels", "experiment", "figures", "ir", "explore", "trace", "run"):
             assert command in text
+        assert "--backend" in text
 
     def test_missing_subcommand_is_an_error(self):
         with pytest.raises(SystemExit):
@@ -106,6 +107,45 @@ class TestTrace:
         code, out = run_cli(capsys, "trace", "--level", "none", "--clients", "2", "--iterations", "1")
         assert code == 0
         assert "level 'none'" in out
+
+
+class TestRun:
+    def test_bank_transfers_identical_on_both_backends(self, capsys):
+        outputs = {}
+        for backend in ("threads", "sim"):
+            code, out = run_cli(capsys, "--backend", backend, "run", "bank-transfers",
+                                "--clients", "2", "--iterations", "5")
+            assert code == 0
+            assert "money conserved" in out
+            # drop the backend=... prefix: everything else must match exactly
+            outputs[backend] = [line for line in out.splitlines() if "backend=" not in line]
+        assert outputs["threads"] == outputs["sim"]
+
+    def test_dining_philosophers_identical_on_both_backends(self, capsys):
+        outputs = {}
+        for backend in ("threads", "sim"):
+            code, out = run_cli(capsys, "--backend", backend, "run", "dining-philosophers",
+                                "--clients", "3", "--iterations", "4")
+            assert code == 0
+            assert "no deadlock" in out
+            outputs[backend] = [line for line in out.splitlines() if "backend=" not in line]
+        assert outputs["threads"] == outputs["sim"]
+
+    def test_unknown_example_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fizzbuzz"])
+
+
+class TestBackendOption:
+    def test_trace_runs_on_the_sim_backend(self, capsys):
+        code, out = run_cli(capsys, "--backend", "sim", "trace",
+                            "--clients", "2", "--iterations", "2", "--tail", "3")
+        assert code == 0
+        assert "reasoning guarantees hold" in out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--backend", "quantum", "run", "bank-transfers"])
 
 
 class TestExperimentAndFigures:

@@ -15,7 +15,7 @@ from repro.compiler.builder import (
     straightline_queries,
 )
 from repro.compiler.interp import IRInterpreter
-from repro.compiler.ir import AsyncCallInstr, CallInstr, LocalInstr, QueryInstr, SyncInstr
+from repro.compiler.ir import SyncInstr
 from repro.compiler.lowering import lower_queries
 from repro.compiler.pass_manager import PassManager
 from repro.compiler.sync_analysis import SyncSetAnalysis, update_sync

@@ -9,7 +9,6 @@ from repro.compiler.attributes import (
     infer_and_apply,
 )
 from repro.compiler.builder import FunctionBuilder
-from repro.compiler.ir import CallInstr
 from repro.compiler.program import Program
 from repro.compiler.sync_elision import SyncElisionPass
 from repro.errors import CompilerError

@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.compiler.builder import FunctionBuilder, fig14_loop, fig15_loop
+from repro.compiler.builder import FunctionBuilder, fig14_loop
 from repro.compiler.dominators import compute_dominators, dominator_tree_lines
 from repro.errors import CompilerError
 

@@ -1,11 +1,10 @@
 """Tests for call-site inlining and its interaction with sync coalescing."""
 
-import pytest
 
 from repro.compiler.attributes import AttributeInference, Effect
 from repro.compiler.builder import FunctionBuilder
 from repro.compiler.inline import InlinePass, inline_program
-from repro.compiler.ir import CallInstr, LocalInstr, SyncInstr
+from repro.compiler.ir import CallInstr, LocalInstr
 from repro.compiler.program import Program
 from repro.compiler.sync_elision import SyncElisionPass
 from repro.compiler.verify import verify_function

@@ -1,6 +1,5 @@
 """Tests for natural-loop detection and the sync-hoisting pass."""
 
-import pytest
 
 from repro.compiler.alias import AliasInfo
 from repro.compiler.builder import FunctionBuilder, fig14_loop, fig15_loop

@@ -48,7 +48,8 @@ class TestPrinter:
             .ret()
         )
         text = print_function(b.build())
-        for keyword in ("sync h", 'async h "push x"', 'query h "read y"', "call helper readonly", "call opaque"):
+        for keyword in ("sync h", 'async h "push x"', 'query h "read y"',
+                        "call helper readonly", "call opaque"):
             assert keyword in text
 
     def test_print_program_contains_every_function(self):

@@ -4,7 +4,6 @@ import pathlib
 import subprocess
 import sys
 
-import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
 
@@ -43,6 +42,19 @@ def test_bank_transfers_conserves_money():
     proc = run_example("bank_transfers.py")
     assert proc.returncode == 0, proc.stderr
     assert "money conserved" in proc.stdout
+
+
+def test_bank_transfers_on_the_sim_backend():
+    proc = run_example("bank_transfers.py", "--backend", "sim")
+    assert proc.returncode == 0, proc.stderr
+    assert "money conserved" in proc.stdout
+
+
+def test_dining_philosophers_on_the_sim_backend():
+    proc = run_example("dining_philosophers.py", "--backend", "sim",
+                       "--philosophers", "4", "--rounds", "5")
+    assert proc.returncode == 0, proc.stderr
+    assert "no deadlock" in proc.stdout
 
 
 def test_chameneos_example_runs():

@@ -1,7 +1,6 @@
 """Tests for expanded objects (value semantics across region boundaries)."""
 
 import numpy as np
-import pytest
 
 from repro import QsRuntime, SeparateObject, command, query
 from repro.core.expanded import (

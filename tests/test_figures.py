@@ -1,6 +1,5 @@
 """Tests for the text figure renderers."""
 
-import pytest
 
 from repro.experiments import figures
 

@@ -8,7 +8,7 @@ from hypothesis import given, strategies as st
 from repro.errors import QueryFailedError
 from repro.queues.mpsc import MPSCQueue
 from repro.queues.private_queue import CallRequest, END, EndMarker, PrivateQueue, SyncRequest
-from repro.queues.qoq import QueueOfQueues
+from repro.queues.qoq import QueueOfQueues, SHUTDOWN
 from repro.queues.spsc import SPSCQueue
 from repro.util.counters import Counters
 
@@ -156,6 +156,34 @@ class TestPrivateQueue:
         assert not pq.synced
         assert not pq.closed_by_client
 
+    def test_dequeue_batch_drains_up_to_limit(self):
+        pq = PrivateQueue()
+        for _ in range(5):
+            pq.enqueue_call(CallRequest(fn=lambda: None))
+        batch = pq.dequeue_batch(3, timeout=0.0)
+        assert len(batch) == 3
+        assert len(pq.dequeue_batch(10, timeout=0.0)) == 2
+        assert pq.dequeue_batch(10, timeout=0.0) == []
+
+    def test_dequeue_batch_never_crosses_end_marker(self):
+        # private queues are reused across separate blocks: a batch must not
+        # leak the next block's requests past this block's END
+        pq = PrivateQueue()
+        pq.enqueue_call(CallRequest(fn=lambda: None))
+        pq.enqueue_end()
+        pq.reset_for_reuse()
+        pq.enqueue_call(CallRequest(fn=lambda: None))
+        batch = pq.dequeue_batch(10, timeout=0.0)
+        assert len(batch) == 2
+        assert isinstance(batch[-1], EndMarker)
+        assert len(pq) == 1  # the next block's request stays queued
+
+    def test_dequeue_batch_end_first(self):
+        pq = PrivateQueue()
+        pq.enqueue_end()
+        batch = pq.dequeue_batch(10, timeout=0.0)
+        assert batch == [END]
+
 
 class TestQueueOfQueues:
     def test_fifo_of_private_queues(self):
@@ -171,8 +199,22 @@ class TestQueueOfQueues:
     def test_close_signals_no_more_work(self):
         qoq = QueueOfQueues()
         qoq.close()
-        assert qoq.dequeue() is None
+        assert qoq.dequeue() is SHUTDOWN
         assert qoq.closed
+
+    def test_timeout_is_distinguishable_from_shutdown(self):
+        # regression: both used to surface as None, so a handler could
+        # mistake a timed-out poll for a shutdown request (or vice versa)
+        qoq = QueueOfQueues()
+        assert qoq.dequeue(timeout=0.01) is None          # timed out, still open
+        assert qoq.try_dequeue() is None
+        queue = PrivateQueue()
+        qoq.enqueue(queue)
+        qoq.close()
+        assert qoq.dequeue(timeout=0.01) is queue         # drain continues after close
+        assert qoq.dequeue(timeout=0.01) is SHUTDOWN      # closed *and* drained
+        assert qoq.try_dequeue() is SHUTDOWN
+        assert repr(SHUTDOWN) == "SHUTDOWN"
 
     def test_concurrent_reservations_all_arrive(self):
         qoq = QueueOfQueues()

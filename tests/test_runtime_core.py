@@ -2,15 +2,13 @@
 queries, multi-reservations, nesting, error handling — across every
 optimization level (the ``runtime`` fixture is parameterised)."""
 
-import threading
 
 import pytest
 
-from repro.config import QsConfig
 from repro.core.api import command, query
+from repro.core.baseline import LockBasedRuntime
 from repro.core.region import SeparateObject
 from repro.core.runtime import QsRuntime, lock_based_runtime, qs_runtime
-from repro.core.baseline import LockBasedRuntime
 from repro.errors import (
     NotReservedError,
     QueryFailedError,

@@ -4,7 +4,7 @@ import pytest
 
 from repro.semantics.explorer import Explorer
 from repro.semantics.generator import ProgramSpec, random_configuration, random_programs
-from repro.semantics.programs import fig1_two_clients, fig6_nested
+from repro.semantics.programs import fig6_nested
 from repro.semantics.syntax import Call, Query, Separate, seq
 from repro.semantics.waitgraph import (
     build_wait_graph,

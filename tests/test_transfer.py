@@ -8,7 +8,6 @@ way the paper describes.
 import numpy as np
 import pytest
 
-from repro.config import QsConfig
 from repro.core.api import command, query
 from repro.core.region import SeparateObject
 from repro.core.runtime import QsRuntime

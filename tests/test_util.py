@@ -1,13 +1,12 @@
 """Tests for counters, timing helpers and the deterministic RNG."""
 
-import math
 import threading
 
 import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.util.counters import Counters, CounterSnapshot
+from repro.util.counters import CounterSnapshot, Counters
 from repro.util.rng import lcg_matrix, lcg_next, lcg_stream
 from repro.util.timing import Stopwatch, geometric_mean, normalize_to_fastest, speedup_series
 

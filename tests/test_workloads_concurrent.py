@@ -3,7 +3,6 @@ threadring, chameneos) across optimization levels."""
 
 import pytest
 
-from repro.core.runtime import QsRuntime
 from repro.workloads.concurrent.runner import (
     CONCURRENT_TASKS,
     run_chameneos,
