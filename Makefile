@@ -5,10 +5,11 @@
 #   make test        the tier-1 test suite
 #   make bench       micro-benchmarks at the tiny preset
 #   make bench-backends   threaded-vs-sim / batched-vs-not comparison JSON
+#   make explore     short schedule-exploration smoke of both workloads
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-backends clean
+.PHONY: install lint test bench bench-backends explore clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -24,6 +25,18 @@ bench:
 
 bench-backends:
 	$(PYTHON) benchmarks/bench_backends.py
+
+# bank-transfers must stay clean on every schedule; the philosophers hunt is
+# *expected* to find its seeded deadlock (exit 1 = "problem found") and the
+# saved trace must replay to the identical failure
+explore:
+	mkdir -p traces
+	$(PYTHON) -m repro explore bank-transfers --policy random --seeds 10 \
+		--save-trace traces/bank-transfers.trace.json
+	$(PYTHON) -m repro explore dining-philosophers --policy random --seeds 50 \
+		--save-trace traces/dining-philosophers.trace.json; test $$? -eq 1
+	$(PYTHON) -m repro explore dining-philosophers \
+		--replay traces/dining-philosophers.trace.json; test $$? -eq 1
 
 clean:
 	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache .ruff_cache

@@ -8,7 +8,11 @@ This package reproduces the PPoPP 2015 paper by West, Nanz and Meyer:
   deterministic virtual-time simulator (see ``docs/backends.md``);
 * :mod:`repro.queues`     — the SPSC/MPSC queue substrate with the batched
   drain fast path;
-* :mod:`repro.sched`      — the lightweight-task / virtual-time scheduler;
+* :mod:`repro.sched`      — the lightweight-task / virtual-time scheduler
+  with pluggable scheduling policies and schedule record/replay;
+* :mod:`repro.explore`    — concurrency fuzzing over the simulator: seeded
+  schedule exploration, failure oracles, trace replay
+  (see ``docs/exploring.md``);
 * :mod:`repro.semantics`  — the executable operational semantics of Fig. 3;
 * :mod:`repro.compiler`   — the IR and the static sync-coalescing pass;
 * :mod:`repro.sim`        — the discrete-event performance model and the

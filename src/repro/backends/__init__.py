@@ -15,6 +15,12 @@ is backend-agnostic; a backend decides how handlers and clients *execute*:
 Select one with ``QsRuntime(backend="sim")``, ``QsConfig(backend="sim")``,
 the ``REPRO_BACKEND`` environment variable, or ``repro --backend sim ...``
 on the command line.
+
+A sim-backend spec may carry a scheduling policy and seed after colons —
+``"sim:random"``, ``"sim:random:7"``, ``"sim:pct:3"`` — selecting which
+interleaving the simulator executes (see :mod:`repro.sched.policy`); so
+``REPRO_BACKEND=sim:random:7`` reruns a whole program suite under one
+specific adversarial schedule without touching any source.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from typing import Callable, Dict
 from repro.backends.base import ClientHandle, ExecutionBackend
 from repro.backends.sim import SimBackend, SimClientHandle, SimEventHandle, SimLock
 from repro.backends.threaded import ThreadedBackend
+from repro.sched.policy import make_policy
 
 #: registered backend factories, keyed by every accepted spelling
 BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
@@ -38,16 +45,37 @@ BACKEND_NAMES = ("threads", "sim")
 
 
 def create_backend(name: "str | ExecutionBackend | None") -> ExecutionBackend:
-    """Resolve a backend name (or pass an instance through) to a backend."""
+    """Resolve a backend spec (or pass an instance through) to a backend.
+
+    A spec is a backend name optionally followed by a sim scheduling policy
+    and seed: ``"sim"``, ``"sim:random"``, ``"sim:pct:42"``.  Policy
+    components on the threaded backend are rejected — the OS schedules
+    there, so silently ignoring them would be misleading.
+    """
     if name is None:
         return ThreadedBackend()
     if isinstance(name, ExecutionBackend):
         return name
-    factory = BACKENDS.get(str(name).lower())
+    base, _, policy_spec = str(name).lower().partition(":")
+    factory = BACKENDS.get(base)
     if factory is None:
         valid = ", ".join(BACKEND_NAMES)
         raise ValueError(f"unknown execution backend {name!r}; expected one of {valid}")
-    return factory()
+    if not policy_spec:
+        return factory()
+    if factory is not SimBackend:
+        raise ValueError(
+            f"backend spec {name!r} carries a scheduling policy, but only the sim "
+            f"backend has a controllable scheduler"
+        )
+    policy_name, _, seed_text = policy_spec.partition(":")
+    seed = 0
+    if seed_text:
+        try:
+            seed = int(seed_text)
+        except ValueError:
+            raise ValueError(f"invalid scheduling seed {seed_text!r} in backend spec {name!r}") from None
+    return SimBackend(policy=make_policy(policy_name, seed=seed), seed=seed)
 
 
 __all__ = [

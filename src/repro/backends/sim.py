@@ -43,8 +43,9 @@ from typing import Any, Callable, Deque, List, Optional, Tuple
 from repro.backends.base import ClientHandle, ExecutionBackend
 from repro.errors import ScoopError
 from repro.queues.qoq import SHUTDOWN
+from repro.sched.policy import ScheduleTrace, SchedulingPolicy, make_policy
 from repro.sched.scheduler import CooperativeScheduler
-from repro.sched.tasks import Compute, Signal, SimEvent, Task, Wait
+from repro.sched.tasks import Compute, Signal, SimEvent, Task, TaskState, Wait
 
 
 class _Bridge:
@@ -192,12 +193,21 @@ class SimBackend(ExecutionBackend):
     name = "sim"
 
     def __init__(self, ncores: int = 4, op_cost: float = 1.0, exec_cost: float = 1.0,
-                 max_steps: int = 10_000_000) -> None:
+                 max_steps: int = 10_000_000,
+                 policy: "SchedulingPolicy | str | None" = None,
+                 seed: Optional[int] = None,
+                 record_schedule: bool = False) -> None:
         self.ncores = ncores
         self.op_cost = op_cost
         self.exec_cost = exec_cost
         self.max_steps = max_steps
+        #: scheduling policy: an instance, a name ("fifo", "random", "pct"),
+        #: or None to fall back to the runtime config at attach time
+        self._policy_spec = policy
+        self._seed = seed
+        self.record_schedule = record_schedule
         self.runtime: Any = None
+        self.policy: Optional[SchedulingPolicy] = None
         self.scheduler: Optional[CooperativeScheduler] = None
         self._sched_thread: Optional[threading.Thread] = None
         self._local = threading.local()
@@ -217,7 +227,19 @@ class SimBackend(ExecutionBackend):
         self.runtime = runtime
         self._started = True
         counters = runtime.counters if runtime is not None else None
-        self.scheduler = CooperativeScheduler(ncores=self.ncores, counters=counters)
+        config = getattr(runtime, "config", None)
+        # resolution order mirrors the backend itself: explicit constructor
+        # argument first, then the runtime's QsConfig, then the FIFO default
+        policy_spec = self._policy_spec
+        seed = self._seed
+        if policy_spec is None and config is not None:
+            policy_spec = config.sched_policy
+        if seed is None:
+            seed = config.sched_seed if config is not None else 0
+        self.policy = make_policy(policy_spec, seed=seed)
+        self.scheduler = CooperativeScheduler(ncores=self.ncores, counters=counters,
+                                              policy=self.policy,
+                                              record_schedule=self.record_schedule)
         # the constructing thread becomes the first simulated participant
         bridge = _Bridge("main")
         bridge.thread = threading.current_thread()
@@ -413,3 +435,15 @@ class SimBackend(ExecutionBackend):
         if self.scheduler is None:
             return []
         return [(task.name, task.state.value) for task in self.scheduler.tasks]
+
+    def schedule_recording(self) -> Optional[ScheduleTrace]:
+        """The recorded dispatch decisions (``record_schedule=True`` only)."""
+        if self.scheduler is None:
+            return None
+        return self.scheduler.recorded_schedule()
+
+    def stuck_tasks(self) -> List[str]:
+        """Names of the tasks blocked right now (after a deadlock: forever)."""
+        if self.scheduler is None:
+            return []
+        return sorted(t.name for t in self.scheduler.tasks if t.state is TaskState.BLOCKED)

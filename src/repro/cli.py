@@ -15,8 +15,12 @@ command            what it does
 ``ir``             print, analyse and optimize IR functions (the paper's
                    Figs. 12–15 pipeline): sync-sets, dominators, loops,
                    sync coalescing and hoisting
-``explore``        run the operational-semantics explorer on a paper program
-                   or on a randomly generated one, plus the static wait-for
+``explore``        concurrency testing, two modes: with a workload argument,
+                   schedule-fuzz it on the simulator under seeded scheduling
+                   policies, saving/replaying failing schedules
+                   (``repro explore dining-philosophers --policy random
+                   --seeds 200``); without one, run the operational-semantics
+                   explorer on a paper program plus the static wait-for
                    graph deadlock analysis (Section 2.5)
 ``trace``          run a small traced workload on the runtime, dump the
                    instrumentation events and check the reasoning
@@ -188,6 +192,66 @@ def cmd_ir(args: argparse.Namespace) -> int:
 
 
 def cmd_explore(args: argparse.Namespace) -> int:
+    if args.workload:
+        return _explore_schedules(args)
+    # the semantics mode has no notion of schedule traces; silently ignoring
+    # these flags would make a forgotten workload argument look like a pass
+    for flag, value in (("--replay", args.replay), ("--save-trace", args.save_trace),
+                        ("--clients", args.clients), ("--iterations", args.iterations)):
+        if value is not None:
+            raise SystemExit(
+                f"repro explore: {flag} requires a workload argument "
+                f"(e.g. repro explore dining-philosophers {flag} ...)"
+            )
+    return _explore_semantics(args)
+
+
+def _explore_schedules(args: argparse.Namespace) -> int:
+    """Concurrency fuzzing: run a workload under many simulated schedules."""
+    from repro.explore import explore, get_workload, replay
+    from repro.explore.workloads import DEFAULT_CLIENTS, DEFAULT_ITERATIONS
+    from repro.sched.policy import ScheduleTrace
+
+    workload = get_workload(args.workload)
+
+    if args.replay:
+        # keep the *recorded* metadata before run_once attaches fresh
+        # metadata (describing the replay itself) to the outcome's trace
+        trace = ScheduleTrace.load(args.replay)
+        recorded = dict(trace.meta or {})
+        outcome = replay(workload, trace, clients=args.clients,
+                         iterations=args.iterations)
+        print(f"replaying recorded schedule {args.replay!r} for {workload.name!r}:")
+        print(outcome.summary())
+        expected = recorded.get("status")
+        if expected is not None:
+            match = (outcome.status == expected
+                     and list(outcome.stuck_tasks) == recorded.get("stuck_tasks", [])
+                     and outcome.virtual_time == recorded.get("virtual_time"))
+            print(f"matches recording: {'yes' if match else 'NO'}")
+            if not match:
+                return 1
+        return 0 if outcome.ok else 1
+
+    clients = args.clients if args.clients is not None else DEFAULT_CLIENTS
+    iterations = args.iterations if args.iterations is not None else DEFAULT_ITERATIONS
+    print(f"exploring {workload.name!r} under policy {args.policy!r}: "
+          f"{args.seeds} seeds, {clients} clients x {iterations} iterations")
+    save_path = args.save_trace or f"{workload.name}.{args.policy}.trace.json"
+    report = explore(workload, seeds=range(args.seed, args.seed + args.seeds),
+                     policy=args.policy, clients=clients,
+                     iterations=iterations, save_trace=save_path)
+    print(f"ran {report.seeds_run} seeds ({report.distinct_schedules} distinct schedules)")
+    if report.failure is None:
+        print("no failures: every explored schedule satisfied the oracles")
+        return 0
+    print(f"minimal failing {report.failure.summary()}")
+    print(f"schedule trace saved to {save_path}")
+    print(f"replay with: repro explore {workload.name} --replay {save_path}")
+    return 1
+
+
+def _explore_semantics(args: argparse.Namespace) -> int:
     from repro.semantics.explorer import Explorer
     from repro.semantics.generator import ProgramSpec, random_configuration, random_programs
     from repro.semantics.programs import paper_programs
@@ -426,11 +490,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_ir.add_argument("--distinct", help="comma-separated handler variables known not to alias")
     p_ir.set_defaults(func=cmd_ir)
 
-    p_explore = sub.add_parser("explore", help="explore a program's interleavings")
+    # workload names are spelled out rather than imported so that building
+    # the parser stays free of the runtime import chain;
+    # tests/test_explore.py asserts they match the registry
+    explore_workloads = ("bank-transfers", "dining-philosophers")
+    from repro.sched.policy import POLICY_NAMES
+
+    p_explore = sub.add_parser(
+        "explore",
+        help="explore interleavings: schedule-fuzz a runtime workload, or "
+             "enumerate a semantics program's state space")
+    p_explore.add_argument("workload", nargs="?", choices=list(explore_workloads),
+                           help="runtime workload to schedule-fuzz on the sim backend "
+                                "(omit to explore a semantics program instead)")
+    p_explore.add_argument("--seeds", type=int, default=20,
+                           help="number of scheduling seeds to explore")
+    p_explore.add_argument("--seed", type=int, default=0,
+                           help="first scheduling seed (seeds run ascending from here)")
+    p_explore.add_argument("--policy", default="random", choices=list(POLICY_NAMES),
+                           help="scheduling policy for the exploration")
+    p_explore.add_argument("--clients", type=int, default=None,
+                           help="workload clients (philosophers / transferrers); "
+                                "with --replay, defaults to the recorded value")
+    p_explore.add_argument("--iterations", type=int, default=None,
+                           help="rounds per client; with --replay, defaults to "
+                                "the recorded value")
+    p_explore.add_argument("--save-trace", metavar="PATH",
+                           help="where to save the failing schedule "
+                                "(default: <workload>.<policy>.trace.json)")
+    p_explore.add_argument("--replay", metavar="PATH",
+                           help="re-execute a saved schedule trace instead of exploring")
     p_explore.add_argument("--program", default="fig6-queries",
                            help="paper program name (fig1, fig5, fig5-nested, fig6, fig6-queries)")
     p_explore.add_argument("--random", type=int, default=None, metavar="SEED",
-                           help="explore a randomly generated program instead")
+                           help="explore a randomly generated semantics program instead")
     p_explore.add_argument("--max-states", type=int, default=200_000)
     p_explore.set_defaults(func=cmd_explore)
 

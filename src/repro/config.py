@@ -94,6 +94,14 @@ class QsConfig:
         Execution backend the runtime uses: ``"threads"`` (OS threads,
         wall-clock time) or ``"sim"`` (deterministic virtual time on the
         cooperative scheduler).  See :mod:`repro.backends`.
+    sched_policy:
+        Ready-queue scheduling policy of the simulated backend (ignored by
+        the threaded backend, where the OS schedules): ``"fifo"`` (the
+        deterministic default), ``"random"`` or ``"pct"``.  See
+        :mod:`repro.sched.policy` and :mod:`repro.explore`.
+    sched_seed:
+        Seed for the randomized scheduling policies; each seed selects one
+        reproducible schedule.
     """
 
     use_qoq: bool = True
@@ -104,6 +112,8 @@ class QsConfig:
     direct_handoff: bool = True
     qoq_batch: int = 16
     backend: str = "threads"
+    sched_policy: str = "fifo"
+    sched_seed: int = 0
     name: str = "all"
     extras: dict = field(default_factory=dict, compare=False)
 
@@ -205,4 +215,7 @@ class QsConfig:
         if self.qoq_batch > 1:
             flags.append(f"batch={self.qoq_batch}")
         summary = "+".join(flags) if flags else "no optimizations"
-        return f"QsConfig({self.name}: {summary}, backend={self.backend})"
+        backend = self.backend
+        if self.sched_policy != "fifo":
+            backend += f", sched={self.sched_policy}@{self.sched_seed}"
+        return f"QsConfig({self.name}: {summary}, backend={backend})"

@@ -72,3 +72,13 @@ class CompilerError(ScoopError):
 
 class SimulationError(ScoopError):
     """Invalid configuration or state inside the discrete-event simulator."""
+
+
+class ScheduleDivergenceError(SimulationError):
+    """A schedule replay stopped matching the recorded decision trace.
+
+    Raised by the replay scheduling policy when the live run offers a
+    different candidate set (or needs more decisions) than the recording —
+    typically because the program, its parameters or the runtime
+    configuration changed between recording and replay.
+    """

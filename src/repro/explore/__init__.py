@@ -1,0 +1,31 @@
+"""Systematic schedule exploration: concurrency fuzzing over the simulator.
+
+The paper argues that the QoQ/Qs runtime keeps SCOOP's reasoning guarantees
+on *every* schedule.  PR 1's :class:`~repro.backends.sim.SimBackend` made one
+schedule deterministic; this package turns that seam into a testing tool:
+
+* run a workload under many seeded schedules
+  (:func:`~repro.explore.driver.explore`), each one reproducible;
+* check oracles after every run — deadlock classification, the reasoning
+  guarantees of :mod:`repro.core.guarantees`, workload invariants;
+* on failure, report the minimal failing seed and save the recorded
+  :class:`~repro.sched.policy.ScheduleTrace`, which
+  :func:`~repro.explore.driver.replay` re-executes decision for decision.
+
+``python -m repro explore dining-philosophers --policy random --seeds 200``
+is the command-line face of the same machinery.
+"""
+
+from repro.explore.driver import ExploreReport, RunOutcome, explore, replay, run_once
+from repro.explore.workloads import ExploreWorkload, WORKLOADS, get_workload
+
+__all__ = [
+    "ExploreReport",
+    "RunOutcome",
+    "explore",
+    "replay",
+    "run_once",
+    "WORKLOADS",
+    "ExploreWorkload",
+    "get_workload",
+]

@@ -1,0 +1,250 @@
+"""The exploration driver: run a workload under many schedules, check oracles.
+
+One :func:`run_once` executes a workload on a fresh
+:class:`~repro.backends.sim.SimBackend` under one scheduling policy
+instance, records every dispatch decision, and classifies the outcome:
+
+``ok``
+    The run completed, the runtime trace satisfies the reasoning
+    guarantees (:func:`repro.core.guarantees.check_trace`) and the
+    workload's own invariants hold.
+``deadlock``
+    The scheduler proved no task can make progress; the outcome carries
+    the stuck task names and the virtual time of the hang.
+``violation``
+    The run completed but an oracle failed — a guarantee violation or a
+    workload assertion.
+``divergence``
+    Only during replay: the live run stopped matching the recorded trace.
+``error``
+    The workload raised something unexpected (a bug in the workload or
+    the runtime, surfaced verbatim in ``detail``).
+
+:func:`explore` maps :func:`run_once` over ascending seeds, so the first
+failure it reports is the *minimal* failing seed; the failing schedule is
+returned (and optionally saved) as a JSON :class:`ScheduleTrace` that
+:func:`replay` re-executes decision for decision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.backends.sim import SimBackend
+from repro.config import QsConfig
+from repro.core.guarantees import check_trace
+from repro.core.runtime import QsRuntime
+from repro.errors import DeadlockError, ScheduleDivergenceError, ScoopError
+from repro.explore.workloads import (
+    DEFAULT_CLIENTS,
+    DEFAULT_ITERATIONS,
+    ExploreWorkload,
+    get_workload,
+)
+from repro.sched.policy import ReplayPolicy, ScheduleTrace, make_policy
+
+
+@dataclass
+class RunOutcome:
+    """Classification of one explored schedule."""
+
+    workload: str
+    policy: str
+    seed: Optional[int]
+    status: str  # "ok" | "deadlock" | "violation" | "divergence" | "error"
+    detail: str = ""
+    stuck_tasks: Tuple[str, ...] = ()
+    virtual_time: float = 0.0
+    decisions: int = 0
+    trace: Optional[ScheduleTrace] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def summary(self) -> str:
+        where = f"seed {self.seed}" if self.seed is not None else "replay"
+        if self.status == "ok":
+            return f"{where}: ok (t={self.virtual_time:g}, {self.decisions} decisions)"
+        if self.status == "deadlock":
+            stuck = ", ".join(self.stuck_tasks)
+            return f"{where}: DEADLOCK at t={self.virtual_time:g} — stuck: {stuck}"
+        return f"{where}: {self.status.upper()} — {self.detail}"
+
+
+@dataclass
+class ExploreReport:
+    """What :func:`explore` saw across all attempted seeds."""
+
+    workload: str
+    policy: str
+    seeds_run: int = 0
+    distinct_schedules: int = 0
+    failure: Optional[RunOutcome] = None
+    outcomes: List[RunOutcome] = field(default_factory=list)
+
+    @property
+    def found_failure(self) -> bool:
+        return self.failure is not None
+
+    def summary(self) -> str:
+        head = (f"explored {self.workload!r} under policy {self.policy!r}: "
+                f"{self.seeds_run} seeds, {self.distinct_schedules} distinct schedules")
+        if self.failure is None:
+            return head + ", no failures"
+        return head + f"\nminimal failing {self.failure.summary()}"
+
+
+def _attach_meta(trace: Optional[ScheduleTrace], workload: ExploreWorkload,
+                 clients: int, iterations: int, outcome: RunOutcome) -> None:
+    if trace is None:
+        return
+    trace.meta = {
+        "workload": workload.name,
+        "clients": clients,
+        "iterations": iterations,
+        "status": outcome.status,
+        "stuck_tasks": list(outcome.stuck_tasks),
+        "virtual_time": outcome.virtual_time,
+    }
+
+
+def run_once(workload: "str | ExploreWorkload", policy: str = "fifo", seed: int = 0,
+             clients: int = DEFAULT_CLIENTS, iterations: int = DEFAULT_ITERATIONS,
+             config: "QsConfig | str | None" = None,
+             replay_trace: Optional[ScheduleTrace] = None) -> RunOutcome:
+    """Execute ``workload`` under one schedule and classify the outcome.
+
+    With ``replay_trace`` the recorded decisions are re-executed exactly
+    (``policy``/``seed`` are ignored); otherwise ``policy`` is instantiated
+    with ``seed``.  The schedule actually executed is always recorded and
+    attached to the returned outcome.
+    """
+    workload = get_workload(workload)
+    if replay_trace is not None:
+        policy_obj = ReplayPolicy(replay_trace)
+        policy_name, policy_seed = "replay", None
+    else:
+        policy_obj = make_policy(policy, seed=seed)
+        policy_name, policy_seed = policy_obj.name, seed
+    backend = SimBackend(policy=policy_obj, seed=policy_seed, record_schedule=True)
+    outcome = RunOutcome(workload=workload.name, policy=policy_name, seed=policy_seed,
+                         status="error")
+    rt = None
+    try:
+        rt = QsRuntime(config if config is not None else "all", trace=True, backend=backend)
+        observations = workload.run(rt, clients, iterations)
+        rt.shutdown()
+        report = check_trace(rt.trace_events())
+        if not report.ok:
+            first = "; ".join(str(v) for v in report.violations[:3])
+            outcome.status = "violation"
+            outcome.detail = (f"{len(report.violations)} reasoning-guarantee "
+                              f"violation(s): {first}")
+        else:
+            try:
+                workload.check(observations, clients, iterations)
+            except AssertionError as exc:
+                outcome.status = "violation"
+                outcome.detail = f"workload invariant failed: {exc}"
+            else:
+                outcome.status = "ok"
+    except DeadlockError as exc:
+        outcome.status = "deadlock"
+        outcome.detail = str(exc)
+        outcome.stuck_tasks = tuple(backend.stuck_tasks())
+    except ScheduleDivergenceError as exc:
+        outcome.status = "divergence"
+        outcome.detail = str(exc)
+    except ScoopError as exc:
+        # a client thread died on an oracle assertion or an unexpected error;
+        # the original exception travels as __cause__
+        cause = exc.__cause__
+        if isinstance(cause, DeadlockError):
+            outcome.status = "deadlock"
+            outcome.detail = str(cause)
+            outcome.stuck_tasks = tuple(backend.stuck_tasks())
+        elif isinstance(cause, AssertionError):
+            outcome.status = "violation"
+            outcome.detail = f"workload invariant failed: {cause}"
+        else:
+            outcome.detail = f"{type(exc).__name__}: {exc}"
+    except Exception as exc:  # noqa: BLE001 - classified, not swallowed
+        outcome.detail = f"{type(exc).__name__}: {exc}"
+    finally:
+        if rt is not None:
+            try:
+                rt.shutdown(check_failures=False)
+            except ScoopError:  # pragma: no cover - already failed
+                pass
+    if backend.scheduler is not None:
+        outcome.virtual_time = backend.scheduler.now
+    outcome.trace = backend.schedule_recording()
+    outcome.decisions = len(outcome.trace) if outcome.trace is not None else 0
+    _attach_meta(outcome.trace, workload, clients, iterations, outcome)
+    return outcome
+
+
+def explore(workload: "str | ExploreWorkload", seeds: "int | Iterable[int]" = 20,
+            policy: str = "random", clients: int = DEFAULT_CLIENTS,
+            iterations: int = DEFAULT_ITERATIONS,
+            config: "QsConfig | str | None" = None,
+            stop_on_failure: bool = True,
+            keep_outcomes: bool = False,
+            save_trace: Optional[str] = None) -> ExploreReport:
+    """Hunt for failing schedules: run ``workload`` under each seed in turn.
+
+    ``seeds`` is either a count (seeds ``0 .. N-1``) or an explicit
+    iterable.  Seeds are explored in the given order, so with the default
+    ascending range the first failure is the minimal failing seed.  When a
+    failure is found and ``save_trace`` is set, the failing schedule is
+    written there as JSON.
+    """
+    workload = get_workload(workload)
+    seed_list = range(seeds) if isinstance(seeds, int) else list(seeds)
+    report = ExploreReport(workload=workload.name, policy=policy)
+    fingerprints = set()
+    for seed in seed_list:
+        outcome = run_once(workload, policy=policy, seed=seed, clients=clients,
+                           iterations=iterations, config=config)
+        report.seeds_run += 1
+        if outcome.trace is not None:
+            fingerprints.add(tuple(d.chosen for d in outcome.trace.decisions))
+        if keep_outcomes:
+            report.outcomes.append(outcome)
+        if not outcome.ok and report.failure is None:
+            report.failure = outcome
+            if save_trace and outcome.trace is not None:
+                outcome.trace.save(save_trace)
+            if stop_on_failure:
+                break
+    report.distinct_schedules = len(fingerprints)
+    return report
+
+
+def replay(workload: "str | ExploreWorkload", trace: "ScheduleTrace | str",
+           clients: Optional[int] = None, iterations: Optional[int] = None,
+           config: "QsConfig | str | None" = None) -> RunOutcome:
+    """Re-execute a recorded schedule and classify the (identical) outcome.
+
+    ``trace`` may be a :class:`ScheduleTrace` or a path to one saved by
+    :func:`explore`.  Run parameters default to the values stored in the
+    trace's metadata, so ``replay(name, path)`` reproduces the recorded run
+    exactly — same stuck tasks, same virtual time.
+    """
+    workload = get_workload(workload)
+    if isinstance(trace, str):
+        trace = ScheduleTrace.load(trace)
+    meta = trace.meta or {}
+    recorded = meta.get("workload")
+    if recorded is not None and recorded != workload.name:
+        raise ValueError(
+            f"trace was recorded for workload {recorded!r}, not {workload.name!r}"
+        )
+    if clients is None:
+        clients = int(meta.get("clients", DEFAULT_CLIENTS))
+    if iterations is None:
+        iterations = int(meta.get("iterations", DEFAULT_ITERATIONS))
+    return run_once(workload, clients=clients, iterations=iterations, config=config,
+                    replay_trace=trace)

@@ -1,0 +1,247 @@
+"""Built-in workloads for schedule exploration.
+
+A workload is a closed scenario the exploration driver can run under any
+scheduling policy: a ``run`` callable that builds the program on a given
+runtime and returns its observations, plus a ``check`` that raises
+``AssertionError`` when the observations violate the workload's invariants.
+Workloads must be *deterministic given the schedule* — any randomness comes
+from fixed per-client seeds — so that one scheduling seed always maps to
+one outcome and a saved schedule replays bit-exactly.
+
+Two scenarios ship with the reproduction:
+
+``bank-transfers``
+    The paper's flagship reasoning example (Fig. 5): concurrent transfers
+    between two accounts with an auditor.  Correct under *all* schedules —
+    exploring it demonstrates the guarantee side of the paper's claim
+    (money conserved, audits consistent, handler order respected).
+
+``dining-philosophers``
+    A *deadlock-prone* variant of Section 2.4 with a seeded lock-ordering
+    bug.  Philosophers race to be seated by a waiter; a philosopher who
+    ends up in front of their own plate picks up their left fork first,
+    everyone else grabs the right fork first.  When the seating race makes
+    every philosopher same-handed the forks form a circular wait; FIFO
+    scheduling happens to seat philosopher 0 first (mixed handedness, no
+    deadlock), so only schedule exploration exposes the bug.  After seating,
+    everyone waits for a dinner gong (a fixed virtual-time instant) so the
+    fork grab is a genuine simultaneous race rather than a pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.core.api import command, query
+from repro.core.region import SeparateObject
+
+#: default run parameters (overridable from the driver/CLI)
+DEFAULT_CLIENTS = 3
+DEFAULT_ITERATIONS = 2
+
+
+@dataclass(frozen=True)
+class ExploreWorkload:
+    """A runnable, checkable scenario for the exploration driver.
+
+    ``run(rt, clients, iterations)`` builds and executes the scenario on an
+    already-constructed runtime and returns an observations dict;
+    ``check(observations, clients, iterations)`` raises ``AssertionError``
+    on an invariant violation.  ``deadlock_reachable`` documents whether
+    the scenario has schedules that deadlock (so smoke tooling knows what
+    outcome to expect).
+    """
+
+    name: str
+    description: str
+    deadlock_reachable: bool
+    run: Callable[..., dict]
+    check: Callable[..., None]
+
+
+# ----------------------------------------------------------------------------
+# bank-transfers: correct under every schedule
+# ----------------------------------------------------------------------------
+class Account(SeparateObject):
+    def __init__(self, balance: int) -> None:
+        self.balance = balance
+
+    @command
+    def credit(self, amount: int) -> None:
+        self.balance += amount
+
+    @command
+    def debit(self, amount: int) -> None:
+        self.balance -= amount
+
+    @query
+    def read(self) -> int:
+        return self.balance
+
+
+INITIAL_BALANCE = 1_000
+
+
+def run_bank_transfers(rt, clients: int = DEFAULT_CLIENTS,
+                       iterations: int = DEFAULT_ITERATIONS) -> dict:
+    from repro.util.rng import py_random
+
+    alice = rt.new_handler("alice").create(Account, INITIAL_BALANCE)
+    bob = rt.new_handler("bob").create(Account, INITIAL_BALANCE)
+    audits = []
+
+    def transferrer(seed: int) -> None:
+        rng = py_random(seed)
+        for _ in range(iterations):
+            amount = rng.randint(1, 20)
+            with rt.separate(alice, bob) as (a, b):
+                a.debit(amount)
+                b.credit(amount)
+
+    def auditor() -> None:
+        for _ in range(iterations):
+            with rt.separate(alice, bob) as (a, b):
+                audits.append(a.read() + b.read())
+
+    for i in range(clients):
+        rt.spawn_client(transferrer, i, name=f"transfer-{i}")
+    rt.spawn_client(auditor, name="auditor")
+    rt.join_clients()
+    with rt.separate(alice, bob) as (a, b):
+        final = (a.read(), b.read())
+    return {"final": final, "audits": audits}
+
+
+def check_bank_transfers(observations: dict, clients: int, iterations: int) -> None:
+    total = 2 * INITIAL_BALANCE
+    assert sum(observations["final"]) == total, (
+        f"money not conserved: final balances {observations['final']} sum to "
+        f"{sum(observations['final'])}, expected {total}"
+    )
+    bad = [a for a in observations["audits"] if a != total]
+    assert not bad, f"auditor observed inconsistent totals {bad} (expected {total})"
+
+
+# ----------------------------------------------------------------------------
+# dining-philosophers: a seeded, schedule-dependent lock-ordering bug
+# ----------------------------------------------------------------------------
+class Fork(SeparateObject):
+    def __init__(self) -> None:
+        self.uses = 0
+
+    @command
+    def use(self) -> None:
+        self.uses += 1
+
+    @query
+    def total_uses(self) -> int:
+        return self.uses
+
+
+class Waiter(SeparateObject):
+    """Seats philosophers first-come-first-served."""
+
+    def __init__(self) -> None:
+        self.seats: Dict[int, int] = {}
+
+    @command
+    def register(self, philosopher: int) -> None:
+        self.seats[philosopher] = len(self.seats)
+
+    @query
+    def seat_of(self, philosopher: int) -> int:
+        return self.seats[philosopher]
+
+
+def run_dining_philosophers(rt, clients: int = DEFAULT_CLIENTS,
+                            iterations: int = DEFAULT_ITERATIONS) -> dict:
+    n = max(3, clients)
+    forks = [rt.new_handler(f"fork-{i}").create(Fork) for i in range(n)]
+    waiter = rt.new_handler("waiter").create(Waiter)
+    meals = [0] * n
+    seats = [None] * n
+    #: the dinner gong: a fixed virtual-time instant, comfortably after the
+    #: last registration, at which every philosopher grabs their first fork
+    gong = 10.0 * n
+
+    def philosopher(i: int) -> None:
+        # philosophers 0 and n-1 race for the first seat; the rest arrive
+        # fashionably late, so exactly one scheduling decision separates the
+        # safe seating from the deadly one
+        if i not in (0, n - 1):
+            rt.backend.sleep(0.5)
+        with rt.separate(waiter) as w:
+            w.register(i)
+            seats[i] = w.seat_of(i)
+        rt.backend.sleep(max(0.0, gong - rt.backend.now()))
+
+        left, right = forks[i], forks[(i + 1) % n]
+        # the bug: fork order depends on the racy seating.  Seated at your
+        # own plate -> left fork first; anywhere else -> right fork first.
+        # All same-handed => circular wait once everyone holds one fork.
+        first, second = (left, right) if seats[i] == i else (right, left)
+        for _ in range(iterations):
+            with rt.separate(first) as fa:
+                fa.use()
+                fa.total_uses()  # think while holding the first fork
+                with rt.separate(second) as fb:
+                    fb.use()
+                    fb.total_uses()
+                    meals[i] += 1
+
+    for i in range(n):
+        rt.spawn_client(philosopher, i, name=f"philosopher-{i}")
+    rt.join_clients()
+    with rt.separate(*forks) as proxies:
+        proxies = proxies if isinstance(proxies, tuple) else (proxies,)
+        uses = [proxy.total_uses() for proxy in proxies]
+    return {"meals": meals, "uses": uses, "seats": seats}
+
+
+def check_dining_philosophers(observations: dict, clients: int, iterations: int) -> None:
+    n = max(3, clients)
+    expected = n * iterations
+    meals, uses = observations["meals"], observations["uses"]
+    assert sum(meals) == expected, f"{sum(meals)} meals served, expected {expected}"
+    assert sum(uses) == 2 * expected, (
+        f"forks used {sum(uses)} times, expected {2 * expected}"
+    )
+
+
+# ----------------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------------
+WORKLOADS: Dict[str, ExploreWorkload] = {
+    workload.name: workload
+    for workload in (
+        ExploreWorkload(
+            name="bank-transfers",
+            description="Fig. 5 transfers + auditor; correct under every schedule",
+            deadlock_reachable=False,
+            run=run_bank_transfers,
+            check=check_bank_transfers,
+        ),
+        ExploreWorkload(
+            name="dining-philosophers",
+            description="seating-race lock-ordering bug; some schedules deadlock",
+            deadlock_reachable=True,
+            run=run_dining_philosophers,
+            check=check_dining_philosophers,
+        ),
+    )
+}
+
+#: workload names in a stable order (CLI choices, docs)
+WORKLOAD_NAMES: Tuple[str, ...] = tuple(WORKLOADS)
+
+
+def get_workload(name: "str | ExploreWorkload") -> ExploreWorkload:
+    """Resolve a workload name (instances pass through)."""
+    if isinstance(name, ExploreWorkload):
+        return name
+    workload = WORKLOADS.get(str(name))
+    if workload is None:
+        valid = ", ".join(WORKLOAD_NAMES)
+        raise ValueError(f"unknown explore workload {name!r}; expected one of {valid}")
+    return workload

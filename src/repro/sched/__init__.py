@@ -9,6 +9,17 @@ explorer; the threaded runtime (:mod:`repro.core`) uses OS threads instead
 but records the same scheduling events through the shared counters.
 """
 
+from repro.sched.policy import (
+    Decision,
+    FifoPolicy,
+    POLICY_NAMES,
+    PctPolicy,
+    RandomPolicy,
+    ReplayPolicy,
+    ScheduleTrace,
+    SchedulingPolicy,
+    make_policy,
+)
 from repro.sched.scheduler import CooperativeScheduler
 from repro.sched.tasks import (
     Compute,
@@ -37,4 +48,13 @@ __all__ = [
     "SimEvent",
     "SimChannel",
     "CooperativeScheduler",
+    "SchedulingPolicy",
+    "FifoPolicy",
+    "RandomPolicy",
+    "PctPolicy",
+    "ReplayPolicy",
+    "ScheduleTrace",
+    "Decision",
+    "POLICY_NAMES",
+    "make_policy",
 ]

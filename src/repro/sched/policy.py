@@ -1,0 +1,301 @@
+"""Pluggable ready-queue scheduling policies and schedule record/replay.
+
+The paper claims the QoQ runtime preserves SCOOP's reasoning guarantees on
+*every* schedule, not just the one a particular OS happens to produce.  The
+:class:`~repro.sched.scheduler.CooperativeScheduler` therefore exposes its
+only source of scheduling freedom — which READY task to step next when
+several could run — as a :class:`SchedulingPolicy`:
+
+``fifo``
+    First-come-first-served (the scheduler's historical behaviour, and the
+    default).  One fixed, reproducible schedule per program.
+``random``
+    A seeded uniform choice among the ready tasks.  Different seeds explore
+    different interleavings; the same seed always reproduces the same one.
+``pct``
+    A PCT-style priority policy (Burckhardt et al., *A Randomized Scheduler
+    with Probabilistic Guarantees of Finding Bugs*): every task gets a
+    random priority at first sight, the highest-priority ready task always
+    runs, and at ``depth - 1`` pre-drawn change points the running task's
+    priority is demoted below everything else.  Good at driving schedules
+    into rarely-exercised orderings with few decisions "wasted".
+``replay``
+    Re-executes a recorded :class:`ScheduleTrace` decision for decision and
+    raises :class:`~repro.errors.ScheduleDivergenceError` the moment the
+    live run stops matching the recording.
+
+Every multi-candidate decision can be recorded as a :class:`Decision`
+(chosen task plus the candidate set, identified by task names); a run's
+decisions plus the policy metadata form a :class:`ScheduleTrace`, a compact
+JSON document that replays bit-exactly because the simulator is
+deterministic *given* the decision sequence.
+"""
+
+from __future__ import annotations
+
+import json
+import random as _random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ScheduleDivergenceError, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sched.tasks import Task
+
+#: current on-disk trace format version
+TRACE_VERSION = 1
+
+#: canonical policy names accepted everywhere a policy can be selected
+POLICY_NAMES = ("fifo", "random", "pct")
+
+
+# ----------------------------------------------------------------------------
+# recorded decisions
+# ----------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Decision:
+    """One dispatch decision: which ready task ran, out of which candidates.
+
+    The choice is stored as an *index* into the candidate tuple, not a name:
+    task names need not be unique (two anonymous clients of the same
+    function share one), and replaying by name would silently pick the
+    first duplicate instead of the recorded one.
+    """
+
+    index: int
+    candidates: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < len(self.candidates):
+            raise SimulationError(
+                f"decision index {self.index} out of range for {len(self.candidates)} candidates"
+            )
+
+    @property
+    def chosen(self) -> str:
+        return self.candidates[self.index]
+
+    def to_json(self) -> list:
+        return [self.index, list(self.candidates)]
+
+    @classmethod
+    def from_json(cls, data: Sequence) -> "Decision":
+        index, candidates = data
+        return cls(index=int(index), candidates=tuple(str(c) for c in candidates))
+
+
+@dataclass
+class ScheduleTrace:
+    """A complete recorded schedule: policy metadata plus every decision.
+
+    ``meta`` is free-form context the recorder wants to travel with the
+    trace (workload name, run parameters, the failure the schedule
+    produced); replay tooling reads it back but the scheduler itself only
+    needs ``decisions``.
+    """
+
+    policy: str = "fifo"
+    seed: Optional[int] = None
+    decisions: List[Decision] = field(default_factory=list)
+    meta: Dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    # -- serialisation ----------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "version": TRACE_VERSION,
+            "policy": self.policy,
+            "seed": self.seed,
+            "meta": self.meta,
+            "decisions": [decision.to_json() for decision in self.decisions],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "ScheduleTrace":
+        version = data.get("version")
+        if version != TRACE_VERSION:
+            raise SimulationError(
+                f"unsupported schedule-trace version {version!r} (expected {TRACE_VERSION})"
+            )
+        return cls(
+            policy=data.get("policy", "fifo"),
+            seed=data.get("seed"),
+            meta=dict(data.get("meta") or {}),
+            decisions=[Decision.from_json(d) for d in data.get("decisions", [])],
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, separators=(",", ":"))
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ScheduleTrace":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+
+# ----------------------------------------------------------------------------
+# policies
+# ----------------------------------------------------------------------------
+class SchedulingPolicy:
+    """Chooses which READY task the scheduler dispatches next.
+
+    ``select`` is only consulted when there are at least two candidates —
+    single-candidate steps are forced moves and recorded nowhere, which is
+    what keeps traces compact and replay well-defined.
+    """
+
+    name = "abstract"
+
+    def select(self, candidates: Sequence["Task"]) -> int:
+        """Return the index (into ``candidates``) of the task to run next."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.name
+
+
+class FifoPolicy(SchedulingPolicy):
+    """First-come-first-served: always the oldest ready task (the default)."""
+
+    name = "fifo"
+
+    def select(self, candidates: Sequence["Task"]) -> int:
+        return 0
+
+
+class RandomPolicy(SchedulingPolicy):
+    """Seeded uniform choice among the ready tasks."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = _random.Random(seed)
+
+    def select(self, candidates: Sequence["Task"]) -> int:
+        return self._rng.randrange(len(candidates))
+
+    def describe(self) -> str:
+        return f"random(seed={self.seed})"
+
+
+class PctPolicy(SchedulingPolicy):
+    """PCT-style randomized priority scheduling.
+
+    Each task receives a random priority the first time the policy sees it;
+    the highest-priority candidate always runs.  ``depth - 1`` change points
+    are drawn uniformly from ``[1, steps]``; when the global decision counter
+    hits one, the task just chosen is demoted below every priority handed
+    out so far.  With ``depth = d`` this finds any bug of depth ``d`` with
+    probability ≥ 1/(n·k^(d-1)) per run — the PCT guarantee — while wasting
+    far fewer schedules than uniform random choice on deep orderings.
+    """
+
+    name = "pct"
+
+    def __init__(self, seed: int = 0, depth: int = 3, steps: int = 1000) -> None:
+        if depth < 1:
+            raise ValueError("pct depth must be >= 1")
+        if steps < 1:
+            raise ValueError("pct steps must be >= 1")
+        self.seed = seed
+        self.depth = depth
+        self.steps = steps
+        self._rng = _random.Random(seed)
+        self._priorities: Dict[int, float] = {}
+        self._decisions = 0
+        self._floor = 0.0  # demotion priorities count down from here
+        # sampled without replacement: exactly depth-1 distinct change
+        # points (the PCT guarantee assumes they never collide)
+        count = min(depth - 1, steps)
+        self._change_points = set(self._rng.sample(range(1, steps + 1), count))
+
+    def _priority(self, task: "Task") -> float:
+        priority = self._priorities.get(task.tid)
+        if priority is None:
+            priority = self._rng.random() + 1.0  # fresh tasks sit above all demotions
+            self._priorities[task.tid] = priority
+        return priority
+
+    def select(self, candidates: Sequence["Task"]) -> int:
+        self._decisions += 1
+        best = max(range(len(candidates)), key=lambda i: self._priority(candidates[i]))
+        if self._decisions in self._change_points:
+            self._floor -= 1.0
+            self._priorities[candidates[best].tid] = self._floor
+        return best
+
+    def describe(self) -> str:
+        return f"pct(seed={self.seed}, depth={self.depth})"
+
+
+class ReplayPolicy(SchedulingPolicy):
+    """Re-executes a recorded :class:`ScheduleTrace` exactly.
+
+    The simulator is deterministic between decisions, so as long as the
+    program is unchanged the candidate sets must come back identical; any
+    mismatch (different candidates, an unexpected extra decision, a chosen
+    task that no longer exists) means the run has diverged from the
+    recording and raises :class:`~repro.errors.ScheduleDivergenceError`
+    immediately rather than silently exploring a different schedule.
+    """
+
+    name = "replay"
+
+    def __init__(self, trace: ScheduleTrace) -> None:
+        self.trace = trace
+        self._next = 0
+
+    @property
+    def position(self) -> int:
+        """How many recorded decisions have been replayed so far."""
+        return self._next
+
+    def select(self, candidates: Sequence["Task"]) -> int:
+        names = tuple(task.name for task in candidates)
+        if self._next >= len(self.trace.decisions):
+            raise ScheduleDivergenceError(
+                f"schedule trace exhausted after {self._next} decisions but the run "
+                f"needs another choice among {list(names)}; the program or its inputs "
+                f"differ from the recorded run"
+            )
+        decision = self.trace.decisions[self._next]
+        if names != decision.candidates:
+            raise ScheduleDivergenceError(
+                f"schedule diverged at decision {self._next}: recorded candidates "
+                f"{list(decision.candidates)} but the live run offers {list(names)}"
+            )
+        self._next += 1
+        return decision.index
+
+    def describe(self) -> str:
+        origin = self.trace.policy
+        if self.trace.seed is not None:
+            origin += f"@{self.trace.seed}"
+        return f"replay({len(self.trace)} decisions from {origin})"
+
+
+# ----------------------------------------------------------------------------
+# factory
+# ----------------------------------------------------------------------------
+def make_policy(name: "str | SchedulingPolicy | None", seed: int = 0,
+                **kwargs) -> SchedulingPolicy:
+    """Build a policy from its canonical name (instances pass through)."""
+    if name is None:
+        return FifoPolicy()
+    if isinstance(name, SchedulingPolicy):
+        return name
+    key = str(name).lower()
+    if key == "fifo":
+        return FifoPolicy()
+    if key == "random":
+        return RandomPolicy(seed=seed)
+    if key == "pct":
+        return PctPolicy(seed=seed, **kwargs)
+    valid = ", ".join(POLICY_NAMES)
+    raise ValueError(f"unknown scheduling policy {name!r}; expected one of {valid}")

@@ -16,6 +16,14 @@ interprets them under a simple machine model:
 The scheduler doubles as a deadlock detector: if no task can make progress
 while blocked tasks remain, :class:`~repro.errors.DeadlockError` is raised
 with the list of stuck tasks.
+
+The only scheduling freedom the machine model leaves — which READY task to
+step next when several could run — is delegated to a pluggable
+:class:`~repro.sched.policy.SchedulingPolicy` (FIFO by default, preserving
+the historical schedules bit-exactly).  With ``record_schedule=True`` every
+multi-candidate decision is recorded, and the resulting
+:class:`~repro.sched.policy.ScheduleTrace` can be replayed exactly via the
+replay policy — the substrate of :mod:`repro.explore`.
 """
 
 from __future__ import annotations
@@ -27,6 +35,7 @@ from collections import deque
 from typing import Any, Deque, Generator, List, Optional
 
 from repro.errors import DeadlockError, SimulationError
+from repro.sched.policy import Decision, FifoPolicy, ScheduleTrace, SchedulingPolicy
 from repro.sched.tasks import (
     Compute,
     Get,
@@ -59,11 +68,20 @@ class _Core:
 class CooperativeScheduler:
     """Discrete-event scheduler for cooperative tasks on ``ncores`` cores."""
 
-    def __init__(self, ncores: int = 1, counters: Optional[Counters] = None) -> None:
+    def __init__(self, ncores: int = 1, counters: Optional[Counters] = None,
+                 policy: Optional[SchedulingPolicy] = None,
+                 record_schedule: bool = False) -> None:
         if ncores < 1:
             raise ValueError("ncores must be >= 1")
         self.ncores = ncores
         self.counters = counters or Counters()
+        self.policy: SchedulingPolicy = policy if policy is not None else FifoPolicy()
+        self._decisions: Optional[List[Decision]] = [] if record_schedule else None
+        # FIFO without recording is exactly the historical behaviour and is
+        # the configuration every ordinary sim run uses — keep it on the
+        # original O(1)-per-dispatch path (a FifoPolicy *subclass* may
+        # override select, so the check is exact)
+        self._fifo_fast = type(self.policy) is FifoPolicy and self._decisions is None
         self.now = 0.0
         self._tasks: List[Task] = []
         self._ready: Deque[Task] = deque()
@@ -77,8 +95,13 @@ class CooperativeScheduler:
     # public API
     # ------------------------------------------------------------------
     def spawn(self, gen: Generator, name: Optional[str] = None) -> Task:
-        """Register a new task; it becomes runnable immediately."""
-        task = Task(gen, name=name)
+        """Register a new task; it becomes runnable immediately.
+
+        Default names are numbered per scheduler (not per process) so that
+        two runs of the same program produce identical task names — which is
+        what lets recorded schedules replay across process lifetimes.
+        """
+        task = Task(gen, name=name or f"task-{len(self._tasks)}")
         self._tasks.append(task)
         self._ready.append(task)
         return task
@@ -119,6 +142,16 @@ class CooperativeScheduler:
     def tasks(self) -> List[Task]:
         return list(self._tasks)
 
+    def recorded_schedule(self, policy_name: Optional[str] = None,
+                          seed: Optional[int] = None) -> Optional[ScheduleTrace]:
+        """The decisions recorded so far, or ``None`` if recording is off."""
+        if self._decisions is None:
+            return None
+        name = policy_name if policy_name is not None else self.policy.name
+        if seed is None:
+            seed = getattr(self.policy, "seed", None)
+        return ScheduleTrace(policy=name, seed=seed, decisions=list(self._decisions))
+
     def join_event(self, task: Task) -> SimEvent:
         """Return an event that will be signalled when ``task`` completes."""
         event = SimEvent(name=f"join:{task.name}")
@@ -133,10 +166,63 @@ class CooperativeScheduler:
     # ------------------------------------------------------------------
     def _drain_instant(self) -> None:
         while self._ready:
-            task = self._ready.popleft()
-            if task.done:
-                continue
+            task = self._pick_ready()
+            if task is None:
+                return
             self._step(task)
+
+    def _pick_ready(self) -> Optional[Task]:
+        """Let the policy choose among the runnable tasks (oldest first).
+
+        The ready queue may hold stale entries (tasks that finished or were
+        signalled twice); they are pruned here so the policy only ever sees
+        genuine candidates.  Single-candidate steps are forced moves: the
+        policy is not consulted and nothing is recorded, keeping schedule
+        traces minimal.  The default configuration (FIFO, no recording)
+        takes the historical popleft fast path — one O(1) pop per dispatch
+        rather than a scan of the whole queue.
+        """
+        if self._fifo_fast:
+            while self._ready:
+                task = self._ready.popleft()
+                if not task.done:
+                    return task
+            return None
+        candidates: List[Task] = []
+        seen: set[int] = set()
+        for task in self._ready:
+            if task.done or task.tid in seen:
+                continue
+            seen.add(task.tid)
+            candidates.append(task)
+        if not candidates:
+            self._ready.clear()
+            return None
+        if len(candidates) == 1:
+            chosen = candidates[0]
+        else:
+            index = self.policy.select(candidates)
+            if not 0 <= index < len(candidates):
+                raise SimulationError(
+                    f"scheduling policy {self.policy.describe()} returned index {index} "
+                    f"for {len(candidates)} candidates"
+                )
+            chosen = candidates[index]
+            self.counters.bump("sched_decisions")
+            if self._decisions is not None:
+                self._decisions.append(
+                    Decision(index=index,
+                             candidates=tuple(task.name for task in candidates))
+                )
+        if chosen is candidates[0]:
+            # pop the (possibly stale-prefixed) head, as the old loop did
+            while True:
+                head = self._ready.popleft()
+                if head is chosen:
+                    break
+        else:
+            self._ready.remove(chosen)
+        return chosen
 
     def _step(self, task: Task) -> None:
         """Advance ``task`` until it needs a core, blocks, or finishes."""

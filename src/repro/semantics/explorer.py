@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.errors import DeadlockError, SemanticsError
 from repro.semantics.rules import Event, enabled_transitions
 from repro.semantics.state import Configuration
+from repro.util.rng import py_random
 
 
 @dataclass
@@ -86,9 +87,20 @@ class Explorer:
     # random walks (for programs whose full space is too large)
     # ------------------------------------------------------------------
     def random_run(self, initial: Configuration, seed: int = 0,
-                   max_steps: int = 100_000) -> Tuple[Configuration, List[Event]]:
-        """Follow one random schedule to completion; returns (final, events)."""
-        rng = random.Random(seed)
+                   max_steps: int = 100_000,
+                   rng: Optional[random.Random] = None) -> Tuple[Configuration, List[Event]]:
+        """Follow one random schedule to completion; returns (final, events).
+
+        The walk draws from an explicit generator — ``rng`` if given, else a
+        fresh :func:`repro.util.rng.py_random` seeded with ``seed`` — never
+        from the module-global ``random`` state, so a semantic walk is
+        reproducible from its seed and composable: the exploration driver
+        can run many walks off one generator (or derived seeds) as oracles
+        without perturbing, or being perturbed by, any other randomness in
+        the process.
+        """
+        if rng is None:
+            rng = py_random(seed)
         config = initial
         events: List[Event] = []
         for _ in range(max_steps):

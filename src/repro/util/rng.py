@@ -9,6 +9,7 @@ that only needs reproducible randomness.
 
 from __future__ import annotations
 
+import random as _random
 from typing import Iterator
 
 import numpy as np
@@ -60,6 +61,17 @@ def lcg_matrix(seed: int, nrows: int, ncols: int, limit: int = 100) -> np.ndarra
 def make_rng(seed: int | None = 0) -> np.random.Generator:
     """Seeded numpy Generator for auxiliary randomness (shuffles, noise)."""
     return np.random.default_rng(seed)
+
+
+def py_random(seed: int = 0) -> _random.Random:
+    """Seeded stdlib ``random.Random`` for randomized explorations.
+
+    Code that makes random *decisions* (semantic walks, schedule choices)
+    takes one of these explicitly rather than touching the module-global
+    ``random`` state, so every walk is reproducible from its seed and
+    callers can share one generator across composed explorations.
+    """
+    return _random.Random(seed)
 
 
 def interleavings_seed_sequence(seed: int) -> Iterator[int]:

@@ -1,4 +1,11 @@
-"""Shared fixtures for the test-suite."""
+"""Shared fixtures for the test-suite.
+
+The runtime fixtures are parameterised over *both* execution backends, so
+the whole functional suite runs once on OS threads and once under the
+deterministic virtual-time simulator.  Tests that genuinely need real
+threads (wall-clock timeouts, raw ``threading`` interop, threads spawned
+behind the runtime's back) opt out with ``@pytest.mark.threads_only``.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +15,7 @@ from repro.config import LEVEL_ORDER, OptimizationLevel, QsConfig
 from repro.core.runtime import QsRuntime
 
 ALL_LEVELS = [level.value for level in LEVEL_ORDER]
+BACKENDS = ("threads", "sim")
 
 
 @pytest.fixture(params=ALL_LEVELS)
@@ -16,25 +24,33 @@ def level(request) -> str:
     return request.param
 
 
+@pytest.fixture(params=BACKENDS)
+def backend_name(request) -> str:
+    """Both execution backends (``threads_only`` tests skip the simulator)."""
+    if request.param != "threads" and request.node.get_closest_marker("threads_only"):
+        pytest.skip("test requires the threaded backend")
+    return request.param
+
+
 @pytest.fixture
-def runtime(level):
-    """A fresh runtime per test, parameterised over all optimization levels."""
-    rt = QsRuntime(level)
+def runtime(level, backend_name):
+    """A fresh runtime per test: every optimization level on both backends."""
+    rt = QsRuntime(level, backend=backend_name)
     yield rt
     rt.shutdown()
 
 
 @pytest.fixture
-def qs_runtime():
+def qs_runtime(backend_name):
     """A fully optimized runtime (the common case for functional tests)."""
-    rt = QsRuntime(OptimizationLevel.ALL)
+    rt = QsRuntime(OptimizationLevel.ALL, backend=backend_name)
     yield rt
     rt.shutdown()
 
 
 @pytest.fixture
-def baseline_runtime():
+def baseline_runtime(backend_name):
     """The lock-based (no optimizations) runtime."""
-    rt = QsRuntime(QsConfig.none())
+    rt = QsRuntime(QsConfig.none(), backend=backend_name)
     yield rt
     rt.shutdown()

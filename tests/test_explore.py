@@ -1,0 +1,231 @@
+"""Tests for the schedule-exploration subsystem (`repro.explore`).
+
+The headline properties: FIFO keeps both built-in workloads clean, random
+exploration of the philosophers finds the seeded lock-ordering deadlock at
+a deterministic minimal seed, and the saved schedule replays to the
+*identical* failure (same stuck tasks, same virtual time).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import SeparateAccessError
+from repro.explore import explore, get_workload, replay, run_once
+from repro.explore.workloads import WORKLOAD_NAMES
+from repro.sched.policy import ScheduleTrace
+
+SEEDS = 30  # enough for the philosophers hunt: roughly half the seeds deadlock
+
+
+class TestWorkloadRegistry:
+    def test_builtin_workloads_registered(self):
+        assert set(WORKLOAD_NAMES) == {"bank-transfers", "dining-philosophers"}
+
+    def test_cli_choices_match_the_registry(self):
+        # the CLI hardcodes the names to keep parser construction lightweight
+        help_text = build_parser().format_help()
+        for name in WORKLOAD_NAMES:
+            assert name in help_text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError, match="unknown explore workload"):
+            get_workload("sleeping-barber")
+
+    def test_instances_pass_through(self):
+        workload = get_workload("bank-transfers")
+        assert get_workload(workload) is workload
+
+
+class TestRunOnce:
+    @pytest.mark.parametrize("name", WORKLOAD_NAMES)
+    def test_fifo_schedule_is_clean(self, name):
+        outcome = run_once(name, policy="fifo", seed=0)
+        assert outcome.ok, outcome.summary()
+        assert outcome.virtual_time > 0
+        assert outcome.trace is not None
+        assert outcome.trace.meta["workload"] == name
+
+    def test_outcomes_are_deterministic_per_seed(self):
+        first = run_once("dining-philosophers", policy="random", seed=4)
+        second = run_once("dining-philosophers", policy="random", seed=4)
+        assert first.status == second.status
+        assert first.virtual_time == second.virtual_time
+        assert first.stuck_tasks == second.stuck_tasks
+        assert [d.to_json() for d in first.trace.decisions] == \
+            [d.to_json() for d in second.trace.decisions]
+
+
+class TestDeadlockHunt:
+    def test_random_exploration_finds_the_deadlock(self, tmp_path):
+        path = tmp_path / "dining.trace.json"
+        report = explore("dining-philosophers", seeds=SEEDS, policy="random",
+                         save_trace=str(path))
+        assert report.found_failure, "the seeded bug must be reachable within the seeds"
+        failure = report.failure
+        assert failure.status == "deadlock"
+        assert failure.stuck_tasks, "a deadlock must name its stuck tasks"
+        assert any(name.startswith("philosopher-") for name in failure.stuck_tasks)
+        assert path.exists()
+
+        # ascending seeds => the reported failure is the minimal failing seed
+        for seed in range(failure.seed):
+            assert run_once("dining-philosophers", policy="random", seed=seed).ok
+
+    def test_replay_reproduces_the_identical_deadlock(self, tmp_path):
+        path = tmp_path / "dining.trace.json"
+        report = explore("dining-philosophers", seeds=SEEDS, policy="random",
+                         save_trace=str(path))
+        failure = report.failure
+        outcome = replay("dining-philosophers", str(path))
+        assert outcome.status == "deadlock"
+        assert outcome.stuck_tasks == failure.stuck_tasks
+        assert outcome.virtual_time == failure.virtual_time
+
+    def test_replay_rejects_wrong_workload(self, tmp_path):
+        path = tmp_path / "dining.trace.json"
+        explore("dining-philosophers", seeds=SEEDS, policy="random",
+                save_trace=str(path))
+        with pytest.raises(ValueError, match="recorded for workload"):
+            replay("bank-transfers", str(path))
+
+    def test_replay_accepts_in_memory_trace(self):
+        report = explore("dining-philosophers", seeds=SEEDS, policy="random")
+        outcome = replay("dining-philosophers", report.failure.trace)
+        assert outcome.status == "deadlock"
+
+    def test_pct_policy_also_finds_the_deadlock(self):
+        report = explore("dining-philosophers", seeds=SEEDS, policy="pct")
+        assert report.found_failure
+        assert report.failure.status == "deadlock"
+
+
+class TestGuaranteeSide:
+    def test_bank_transfers_clean_under_exploration(self):
+        report = explore("bank-transfers", seeds=10, policy="random",
+                         keep_outcomes=True)
+        assert not report.found_failure, report.summary()
+        assert report.seeds_run == 10
+        assert all(outcome.ok for outcome in report.outcomes)
+        # exploration must actually explore: the schedules differ across seeds
+        assert report.distinct_schedules > 1
+
+
+class TestExploreCli:
+    def run_cli(self, capsys, *argv):
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_hunt_reports_seed_and_trace(self, capsys, tmp_path):
+        path = tmp_path / "cli.trace.json"
+        code, out = self.run_cli(capsys, "explore", "dining-philosophers",
+                                 "--policy", "random", "--seeds", str(SEEDS),
+                                 "--save-trace", str(path))
+        assert code == 1
+        assert "DEADLOCK" in out
+        assert "minimal failing seed" in out
+        assert str(path) in out
+        assert path.exists()
+
+    def test_replay_from_cli_matches_recording(self, capsys, tmp_path):
+        path = tmp_path / "cli.trace.json"
+        self.run_cli(capsys, "explore", "dining-philosophers",
+                     "--policy", "random", "--seeds", str(SEEDS),
+                     "--save-trace", str(path))
+        code, out = self.run_cli(capsys, "explore", "dining-philosophers",
+                                 "--replay", str(path))
+        assert code == 1  # the reproduced failure keeps the "problems found" exit code
+        assert "DEADLOCK" in out
+        assert "matches recording: yes" in out
+
+    def test_replay_detects_a_tampered_recording(self, capsys, tmp_path):
+        """The match check compares against the *recorded* metadata."""
+        path = tmp_path / "cli.trace.json"
+        self.run_cli(capsys, "explore", "dining-philosophers",
+                     "--policy", "random", "--seeds", str(SEEDS),
+                     "--save-trace", str(path))
+        data = json.loads(path.read_text())
+        data["meta"]["status"] = "ok"
+        data["meta"]["virtual_time"] = 999.0
+        data["meta"]["stuck_tasks"] = []
+        path.write_text(json.dumps(data))
+        code, out = self.run_cli(capsys, "explore", "dining-philosophers",
+                                 "--replay", str(path))
+        assert code == 1
+        assert "matches recording: NO" in out
+
+    def test_replay_with_mismatched_sizes_diverges(self, capsys, tmp_path):
+        """Explicit --clients overrides the recorded value and is detected.
+
+        A different philosopher count changes the task set, so the replay
+        policy sees different candidates and reports the divergence instead
+        of silently exploring another schedule.
+        """
+        path = tmp_path / "cli.trace.json"
+        self.run_cli(capsys, "explore", "dining-philosophers",
+                     "--policy", "random", "--seeds", str(SEEDS),
+                     "--save-trace", str(path))
+        code, out = self.run_cli(capsys, "explore", "dining-philosophers",
+                                 "--replay", str(path), "--clients", "5")
+        assert code == 1
+        assert "DIVERGENCE" in out
+        assert "matches recording: NO" in out
+
+    def test_clean_workload_exits_zero(self, capsys, tmp_path):
+        code, out = self.run_cli(capsys, "explore", "bank-transfers",
+                                 "--seeds", "5",
+                                 "--save-trace", str(tmp_path / "unused.json"))
+        assert code == 0
+        assert "no failures" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["explore", "sleeping-barber"])
+
+    def test_fuzzing_flags_without_workload_rejected(self):
+        # a forgotten workload must not silently fall back to semantics mode
+        with pytest.raises(SystemExit, match="requires a workload"):
+            main(["explore", "--replay", "some.trace.json"])
+        with pytest.raises(SystemExit, match="requires a workload"):
+            main(["explore", "--save-trace", "out.json"])
+
+
+class TestTraceMetadata:
+    def test_failure_metadata_travels_with_the_trace(self, tmp_path):
+        path = tmp_path / "dining.trace.json"
+        report = explore("dining-philosophers", seeds=SEEDS, policy="random",
+                         save_trace=str(path))
+        trace = ScheduleTrace.load(str(path))
+        assert trace.meta["workload"] == "dining-philosophers"
+        assert trace.meta["status"] == "deadlock"
+        assert trace.meta["stuck_tasks"] == list(report.failure.stuck_tasks)
+        assert trace.meta["virtual_time"] == report.failure.virtual_time
+        assert trace.policy == "random"
+        assert trace.seed == report.failure.seed
+
+
+@pytest.mark.threads_only
+class TestThreadsOnlyMarker:
+    """Demonstrates the opt-out for genuinely thread-bound tests."""
+
+    def test_foreign_threads_may_join_the_threaded_runtime(self, qs_runtime):
+        # raw threads interacting with the runtime only exist on the
+        # threaded backend; the simulator rejects them by design
+        assert qs_runtime.backend.name == "threads"
+        errors = []
+
+        def outsider():
+            try:
+                qs_runtime.current_client()
+            except SeparateAccessError as exc:  # pragma: no cover - smoke
+                errors.append(exc)
+
+        thread = threading.Thread(target=outsider)
+        thread.start()
+        thread.join()
+        assert not errors

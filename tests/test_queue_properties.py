@@ -1,0 +1,140 @@
+"""Property-based tests (hypothesis) for the queue substrate invariants.
+
+Three contracts the runtime's correctness leans on:
+
+* the queue-of-queues preserves each client's reservation order (per-client
+  FIFO — the basis of reasoning guarantee 2);
+* ``PrivateQueue.dequeue_batch`` is observationally equivalent to repeated
+  ``dequeue`` — batching is a mechanical fast path, not a semantic change —
+  and never lets a batch cross an END marker;
+* ``QueueOfQueues.dequeue`` keeps "timed out, try again" (``None``) distinct
+  from "closed and drained" (``SHUTDOWN``) for every operation sequence.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.queues.private_queue import CallRequest, END, EndMarker, PrivateQueue
+from repro.queues.qoq import SHUTDOWN, QueueOfQueues
+
+#: a client's reservation stream: client id -> number of private queues
+clients_strategy = st.dictionaries(
+    keys=st.integers(min_value=0, max_value=4),
+    values=st.integers(min_value=1, max_value=6),
+    min_size=1,
+    max_size=5,
+)
+
+#: an interleaved request stream: "c" = call, "e" = END (block boundary)
+requests_strategy = st.lists(st.sampled_from("ccce"), min_size=0, max_size=40)
+
+
+def make_call(tag: int) -> CallRequest:
+    return CallRequest(fn=lambda: tag, feature=f"call-{tag}")
+
+
+class TestQoqPerClientFifo:
+    @given(clients=clients_strategy, order=st.randoms(use_true_random=False))
+    @settings(max_examples=60)
+    def test_interleaved_reservations_keep_per_client_order(self, clients, order):
+        """However client streams interleave, each client's queues stay FIFO."""
+        qoq = QueueOfQueues()
+        pending = {client: list(range(count)) for client, count in clients.items()}
+        tagged = []
+        while pending:
+            client = order.choice(sorted(pending))
+            seq = pending[client].pop(0)
+            if not pending[client]:
+                del pending[client]
+            queue = PrivateQueue()
+            queue.client_name = f"client-{client}"
+            queue.block_id = seq
+            qoq.enqueue(queue)
+            tagged.append((client, seq))
+
+        drained = []
+        while True:
+            item = qoq.try_dequeue()
+            if item is None:
+                break
+            drained.append((int(item.client_name.split("-")[1]), item.block_id))
+
+        # global FIFO implies per-client FIFO; check both explicitly
+        assert drained == tagged
+        for client in clients:
+            seqs = [seq for c, seq in drained if c == client]
+            assert seqs == sorted(seqs)
+
+
+class TestBatchEquivalence:
+    @given(script=requests_strategy, batch_size=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=80)
+    def test_dequeue_batch_equals_repeated_dequeue(self, script, batch_size):
+        plain, batched = PrivateQueue(), PrivateQueue()
+        for index, op in enumerate(script):
+            for queue in (plain, batched):
+                if op == "c":
+                    queue.enqueue_call(make_call(index))
+                else:
+                    queue._queue.put(END)  # raw END: enqueue_end() closes the queue
+
+        one_by_one = []
+        while True:
+            item = plain.dequeue(timeout=0)
+            if item is None:
+                break
+            one_by_one.append(item)
+
+        in_batches = []
+        while True:
+            batch = batched.dequeue_batch(batch_size, timeout=0)
+            if not batch:
+                break
+            # a batch never crosses a block boundary: END only ever comes last
+            assert all(not isinstance(item, EndMarker) for item in batch[:-1])
+            assert len(batch) <= batch_size
+            in_batches.extend(batch)
+
+        def describe(items):
+            return [
+                "END" if isinstance(item, EndMarker) else item.feature
+                for item in items
+            ]
+
+        assert describe(in_batches) == describe(one_by_one)
+
+
+class TestTimeoutVersusShutdown:
+    @given(script=st.lists(st.sampled_from("edc"), min_size=0, max_size=20))
+    @settings(max_examples=60)
+    def test_none_means_retry_shutdown_means_done(self, script):
+        """``None`` only while open; ``SHUTDOWN`` only after close + drain."""
+        qoq = QueueOfQueues()
+        backlog = 0
+        for op in script:
+            if op == "e":
+                qoq.enqueue(PrivateQueue())
+                backlog += 1
+            elif op == "d":
+                item = qoq.dequeue(timeout=0)
+                if backlog:
+                    assert item is not SHUTDOWN and item is not None
+                    backlog -= 1
+                else:
+                    assert item is None, "an open empty queue times out with None"
+            else:
+                item = qoq.try_dequeue()
+                if backlog:
+                    assert item is not SHUTDOWN and item is not None
+                    backlog -= 1
+                else:
+                    assert item is None
+
+        qoq.close()
+        # after close: the backlog still drains, then SHUTDOWN forever
+        for _ in range(backlog):
+            assert qoq.dequeue(timeout=0) not in (None, SHUTDOWN)
+        assert qoq.dequeue(timeout=0) is SHUTDOWN
+        assert qoq.try_dequeue() is SHUTDOWN
+        assert qoq.dequeue(timeout=0.001) is SHUTDOWN
