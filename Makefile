@@ -4,12 +4,13 @@
 #   make lint        ruff over the whole repo
 #   make test        the tier-1 test suite
 #   make bench       micro-benchmarks at the tiny preset
-#   make bench-backends   threaded-vs-sim / batched-vs-not comparison JSON
+#   make bench-backends   threads/sim/process + batched-vs-not comparison JSON
 #   make explore     short schedule-exploration smoke of both workloads
+#   make process-smoke    backend-parity and transport suites on the process backend
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-backends explore clean
+.PHONY: install lint test bench bench-backends explore process-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -25,6 +26,12 @@ bench:
 
 bench-backends:
 	$(PYTHON) benchmarks/bench_backends.py
+
+process-smoke:
+	REPRO_BACKEND=process $(PYTHON) -m pytest -q tests/test_backends.py \
+		tests/test_process_backend.py tests/test_socket_queue.py \
+		tests/test_wire_properties.py
+	$(PYTHON) benchmarks/bench_backends.py --smoke --out BENCH_process_smoke.json
 
 # bank-transfers must stay clean on every schedule; the philosophers hunt is
 # *expected* to find its seeded deadlock (exit 1 = "problem found") and the

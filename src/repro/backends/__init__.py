@@ -3,14 +3,17 @@
 The protocol machinery (queue-of-queues, private queues, sync coalescing)
 is backend-agnostic; a backend decides how handlers and clients *execute*:
 
-========== ==============================================================
-``threads`` one OS thread per handler/client; real parallelism and
-            wall-clock time (the default)
-``sim``     cooperative tasks on the virtual-time
-            :class:`~repro.sched.scheduler.CooperativeScheduler`;
-            deterministic, reproducible schedules with built-in deadlock
-            detection
-========== ==============================================================
+=========== ==============================================================
+``threads``  one OS thread per handler/client; real parallelism and
+             wall-clock time (the default)
+``sim``      cooperative tasks on the virtual-time
+             :class:`~repro.sched.scheduler.CooperativeScheduler`;
+             deterministic, reproducible schedules with built-in deadlock
+             detection
+``process``  each handler in its own OS process behind a socket server;
+             clients stay threads of the parent, requests travel as framed
+             messages, handlers execute with true multi-core parallelism
+=========== ==============================================================
 
 Select one with ``QsRuntime(backend="sim")``, ``QsConfig(backend="sim")``,
 the ``REPRO_BACKEND`` environment variable, or ``repro --backend sim ...``
@@ -21,6 +24,12 @@ A sim-backend spec may carry a scheduling policy and seed after colons —
 interleaving the simulator executes (see :mod:`repro.sched.policy`); so
 ``REPRO_BACKEND=sim:random:7`` reruns a whole program suite under one
 specific adversarial schedule without touching any source.
+
+A process-backend spec may carry a worker-process cap and/or a wire codec
+— ``"process:4"``, ``"process:json"``, ``"process:2:pickle"`` — capping
+how many worker processes are spawned (handlers are assigned round-robin;
+the default is one process per handler) and selecting the payload encoding
+(see :mod:`repro.queues.codec`).
 """
 
 from __future__ import annotations
@@ -28,8 +37,10 @@ from __future__ import annotations
 from typing import Callable, Dict
 
 from repro.backends.base import ClientHandle, ExecutionBackend
+from repro.backends.process import ProcessBackend
 from repro.backends.sim import SimBackend, SimClientHandle, SimEventHandle, SimLock
 from repro.backends.threaded import ThreadedBackend
+from repro.queues.codec import CODEC_NAMES
 from repro.sched.policy import make_policy
 
 #: registered backend factories, keyed by every accepted spelling
@@ -38,36 +49,15 @@ BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
     "threaded": ThreadedBackend,
     "sim": SimBackend,
     "virtual": SimBackend,
+    "process": ProcessBackend,
+    "processes": ProcessBackend,
 }
 
 #: canonical names (one per backend), for CLI choices and error messages
-BACKEND_NAMES = ("threads", "sim")
+BACKEND_NAMES = ("threads", "sim", "process")
 
 
-def create_backend(name: "str | ExecutionBackend | None") -> ExecutionBackend:
-    """Resolve a backend spec (or pass an instance through) to a backend.
-
-    A spec is a backend name optionally followed by a sim scheduling policy
-    and seed: ``"sim"``, ``"sim:random"``, ``"sim:pct:42"``.  Policy
-    components on the threaded backend are rejected — the OS schedules
-    there, so silently ignoring them would be misleading.
-    """
-    if name is None:
-        return ThreadedBackend()
-    if isinstance(name, ExecutionBackend):
-        return name
-    base, _, policy_spec = str(name).lower().partition(":")
-    factory = BACKENDS.get(base)
-    if factory is None:
-        valid = ", ".join(BACKEND_NAMES)
-        raise ValueError(f"unknown execution backend {name!r}; expected one of {valid}")
-    if not policy_spec:
-        return factory()
-    if factory is not SimBackend:
-        raise ValueError(
-            f"backend spec {name!r} carries a scheduling policy, but only the sim "
-            f"backend has a controllable scheduler"
-        )
+def _parse_sim_spec(name: str, policy_spec: str) -> SimBackend:
     policy_name, _, seed_text = policy_spec.partition(":")
     seed = 0
     if seed_text:
@@ -78,6 +68,58 @@ def create_backend(name: "str | ExecutionBackend | None") -> ExecutionBackend:
     return SimBackend(policy=make_policy(policy_name, seed=seed), seed=seed)
 
 
+def _parse_process_spec(name: str, spec: str) -> ProcessBackend:
+    processes = None
+    codec = None
+    for part in spec.split(":"):
+        if not part:
+            continue
+        if part.isdigit():
+            if processes is not None:
+                raise ValueError(f"backend spec {name!r} names two process counts")
+            processes = int(part)
+        elif part in CODEC_NAMES:
+            if codec is not None:
+                raise ValueError(f"backend spec {name!r} names two codecs")
+            codec = part
+        else:
+            valid = ", ".join(CODEC_NAMES)
+            raise ValueError(
+                f"invalid component {part!r} in backend spec {name!r}; expected a "
+                f"process count or a codec ({valid})")
+    return ProcessBackend(processes=processes, codec=codec or "pickle")
+
+
+def create_backend(name: "str | ExecutionBackend | None") -> ExecutionBackend:
+    """Resolve a backend spec (or pass an instance through) to a backend.
+
+    A spec is a backend name optionally followed by backend-specific
+    components: a sim scheduling policy and seed (``"sim:random"``,
+    ``"sim:pct:42"``) or a process count and codec (``"process:4:json"``).
+    Components on the threaded backend are rejected — silently ignoring
+    them would be misleading.
+    """
+    if name is None:
+        return ThreadedBackend()
+    if isinstance(name, ExecutionBackend):
+        return name
+    base, _, spec = str(name).lower().partition(":")
+    factory = BACKENDS.get(base)
+    if factory is None:
+        valid = ", ".join(BACKEND_NAMES)
+        raise ValueError(f"unknown execution backend {name!r}; expected one of {valid}")
+    if not spec:
+        return factory()
+    if factory is SimBackend:
+        return _parse_sim_spec(name, spec)
+    if factory is ProcessBackend:
+        return _parse_process_spec(name, spec)
+    raise ValueError(
+        f"backend spec {name!r} carries components, but the {base!r} backend "
+        f"takes none (only sim takes a policy/seed, process a count/codec)"
+    )
+
+
 __all__ = [
     "ExecutionBackend",
     "ClientHandle",
@@ -86,6 +128,7 @@ __all__ = [
     "SimClientHandle",
     "SimEventHandle",
     "SimLock",
+    "ProcessBackend",
     "BACKENDS",
     "BACKEND_NAMES",
     "create_backend",

@@ -15,6 +15,10 @@ private queues, sync coalescing, reservations) stays shared:
   execution is serialised deterministically, time is virtual, and a stuck
   configuration raises :class:`~repro.errors.DeadlockError` instead of
   hanging.
+* :class:`~repro.backends.process.ProcessBackend` — each handler lives in
+  its own OS process behind a socket server; clients stay threads of the
+  parent and talk to handlers over framed socket private queues, so
+  handlers execute with real multi-core parallelism.
 
 A backend supplies three groups of primitives:
 
@@ -26,6 +30,13 @@ A backend supplies three groups of primitives:
    parts of the handler loop of Fig. 7;
 3. *client plumbing* (`spawn_client`, `join_client`) plus a clock
    (`now`, `sleep`) used by wait-condition back-off.
+
+A backend may additionally override three *placement hooks* — where a
+handler's objects live (`adopt_object`), what a client's private queue to a
+handler is (`create_private_queue`), and where the body of a client-executed
+query runs (`execute_synced_query`).  The in-memory backends keep the
+defaults (objects and queues are local, query bodies run on the client); the
+process backend reroutes all three over its sockets.
 
 Everything else — the request protocol itself — never changes between
 backends, which is what makes backend-parity testing meaningful.
@@ -65,6 +76,45 @@ class ExecutionBackend(ABC):
 
     def shutdown(self, timeout: float = 10.0) -> None:
         """Tear down backend-owned resources (scheduler thread, ...)."""
+
+    # ------------------------------------------------------------------
+    # placement hooks (overridden by distributed backends)
+    # ------------------------------------------------------------------
+    def adopt_object(self, handler: Any, obj: Any) -> Any:
+        """Place ``obj`` on ``handler``; return what the SeparateRef wraps.
+
+        In-memory backends return ``obj`` unchanged.  The process backend
+        ships the object to the handler's process and returns a
+        :class:`~repro.backends.process.RemoteHandle` in its stead.
+        """
+        return obj
+
+    def create_private_queue(self, handler: Any, counters: Any) -> Any:
+        """Build the private queue a client uses to talk to ``handler``.
+
+        The default is the in-memory SPSC
+        :class:`~repro.queues.private_queue.PrivateQueue`; the process
+        backend substitutes a socket-backed queue with the same surface.
+        """
+        from repro.queues.private_queue import PrivateQueue
+
+        return PrivateQueue(handler=handler, counters=counters)
+
+    def execute_synced_query(self, client: Any, ref: Any, fn: Callable[[Any], Any],
+                             feature: Optional[str] = None, args: tuple = (),
+                             kwargs: Optional[dict] = None,
+                             raw_fn: Optional[Callable[..., Any]] = None) -> Any:
+        """Run a client-executed query body after the sync (Section 3.2).
+
+        The client has already synchronised with the handler, so the handler
+        is parked on this client's queue.  In shared memory the body simply
+        runs against the raw object (``fn`` is the one-argument closure over
+        the actual call).  The process backend ships a described invocation
+        instead: ``feature``/``args``/``kwargs`` when the query is a named
+        method, the picklable ``raw_fn`` (applied as ``raw_fn(obj, *args,
+        **kwargs)``) or ``fn`` itself otherwise.
+        """
+        return fn(ref._raw())
 
     # ------------------------------------------------------------------
     # synchronisation primitives

@@ -1,0 +1,569 @@
+"""The process execution backend: every handler in its own OS process.
+
+This is the paper's Section 7 future work made real: the private queue is
+transport-agnostic, so the queue-of-queues protocol can run over sockets —
+and once it does, handlers can live in separate processes and execute with
+true multi-core parallelism instead of time-slicing one GIL.
+
+Division of labour:
+
+* **clients stay threads of the parent process** and run completely
+  unmodified client code: reservations, sync coalescing, wait conditions,
+  the lock-based protocol variants — all of it is the shared machinery of
+  :mod:`repro.core.client`.
+* **each handler becomes a socket server in a worker process**
+  (:mod:`repro.backends.process_worker`): one
+  :class:`~repro.queues.socket_queue.FrameStream` connection per (client,
+  handler) pair is that client's private queue, and a process-local
+  queue-of-queues drain serves blocks strictly in *ticket* order.
+* **tickets preserve the reasoning guarantees**: the parent assigns each
+  reservation a per-handler sequence number at ``qoq.enqueue`` time — i.e.
+  under the very spinlocks that make multi-handler reservations atomic
+  (Section 3.3) — and the worker's drain admits blocks in ticket order, so
+  the FIFO-of-private-queues service order is bit-identical to the
+  shared-memory backends no matter how frames race on the wire.
+* **counters aggregate across the process boundary**: every sync release /
+  query result piggybacks the worker's counter snapshot, and the close
+  report carries the final one; the parent folds the deltas into the
+  runtime's :class:`~repro.util.counters.Counters`, so ``rt.stats()`` shows
+  ``calls_executed`` et al. exactly as the in-memory backends do.
+
+What travels is *described requests* (``feature``/``args``/``kwargs``), not
+code — the codec decides fidelity: ``pickle`` (the default; both ends are
+processes we spawned) round-trips tuples, sets, exceptions and importable
+callables; ``json`` restricts arguments and results to JSON types but is
+wire-portable.  Select with ``QsRuntime(backend="process")``,
+``REPRO_BACKEND=process[:nproc][:codec]`` or ``repro --backend process``;
+``nproc`` caps worker processes (handlers are assigned round-robin), the
+default is one process per handler.
+
+Known limits (documented in ``docs/backends.md``): handler objects cannot
+hold backend-unaware references into the parent (no shipping the runtime or
+live ``SeparateRef``s as call arguments), and handler-side trace events are
+not recorded in the parent's tracer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import secrets
+import socket
+import subprocess
+import sys
+import threading
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.backends.threaded import ThreadedBackend
+from repro.errors import ScoopError
+from repro.queues.codec import get_codec
+from repro.queues.private_queue import ResultBox, SyncRequest
+from repro.queues.socket_queue import FrameStream, SocketQueueClosed
+
+#: worker bootstrap, kept import-only so no parent state is assumed
+_WORKER_CMD = "from repro.backends.process_worker import main; main()"
+
+
+class RemoteHandlerError(ScoopError):
+    """An asynchronous call raised inside a handler process.
+
+    Carries the remote ``repr`` and traceback text (the exception object
+    itself stayed in the worker, exactly like the in-memory backends keep
+    failures on the handler until shutdown).
+    """
+
+    def __init__(self, description: str, remote_traceback: str = "") -> None:
+        super().__init__(description)
+        self.remote_traceback = remote_traceback
+
+
+class RemoteCallError(ScoopError):
+    """A remote call failed and the original exception could not travel.
+
+    Raised when the worker's error reply only carried a ``repr`` (JSON
+    codec, or an unpicklable exception); with the pickle codec the original
+    exception is re-raised instead.
+    """
+
+
+class RemoteHandle:
+    """Parent-side stand-in for an object hosted in a handler process.
+
+    A :class:`~repro.core.region.SeparateRef` wraps this instead of the raw
+    object.  ``_scoop_class`` advertises the hosted object's class so
+    ``@command``/``@query`` markers still resolve on the client side.
+    """
+
+    __slots__ = ("handler_name", "oid", "_scoop_class")
+
+    def __init__(self, handler_name: str, oid: int, cls: type) -> None:
+        self.handler_name = handler_name
+        self.oid = oid
+        self._scoop_class = cls
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"<RemoteHandle {self._scoop_class.__name__}#{self.oid} @ {self.handler_name}>"
+
+
+class _WorkerProcess:
+    """One spawned worker child: its control channel and data address."""
+
+    def __init__(self, proc: subprocess.Popen, control: FrameStream,
+                 data_addr: "tuple[str, int]") -> None:
+        self.proc = proc
+        self.control = control
+        self.data_addr = data_addr
+        self.handler_names: List[str] = []
+        self._lock = threading.Lock()
+
+    def request(self, op: Dict[str, Any], timeout: float = 60.0) -> Dict[str, Any]:
+        """Send one control op and wait for its reply (strict req/rep)."""
+        with self._lock:
+            self.control.send(op)
+            try:
+                reply = self.control.recv(timeout=timeout)
+            except SocketQueueClosed:
+                reply = None
+        if reply is None:
+            raise ScoopError(
+                f"worker process {self.proc.pid} did not answer control op "
+                f"{op.get('op')!r} (it may have crashed)")
+        if not reply.get("ok", False):
+            raise ScoopError(
+                f"worker process {self.proc.pid} rejected {op.get('op')!r}: "
+                f"{reply.get('error')}\n{reply.get('traceback', '')}")
+        return reply
+
+    def stop(self, timeout: float) -> None:
+        try:
+            self.request({"op": "exit"}, timeout=min(timeout, 10.0))
+        except ScoopError:
+            pass
+        try:
+            self.proc.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+            self.proc.kill()
+            self.proc.wait(timeout=5.0)
+        self.control.close()
+
+
+class _RemoteQoQ:
+    """Parent-side façade standing in for a remote handler's queue-of-queues.
+
+    ``Client.reserve`` enqueues private queues into it exactly as it does
+    with the in-memory :class:`~repro.queues.qoq.QueueOfQueues`; here the
+    enqueue assigns the block's ticket (the FIFO position the worker's drain
+    will honour) and triggers the ``open`` frame on the queue's connection.
+    """
+
+    def __init__(self, backend: "ProcessBackend", handler: Any, worker: _WorkerProcess) -> None:
+        self.backend = backend
+        self.handler = handler
+        self.worker = worker
+        self.counters = handler.counters
+        self._lock = threading.Lock()
+        self._tickets = 0
+        self.closed = False
+        #: the worker's drain report, filled in by :meth:`close`
+        self.report: Optional[Dict[str, Any]] = None
+
+    def enqueue(self, private_queue: "ProcessPrivateQueue") -> None:
+        # Multi-handler reservations call this while holding every reserved
+        # handler's spinlock (Section 3.3), so only the ticket assignment —
+        # which fixes the block's FIFO position — happens here.  The open
+        # frame (and a first-use connect) is deferred to the block's first
+        # request, keeping socket I/O out of the critical section.
+        with self._lock:
+            ticket = self._tickets
+            self._tickets += 1
+        # same accounting as QueueOfQueues.enqueue
+        self.counters.bump("qoq_enqueues")
+        self.counters.bump("reservations")
+        private_queue.open_block(ticket)
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
+        self.report = self.worker.request(
+            {"op": "close", "handler": self.handler.name, "tickets": self._tickets})
+
+    def __len__(self) -> int:
+        return 0
+
+
+class ProcessPrivateQueue:
+    """A client's private queue to a remote handler: one framed connection.
+
+    Mirrors the client-side surface of
+    :class:`~repro.queues.private_queue.PrivateQueue` (``enqueue_call`` /
+    ``enqueue_sync`` / ``enqueue_query`` / ``enqueue_end``, the ``synced``
+    flag, reuse across blocks) with identical counter accounting, but ships
+    every request over the wire.  Sync and query replies are read
+    synchronously by the owning client thread — an SPSC channel needs no
+    demultiplexer.
+    """
+
+    def __init__(self, backend: "ProcessBackend", handler: Any,
+                 worker: _WorkerProcess, counters: Any) -> None:
+        self.backend = backend
+        self.handler = handler
+        self.worker = worker
+        self.counters = counters
+        self.synced = False
+        self.client_name: Optional[str] = None
+        self.closed_by_client = False
+        self.block_id: Optional[int] = None
+        self._stream: Optional[FrameStream] = None
+        self._pending_ticket: Optional[int] = None
+
+    # -- connection ----------------------------------------------------------
+    def _connect(self) -> FrameStream:
+        if self._stream is None:
+            sock = socket.create_connection(self.worker.data_addr, timeout=10.0)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(None)
+            self._stream = FrameStream(sock, self.backend.codec)
+            self._stream.send({"kind": "hello", "handler": self.handler.name,
+                               "token": self.backend.token, "client": self.client_name})
+            self.backend.register_stream(self._stream)
+        return self._stream
+
+    def open_block(self, ticket: int) -> None:
+        """Record this block's FIFO position (called by the qoq façade).
+
+        The actual ``open`` frame is sent lazily by :meth:`_ensure_open`,
+        because ``open_block`` runs inside the reservation's spinlock
+        critical section where blocking socket I/O must not happen.  The
+        ticket, not frame arrival order, decides when the worker serves the
+        block, so the deferral cannot reorder service.
+        """
+        self._pending_ticket = ticket
+
+    def _ensure_open(self) -> FrameStream:
+        stream = self._connect()
+        if self._pending_ticket is not None:
+            ticket, self._pending_ticket = self._pending_ticket, None
+            stream.send({"kind": "open", "ticket": ticket, "block": self.block_id})
+        return stream
+
+    # -- client-side surface (same accounting as the in-memory queue) -------
+    def enqueue_call(self, request: Any) -> None:
+        self.counters.bump("pq_enqueues")
+        self.counters.bump("async_calls")
+        if request.payload_bytes:
+            self.counters.add("bytes_copied", request.payload_bytes)
+        self.synced = False
+        self._ensure_open().send(self._call_payload("call", request))
+
+    def enqueue_sync(self, request: Optional[SyncRequest] = None) -> SyncRequest:
+        if request is None:
+            request = SyncRequest()
+        self.counters.bump("pq_enqueues")
+        self.counters.bump("sync_roundtrips")
+        stream = self._ensure_open()
+        stream.send({"kind": "sync"})
+        self._recv_reply("sync")  # blocks until the drain reaches the marker
+        request.fire()
+        return request
+
+    def enqueue_query(self, request: Any) -> ResultBox:
+        if request.result is None:
+            request.result = ResultBox()
+        self.counters.bump("pq_enqueues")
+        self.counters.bump("sync_roundtrips")
+        self.synced = False
+        stream = self._ensure_open()
+        stream.send(self._call_payload("query", request))
+        reply = self._recv_reply("query")
+        if reply["kind"] == "error":
+            request.result.set_error(self._reply_exception(reply))
+        else:
+            request.result.set(reply.get("value"))
+        return request.result
+
+    def enqueue_end(self) -> None:
+        self.counters.bump("pq_enqueues")
+        self.closed_by_client = True
+        self.synced = False
+        self._ensure_open().send({"kind": "end"})
+
+    def invoke(self, handle: Any, feature: Optional[str], args: tuple, kwargs: dict,
+               fn: Optional[Callable[..., Any]] = None) -> Any:
+        """Run a client-executed query body on the (synced) remote handler."""
+        payload: Dict[str, Any] = {"kind": "invoke", "oid": self._oid_of(handle),
+                                   "args": list(args), "kwargs": kwargs or {}}
+        if feature:
+            payload["feature"] = feature
+        else:
+            self._require_pickle("ship a callable query body")
+            payload["fn"] = fn
+        stream = self._ensure_open()
+        stream.send(payload)
+        reply = self._recv_reply("invoke")
+        if reply["kind"] == "error":
+            raise self._reply_exception(reply)
+        return reply.get("value")
+
+    # -- bookkeeping ---------------------------------------------------------
+    def reset_for_reuse(self) -> None:
+        self.synced = False
+        self.closed_by_client = False
+        self.block_id = None
+
+    def __len__(self) -> int:
+        return 0  # requests live on the wire / in the worker, never here
+
+    # -- internals -----------------------------------------------------------
+    def _oid_of(self, handle: Any) -> int:
+        if not isinstance(handle, RemoteHandle):
+            raise ScoopError(
+                f"handler {self.handler.name!r} runs in a separate process, but the "
+                f"target {handle!r} was not adopted through it")
+        return handle.oid
+
+    def _call_payload(self, kind: str, request: Any) -> Dict[str, Any]:
+        oid = self._oid_of(request.args[0] if request.args else None)
+        if request.raw_fn is not None:
+            # fn is an unpicklable wrapper closure; ship the user's callable
+            self._require_pickle(f"ship the callable {request.raw_fn!r}")
+            return {"kind": kind, "oid": oid, "fn": request.raw_fn,
+                    "args": list(request.call_args or ()), "kwargs": request.call_kwargs or {}}
+        if request.call_args is not None:
+            return {"kind": kind, "oid": oid, "feature": request.feature,
+                    "args": list(request.call_args), "kwargs": request.call_kwargs or {}}
+        # an arbitrary callable (apply/compute): only pickle can carry it
+        self._require_pickle(f"ship the callable {request.feature or request.fn!r}")
+        return {"kind": kind, "oid": oid, "fn": request.fn,
+                "args": list(request.args[1:]), "kwargs": dict(request.kwargs or {})}
+
+    def _require_pickle(self, what: str) -> None:
+        if self.backend.codec != "pickle":
+            raise ScoopError(
+                f"the {self.backend.codec!r} wire codec cannot {what}; "
+                f"use the process backend's pickle codec (e.g. backend='process:pickle')")
+
+    def _recv_reply(self, what: str) -> Dict[str, Any]:
+        assert self._stream is not None
+        try:
+            reply = self._stream.recv(timeout=self.backend.reply_timeout)
+        except SocketQueueClosed:
+            raise ScoopError(
+                f"handler process for {self.handler.name!r} closed the connection "
+                f"while a {what} reply was pending") from None
+        if reply is None:
+            raise ScoopError(
+                f"no {what} reply from handler {self.handler.name!r} within "
+                f"{self.backend.reply_timeout}s")
+        counters = reply.get("counters")
+        if counters:
+            self.backend.merge_worker_counters(self.handler, counters)
+        return reply
+
+    def _reply_exception(self, reply: Dict[str, Any]) -> BaseException:
+        error = reply.get("error")
+        if isinstance(error, BaseException):
+            return error
+        return RemoteCallError(reply.get("message", "remote call failed"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"ProcessPrivateQueue(handler={self.handler.name!r}, "
+                f"synced={self.synced}, connected={self._stream is not None})")
+
+
+class ProcessBackend(ThreadedBackend):
+    """Execute each handler in its own OS process behind a socket server.
+
+    Parameters
+    ----------
+    processes:
+        Maximum number of worker processes (handlers are assigned
+        round-robin).  ``None`` (default) gives every handler its own.
+    codec:
+        Wire codec for request/reply payloads: ``"pickle"`` (default; full
+        argument fidelity between same-trust processes) or ``"json"``.
+    reply_timeout:
+        Upper bound on waiting for a sync/query reply before raising — the
+        process-backend analogue of a hung handler.
+    """
+
+    name = "process"
+
+    def __init__(self, processes: Optional[int] = None, codec: str = "pickle",
+                 reply_timeout: float = 300.0) -> None:
+        super().__init__()
+        if processes is not None and processes < 1:
+            raise ValueError("processes must be >= 1")
+        self.processes = processes
+        self.codec = get_codec(codec).name
+        self.reply_timeout = reply_timeout
+        self.token = secrets.token_hex(16)
+        self._lock = threading.Lock()
+        self._workers: List[_WorkerProcess] = []
+        self._assignment: Dict[str, _WorkerProcess] = {}
+        self._listener: Optional[socket.socket] = None
+        self._streams: List[FrameStream] = []
+        self._oid_seq = itertools.count(1)
+        self._counters_seen: Dict[str, Dict[str, int]] = {}
+        self._counters_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # worker management
+    # ------------------------------------------------------------------
+    def _ensure_listener(self) -> socket.socket:
+        if self._listener is None:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(16)
+            self._listener = listener
+        return self._listener
+
+    def _spawn_worker(self) -> _WorkerProcess:
+        if os.environ.get("REPRO_PROCESS_WORKER"):
+            # we *are* a worker: the parent's __main__ was imported here to
+            # make its classes unpicklable-compatible, and it tried to build
+            # a runtime at import time.  Refusing breaks the fork bomb.
+            raise ScoopError(
+                "refusing to spawn worker processes from inside a worker process; "
+                "guard your script's entry point with `if __name__ == '__main__':` "
+                "(the process backend imports it, multiprocessing-style, so its "
+                "classes can unpickle in the workers)")
+        listener = self._ensure_listener()
+        env = dict(os.environ)
+        # the worker must import repro (and unpickle classes defined in the
+        # caller's modules), so it inherits this interpreter's search path
+        env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+        # a plain-script parent (__main__ with a file, not `-m pkg`) gets the
+        # multiprocessing-style fixup so its module-level classes unpickle
+        main_module = sys.modules.get("__main__")
+        main_path = None
+        if main_module is not None and getattr(main_module, "__spec__", None) is None:
+            main_path = getattr(main_module, "__file__", None)
+        env["REPRO_PROCESS_WORKER"] = json.dumps({
+            "host": "127.0.0.1", "port": listener.getsockname()[1],
+            "token": self.token, "codec": self.codec, "main_path": main_path,
+        })
+        proc = subprocess.Popen([sys.executable, "-c", _WORKER_CMD], env=env)
+        listener.settimeout(30.0)
+        try:
+            conn, _ = listener.accept()
+        except socket.timeout:
+            proc.kill()
+            raise ScoopError("worker process did not connect back in time") from None
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        control = FrameStream(conn, "pickle")
+        ready = control.recv(timeout=30.0)
+        if ready is None or ready.get("op") != "ready" or ready.get("token") != self.token:
+            proc.kill()
+            raise ScoopError("worker process handshake failed")
+        worker = _WorkerProcess(proc, control, ("127.0.0.1", int(ready["port"])))
+        self._workers.append(worker)
+        return worker
+
+    def _worker_for(self, handler_name: str) -> _WorkerProcess:
+        with self._lock:
+            worker = self._assignment.get(handler_name)
+            if worker is not None:
+                return worker
+            if self.processes is not None and len(self._workers) >= self.processes:
+                worker = self._workers[len(self._assignment) % self.processes]
+            else:
+                worker = self._spawn_worker()
+            self._assignment[handler_name] = worker
+            worker.handler_names.append(handler_name)
+            return worker
+
+    def register_stream(self, stream: FrameStream) -> None:
+        with self._lock:
+            self._streams.append(stream)
+
+    # ------------------------------------------------------------------
+    # handler plumbing
+    # ------------------------------------------------------------------
+    def start_handler(self, handler: Any) -> None:
+        worker = self._worker_for(handler.name)
+        worker.request({"op": "handler", "name": handler.name})
+        # from now on reservations of this handler go over the wire
+        handler.qoq = _RemoteQoQ(self, handler, worker)
+
+    def stop_handler(self, handler: Any, timeout: float = 5.0) -> None:
+        facade = handler.qoq
+        if not isinstance(facade, _RemoteQoQ):  # pragma: no cover - defensive
+            return
+        report = facade.report
+        if report is None:
+            facade.close()
+            report = facade.report
+        self.merge_worker_counters(handler, report.get("counters") or {})
+        for description, remote_tb in report.get("failures") or ():
+            handler.failures.append(RemoteHandlerError(description, remote_tb))
+
+    # ------------------------------------------------------------------
+    # placement hooks
+    # ------------------------------------------------------------------
+    def adopt_object(self, handler: Any, obj: Any) -> Any:
+        worker = self._worker_for(handler.name)
+        oid = next(self._oid_seq)
+        try:
+            worker.request({"op": "host", "handler": handler.name, "oid": oid, "obj": obj})
+        except ScoopError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - unpicklable object, most likely
+            raise ScoopError(
+                f"cannot host {type(obj).__name__} in handler process "
+                f"{handler.name!r}: {exc!r} (objects must be picklable, with an "
+                f"importable, module-level class)") from exc
+        return RemoteHandle(handler.name, oid, type(obj))
+
+    def create_private_queue(self, handler: Any, counters: Any) -> ProcessPrivateQueue:
+        return ProcessPrivateQueue(self, handler, self._worker_for(handler.name), counters)
+
+    def execute_synced_query(self, client: Any, ref: Any, fn: Callable[[Any], Any],
+                             feature: Optional[str] = None, args: tuple = (),
+                             kwargs: Optional[dict] = None,
+                             raw_fn: Optional[Callable[..., Any]] = None) -> Any:
+        queue = client.queue_for(ref.handler)
+        if feature:
+            return queue.invoke(ref._raw(), feature, args, kwargs or {})
+        if raw_fn is not None:
+            return queue.invoke(ref._raw(), None, args, kwargs or {}, fn=raw_fn)
+        return queue.invoke(ref._raw(), None, (), {}, fn=fn)
+
+    # ------------------------------------------------------------------
+    # counters aggregation
+    # ------------------------------------------------------------------
+    def merge_worker_counters(self, handler: Any, values: Dict[str, int]) -> None:
+        """Fold a worker counter snapshot into the runtime's counters.
+
+        Worker counters are monotonic, so the parent applies only the delta
+        against the last snapshot it saw for that handler — replies can
+        carry snapshots as often as they like without double counting.
+        """
+        with self._counters_lock:
+            seen = self._counters_seen.setdefault(handler.name, {})
+            for key, value in values.items():
+                delta = value - seen.get(key, 0)
+                if delta > 0:
+                    handler.counters.add(key, delta)
+                    seen[key] = value
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: float = 10.0) -> None:
+        with self._lock:
+            workers, self._workers = self._workers, []
+            streams, self._streams = self._streams, []
+            self._assignment.clear()
+        for stream in streams:
+            stream.close()
+        for worker in workers:
+            worker.stop(timeout)
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        cap = self.processes if self.processes is not None else "per-handler"
+        return f"ProcessBackend(processes={cap}, codec={self.codec!r})"

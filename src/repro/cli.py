@@ -29,10 +29,11 @@ command            what it does
                    (``bank-transfers``, ``dining-philosophers``)
 =================  ==========================================================
 
-The global ``--backend {threads,sim}`` option selects the execution backend
-for the commands that run the runtime (``run``, ``trace``): OS threads in
-wall-clock time, or the deterministic virtual-time simulator — e.g.
-``repro --backend sim run bank-transfers``.
+The global ``--backend {threads,sim,process}`` option selects the execution
+backend for the commands that run the runtime (``run``, ``trace``): OS
+threads in wall-clock time, the deterministic virtual-time simulator, or
+one OS process per handler — e.g. ``repro --backend sim run bank-transfers``
+or ``repro --backend process run dining-philosophers``.
 
 Every sub-command prints plain text only; exit status 0 means success, 1 is
 used for analysis results that found problems (deadlock cycles, guarantee
@@ -42,10 +43,13 @@ violations) so the CLI is usable from shell scripts and CI.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
 from repro.config import LEVEL_ORDER, QsConfig
+from repro.core.api import command, query
+from repro.core.region import SeparateObject
 
 EXPERIMENTS = ("table1", "table2", "table3", "table4", "table5", "summary", "eve")
 
@@ -292,16 +296,56 @@ def _explore_semantics(args: argparse.Namespace) -> int:
     return 0
 
 
+class ExampleAccount(SeparateObject):
+    """Bank account of the ``repro run bank-transfers`` example.
+
+    Module-level (not nested in ``cmd_run``) so the process backend can ship
+    instances to handler processes — pickle needs an importable class.
+    """
+
+    def __init__(self, balance: int) -> None:
+        self.balance = balance
+
+    @command
+    def credit(self, amount: int) -> None:
+        self.balance += amount
+
+    @command
+    def debit(self, amount: int) -> None:
+        self.balance -= amount
+
+    @query
+    def read(self) -> int:
+        return self.balance
+
+
+class ExampleFork(SeparateObject):
+    """Fork of the ``repro run dining-philosophers`` example (module-level
+    for the same picklability reason as :class:`ExampleAccount`)."""
+
+    def __init__(self) -> None:
+        self.uses = 0
+
+    @command
+    def use(self) -> None:
+        self.uses += 1
+
+    @query
+    def total_uses(self) -> int:
+        return self.uses
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """Run a built-in example end to end (on the selected backend).
 
     The examples are deterministic (seeded RNGs), so the printed balances
-    and meal counts are identical under ``--backend threads`` and
-    ``--backend sim`` — which is exactly the backend-parity claim.
+    and meal counts are identical under ``--backend threads``,
+    ``--backend sim`` and ``--backend process`` — which is exactly the
+    backend-parity claim.
     """
     import random
 
-    from repro import QsRuntime, SeparateObject, command, query
+    from repro import QsRuntime
 
     if args.clients < 0 or args.iterations < 0:
         raise SystemExit("repro run: --clients and --iterations must be non-negative")
@@ -310,23 +354,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                          "(a lone philosopher has only one fork)")
 
     if args.example == "bank-transfers":
-
-        class Account(SeparateObject):
-            def __init__(self, balance: int) -> None:
-                self.balance = balance
-
-            @command
-            def credit(self, amount: int) -> None:
-                self.balance += amount
-
-            @command
-            def debit(self, amount: int) -> None:
-                self.balance -= amount
-
-            @query
-            def read(self) -> int:
-                return self.balance
-
+        Account = ExampleAccount
         initial = 1_000
         # backend=None lets QsRuntime apply the documented resolution order
         # (explicit flag > REPRO_BACKEND > config default)
@@ -359,18 +387,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         return 0
 
     # dining-philosophers
-    class Fork(SeparateObject):
-        def __init__(self) -> None:
-            self.uses = 0
-
-        @command
-        def use(self) -> None:
-            self.uses += 1
-
-        @query
-        def total_uses(self) -> int:
-            return self.uses
-
+    Fork = ExampleFork
     n = args.clients
     with QsRuntime("all", backend=args.backend) as rt:
         backend = rt.backend.name
@@ -405,8 +422,15 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
-    from repro import QsRuntime, SeparateObject, command, query
+    from repro import QsRuntime
     from repro.core.guarantees import check_runtime
+
+    # specs are matched case-insensitively, like create_backend resolves them
+    env_spec = (os.environ.get("REPRO_BACKEND") or "").lower()
+    if args.backend == "process" or (args.backend is None and env_spec.startswith("process")):
+        raise SystemExit(
+            "repro trace: handler-side trace events are recorded in the handler's "
+            "process, which the parent's tracer cannot see; use --backend threads or sim")
 
     class Account(SeparateObject):
         def __init__(self, balance=0):

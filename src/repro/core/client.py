@@ -185,7 +185,7 @@ class Client:
                 queue.reset_for_reuse()
                 queue.block_id = self.tracer.next_block_id()
                 return queue
-        queue = PrivateQueue(handler=handler, counters=self.counters)
+        queue = self.backend.create_private_queue(handler, self.counters)
         queue.client_name = self.name
         queue.block_id = self.tracer.next_block_id()
         return queue
@@ -217,6 +217,8 @@ class Client:
             payload_bytes=_payload_size(args, kwargs),
             feature=method,
             block=queue.block_id,
+            call_args=args,
+            call_kwargs=dict(kwargs),
         )
         # logging an asynchronous call invalidates any synchronous control we
         # held over the handler (the handler will become busy again)
@@ -249,12 +251,14 @@ class Client:
                            feature=method, block=self.queue_for(handler).block_id)
         if self.config.client_executed_queries:
             self.sync(ref)
-            result = self._execute_locally(ref, operator.methodcaller(method, *args, **kwargs))
+            result = self.backend.execute_synced_query(
+                self, ref, operator.methodcaller(method, *args, **kwargs),
+                feature=method, args=args, kwargs=dict(kwargs))
             self.tracer.record("exec-client", handler.name, client=self.name,
                                feature=method, block=self.queue_for(handler).block_id)
             return result
         return self._remote_query(ref, operator.methodcaller(method, *args, **kwargs), args, kwargs,
-                                  feature=method)
+                                  feature=method, described=True)
 
     def query_function(self, ref: SeparateRef, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Synchronous query applying ``fn(raw_object, *args, **kwargs)``."""
@@ -265,12 +269,14 @@ class Client:
                            feature=feature, block=self.queue_for(handler).block_id)
         if self.config.client_executed_queries:
             self.sync(ref)
-            result = self._execute_locally(ref, lambda obj: fn(obj, *args, **kwargs))
+            result = self.backend.execute_synced_query(
+                self, ref, lambda obj: fn(obj, *args, **kwargs),
+                args=args, kwargs=dict(kwargs), raw_fn=fn)
             self.tracer.record("exec-client", handler.name, client=self.name,
                                feature=feature, block=self.queue_for(handler).block_id)
             return result
         return self._remote_query(ref, lambda obj: fn(obj, *args, **kwargs), args, kwargs,
-                                  feature=feature)
+                                  feature=feature, raw_fn=fn)
 
     # -- pieces ----------------------------------------------------------
     def sync(self, ref: SeparateRef) -> bool:
@@ -301,25 +307,28 @@ class Client:
         sync message nor a dynamic check is issued.
         """
         self.counters.bump("queries")
-        result = self._execute_locally(ref, fn)
+        result = self.backend.execute_synced_query(self, ref, fn)
         if self.tracer.enabled:
             queue = self.queue_for(ref.handler)
             self.tracer.record("exec-client", ref.handler.name, client=self.name,
                                feature=getattr(fn, "__name__", "<callable>"), block=queue.block_id)
         return result
 
-    def _execute_locally(self, ref: SeparateRef, fn: Callable[[Any], Any]) -> Any:
-        # The modified query rule (Section 3.2): the call is executed on the
-        # client, after synchronisation, against the raw object.
-        return fn(ref._raw())
-
     def _remote_query(self, ref: SeparateRef, fn: Callable[[Any], Any], args: tuple, kwargs: dict,
-                      feature: str = "") -> Any:
+                      feature: str = "", described: bool = False,
+                      raw_fn: Optional[Callable[..., Any]] = None) -> Any:
+        # ``described`` means the request literally is ``getattr(obj,
+        # feature)(*args, **kwargs)``; ``raw_fn`` means it is ``raw_fn(obj,
+        # *args, **kwargs)`` — both forms a socket transport can ship
+        # without pickling the wrapper closure in ``fn``.
         handler = ref.handler
         queue = self.queue_for(handler)
         request = CallRequest(fn=fn, args=(ref._raw(),), payload_bytes=_payload_size(args, kwargs),
                               feature=feature, block=queue.block_id,
-                              result=ResultBox(event=self.backend.create_event()))
+                              result=ResultBox(event=self.backend.create_event()),
+                              call_args=args if (described or raw_fn is not None) else None,
+                              call_kwargs=dict(kwargs) if (described or raw_fn is not None) else None,
+                              raw_fn=raw_fn)
         box = queue.enqueue_query(request)
         self.backend.notify_handler(handler)
         return box.wait()

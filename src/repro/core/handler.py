@@ -111,10 +111,17 @@ class Handler:
     # object hosting
     # ------------------------------------------------------------------
     def adopt(self, obj: Any) -> SeparateRef:
-        """Make ``obj`` a separate object handled by this handler."""
-        if isinstance(obj, SeparateObject):
+        """Make ``obj`` a separate object handled by this handler.
+
+        The backend decides where the object actually lives: in-memory
+        backends keep it here (and bind the ownership check), the process
+        backend ships it to the handler's process and hands back a remote
+        handle for the ref to wrap.
+        """
+        placed = self.backend.adopt_object(self, obj)
+        if placed is obj and isinstance(obj, SeparateObject):
             obj._scoop_bind(self.owner)
-        return SeparateRef(self, obj)
+        return SeparateRef(self, placed)
 
     def create(self, cls: Callable[..., Any], *args: Any, **kwargs: Any) -> SeparateRef:
         """Instantiate ``cls(*args, **kwargs)`` as a separate object here."""

@@ -46,10 +46,11 @@ class QsRuntime:
     """Owner of handlers, clients and runtime configuration.
 
     ``backend`` selects how handlers and clients execute (see
-    :mod:`repro.backends`): ``"threads"`` (the default) or ``"sim"``.  The
-    resolution order is: explicit ``backend`` argument, then the
-    ``REPRO_BACKEND`` environment variable, then ``config.backend`` — so
-    existing programs can be switched to the simulator without touching
+    :mod:`repro.backends`): ``"threads"`` (the default), ``"sim"`` or
+    ``"process"``.  The resolution order is: explicit ``backend`` argument,
+    then the ``REPRO_BACKEND`` environment variable, then
+    ``config.backend`` — so existing programs can be switched to the
+    simulator (or to one-process-per-handler execution) without touching
     their source.
     """
 

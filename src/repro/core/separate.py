@@ -71,7 +71,10 @@ class ReservedProxy:
     def __getattr__(self, name: str):
         ref = object.__getattribute__(self, "_ref")
         client = object.__getattribute__(self, "_client")
-        kind = method_kind(type(ref._raw()), name)
+        # a remote handle (process backend) advertises the hosted object's
+        # class so @command/@query markers resolve without the object itself
+        raw = ref._raw()
+        kind = method_kind(getattr(raw, "_scoop_class", None) or type(raw), name)
 
         if kind == COMMAND:
             def _command(*args: Any, **kwargs: Any) -> None:

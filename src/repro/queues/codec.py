@@ -1,0 +1,91 @@
+"""Wire codecs: the pluggable payload-encoding seam of the socket transport.
+
+The socket-backed private queue (and the process execution backend built on
+top of it) frames every message as a 4-byte big-endian length followed by an
+encoded payload.  *What* the payload encoding is, is a policy decision:
+
+* :class:`JsonCodec` -- the original prototype encoding.  Human-readable,
+  language-agnostic, safe to decode from an untrusted peer — but it only
+  carries JSON types, so tuples arrive as lists (the transport layer
+  normalises the *top-level* argument tuple back; nested tuples are
+  documented as lossy) and arbitrary objects cannot travel at all.
+* :class:`PickleCodec` -- full Python-object fidelity: tuples stay tuples,
+  sets stay sets, exceptions and (importable) callables round-trip.  This is
+  what the process backend uses by default, since both ends of its sockets
+  are processes *we* spawned on the same machine.  Never use it across a
+  trust boundary: unpickling executes arbitrary code by design.
+
+Codecs are intentionally tiny — ``encode``/``decode`` over ``dict`` payloads
+— so adding another (msgpack, CBOR, a schema'd protobuf) means implementing
+two methods and registering the instance in :data:`CODECS`.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from abc import ABC, abstractmethod
+from typing import Any, Dict
+
+
+class Codec(ABC):
+    """Encode/decode one framed payload (a ``dict``) to/from bytes."""
+
+    #: short name used in backend specs (``process:json``) and constructors
+    name: str = "abstract"
+
+    @abstractmethod
+    def encode(self, payload: Dict[str, Any]) -> bytes:  # pragma: no cover
+        raise NotImplementedError
+
+    @abstractmethod
+    def decode(self, data: bytes) -> Dict[str, Any]:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{type(self).__name__}()"
+
+
+class JsonCodec(Codec):
+    """UTF-8 JSON payloads: portable, readable, JSON types only."""
+
+    name = "json"
+
+    def encode(self, payload: Dict[str, Any]) -> bytes:
+        return json.dumps(payload).encode("utf-8")
+
+    def decode(self, data: bytes) -> Dict[str, Any]:
+        return json.loads(data.decode("utf-8"))
+
+
+class PickleCodec(Codec):
+    """Pickled payloads: faithful Python round-trips, same-trust peers only."""
+
+    name = "pickle"
+
+    def encode(self, payload: Dict[str, Any]) -> bytes:
+        return pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def decode(self, data: bytes) -> Dict[str, Any]:
+        return pickle.loads(data)
+
+
+#: registered codec instances, keyed by name (codecs are stateless)
+CODECS: Dict[str, Codec] = {
+    JsonCodec.name: JsonCodec(),
+    PickleCodec.name: PickleCodec(),
+}
+
+#: canonical codec names, for error messages and CLI help
+CODEC_NAMES = tuple(CODECS)
+
+
+def get_codec(codec: "str | Codec") -> Codec:
+    """Resolve a codec name (or pass an instance through) to a codec."""
+    if isinstance(codec, Codec):
+        return codec
+    resolved = CODECS.get(str(codec).lower())
+    if resolved is None:
+        valid = ", ".join(CODEC_NAMES)
+        raise ValueError(f"unknown wire codec {codec!r}; expected one of {valid}")
+    return resolved

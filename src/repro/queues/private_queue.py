@@ -99,6 +99,18 @@ class CallRequest:
     #: across blocks, so the id must travel with the request for the
     #: handler-side trace events to attribute executions correctly
     block: "int | None" = None
+    #: the *described* call — the actual arguments of ``feature``, before
+    #: they were baked into ``fn``.  ``None`` when the request wraps an
+    #: arbitrary callable (``call_function``) rather than a named method.
+    #: In-memory backends never look at these; socket transports ship them
+    #: instead of ``fn`` so requests stay data, not code.
+    call_args: "tuple | None" = None
+    call_kwargs: "dict | None" = None
+    #: the user's original callable when ``fn`` is a wrapper closure around
+    #: it (``query_function``'s packaged path) — wrappers are unpicklable,
+    #: so socket transports ship ``raw_fn`` + ``call_args``/``call_kwargs``
+    #: and the handler side applies ``raw_fn(obj, *args, **kwargs)``.
+    raw_fn: "Callable[..., Any] | None" = None
 
     def execute(self) -> Any:
         """Apply the packaged call (what the handler does in ``execute_call``)."""

@@ -4,33 +4,40 @@ The conclusion of the paper proposes "further explor[ing] the utility of the
 private queue design, in particular the usage of sockets as the underlying
 implementation" — the private queue is an SPSC channel, so nothing stops it
 from running over a byte stream between processes or machines.  This module
-prototypes exactly that:
+implements exactly that:
 
+* :class:`FrameStream` is the hardened transport: 4-byte big-endian
+  length-prefixed frames whose payloads go through a pluggable
+  :class:`~repro.queues.codec.Codec` (JSON by default, pickle for
+  full-fidelity same-trust links).  Each stream keeps a per-connection
+  receive buffer, so a timeout in the middle of a frame *never* desyncs the
+  stream: the bytes already received wait in the buffer and the next read
+  resumes where the last one stopped.
 * :class:`SocketPrivateQueue` exposes the same client/handler surface as
   :class:`~repro.queues.private_queue.PrivateQueue` (``enqueue_call`` /
   ``enqueue_sync`` / ``enqueue_end`` / ``dequeue`` plus the dynamic ``synced``
-  flag) but moves every request over a connected pair of stream sockets with
-  a tiny length-prefixed wire format;
-* calls are *described*, not pickled: the client ships ``(feature, args,
-  kwargs)`` and the handler side resolves the feature on its local object,
-  which is exactly the discipline a distributed SCOOP would need (objects
+  flag) but moves every request over a connected pair of stream sockets;
+* calls are *described*, not shipped as code: the client sends ``(feature,
+  args, kwargs)`` and the handler side resolves the feature on its local
+  object, which is exactly the discipline a distributed SCOOP needs (objects
   never leave their region — only requests and query results travel).
 
-The prototype is deliberately synchronous and unoptimized; its purpose is to
-show the queue-of-queues protocol is transport agnostic and to measure the
-per-request overhead a socket hop adds (see ``benchmarks/bench_ablations.py``).
+The :class:`~repro.backends.process.ProcessBackend` builds its per-handler
+servers on :class:`FrameStream`; this module stays runtime-agnostic so it can
+also be used standalone (see ``benchmarks/bench_ablations.py``).
 """
 
 from __future__ import annotations
 
-import json
 import socket
 import struct
 import threading
+import time
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
 from repro.errors import ScoopError
+from repro.queues.codec import Codec, get_codec
 from repro.util.counters import Counters
 
 #: wire header: 4-byte big-endian payload length
@@ -39,41 +46,133 @@ _HEADER = struct.Struct(">I")
 #: request kinds on the wire
 _CALL, _SYNC, _END, _RESULT, _ERROR = "call", "sync", "end", "result", "error"
 
-
-def _send_message(sock: socket.socket, payload: Dict[str, Any]) -> None:
-    data = json.dumps(payload).encode("utf-8")
-    sock.sendall(_HEADER.pack(len(data)) + data)
-
-
-def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
-    chunks = b""
-    while len(chunks) < count:
-        chunk = sock.recv(count - len(chunks))
-        if not chunk:
-            return None
-        chunks += chunk
-    return chunks
+#: exceptions meaning "nothing (more) to read right now": a blocking socket
+#: past its timeout raises ``socket.timeout``; a non-blocking one
+#: (``timeout=0``) raises ``BlockingIOError`` immediately.  Both must be
+#: treated as a timeout, not as an error — see ``FrameStream._fill``.
+_WOULD_BLOCK = (socket.timeout, BlockingIOError)
 
 
-def _recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
-    header = _recv_exact(sock, _HEADER.size)
-    if header is None:
-        return None
-    (length,) = _HEADER.unpack(header)
-    body = _recv_exact(sock, length)
-    if body is None:
-        return None
-    return json.loads(body.decode("utf-8"))
+class SocketQueueClosed(ScoopError):
+    """The peer closed the connection (EOF on the underlying socket)."""
+
+
+class FrameStream:
+    """One side of a framed, codec-encoded connection over a stream socket.
+
+    ``recv`` returns ``None`` on timeout and raises :class:`SocketQueueClosed`
+    on EOF; the distinction matters to callers that poll (timeout = try
+    again) versus callers that own a peer's lifecycle (EOF = it is gone).
+
+    Partial reads are kept in a per-stream buffer: a frame interrupted by a
+    timeout — after the header, or half-way through a large body — is
+    resumed by the next ``recv``, so timeouts are always safe to interleave
+    with traffic of any size.  (The original prototype discarded partial
+    reads, permanently desyncing the length-prefixed stream.)
+    """
+
+    def __init__(self, sock: socket.socket, codec: "str | Codec" = "json") -> None:
+        self.sock = sock
+        self.codec: Codec = get_codec(codec)
+        self._recv_buf = bytearray()
+        self._send_lock = threading.Lock()
+
+    # -- sending -----------------------------------------------------------
+    def send(self, payload: Dict[str, Any]) -> None:
+        """Encode and send one frame (atomic with respect to other senders)."""
+        data = self.codec.encode(payload)
+        with self._send_lock:
+            self.sock.sendall(_HEADER.pack(len(data)) + data)
+
+    # -- receiving ---------------------------------------------------------
+    def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Receive one frame; ``None`` on timeout, raises on closed peer.
+
+        ``timeout`` bounds the wait for the *whole* frame: a deadline is
+        computed up front and every underlying read gets only the remaining
+        slice.  ``timeout=0`` is a non-blocking poll (consume whatever the
+        kernel already has; return ``None`` if that is not a full frame yet).
+        """
+        deadline = None
+        if timeout is not None and timeout > 0:
+            deadline = time.monotonic() + timeout
+        try:
+            if not self._fill(_HEADER.size, timeout, deadline):
+                return None
+            (length,) = _HEADER.unpack(bytes(self._recv_buf[: _HEADER.size]))
+            if not self._fill(_HEADER.size + length, timeout, deadline):
+                return None
+        finally:
+            # never leave the socket non-blocking (or on a stale short
+            # timeout): sends on this same socket assume blocking mode
+            if timeout is not None:
+                try:
+                    self.sock.settimeout(None)
+                except OSError:
+                    pass
+        body = bytes(self._recv_buf[_HEADER.size: _HEADER.size + length])
+        del self._recv_buf[: _HEADER.size + length]
+        return self.codec.decode(body)
+
+    def _fill(self, needed: int, timeout: Optional[float], deadline: Optional[float]) -> bool:
+        """Grow the receive buffer to ``needed`` bytes; False on timeout.
+
+        On timeout the bytes read so far *stay in the buffer* — this is the
+        invariant that keeps the length-prefixed stream in sync across
+        timeouts.
+        """
+        while len(self._recv_buf) < needed:
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self.sock.settimeout(remaining)
+            else:
+                # None = block forever; 0 (and negatives) = non-blocking poll
+                self.sock.settimeout(timeout if timeout is None else 0)
+            try:
+                chunk = self.sock.recv(65536)
+            except _WOULD_BLOCK:
+                return False
+            if not chunk:
+                raise SocketQueueClosed("the peer closed the connection")
+            self._recv_buf += chunk
+        return True
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"FrameStream(codec={self.codec.name!r}, buffered={len(self._recv_buf)})"
 
 
 @dataclass
 class WireRequest:
-    """One decoded request on the handler side of the socket."""
+    """One decoded request on the handler side of the socket.
+
+    ``args`` is always normalised to a tuple on decode: the JSON codec has no
+    tuple type, so arguments arrive as a list and naive decoding would leak
+    the wire representation into handler code (``Tuple`` in the type, list at
+    runtime).  Nested containers keep whatever the codec supports — lossy
+    under JSON, faithful under pickle.
+    """
 
     kind: str
     feature: str = ""
     args: Tuple[Any, ...] = ()
     kwargs: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_message(cls, message: Dict[str, Any]) -> "WireRequest":
+        return cls(
+            kind=message["kind"],
+            feature=message.get("feature", ""),
+            args=tuple(message.get("args") or ()),
+            kwargs=dict(message.get("kwargs") or {}),
+        )
 
     @property
     def is_end(self) -> bool:
@@ -89,17 +188,21 @@ class SocketPrivateQueue:
 
     The client half lives wherever the client thread/process runs; the
     handler half (:class:`SocketQueueServer`) drains requests against a local
-    object.  Only JSON-serialisable arguments and results are supported —
-    a real distributed runtime would substitute a richer codec, but the
-    protocol (call / sync / end / result) is already the one the paper's
-    private queues implement in shared memory.
+    object.  The ``codec`` decides what can travel: ``"json"`` (the default)
+    carries JSON types only, ``"pickle"`` round-trips arbitrary picklable
+    arguments and results faithfully (tuples included).  The protocol
+    (call / sync / end / result) is the one the paper's private queues
+    implement in shared memory.
     """
 
-    def __init__(self, counters: Optional[Counters] = None) -> None:
+    def __init__(self, counters: Optional[Counters] = None,
+                 codec: "str | Codec" = "json") -> None:
         self.counters = counters or Counters()
         client_sock, handler_sock = socket.socketpair()
         self._client_sock = client_sock
         self._handler_sock = handler_sock
+        self._client = FrameStream(client_sock, codec)
+        self._handler = FrameStream(handler_sock, codec)
         #: dynamic sync-coalescing flag, same meaning as the in-memory queue
         self.synced = False
         self.closed_by_client = False
@@ -114,8 +217,8 @@ class SocketPrivateQueue:
         self.counters.bump("async_calls")
         self.synced = False
         with self._lock:
-            _send_message(self._client_sock, {"kind": _CALL, "feature": feature,
-                                              "args": list(args), "kwargs": kwargs})
+            self._client.send({"kind": _CALL, "feature": feature,
+                               "args": list(args), "kwargs": kwargs})
 
     def query(self, feature: str, *args: Any, **kwargs: Any) -> Any:
         """Synchronous query: ship the request, block for the result message."""
@@ -123,9 +226,12 @@ class SocketPrivateQueue:
         self.counters.bump("sync_roundtrips")
         self.synced = False
         with self._lock:
-            _send_message(self._client_sock, {"kind": _SYNC, "feature": feature,
-                                              "args": list(args), "kwargs": kwargs})
-            reply = _recv_message(self._client_sock)
+            self._client.send({"kind": _SYNC, "feature": feature,
+                               "args": list(args), "kwargs": kwargs})
+            try:
+                reply = self._client.recv()
+            except SocketQueueClosed:
+                reply = None
         if reply is None:
             raise ScoopError("the handler side of the socket queue closed unexpectedly")
         if reply["kind"] == _ERROR:
@@ -139,38 +245,38 @@ class SocketPrivateQueue:
         self.closed_by_client = True
         self.synced = False
         with self._lock:
-            _send_message(self._client_sock, {"kind": _END})
+            self._client.send({"kind": _END})
 
     def close_client(self) -> None:
-        self._client_sock.close()
+        self._client.close()
 
     # ------------------------------------------------------------------
     # handler side
     # ------------------------------------------------------------------
     def dequeue(self, timeout: Optional[float] = None) -> Optional[WireRequest]:
-        """Receive the next request (``None`` on timeout or closed peer)."""
-        self._handler_sock.settimeout(timeout)
+        """Receive the next request (``None`` on timeout or closed peer).
+
+        Safe at any ``timeout``, including ``0`` (non-blocking poll): an
+        empty queue returns ``None`` rather than leaking ``BlockingIOError``,
+        and a timeout splitting a large frame leaves the partial bytes in the
+        stream's buffer for the next call.
+        """
         try:
-            message = _recv_message(self._handler_sock)
-        except socket.timeout:
+            message = self._handler.recv(timeout=timeout)
+        except SocketQueueClosed:
             return None
         if message is None:
             return None
-        return WireRequest(
-            kind=message["kind"],
-            feature=message.get("feature", ""),
-            args=tuple(message.get("args", ())),
-            kwargs=message.get("kwargs") or {},
-        )
+        return WireRequest.from_message(message)
 
     def reply(self, value: Any) -> None:
-        _send_message(self._handler_sock, {"kind": _RESULT, "value": value})
+        self._handler.send({"kind": _RESULT, "value": value})
 
     def reply_error(self, message: str) -> None:
-        _send_message(self._handler_sock, {"kind": _ERROR, "message": message})
+        self._handler.send({"kind": _ERROR, "message": message})
 
     def close_handler(self) -> None:
-        self._handler_sock.close()
+        self._handler.close()
 
 
 class SocketQueueServer:

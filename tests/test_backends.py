@@ -1,12 +1,12 @@
 """Backend parity: the same programs, observations and counters either way.
 
 The point of the backend seam is that *nothing observable about a program*
-depends on whether it runs on OS threads or on the virtual-time simulator.
-These tests run the paper's flagship scenarios — bank transfers with an
-auditor (Fig. 5), dining philosophers (Section 2.4), a sync-coalescing
-block — under both backends and assert identical results and identical
-schedule-independent counters; plus the sim-only guarantees: bitwise
-reproducibility and deadlock detection.
+depends on whether it runs on OS threads, on the virtual-time simulator or
+across OS processes.  These tests run the paper's flagship scenarios — bank
+transfers with an auditor (Fig. 5), dining philosophers (Section 2.4), a
+sync-coalescing block — under all three backends and assert identical
+results and identical schedule-independent counters; plus the sim-only
+guarantees: bitwise reproducibility and deadlock detection.
 """
 
 from __future__ import annotations
@@ -16,12 +16,12 @@ import random
 import pytest
 
 from repro import DeadlockError, QsRuntime, SeparateObject, command, query
-from repro.backends import SimBackend, ThreadedBackend, create_backend
+from repro.backends import ProcessBackend, SimBackend, ThreadedBackend, create_backend
 from repro.config import QsConfig
 from repro.workloads.concurrent.runner import run_concurrent
 from repro.workloads.params import ConcurrentSizes
 
-BACKENDS = ("threads", "sim")
+BACKENDS = ("threads", "sim", "process")
 
 #: counters whose values are schedule-independent for the workloads below
 #: (retry-style counters like lock_waits or wait_condition_retries are not)
@@ -170,10 +170,18 @@ class TestEachBackend:
         assert result["counters"]["sync_roundtrips"] == 4
         assert result["counters"]["syncs_elided"] == 8
 
-    def test_workloads_runner_unmodified(self, backend):
+    def test_workloads_runner_unmodified(self, backend, monkeypatch):
+        # this test selects the backend through the *config*, which the
+        # documented resolution order lets REPRO_BACKEND override
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         sizes = ConcurrentSizes(n=2, m=5, nt=20, ring_size=4, nc=10)
         config = QsConfig.all().with_(backend=backend)
         assert run_concurrent("mutex", config, sizes).value == 10
+        if backend == "process":
+            # threadring wires the runtime and SeparateRefs *into* handler
+            # state so handlers act as clients of each other — inherently a
+            # shared-memory workload (see docs/backends.md, process limits)
+            pytest.skip("threadring requires shared-memory handler state")
         assert run_concurrent("threadring", config, sizes).value["passes"] == 21
 
 
@@ -185,8 +193,11 @@ class TestEachBackend:
                          ids=["bank", "philosophers", "coalescing"])
 def test_backends_agree(workload):
     results = {backend: workload(backend) for backend in BACKENDS}
-    threads, sim = results["threads"], results["sim"]
-    assert threads == sim, "observable results and counters must not depend on the backend"
+    reference = results["threads"]
+    for backend in BACKENDS[1:]:
+        assert results[backend] == reference, (
+            f"observable results and counters must not depend on the backend "
+            f"({backend} vs threads)")
 
 
 # ----------------------------------------------------------------------------
@@ -283,6 +294,7 @@ class TestBackendSelection:
         assert isinstance(create_backend("threads"), ThreadedBackend)
         assert isinstance(create_backend("threaded"), ThreadedBackend)
         assert isinstance(create_backend("sim"), SimBackend)
+        assert isinstance(create_backend("process"), ProcessBackend)
         instance = ThreadedBackend()
         assert create_backend(instance) is instance
 
@@ -290,7 +302,26 @@ class TestBackendSelection:
         with pytest.raises(ValueError, match="unknown execution backend"):
             create_backend("quantum")
 
-    def test_config_carries_backend(self):
+    def test_process_spec_components(self):
+        backend = create_backend("process:2:json")
+        assert backend.processes == 2 and backend.codec == "json"
+        backend = create_backend("process:pickle")
+        assert backend.processes is None and backend.codec == "pickle"
+        backend = create_backend("process:4")
+        assert backend.processes == 4 and backend.codec == "pickle"
+
+    def test_invalid_process_spec_rejected(self):
+        with pytest.raises(ValueError, match="invalid component"):
+            create_backend("process:msgpack")
+        with pytest.raises(ValueError, match="two process counts"):
+            create_backend("process:2:3")
+
+    def test_threads_spec_components_rejected(self):
+        with pytest.raises(ValueError, match="takes none"):
+            create_backend("threads:4")
+
+    def test_config_carries_backend(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         config = QsConfig.all().with_(backend="sim")
         with QsRuntime(config) as rt:
             assert rt.backend.name == "sim"

@@ -1,0 +1,253 @@
+"""Process-backend specifics: hosting, codecs, counters, failure transport.
+
+Backend *parity* (same programs, same observations, same counters as
+threads/sim) lives in ``tests/test_backends.py``; this file covers what is
+unique to crossing a process boundary: object hosting and remote handles,
+the pickle/json codec split, cross-process counter aggregation, remote
+exceptions, worker-process pooling, and the selection plumbing
+(``process[:nproc][:codec]`` specs and ``REPRO_BACKEND``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QsRuntime, SeparateObject, command, query
+from repro.backends import ProcessBackend
+from repro.backends.process import RemoteHandle, RemoteHandlerError
+from repro.errors import QueryFailedError, ScoopError
+
+
+class Box(SeparateObject):
+    """Stores whatever it is told — used to round-trip rich argument types."""
+
+    def __init__(self) -> None:
+        self.value = None
+        self.calls = 0
+
+    @command
+    def put(self, value) -> None:
+        self.value = value
+        self.calls += 1
+
+    @query
+    def get(self):
+        return self.value
+
+    @query
+    def echo(self, value):
+        return value
+
+    @query
+    def calls_seen(self) -> int:
+        return self.calls
+
+
+class Exploder(SeparateObject):
+    @command
+    def misfire(self) -> None:
+        raise ValueError("deliberate async failure")
+
+    @query
+    def blow_up(self) -> None:
+        raise KeyError("deliberate query failure")
+
+    @query
+    def ok(self) -> str:
+        return "fine"
+
+
+def top_level_halve(obj, n):
+    """Module-level helper for apply/compute over the pickle codec."""
+    return n // 2
+
+
+class TestHosting:
+    def test_create_returns_remote_handle(self):
+        with QsRuntime("all", backend="process") as rt:
+            ref = rt.new_handler("box").create(Box)
+            assert isinstance(ref._raw(), RemoteHandle)
+            assert ref._raw()._scoop_class is Box
+            with rt.separate(ref) as b:
+                b.put(41)
+                assert b.get() == 41
+
+    def test_unpicklable_object_is_a_clear_error(self):
+        class Local(SeparateObject):  # nested class: pickle cannot import it
+            pass
+
+        with QsRuntime("all", backend="process") as rt:
+            with pytest.raises(ScoopError, match="picklable"):
+                rt.new_handler("h").create(Local)
+            # the runtime (and its worker) must survive the failed adopt
+            ref = rt.new_handler("ok").create(Box)
+            with rt.separate(ref) as b:
+                b.put(1)
+                assert b.get() == 1
+
+    def test_multiple_objects_per_handler(self):
+        with QsRuntime("all", backend="process") as rt:
+            handler = rt.new_handler("shelf")
+            first, second = handler.create(Box), handler.create(Box)
+            with rt.separate(first) as b:
+                b.put("a")
+            with rt.separate(second) as b:
+                b.put("b")
+            with rt.separate(first) as b:
+                assert b.get() == "a"
+            with rt.separate(second) as b:
+                assert b.get() == "b"
+
+
+class TestCodecs:
+    def test_pickle_codec_round_trips_rich_arguments(self):
+        """Satellite: the pickle codec keeps tuples tuples, end to end."""
+        payload = {"point": (1, 2), "nested": [(3, 4), {5, 6}], "blob": b"\x00\xff"}
+        with QsRuntime("all", backend="process:pickle") as rt:
+            ref = rt.new_handler("box").create(Box)
+            with rt.separate(ref) as b:
+                b.put(payload)
+                value = b.get()
+        assert value == payload
+        assert isinstance(value["point"], tuple)
+        assert isinstance(value["nested"][0], tuple)
+        assert isinstance(value["nested"][1], set)
+
+    def test_json_codec_carries_json_types(self):
+        with QsRuntime("all", backend="process:json") as rt:
+            ref = rt.new_handler("box").create(Box)
+            with rt.separate(ref) as b:
+                b.put({"n": 3, "xs": [1, 2.5, "three", None, True]})
+                assert b.get() == {"n": 3, "xs": [1, 2.5, "three", None, True]}
+
+    def test_json_codec_rejects_callables_with_guidance(self):
+        with QsRuntime("all", backend="process:json") as rt:
+            ref = rt.new_handler("box").create(Box)
+            with rt.separate(ref) as b:
+                with pytest.raises(ScoopError, match="pickle codec"):
+                    b.apply(top_level_halve, 10)
+
+    def test_pickle_codec_ships_callables(self):
+        with QsRuntime("all", backend="process") as rt:
+            ref = rt.new_handler("box").create(Box)
+            with rt.separate(ref) as b:
+                assert b.compute(top_level_halve, 10) == 5
+
+    def test_packaged_function_query_ships_raw_fn(self):
+        # regression: with client-executed queries off, query_function wraps
+        # the user fn in a local lambda; the transport must ship the raw fn
+        # (plus its arguments), not try to pickle the wrapper
+        with QsRuntime("qoq", backend="process") as rt:
+            ref = rt.new_handler("box").create(Box)
+            with rt.separate(ref) as b:
+                assert b.compute(top_level_halve, 10) == 5
+
+
+class TestCountersAggregation:
+    def test_calls_executed_visible_before_shutdown(self):
+        with QsRuntime("all", backend="process") as rt:
+            ref = rt.new_handler("box").create(Box)
+            with rt.separate(ref) as b:
+                for i in range(7):
+                    b.put(i)
+                assert b.calls_seen() == 7  # the sync makes the work visible
+            stats = rt.stats()
+        assert stats["calls_executed"] == 7
+        assert stats["async_calls"] == 7
+
+    def test_final_snapshot_merged_at_shutdown(self):
+        rt = QsRuntime("all", backend="process")
+        ref = rt.new_handler("box").create(Box)
+        with rt.separate(ref) as b:
+            b.put(1)
+            b.put(2)
+        rt.shutdown()
+        # no query ever forced a reply; the close report must carry the count
+        assert rt.stats()["calls_executed"] == 2
+
+
+class TestRemoteFailures:
+    def test_query_exception_keeps_its_type(self):
+        with QsRuntime("all", backend="process") as rt:
+            ref = rt.new_handler("boom").create(Exploder)
+            with rt.separate(ref) as e:
+                with pytest.raises(KeyError, match="deliberate query failure"):
+                    e.blow_up()
+                assert e.ok() == "fine"  # the handler survives a failed query
+
+    def test_packaged_query_exception_wrapped_like_in_memory(self):
+        config = QsRuntime("none", backend="process")
+        with config as rt:
+            ref = rt.new_handler("boom").create(Exploder)
+            with rt.separate(ref) as e:
+                with pytest.raises(QueryFailedError):
+                    e.ask("blow_up")
+
+    def test_async_failure_surfaces_at_shutdown(self):
+        rt = QsRuntime("all", backend="process")
+        ref = rt.new_handler("boom").create(Exploder)
+        with rt.separate(ref) as e:
+            e.misfire()
+        with pytest.raises(ScoopError, match="asynchronous call"):
+            rt.shutdown()
+        failures = rt.handler_failures()
+        assert len(failures) == 1
+        assert isinstance(failures[0], RemoteHandlerError)
+        assert "deliberate async failure" in str(failures[0])
+        assert "misfire" in failures[0].remote_traceback
+
+
+class TestWorkerPooling:
+    def test_processes_cap_shares_workers(self):
+        backend = ProcessBackend(processes=1)
+        with QsRuntime("all", backend=backend) as rt:
+            refs = [rt.new_handler(f"h{i}").create(Box) for i in range(3)]
+            for i, ref in enumerate(refs):
+                with rt.separate(ref) as b:
+                    b.put(i * 10)
+            values = []
+            for ref in refs:
+                with rt.separate(ref) as b:
+                    values.append(b.get())
+            assert values == [0, 10, 20]
+            assert len(backend._workers) == 1
+
+    def test_default_is_one_process_per_handler(self):
+        backend = ProcessBackend()
+        with QsRuntime("all", backend=backend) as rt:
+            rt.new_handler("a").create(Box)
+            rt.new_handler("b").create(Box)
+            assert len(backend._workers) == 2
+
+    def test_multi_handler_reservations_across_workers(self):
+        with QsRuntime("all", backend="process") as rt:
+            left = rt.new_handler("left").create(Box)
+            right = rt.new_handler("right").create(Box)
+            for i in range(5):
+                with rt.separate(left, right) as (lt, rt_):
+                    lt.put(i)
+                    rt_.put(-i)
+                    assert (lt.get(), rt_.get()) == (i, -i)
+
+
+class TestSelection:
+    def test_env_var_selects_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process:1")
+        with QsRuntime("all") as rt:
+            assert rt.backend.name == "process"
+            assert rt.backend.processes == 1
+
+    def test_config_carries_process_backend(self, monkeypatch):
+        from repro.config import QsConfig
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        with QsRuntime(QsConfig.all().with_(backend="process:1:json")) as rt:
+            assert rt.backend.name == "process"
+            assert rt.backend.codec == "json"
+
+    def test_runtime_event_is_a_thread_event(self):
+        # clients stay threads of the parent under the process backend
+        with QsRuntime("all", backend="process:1") as rt:
+            event = rt.event()
+            event.set()
+            assert event.is_set()

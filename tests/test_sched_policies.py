@@ -256,7 +256,7 @@ class TestSelectionPlumbing:
             assert rt.backend.policy.seed == 4
 
     def test_policy_spec_on_threads_rejected(self):
-        with pytest.raises(ValueError, match="only the sim backend"):
+        with pytest.raises(ValueError, match="only sim takes a policy"):
             create_backend("threads:random")
 
     def test_bad_seed_in_spec_rejected(self):

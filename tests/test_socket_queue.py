@@ -1,9 +1,27 @@
-"""Tests for the socket-backed private queue prototype (Section 7 future work)."""
+"""Tests for the socket-backed private queue (Section 7 future work).
+
+Includes the regression suite for the transport bugs the prototype shipped
+with: ``dequeue(timeout=0)`` leaking ``BlockingIOError``, a timeout in the
+middle of a frame desyncing the length-prefixed stream, and the JSON wire
+silently turning argument tuples into lists.
+"""
+
+import socket
+import struct
+import threading
+import time
 
 import pytest
 
 from repro.errors import ScoopError
-from repro.queues.socket_queue import SocketPrivateQueue, SocketQueueServer, WireRequest
+from repro.queues.codec import get_codec
+from repro.queues.socket_queue import (
+    FrameStream,
+    SocketPrivateQueue,
+    SocketQueueClosed,
+    SocketQueueServer,
+    WireRequest,
+)
 from repro.util.counters import Counters
 
 
@@ -104,3 +122,206 @@ class TestProtocol:
         assert WireRequest(kind="end").is_end
         assert WireRequest(kind="sync").is_sync
         assert not WireRequest(kind="call").is_end
+
+
+class TestTimeoutRegressions:
+    """The transport bugs of the original prototype, pinned."""
+
+    def test_dequeue_timeout_zero_returns_none_on_empty_queue(self):
+        # regression: timeout=0 made the socket non-blocking and the
+        # resulting BlockingIOError escaped to the caller
+        queue = SocketPrivateQueue()
+        try:
+            assert queue.dequeue(timeout=0) is None
+        finally:
+            queue.close_client()
+            queue.close_handler()
+
+    def test_dequeue_timeout_zero_still_sees_ready_messages(self):
+        queue = SocketPrivateQueue()
+        try:
+            queue.enqueue_call("increment", 1)
+            time.sleep(0.05)  # let the socketpair deliver
+            request = queue.dequeue(timeout=0)
+            assert request is not None and request.feature == "increment"
+            assert queue.dequeue(timeout=0) is None
+        finally:
+            queue.close_client()
+            queue.close_handler()
+
+    def test_partial_frame_survives_timeouts(self):
+        # regression: a timeout after a partial header/body read discarded
+        # the received bytes and permanently desynced the framed stream
+        queue = SocketPrivateQueue()
+        try:
+            payload = get_codec("json").encode(
+                {"kind": "call", "feature": "increment", "args": [7], "kwargs": {}})
+            frame = struct.pack(">I", len(payload)) + payload
+            # drip the frame in: header byte-by-byte, then body in two cuts
+            sock = queue._client_sock
+            sock.sendall(frame[:3])
+            assert queue.dequeue(timeout=0.02) is None        # mid-header
+            sock.sendall(frame[3:10])
+            assert queue.dequeue(timeout=0.02) is None        # mid-body
+            sock.sendall(frame[10:])
+            request = queue.dequeue(timeout=1.0)
+            assert request is not None
+            assert (request.feature, request.args) == ("increment", (7,))
+            # and the stream is still in sync for the next normal message
+            queue.enqueue_call("increment", 8)
+            request = queue.dequeue(timeout=1.0)
+            assert request.args == (8,)
+        finally:
+            queue.close_client()
+            queue.close_handler()
+
+    def test_short_timeouts_interleaved_with_large_payloads(self):
+        # a large frame trickled through a throttled sender must assemble
+        # across many timed-out dequeues without corruption
+        queue = SocketPrivateQueue()
+        big = "x" * 300_000
+
+        def slow_send():
+            payload = get_codec("json").encode(
+                {"kind": "call", "feature": "store", "args": [big], "kwargs": {}})
+            frame = struct.pack(">I", len(payload)) + payload
+            for i in range(0, len(frame), 20_000):
+                queue._client_sock.sendall(frame[i:i + 20_000])
+                time.sleep(0.002)
+
+        sender = threading.Thread(target=slow_send, daemon=True)
+        sender.start()
+        tries = 0
+        try:
+            while True:
+                request = queue.dequeue(timeout=0.005)
+                if request is not None:
+                    break
+                tries += 1
+                assert tries < 10_000, "frame never assembled"
+            assert request.feature == "store"
+            assert request.args == (big,)
+            assert tries > 0, "throttling should force at least one timeout"
+            sender.join(timeout=5)
+        finally:
+            queue.close_client()
+            queue.close_handler()
+
+    def test_closed_peer_distinguished_from_timeout(self):
+        queue = SocketPrivateQueue()
+        queue.close_client()
+        # dequeue keeps its None-on-closed surface...
+        assert queue.dequeue(timeout=0.05) is None
+        # ...but the stream layer reports EOF explicitly
+        with pytest.raises(SocketQueueClosed):
+            queue._handler.recv(timeout=0.05)
+        queue.close_handler()
+
+
+class TestCodecs:
+    def test_json_args_normalised_to_tuple(self):
+        # regression: WireRequest.args is typed Tuple but decoded as a list
+        queue = SocketPrivateQueue()
+        try:
+            queue.enqueue_call("move", 1, 2, speed=3)
+            request = queue.dequeue(timeout=1.0)
+            assert isinstance(request.args, tuple)
+            assert request.args == (1, 2)
+            assert request.kwargs == {"speed": 3}
+        finally:
+            queue.close_client()
+            queue.close_handler()
+
+    def test_pickle_codec_round_trips_tuples_faithfully(self):
+        queue = SocketPrivateQueue(codec="pickle")
+        try:
+            queue.enqueue_call("place", (1, 2), [(3, 4)], corners={"a": (5, 6)})
+            request = queue.dequeue(timeout=1.0)
+            assert request.args == ((1, 2), [(3, 4)])
+            assert isinstance(request.args[0], tuple)
+            assert isinstance(request.args[1][0], tuple)
+            assert isinstance(request.kwargs["corners"]["a"], tuple)
+        finally:
+            queue.close_client()
+            queue.close_handler()
+
+    def test_pickle_codec_query_round_trip(self):
+        class Geometry:
+            def diagonal(self, corner):
+                return (corner[0] * 2, corner[1] * 2)
+
+        queue = SocketPrivateQueue(codec="pickle")
+        server = SocketQueueServer(queue, Geometry()).start()
+        try:
+            result = queue.query("diagonal", (3, 4))
+            assert result == (6, 8)
+            assert isinstance(result, tuple)
+        finally:
+            queue.enqueue_end()
+            server.join(timeout=5)
+            queue.close_client()
+            queue.close_handler()
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ValueError, match="unknown wire codec"):
+            SocketPrivateQueue(codec="yaml")
+
+
+class TestFrameStream:
+    def test_send_recv_over_socketpair(self):
+        a, b = socket.socketpair()
+        left, right = FrameStream(a), FrameStream(b)
+        try:
+            left.send({"kind": "ping", "n": 1})
+            assert right.recv(timeout=1.0) == {"kind": "ping", "n": 1}
+            right.send({"kind": "pong", "n": 2})
+            assert left.recv(timeout=1.0) == {"kind": "pong", "n": 2}
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_timeout_bounds_the_whole_frame(self):
+        a, b = socket.socketpair()
+        stream = FrameStream(b)
+        try:
+            a.sendall(struct.pack(">I", 100))  # header promises 100 bytes
+            start = time.monotonic()
+            assert stream.recv(timeout=0.1) is None  # body never arrives
+            assert time.monotonic() - start < 2.0
+        finally:
+            a.close()
+            stream.close()
+
+    def test_recv_raises_on_eof(self):
+        a, b = socket.socketpair()
+        stream = FrameStream(b)
+        a.close()
+        with pytest.raises(SocketQueueClosed):
+            stream.recv(timeout=0.5)
+        stream.close()
+
+    def test_timed_recv_restores_blocking_mode(self):
+        # regression: a timed (or timeout=0) recv left the socket
+        # non-blocking, making a later large send on the same socket raise
+        # BlockingIOError once the kernel buffer filled
+        a, b = socket.socketpair()
+        left, right = FrameStream(a), FrameStream(b)
+        try:
+            assert right.recv(timeout=0) is None
+            assert right.sock.gettimeout() is None
+            assert right.recv(timeout=0.01) is None
+            assert right.sock.gettimeout() is None
+            # a reply far larger than the socketpair buffer must not raise
+            drained = {}
+
+            def drain():
+                drained["frame"] = left.recv(timeout=5.0)
+
+            reader = threading.Thread(target=drain, daemon=True)
+            reader.start()
+            right.send({"kind": "result", "value": "y" * 2_000_000})
+            reader.join(timeout=5)
+            assert drained["frame"]["value"] == "y" * 2_000_000
+        finally:
+            left.close()
+            right.close()
