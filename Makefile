@@ -3,14 +3,18 @@
 #   make install     editable install with dev extras (ruff, pytest, ...)
 #   make lint        ruff over the whole repo
 #   make test        the tier-1 test suite
+#   make coverage    tier-1 suite under pytest-cov (term + coverage.xml)
 #   make bench       micro-benchmarks at the tiny preset
-#   make bench-backends   threads/sim/process + batched-vs-not comparison JSON
+#   make bench-backends   threads/sim/process/async + batched-vs-not comparison JSON
+#   make bench-gate  smoke benchmarks gated against benchmarks/thresholds.json
 #   make explore     short schedule-exploration smoke of both workloads
 #   make process-smoke    backend-parity and transport suites on the process backend
+#   make async-smoke      backend-parity and awaitable-API suites on the async backend
 
 PYTHON ?= python
 
-.PHONY: install lint test bench bench-backends explore process-smoke clean
+.PHONY: install lint test coverage bench bench-backends bench-gate explore \
+	process-smoke async-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -21,17 +25,31 @@ lint:
 test:
 	$(PYTHON) -m pytest -x -q
 
+coverage:
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term --cov-report=xml:coverage.xml
+
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_micro.py -q --benchmark-disable-gc
 
 bench-backends:
 	$(PYTHON) benchmarks/bench_backends.py
 
+# the CI perf-regression gate: fresh smoke measurement, then compare the
+# recorded speedups (batched drain, process responsiveness, async fan-in)
+# against the floors in benchmarks/thresholds.json
+bench-gate:
+	$(PYTHON) benchmarks/bench_backends.py --smoke --out BENCH_gate_smoke.json
+	$(PYTHON) benchmarks/bench_gate.py BENCH_gate_smoke.json
+
 process-smoke:
 	REPRO_BACKEND=process $(PYTHON) -m pytest -q tests/test_backends.py \
 		tests/test_process_backend.py tests/test_socket_queue.py \
 		tests/test_wire_properties.py
-	$(PYTHON) benchmarks/bench_backends.py --smoke --out BENCH_process_smoke.json
+
+async-smoke:
+	REPRO_BACKEND=async $(PYTHON) -m pytest -q tests/test_backends.py \
+		tests/test_async_backend.py tests/test_client_lifecycle.py
+	$(PYTHON) examples/async_fan_in.py --clients 500 --handlers 2
 
 # bank-transfers must stay clean on every schedule; the philosophers hunt is
 # *expected* to find its seeded deadlock (exit 1 = "problem found") and the

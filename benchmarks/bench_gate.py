@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Gate a ``BENCH_backends.json`` against the floors in ``thresholds.json``.
+
+Run with::
+
+    python benchmarks/bench_gate.py [BENCH_FILE] [--thresholds FILE]
+
+``BENCH_FILE`` defaults to the committed ``BENCH_backends.json`` at the
+repo root.  The run mode (``full`` vs ``smoke``) is read from the file's
+own ``meta.smoke`` flag, and the matching floor column of
+``benchmarks/thresholds.json`` is applied:
+
+* every dotted path under ``floors`` must exist and be >= its floor
+  (a *missing* series is itself a failure — a benchmark that silently
+  stopped producing a number must not pass the gate);
+* every dotted path under ``require_true`` must be exactly ``true``
+  (parity and determinism are correctness claims, gated in every mode).
+
+Exit status 0 means every gate held; 1 means a regression (or a missing
+series), with a table of every check on stdout either way.  This is what
+the ``bench-gate`` CI job runs against a fresh ``--smoke`` measurement so
+the recorded speedups (batched drain, process responsiveness, async
+fan-in) can never silently rot.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Any, Tuple
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BENCH = REPO_ROOT / "BENCH_backends.json"
+DEFAULT_THRESHOLDS = REPO_ROOT / "benchmarks" / "thresholds.json"
+
+_MISSING = object()
+
+
+def resolve(data: Any, dotted: str) -> Any:
+    """Walk ``a.b.c`` through nested dicts; returns ``_MISSING`` when absent."""
+    node = data
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return _MISSING
+        node = node[part]
+    return node
+
+
+def check(bench: dict, thresholds: dict, mode: str) -> Tuple[list, bool]:
+    rows = []
+    ok = True
+    for path, floors in thresholds.get("floors", {}).items():
+        floor = floors.get(mode)
+        value = resolve(bench, path)
+        if floor is None:
+            rows.append((path, value, f"(no {mode} floor)", "skip"))
+            continue
+        if value is _MISSING:
+            rows.append((path, "MISSING", f">= {floor}", "FAIL"))
+            ok = False
+        elif not isinstance(value, (int, float)) or value < floor:
+            rows.append((path, value, f">= {floor}", "FAIL"))
+            ok = False
+        else:
+            rows.append((path, value, f">= {floor}", "ok"))
+    for path in thresholds.get("require_true", []):
+        value = resolve(bench, path)
+        if value is not True:
+            rows.append((path, "MISSING" if value is _MISSING else value, "== true", "FAIL"))
+            ok = False
+        else:
+            rows.append((path, value, "== true", "ok"))
+    return rows, ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench", nargs="?", default=str(DEFAULT_BENCH),
+                        help="benchmark JSON to gate (default: committed BENCH_backends.json)")
+    parser.add_argument("--thresholds", default=str(DEFAULT_THRESHOLDS),
+                        help="floors file (default: benchmarks/thresholds.json)")
+    args = parser.parse_args(argv)
+
+    bench = json.loads(pathlib.Path(args.bench).read_text(encoding="utf-8"))
+    thresholds = json.loads(pathlib.Path(args.thresholds).read_text(encoding="utf-8"))
+    mode = "smoke" if bench.get("meta", {}).get("smoke") else "full"
+
+    rows, ok = check(bench, thresholds, mode)
+    width = max(len(row[0]) for row in rows) if rows else 10
+    print(f"bench-gate: {args.bench} ({mode} floors from {args.thresholds})")
+    for path, value, expectation, status in rows:
+        print(f"  {path:<{width}}  {value!s:>10}  {expectation:<12} {status}")
+    if not ok:
+        print("bench-gate: PERF REGRESSION (or missing series) — see FAIL rows above",
+              file=sys.stderr)
+        return 1
+    print("bench-gate: all floors hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

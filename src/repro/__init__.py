@@ -4,8 +4,9 @@ This package reproduces the PPoPP 2015 paper by West, Nanz and Meyer:
 
 * :mod:`repro.core`       — the SCOOP/Qs runtime (handlers, separate blocks,
   queue-of-queues, client-executed queries, dynamic sync coalescing);
-* :mod:`repro.backends`   — pluggable execution backends: OS threads or the
-  deterministic virtual-time simulator (see ``docs/backends.md``);
+* :mod:`repro.backends`   — pluggable execution backends: OS threads, the
+  deterministic virtual-time simulator, one-process-per-handler sockets,
+  or asyncio coroutine clients at 10k+ fan-in (see ``docs/backends.md``);
 * :mod:`repro.queues`     — the SPSC/MPSC queue substrate with the batched
   drain fast path;
 * :mod:`repro.sched`      — the lightweight-task / virtual-time scheduler
@@ -50,7 +51,13 @@ The same program runs unmodified on either execution backend:
 * ``QsRuntime(backend="sim")`` — the **simulator**: deterministic
   cooperative scheduling in virtual time, reproducible schedules, and
   built-in deadlock detection (a hang becomes a ``DeadlockError`` naming
-  the stuck participants).
+  the stuck participants);
+* ``QsRuntime(backend="process")`` — one OS **process** per handler behind
+  framed sockets: true multi-core parallelism;
+* ``QsRuntime(backend="async")`` — one **asyncio** event loop hosting every
+  handler, with coroutine clients (``runtime.spawn_async_client`` +
+  ``async with runtime.separate_async(...)``) cheap enough for 10k+
+  concurrent fan-in.
 
 Backends can also be selected per config (``QsConfig(backend="sim")``),
 per process (the ``REPRO_BACKEND`` environment variable), or from the
@@ -59,7 +66,8 @@ command line (``repro --backend sim run bank-transfers``).  Install with
 bench entry points CI uses.
 """
 
-from repro.backends import ExecutionBackend, SimBackend, ThreadedBackend, create_backend
+from repro.backends import (AsyncBackend, ExecutionBackend, ProcessBackend, SimBackend,
+                            ThreadedBackend, create_backend)
 from repro.config import LEVEL_ORDER, OptimizationLevel, QsConfig
 from repro.core import (
     Expanded,
@@ -81,6 +89,7 @@ from repro.core import (
     query,
     register_expanded,
 )
+from repro.core.async_api import AsyncClient, AsyncReservedProxy, AsyncSeparateBlock
 from repro.errors import (
     DeadlockError,
     NotReservedError,
@@ -105,6 +114,11 @@ __all__ = [
     "ExecutionBackend",
     "ThreadedBackend",
     "SimBackend",
+    "ProcessBackend",
+    "AsyncBackend",
+    "AsyncClient",
+    "AsyncReservedProxy",
+    "AsyncSeparateBlock",
     "create_backend",
     "Handler",
     "SeparateObject",

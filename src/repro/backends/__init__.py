@@ -13,35 +13,42 @@ is backend-agnostic; a backend decides how handlers and clients *execute*:
 ``process``  each handler in its own OS process behind a socket server;
              clients stay threads of the parent, requests travel as framed
              messages, handlers execute with true multi-core parallelism
+``async``    handlers and coroutine clients as asyncio tasks on one event
+             loop; clients become nearly free, so fan-in scales to tens of
+             thousands of concurrent clients (blocking thread clients
+             still work alongside)
 =========== ==============================================================
 
 Select one with ``QsRuntime(backend="sim")``, ``QsConfig(backend="sim")``,
 the ``REPRO_BACKEND`` environment variable, or ``repro --backend sim ...``
 on the command line.
 
-A sim-backend spec may carry a scheduling policy and seed after colons —
-``"sim:random"``, ``"sim:random:7"``, ``"sim:pct:3"`` — selecting which
-interleaving the simulator executes (see :mod:`repro.sched.policy`); so
-``REPRO_BACKEND=sim:random:7`` reruns a whole program suite under one
-specific adversarial schedule without touching any source.
+Backend specs follow one grammar (every parse error quotes it)::
 
-A process-backend spec may carry a worker-process cap and/or a wire codec
-— ``"process:4"``, ``"process:json"``, ``"process:2:pickle"`` — capping
-how many worker processes are spawned (handlers are assigned round-robin;
-the default is one process per handler) and selecting the payload encoding
-(see :mod:`repro.queues.codec`).
+    threads | sim[:policy[:seed]] | process[:nproc][:codec] | async
+
+A sim spec carries a scheduling policy and seed — ``"sim:random"``,
+``"sim:random:7"``, ``"sim:pct:3"`` — selecting which interleaving the
+simulator executes (see :mod:`repro.sched.policy`); so
+``REPRO_BACKEND=sim:random:7`` reruns a whole program suite under one
+specific adversarial schedule without touching any source.  A process spec
+carries a worker-process cap and/or a wire codec — ``"process:4"``,
+``"process:json"``, ``"process:2:pickle"`` (see :mod:`repro.queues.codec`).
+``threads`` and ``async`` take no components; trailing components on them
+are rejected rather than silently ignored.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Dict
 
+from repro.backends.async_ import AsyncBackend, AsyncClientHandle, AsyncEventHandle
 from repro.backends.base import ClientHandle, ExecutionBackend
 from repro.backends.process import ProcessBackend
 from repro.backends.sim import SimBackend, SimClientHandle, SimEventHandle, SimLock
 from repro.backends.threaded import ThreadedBackend
 from repro.queues.codec import CODEC_NAMES
-from repro.sched.policy import make_policy
+from repro.sched.policy import POLICY_NAMES, make_policy
 
 #: registered backend factories, keyed by every accepted spelling
 BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
@@ -51,20 +58,33 @@ BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
     "virtual": SimBackend,
     "process": ProcessBackend,
     "processes": ProcessBackend,
+    "async": AsyncBackend,
+    "asyncio": AsyncBackend,
 }
 
 #: canonical names (one per backend), for CLI choices and error messages
-BACKEND_NAMES = ("threads", "sim", "process")
+BACKEND_NAMES = ("threads", "sim", "process", "async")
+
+#: the one spec grammar every parse error points at
+SPEC_GRAMMAR = ("threads | sim[:policy[:seed]] | process[:nproc][:codec] | async "
+                f"(policies: {', '.join(POLICY_NAMES)}; codecs: {', '.join(CODEC_NAMES)})")
+
+
+def _spec_error(spec: str, reason: str) -> ValueError:
+    """One consistent, actionable error for every malformed backend spec."""
+    return ValueError(f"invalid backend spec {spec!r}: {reason}; expected {SPEC_GRAMMAR}")
 
 
 def _parse_sim_spec(name: str, policy_spec: str) -> SimBackend:
     policy_name, _, seed_text = policy_spec.partition(":")
+    if policy_name not in POLICY_NAMES:
+        raise _spec_error(name, f"unknown scheduling policy {policy_name!r}")
     seed = 0
     if seed_text:
         try:
             seed = int(seed_text)
         except ValueError:
-            raise ValueError(f"invalid scheduling seed {seed_text!r} in backend spec {name!r}") from None
+            raise _spec_error(name, f"invalid scheduling seed {seed_text!r}") from None
     return SimBackend(policy=make_policy(policy_name, seed=seed), seed=seed)
 
 
@@ -73,20 +93,18 @@ def _parse_process_spec(name: str, spec: str) -> ProcessBackend:
     codec = None
     for part in spec.split(":"):
         if not part:
-            continue
+            raise _spec_error(name, "empty component")
         if part.isdigit():
             if processes is not None:
-                raise ValueError(f"backend spec {name!r} names two process counts")
+                raise _spec_error(name, "two process counts")
             processes = int(part)
         elif part in CODEC_NAMES:
             if codec is not None:
-                raise ValueError(f"backend spec {name!r} names two codecs")
+                raise _spec_error(name, "two codecs")
             codec = part
         else:
-            valid = ", ".join(CODEC_NAMES)
-            raise ValueError(
-                f"invalid component {part!r} in backend spec {name!r}; expected a "
-                f"process count or a codec ({valid})")
+            raise _spec_error(
+                name, f"invalid component {part!r} (neither a process count nor a codec)")
     return ProcessBackend(processes=processes, codec=codec or "pickle")
 
 
@@ -96,8 +114,9 @@ def create_backend(name: "str | ExecutionBackend | None") -> ExecutionBackend:
     A spec is a backend name optionally followed by backend-specific
     components: a sim scheduling policy and seed (``"sim:random"``,
     ``"sim:pct:42"``) or a process count and codec (``"process:4:json"``).
-    Components on the threaded backend are rejected — silently ignoring
-    them would be misleading.
+    Components on the threaded and async backends are rejected — silently
+    ignoring them would be misleading.  Every malformed spec raises a
+    ``ValueError`` naming the valid grammar (:data:`SPEC_GRAMMAR`).
     """
     if name is None:
         return ThreadedBackend()
@@ -107,17 +126,17 @@ def create_backend(name: "str | ExecutionBackend | None") -> ExecutionBackend:
     factory = BACKENDS.get(base)
     if factory is None:
         valid = ", ".join(BACKEND_NAMES)
-        raise ValueError(f"unknown execution backend {name!r}; expected one of {valid}")
+        raise _spec_error(str(name), f"unknown execution backend {base!r} (one of: {valid})")
     if not spec:
         return factory()
     if factory is SimBackend:
-        return _parse_sim_spec(name, spec)
+        return _parse_sim_spec(str(name), spec)
     if factory is ProcessBackend:
-        return _parse_process_spec(name, spec)
-    raise ValueError(
-        f"backend spec {name!r} carries components, but the {base!r} backend "
-        f"takes none (only sim takes a policy/seed, process a count/codec)"
-    )
+        return _parse_process_spec(str(name), spec)
+    raise _spec_error(
+        str(name),
+        f"the {base!r} backend takes no spec components "
+        "(only sim takes a policy/seed, process a count/codec)")
 
 
 __all__ = [
@@ -129,7 +148,11 @@ __all__ = [
     "SimEventHandle",
     "SimLock",
     "ProcessBackend",
+    "AsyncBackend",
+    "AsyncClientHandle",
+    "AsyncEventHandle",
     "BACKENDS",
     "BACKEND_NAMES",
+    "SPEC_GRAMMAR",
     "create_backend",
 ]

@@ -1,0 +1,423 @@
+"""The asyncio execution backend: coroutine clients at very high fan-in.
+
+The thread and process backends model every client as an OS thread, which
+caps realistic fan-in at a few hundred clients — far from the paper's
+motivating regime of "heavy traffic from millions of users".
+:class:`AsyncBackend` moves the *client* side onto a single :mod:`asyncio`
+event loop, where a client is a coroutine task costing a few KiB instead of
+a stack and a kernel schedulable entity; ten thousand concurrent clients
+are routine (see the ``fan_in`` series of ``benchmarks/bench_backends.py``).
+
+How the pieces execute:
+
+* **Handlers are asyncio tasks.**  Each handler's queue-of-queues drain
+  loop runs as a coroutine on the backend's event loop (a dedicated
+  daemon thread).  Instead of blocking in the queues' condition variables
+  it parks on a per-handler :class:`asyncio.Event` that the queues' new
+  *drain-waiter* seam resolves on every enqueue
+  (:meth:`~repro.queues.private_queue.PrivateQueue.register_drain_waiter`)
+  — futures resolved on enqueue, with the batched drain fast path and the
+  request dispatch (:meth:`~repro.core.handler.Handler.drain_batch`)
+  unchanged.
+* **Awaitable clients are asyncio tasks too.**  ``runtime.spawn_async_client``
+  runs a coroutine client on the same loop; it talks to handlers through
+  the awaitable surface of :class:`~repro.core.async_api.AsyncClient`
+  (``await call/query/sync``, ``async with runtime.separate_async(...)``),
+  whose waits resolve through :class:`AsyncEventHandle` futures instead of
+  blocking the loop.
+* **Blocking clients still work.**  ``runtime.spawn_client`` (and the main
+  thread) keep their natural blocking style on real threads, exactly like
+  the threaded backend; :class:`AsyncEventHandle` speaks both protocols
+  (``wait()`` for threads, ``await wait_async()`` for coroutines), so both
+  kinds of client coexist against the same handlers with identical
+  counters — which is what lets the backend-parity suite run unmodified.
+
+All reservation/protocol code is shared with the other backends; only the
+blocking points differ.  Because every handler shares the loop thread, a
+request body must not block (no blocking queries from inside handler code
+— the ``threadring``-style handler-as-client pattern needs ``threads``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Coroutine, Deque, List, Optional, Tuple
+
+from repro.backends.base import ClientHandle, ExecutionBackend
+from repro.errors import ScoopError
+from repro.queues.qoq import SHUTDOWN
+
+
+class AsyncEventHandle:
+    """Event usable from both worlds: blocking threads and coroutines.
+
+    ``wait``/``set``/``is_set``/``clear`` follow :class:`threading.Event`;
+    ``wait_async`` additionally lets a coroutine on the backend's loop await
+    the event without blocking the loop.  ``set()`` may be called from any
+    thread: pending loop futures are resolved threadsafe.
+
+    One of these is allocated per sync round trip and per packaged query,
+    so the constructor stays skeletal: the :class:`threading.Event` a
+    blocking waiter needs is only materialised on first blocking ``wait``
+    (coroutine waiters — the 10k-fan-in hot path — never pay for it).
+    """
+
+    __slots__ = ("_backend", "_flag", "_thread_event", "_waiters", "_lock")
+
+    def __init__(self, backend: "AsyncBackend") -> None:
+        self._backend = backend
+        self._flag = False
+        self._thread_event: Optional[threading.Event] = None
+        self._waiters: Optional[List[asyncio.Future]] = None
+        self._lock = threading.Lock()
+
+    def set(self) -> None:
+        with self._lock:
+            self._flag = True
+            thread_event = self._thread_event
+            waiters, self._waiters = self._waiters, None
+        if thread_event is not None:
+            thread_event.set()
+        if not waiters:
+            return
+        if self._backend.on_loop_thread():
+            # handlers fire sync releases / result boxes from the loop, so
+            # this is the hot path: resolve the futures in place
+            for fut in waiters:
+                self._resolve(fut)
+        else:
+            for fut in waiters:
+                self._backend._post(self._resolve, fut)
+
+    @staticmethod
+    def _resolve(fut: asyncio.Future) -> None:
+        if not fut.done():
+            fut.set_result(True)
+
+    def is_set(self) -> bool:
+        return self._flag
+
+    def clear(self) -> None:
+        with self._lock:
+            self._flag = False
+            if self._thread_event is not None:
+                self._thread_event.clear()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        if self._flag:
+            return True
+        with self._lock:
+            if self._flag:
+                return True
+            if self._thread_event is None:
+                self._thread_event = threading.Event()
+            thread_event = self._thread_event
+        return thread_event.wait(timeout=timeout)
+
+    async def wait_async(self) -> bool:
+        if self._flag:
+            return True
+        fut = self._backend.loop.create_future()
+        with self._lock:
+            # re-check under the lock: a set() racing with registration must
+            # either see the future or have left the flag set
+            if self._flag:
+                return True
+            if self._waiters is None:
+                self._waiters = []
+            self._waiters.append(fut)
+        await fut
+        return True
+
+
+class AsyncClientHandle(ClientHandle):
+    """Joinable handle for a coroutine client (``join`` blocks a thread).
+
+    Allocated once per spawned client; like the event handle it defers the
+    :class:`threading.Event` until someone actually blocks in ``join`` —
+    by then most of a fan-in's clients have usually finished already.
+    """
+
+    __slots__ = ("_flag", "_thread_event", "_lock", "name")
+
+    def __init__(self, name: str) -> None:
+        self._flag = False
+        self._thread_event: Optional[threading.Event] = None
+        self._lock = threading.Lock()
+        self.name = name
+
+    def _mark_done(self) -> None:
+        with self._lock:
+            self._flag = True
+            thread_event = self._thread_event
+        if thread_event is not None:
+            thread_event.set()
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._flag:
+            return
+        with self._lock:
+            if self._flag:
+                return
+            if self._thread_event is None:
+                self._thread_event = threading.Event()
+            thread_event = self._thread_event
+        thread_event.wait(timeout=timeout)
+
+    @property
+    def done(self) -> bool:
+        return self._flag
+
+
+class AsyncBackend(ExecutionBackend):
+    """Execute handlers and coroutine clients on one asyncio event loop."""
+
+    name = "async"
+    #: the runtime's awaitable client API checks this before wiring itself up
+    supports_async_clients = True
+
+    def __init__(self) -> None:
+        self.runtime: Any = None
+        self.loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        self._loop_ready = threading.Event()
+        self._started = False
+        self._finished = False
+        #: cross-thread callbacks waiting to be drained on the loop; posting
+        #: through one shared deque coalesces the loop wake-ups (one
+        #: self-pipe write per burst instead of one per callback — at 10k
+        #: client spawns that is the difference between a syscall storm and
+        #: a handful of writes)
+        self._pending: Deque[Tuple[Callable[..., None], tuple]] = deque()
+        self._pending_lock = threading.Lock()
+        self._pending_scheduled = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, runtime: Any) -> None:
+        if self._started:
+            raise ScoopError("an AsyncBackend instance cannot be attached twice; "
+                             "create a fresh backend per runtime")
+        self._started = True
+        self.runtime = runtime
+        self.loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(target=self._run_loop, name="async-loop",
+                                             daemon=True)
+        self._loop_thread.start()
+        self._loop_ready.wait()
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(self._loop_ready.set)
+        try:
+            self.loop.run_forever()
+        finally:
+            # give cancelled tasks one chance to unwind, then close for good
+            pending = asyncio.all_tasks(self.loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self.loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            self.loop.close()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        if not self._started or self._finished:
+            return
+        self._finished = True
+        self._post(self.loop.stop)
+        if self._loop_thread is not None:
+            self._loop_thread.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # loop plumbing
+    # ------------------------------------------------------------------
+    def _post(self, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback`` on the loop, from any thread; no-op once closed."""
+        if threading.current_thread() is self._loop_thread:
+            # same-thread fast path: skip the self-pipe write (this is the
+            # hot path for coroutine clients waking their handlers)
+            self.loop.call_soon(callback, *args)
+            return
+        with self._pending_lock:
+            self._pending.append((callback, args))
+            if self._pending_scheduled:
+                return
+            self._pending_scheduled = True
+        try:
+            self.loop.call_soon_threadsafe(self._drain_pending)
+        except RuntimeError:  # loop already closed during teardown
+            with self._pending_lock:
+                self._pending_scheduled = False
+
+    def _drain_pending(self) -> None:
+        """Run every coalesced cross-thread callback (on the loop thread)."""
+        while True:
+            with self._pending_lock:
+                if not self._pending:
+                    self._pending_scheduled = False
+                    return
+                callback, args = self._pending.popleft()
+            callback(*args)
+
+    def on_loop_thread(self) -> bool:
+        return threading.current_thread() is self._loop_thread
+
+    def spawn_task(self, factory: Callable[[], Coroutine], name: str) -> AsyncClientHandle:
+        """Schedule ``factory()`` as a loop task; returns a joinable handle."""
+        if self._finished:
+            raise ScoopError("the async backend has been shut down")
+        handle = AsyncClientHandle(name)
+
+        def _start() -> None:
+            task = self.loop.create_task(factory(), name=name)
+            task.add_done_callback(lambda _t: handle._mark_done())
+
+        self._post(_start)
+        return handle
+
+    # ------------------------------------------------------------------
+    # synchronisation primitives
+    # ------------------------------------------------------------------
+    def create_event(self) -> AsyncEventHandle:
+        return AsyncEventHandle(self)
+
+    def create_lock(self) -> Any:
+        # reservation spinlocks protect a handful of non-awaiting
+        # instructions, so a plain thread lock is safe on the loop too
+        return threading.Lock()
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+    # ------------------------------------------------------------------
+    # handler plumbing: a coroutine drain loop per handler
+    # ------------------------------------------------------------------
+    def _waker(self, handler: Any) -> Callable[[], None]:
+        """The drain-waiter callback installed on the handler's queues.
+
+        One closure per handler, cached: a fan-in creates one private queue
+        per (client, handler) pair, and they all share the same waker.
+        """
+        waker = getattr(handler, "_async_waker", None)
+        if waker is not None:
+            return waker
+
+        def _wake() -> None:
+            if threading.current_thread() is self._loop_thread:
+                # coroutine clients enqueue from the loop itself: setting
+                # the (idempotent) event in place skips a scheduled callback
+                # per request — the fan-in hot path
+                handler._async_wake.set()
+            else:
+                self._post(self._set_wake, handler)
+
+        handler._async_waker = _wake
+        return _wake
+
+    @staticmethod
+    def _set_wake(handler: Any) -> None:
+        handler._async_wake.set()
+
+    def start_handler(self, handler: Any) -> None:
+        handler._async_wake = asyncio.Event()
+        handler._async_done = threading.Event()
+        # the loop thread executes every handler, so bind ownership there —
+        # the SeparateObject access checks keep working unchanged
+        handler._thread = self._loop_thread
+        handler.owner.bind_thread(self._loop_thread)
+        handler.qoq.register_drain_waiter(self._waker(handler))
+
+        def _start() -> None:
+            task = self.loop.create_task(self._handler_loop(handler),
+                                         name=f"handler:{handler.name}")
+            task.add_done_callback(lambda _t: handler._async_done.set())
+
+        self._post(_start)
+
+    def stop_handler(self, handler: Any, timeout: float = 5.0) -> None:
+        # the stop flag is set and the queue-of-queues closed by the caller
+        # (close itself fires the drain waiter); nudge once more in case the
+        # task was parked on an abandoned private queue, then wait it out
+        self._post(self._set_wake, handler)
+        handler._async_done.wait(timeout=timeout)
+
+    def create_private_queue(self, handler: Any, counters: Any) -> Any:
+        queue = super().create_private_queue(handler, counters)
+        queue.register_drain_waiter(self._waker(handler))
+        return queue
+
+    async def _handler_loop(self, handler: Any) -> None:
+        """The handler loop of Fig. 7, with awaits at the blocking points."""
+        wake: asyncio.Event = handler._async_wake
+        while True:
+            private_queue = await self._next_queue(handler, wake)
+            if private_queue is None:
+                return
+            await self._drain_private_queue(handler, private_queue, wake)
+
+    @staticmethod
+    async def _next_queue(handler: Any, wake: asyncio.Event) -> Optional[Any]:
+        while True:
+            item = handler.qoq.try_dequeue()
+            if item is SHUTDOWN:
+                return None
+            if item is not None:
+                return item
+            await wake.wait()
+            wake.clear()
+
+    @staticmethod
+    async def _drain_private_queue(handler: Any, private_queue: Any,
+                                   wake: asyncio.Event) -> None:
+        max_items = max(1, handler.config.qoq_batch)
+        while True:
+            batch = private_queue.dequeue_batch(max_items, timeout=0.0)
+            if not batch:
+                # mirror ThreadedBackend.handler_next_batch: abandon the
+                # queue only once the runtime is shutting down and the block
+                # can never produce more requests
+                if handler._stop.is_set() and len(private_queue) == 0 and (
+                        private_queue.closed_by_client or handler.qoq.closed):
+                    return
+                if wake.is_set():
+                    wake.clear()
+                    continue
+                await wake.wait()
+                wake.clear()
+                continue
+            if handler.drain_batch(private_queue, batch):
+                return
+            # fairness point: let clients (and other handlers) run between
+            # batches even when this queue is kept continuously full
+            await asyncio.sleep(0)
+
+    # the blocking-loop hooks are never reached: start_handler runs the
+    # coroutine loop above instead of Handler._loop
+    def handler_next_queue(self, handler: Any) -> Optional[Any]:  # pragma: no cover
+        raise ScoopError("the async backend drains handlers on its event loop")
+
+    def handler_next_batch(self, handler: Any, private_queue: Any,
+                           max_items: int) -> Optional[List[Any]]:  # pragma: no cover
+        raise ScoopError("the async backend drains handlers on its event loop")
+
+    # ------------------------------------------------------------------
+    # client plumbing
+    # ------------------------------------------------------------------
+    def spawn_client(self, fn: Callable[[], None], name: Optional[str] = None) -> threading.Thread:
+        # blocking client bodies keep running on real threads (their waits
+        # go through AsyncEventHandle's thread protocol); coroutine clients
+        # go through spawn_async_client -> spawn_task instead
+        thread = threading.Thread(target=fn, name=name, daemon=True)
+        thread.start()
+        return thread
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"AsyncBackend(loop_running={self.loop is not None and self.loop.is_running()})"

@@ -19,6 +19,9 @@ private queues, sync coalescing, reservations) stays shared:
   its own OS process behind a socket server; clients stay threads of the
   parent and talk to handlers over framed socket private queues, so
   handlers execute with real multi-core parallelism.
+* :class:`~repro.backends.async_.AsyncBackend` — handlers and coroutine
+  clients are asyncio tasks on one event loop; clients are nearly free,
+  so concurrent fan-in scales to tens of thousands.
 
 A backend supplies three groups of primitives:
 
@@ -182,6 +185,20 @@ class ExecutionBackend(ABC):
     @abstractmethod
     def spawn_client(self, fn: Callable[[], None], name: Optional[str] = None) -> Any:
         """Run ``fn`` as a new client; returns a joinable handle."""
+
+    #: True when the backend can run coroutine clients (``spawn_task``)
+    supports_async_clients = False
+
+    def spawn_task(self, factory: Callable[[], Any], name: str) -> Any:
+        """Run the coroutine ``factory()`` as a client task (async backend).
+
+        Only the asyncio backend implements this; everywhere else coroutine
+        clients are rejected before this is reached (see
+        :class:`~repro.core.async_api.AsyncClient`).
+        """
+        raise NotImplementedError(
+            f"the {self.name!r} backend cannot run coroutine clients; "
+            "use backend='async'")
 
     def join_client(self, handle: Any, timeout: Optional[float] = None) -> None:
         handle.join(timeout=timeout)

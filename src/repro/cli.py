@@ -29,11 +29,12 @@ command            what it does
                    (``bank-transfers``, ``dining-philosophers``)
 =================  ==========================================================
 
-The global ``--backend {threads,sim,process}`` option selects the execution
-backend for the commands that run the runtime (``run``, ``trace``): OS
-threads in wall-clock time, the deterministic virtual-time simulator, or
-one OS process per handler — e.g. ``repro --backend sim run bank-transfers``
-or ``repro --backend process run dining-philosophers``.
+The global ``--backend {threads,sim,process,async}`` option selects the
+execution backend for the commands that run the runtime (``run``,
+``trace``): OS threads in wall-clock time, the deterministic virtual-time
+simulator, one OS process per handler, or one asyncio event loop hosting
+every handler (and any coroutine clients) — e.g. ``repro --backend sim run
+bank-transfers`` or ``repro --backend async run dining-philosophers``.
 
 Every sub-command prints plain text only; exit status 0 means success, 1 is
 used for analysis results that found problems (deadlock cycles, guarantee
@@ -340,8 +341,8 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     The examples are deterministic (seeded RNGs), so the printed balances
     and meal counts are identical under ``--backend threads``,
-    ``--backend sim`` and ``--backend process`` — which is exactly the
-    backend-parity claim.
+    ``--backend sim``, ``--backend process`` and ``--backend async`` —
+    which is exactly the backend-parity claim.
     """
     import random
 

@@ -93,10 +93,12 @@ class QsConfig:
     backend:
         Execution backend the runtime uses: ``"threads"`` (OS threads,
         wall-clock time), ``"sim"`` (deterministic virtual time on the
-        cooperative scheduler) or ``"process"`` (one OS process per handler
-        behind socket private queues; true multi-core parallelism).  Spec
-        components are allowed — ``"sim:random:7"``,
-        ``"process:4:json"``.  See :mod:`repro.backends`.
+        cooperative scheduler), ``"process"`` (one OS process per handler
+        behind socket private queues; true multi-core parallelism) or
+        ``"async"`` (handlers and coroutine clients as asyncio tasks on
+        one event loop; 10k+ client fan-in).  Spec components are allowed
+        — ``"sim:random:7"``, ``"process:4:json"``.  See
+        :mod:`repro.backends`.
     sched_policy:
         Ready-queue scheduling policy of the simulated backend (ignored by
         the threaded backend, where the OS schedules): ``"fifo"`` (the

@@ -42,14 +42,30 @@ def query(fn: F) -> F:
     return fn
 
 
+#: (cls, name) -> kind memo; proxies resolve the kind on every attribute
+#: access, which is the per-request hot path at high fan-in.  Only
+#: *explicitly decorated* kinds are memoised: they are fixed at
+#: class-definition time, so the entry can never go stale and — unlike an
+#: undecorated lookup — never depends on the caller's ``default``.
+_KIND_CACHE: dict = {}
+
+
 def method_kind(cls: type, name: str, default: str = QUERY) -> str:
     """Look up the declared kind of ``cls.name`` (``command`` or ``query``)."""
+    key = (cls, name)
+    cached = _KIND_CACHE.get(key)
+    if cached is not None:
+        return cached
     attr = getattr(cls, name, None)
     if attr is None:
         return default
     # unwrap functions reached through the class (plain function descriptor)
     target = getattr(attr, "__func__", attr)
-    return getattr(target, _KIND_ATTR, default)
+    kind = getattr(target, _KIND_ATTR, None)
+    if kind is None:
+        return default
+    _KIND_CACHE[key] = kind
+    return kind
 
 
 def is_command(cls: type, name: str) -> bool:

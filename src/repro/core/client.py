@@ -46,6 +46,8 @@ def _payload_size(args: tuple, kwargs: dict) -> int:
     arrays, byte strings and plain containers and charges a word for
     anything else (references, separate refs, small scalars).
     """
+    if not args and not kwargs:
+        return 0
     total = 0
     for value in list(args) + list(kwargs.values()):
         nbytes = type(value).__dict__.get("nbytes")  # avoid arbitrary __getattr__
@@ -245,38 +247,54 @@ class Client:
 
     def query(self, ref: SeparateRef, method: str, *args: Any, **kwargs: Any) -> Any:
         """Issue a synchronous query and return its result."""
-        self.counters.bump("queries")
-        handler = ref.handler
-        self.tracer.record("log-query", handler.name, client=self.name,
-                           feature=method, block=self.queue_for(handler).block_id)
-        if self.config.client_executed_queries:
-            self.sync(ref)
-            result = self.backend.execute_synced_query(
-                self, ref, operator.methodcaller(method, *args, **kwargs),
-                feature=method, args=args, kwargs=dict(kwargs))
-            self.tracer.record("exec-client", handler.name, client=self.name,
-                               feature=method, block=self.queue_for(handler).block_id)
-            return result
-        return self._remote_query(ref, operator.methodcaller(method, *args, **kwargs), args, kwargs,
-                                  feature=method, described=True)
+        fn = operator.methodcaller(method, *args, **kwargs)
+        box = self._start_query(ref, fn, args, dict(kwargs), feature=method, described=True)
+        if box is not None:
+            return box.wait()
+        self.sync(ref)
+        return self._execute_client_query(ref, fn, args, dict(kwargs), feature=method)
 
     def query_function(self, ref: SeparateRef, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Synchronous query applying ``fn(raw_object, *args, **kwargs)``."""
-        self.counters.bump("queries")
-        handler = ref.handler
         feature = getattr(fn, "__name__", "<callable>")
-        self.tracer.record("log-query", handler.name, client=self.name,
-                           feature=feature, block=self.queue_for(handler).block_id)
+        def wrapped(obj):
+            return fn(obj, *args, **kwargs)
+        box = self._start_query(ref, wrapped, args, dict(kwargs), feature=feature, raw_fn=fn)
+        if box is not None:
+            return box.wait()
+        self.sync(ref)
+        return self._execute_client_query(ref, wrapped, args, dict(kwargs),
+                                          feature=feature, raw_fn=fn)
+
+    def _start_query(self, ref: SeparateRef, fn: Callable[[Any], Any], args: tuple, kwargs: dict,
+                     feature: str, described: bool = False,
+                     raw_fn: Optional[Callable[..., Any]] = None) -> Optional[ResultBox]:
+        """Common query entry shared with the awaitable client.
+
+        Records the query and, under the *unoptimized* protocol, ships it
+        packaged — returning the box the caller waits on (blocking or
+        awaited).  Returns ``None`` under the client-executed protocol: the
+        caller must sync (again in its own wait style) and then run
+        :meth:`_execute_client_query`.
+        """
+        self.counters.bump("queries")
+        self.tracer.record("log-query", ref.handler.name, client=self.name,
+                           feature=feature, block=self.queue_for(ref.handler).block_id)
         if self.config.client_executed_queries:
-            self.sync(ref)
-            result = self.backend.execute_synced_query(
-                self, ref, lambda obj: fn(obj, *args, **kwargs),
-                args=args, kwargs=dict(kwargs), raw_fn=fn)
-            self.tracer.record("exec-client", handler.name, client=self.name,
-                               feature=feature, block=self.queue_for(handler).block_id)
-            return result
-        return self._remote_query(ref, lambda obj: fn(obj, *args, **kwargs), args, kwargs,
-                                  feature=feature, raw_fn=fn)
+            return None
+        return self._start_remote_query(ref, fn, args, kwargs, feature=feature,
+                                        described=described, raw_fn=raw_fn)
+
+    def _execute_client_query(self, ref: SeparateRef, fn: Callable[[Any], Any], args: tuple,
+                              kwargs: dict, feature: str,
+                              raw_fn: Optional[Callable[..., Any]] = None) -> Any:
+        """Run a synced query body on the client (Section 3.2) and trace it."""
+        result = self.backend.execute_synced_query(
+            self, ref, fn, feature=feature if raw_fn is None else None,
+            args=args, kwargs=kwargs, raw_fn=raw_fn)
+        self.tracer.record("exec-client", ref.handler.name, client=self.name,
+                           feature=feature, block=self.queue_for(ref.handler).block_id)
+        return result
 
     # -- pieces ----------------------------------------------------------
     def sync(self, ref: SeparateRef) -> bool:
@@ -285,19 +303,38 @@ class Client:
         Returns ``True`` if a sync round-trip was actually performed and
         ``False`` if it was elided by dynamic sync coalescing.
         """
+        request = self._begin_sync(ref)
+        if request is None:
+            return False
+        request.release.wait()
+        self._finish_sync(ref)
+        return True
+
+    def _begin_sync(self, ref: SeparateRef) -> Optional[SyncRequest]:
+        """Send the SYNC marker (or elide it); the wait is left to the caller.
+
+        The issue/wait split exists so the blocking client and the awaitable
+        :class:`~repro.core.async_api.AsyncClient` share every protocol step
+        — only *how* the release event is waited on differs.  Returns
+        ``None`` when dynamic sync coalescing elided the round trip.
+        """
         handler = ref.handler
         queue = self.queue_for(handler)
         if self.config.dynamic_sync_coalescing and queue.synced:
             self.counters.bump("syncs_elided")
             self.tracer.record("sync-elided", handler.name, client=self.name, block=queue.block_id)
-            return False
+            return None
         request = queue.enqueue_sync(SyncRequest(release=self.backend.create_event()))
         self.backend.notify_handler(handler)
-        request.release.wait()
+        return request
+
+    def _finish_sync(self, ref: SeparateRef) -> None:
+        """Bookkeeping once the sync release has been observed."""
+        handler = ref.handler
+        queue = self.queue_for(handler)
         queue.synced = True
         handler.owner.grant_sync_access(threading.current_thread())
         self.tracer.record("sync", handler.name, client=self.name, block=queue.block_id)
-        return True
 
     def presynced_query(self, ref: SeparateRef, fn: Callable[..., Any]) -> Any:
         """Run a query whose sync was removed by the *static* pass.
@@ -317,10 +354,21 @@ class Client:
     def _remote_query(self, ref: SeparateRef, fn: Callable[[Any], Any], args: tuple, kwargs: dict,
                       feature: str = "", described: bool = False,
                       raw_fn: Optional[Callable[..., Any]] = None) -> Any:
-        # ``described`` means the request literally is ``getattr(obj,
-        # feature)(*args, **kwargs)``; ``raw_fn`` means it is ``raw_fn(obj,
-        # *args, **kwargs)`` — both forms a socket transport can ship
-        # without pickling the wrapper closure in ``fn``.
+        return self._start_remote_query(ref, fn, args, kwargs, feature=feature,
+                                        described=described, raw_fn=raw_fn).wait()
+
+    def _start_remote_query(self, ref: SeparateRef, fn: Callable[[Any], Any], args: tuple,
+                            kwargs: dict, feature: str = "", described: bool = False,
+                            raw_fn: Optional[Callable[..., Any]] = None) -> ResultBox:
+        """Ship a packaged query; return its result box without waiting.
+
+        ``described`` means the request literally is ``getattr(obj,
+        feature)(*args, **kwargs)``; ``raw_fn`` means it is ``raw_fn(obj,
+        *args, **kwargs)`` — both forms a socket transport can ship
+        without pickling the wrapper closure in ``fn``.  The issue/wait
+        split lets the awaitable client ``await`` the box instead of
+        blocking on it.
+        """
         handler = ref.handler
         queue = self.queue_for(handler)
         request = CallRequest(fn=fn, args=(ref._raw(),), payload_bytes=_payload_size(args, kwargs),
@@ -331,7 +379,7 @@ class Client:
                               raw_fn=raw_fn)
         box = queue.enqueue_query(request)
         self.backend.notify_handler(handler)
-        return box.wait()
+        return box
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Client({self.name!r}, reservations={sum(len(v) for v in self._reservations.values())})"

@@ -147,36 +147,49 @@ class Handler:
                 # runtime shutting down with the block abandoned (client
                 # crashed without END, or the reservation was never used)
                 return
-            self.counters.bump("qoq_batch_drains")
-            self.counters.add("qoq_batch_size_sum", len(batch))
-            for request in batch:
-                if isinstance(request, EndMarker):
-                    # rule *end*: switch to the next private queue (a batch
-                    # never extends past an END marker)
-                    self.tracer.record("end-block", self.name, client=private_queue.client_name,
-                                       block=private_queue.block_id)
-                    return
-                if isinstance(request, SyncRequest):
-                    # rule *sync*: release the waiting client; we then park on
-                    # this queue until the client logs more requests (or END)
-                    request.fire()
-                    continue
-                if isinstance(request, CallRequest):
-                    self.counters.bump("calls_executed")
-                    # packaged queries (a result box is attached) are recorded
-                    # separately so the guarantee checker can distinguish them
-                    # from the block's logged commands
-                    kind = "exec" if request.result is None else "exec-query"
-                    block = request.block if request.block is not None else private_queue.block_id
-                    self.tracer.record(kind, self.name, client=private_queue.client_name,
-                                       feature=request.feature or None, block=block)
-                    try:
-                        request.execute()
-                    except BaseException as exc:  # asynchronous call failed
-                        self.failures.append(exc)
-                    continue
-                raise HandlerShutdownError(
-                    f"handler {self.name!r} received unknown request {request!r}")
+            if self.drain_batch(private_queue, batch):
+                return
+
+    def drain_batch(self, private_queue: PrivateQueue, batch: "list") -> bool:
+        """Apply one drained batch of requests; return True at END.
+
+        This is the backend-independent half of rule *end*/*sync*/*call*
+        dispatch: the threaded/sim/process loops call it after their
+        blocking ``handler_next_batch``, the asyncio backend's coroutine
+        loop after awaiting the queue's drain waiter — so every backend
+        executes requests (and accounts for them) identically.
+        """
+        self.counters.bump("qoq_batch_drains")
+        self.counters.add("qoq_batch_size_sum", len(batch))
+        for request in batch:
+            if isinstance(request, EndMarker):
+                # rule *end*: switch to the next private queue (a batch
+                # never extends past an END marker)
+                self.tracer.record("end-block", self.name, client=private_queue.client_name,
+                                   block=private_queue.block_id)
+                return True
+            if isinstance(request, SyncRequest):
+                # rule *sync*: release the waiting client; we then park on
+                # this queue until the client logs more requests (or END)
+                request.fire()
+                continue
+            if isinstance(request, CallRequest):
+                self.counters.bump("calls_executed")
+                # packaged queries (a result box is attached) are recorded
+                # separately so the guarantee checker can distinguish them
+                # from the block's logged commands
+                kind = "exec" if request.result is None else "exec-query"
+                block = request.block if request.block is not None else private_queue.block_id
+                self.tracer.record(kind, self.name, client=private_queue.client_name,
+                                   feature=request.feature or None, block=block)
+                try:
+                    request.execute()
+                except BaseException as exc:  # asynchronous call failed
+                    self.failures.append(exc)
+                continue
+            raise HandlerShutdownError(
+                f"handler {self.name!r} received unknown request {request!r}")
+        return False
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"Handler({self.name!r}, alive={self.alive})"

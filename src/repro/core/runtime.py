@@ -46,8 +46,9 @@ class QsRuntime:
     """Owner of handlers, clients and runtime configuration.
 
     ``backend`` selects how handlers and clients execute (see
-    :mod:`repro.backends`): ``"threads"`` (the default), ``"sim"`` or
-    ``"process"``.  The resolution order is: explicit ``backend`` argument,
+    :mod:`repro.backends`): ``"threads"`` (the default), ``"sim"``,
+    ``"process"`` or ``"async"`` (coroutine clients on one event loop, for
+    very high fan-in).  The resolution order is: explicit ``backend`` argument,
     then the ``REPRO_BACKEND`` environment variable, then
     ``config.backend`` — so existing programs can be switched to the
     simulator (or to one-process-per-handler execution) without touching
@@ -214,6 +215,53 @@ class QsRuntime:
         handle = self.backend.spawn_client(_run, name=name or f"client:{fn.__name__}")
         self._client_handles.append(handle)
         return handle
+
+    def spawn_async_client(self, fn: Callable[..., Any], *args, name: Optional[str] = None,
+                           **kwargs) -> Any:
+        """Run the coroutine function ``fn`` as a client task (async backend).
+
+        ``fn(*args, **kwargs)`` must return a coroutine; it runs as an
+        asyncio task on the backend's event loop, so thousands of concurrent
+        clients cost coroutines, not OS threads.  Inside, use
+        ``async with runtime.separate_async(...)`` and ``await`` the proxy
+        methods.  Errors are collected and surfaced at shutdown exactly like
+        thread clients'; the returned handle joins from any thread.
+        """
+        self._check_open()
+        from repro.core.async_api import AsyncClient, bind_async_client
+
+        client_name = name or f"client:{getattr(fn, '__name__', 'async')}"
+        # constructing the client up front validates the backend/config
+        # combination before anything is scheduled on the loop
+        client = AsyncClient(self, name=client_name)
+
+        async def _run() -> None:
+            bind_async_client(client)
+            try:
+                await fn(*args, **kwargs)
+            except BaseException as exc:  # surfaced at shutdown
+                self._client_errors.append(exc)
+
+        handle = self.backend.spawn_task(_run, name=client_name)
+        self._client_handles.append(handle)
+        return handle
+
+    def async_client(self) -> Any:
+        """The calling task's awaitable client (created on first use)."""
+        from repro.core.async_api import current_async_client
+
+        return current_async_client(self)
+
+    def separate_async(self, *refs: SeparateRef):
+        """Awaitable twin of :meth:`separate` for coroutine clients.
+
+        Returns an ``async with`` context manager; the reserved proxies'
+        methods are coroutines (``await acc.deposit(1)``,
+        ``await acc.read()``).  Only available on the asyncio backend; wait
+        conditions (``wait_until``) remain thread-client-only.
+        """
+        self._check_open()
+        return self.async_client().separate(*refs)
 
     def join_clients(self, timeout: Optional[float] = None) -> None:
         """Wait for every spawned client to finish."""

@@ -17,6 +17,18 @@ A private queue is the channel a single client shares with a single handler
 The queue also carries the dynamic sync-coalescing state of Section 3.4.1:
 ``synced`` records whether the handler is currently parked at the head of
 this (empty) private queue, in which case a further sync is unnecessary.
+
+Awaitable seam
+--------------
+Consumers are not always threads: under the :mod:`asyncio` execution
+backend the handler draining this queue is a coroutine on an event loop and
+must not block in a condition variable.  The queue therefore exposes a tiny
+*drain-waiter* seam: the consumer registers a wake callback with
+:meth:`PrivateQueue.register_drain_waiter` and every enqueue invokes it
+(after the item is visible), letting the consumer park on a future/event
+that the callback resolves.  Blocking consumers simply never register one —
+the two styles coexist on the same queue, and the batched drain fast path
+is unchanged either way.
 """
 
 from __future__ import annotations
@@ -74,6 +86,22 @@ class ResultBox:
     def wait(self, timeout: Optional[float] = None) -> Any:
         if not self._event.wait(timeout=timeout):
             raise TimeoutError("query result did not arrive in time")
+        if self.error is not None:
+            raise QueryFailedError("query raised on the handler") from self.error
+        return self.value
+
+    async def wait_async(self) -> Any:
+        """Awaitable :meth:`wait` for coroutine clients.
+
+        Requires the box's event to have been created by a backend whose
+        events are awaitable (``wait_async``), i.e. the asyncio backend.
+        """
+        waiter = getattr(self._event, "wait_async", None)
+        if waiter is None:
+            raise TypeError(
+                "this result box is backed by a blocking event; awaitable "
+                "queries need an event from the async execution backend")
+        await waiter()
         if self.error is not None:
             raise QueryFailedError("query raised on the handler") from self.error
         return self.value
@@ -151,7 +179,7 @@ class PrivateQueue:
     """
 
     __slots__ = ("handler", "counters", "_queue", "synced", "client_name",
-                 "closed_by_client", "block_id")
+                 "closed_by_client", "block_id", "_drain_waiter")
 
     def __init__(self, handler: Any = None, counters: Optional[Counters] = None) -> None:
         self.handler = handler
@@ -165,6 +193,24 @@ class PrivateQueue:
         #: reservation id of the separate block currently using this queue
         #: (set by the client at reservation time; used by tracing)
         self.block_id: int | None = None
+        #: wake callback of an awaitable consumer (None for blocking ones)
+        self._drain_waiter: "Callable[[], None] | None" = None
+
+    # -- awaitable seam ----------------------------------------------------
+    def register_drain_waiter(self, wake: "Callable[[], None] | None") -> None:
+        """Install (or clear) the consumer-side wake callback.
+
+        ``wake`` is invoked after every enqueue, once the item is already
+        visible to :meth:`dequeue`/:meth:`dequeue_batch`; it must be safe to
+        call from any producer thread (the asyncio backend hands in a
+        loop-threadsafe event setter).
+        """
+        self._drain_waiter = wake
+
+    def _wake_drain(self) -> None:
+        wake = self._drain_waiter
+        if wake is not None:
+            wake()
 
     # -- client side ------------------------------------------------------
     def enqueue_call(self, request: CallRequest) -> None:
@@ -175,6 +221,7 @@ class PrivateQueue:
             self.counters.add("bytes_copied", request.payload_bytes)
         self.synced = False
         self._queue.put(request)
+        self._wake_drain()
 
     def enqueue_query(self, request: CallRequest) -> ResultBox:
         """Ship a packaged query to the handler (the *unoptimized* protocol).
@@ -188,6 +235,7 @@ class PrivateQueue:
         self.counters.bump("sync_roundtrips")
         self.synced = False
         self._queue.put(request)
+        self._wake_drain()
         return request.result
 
     def enqueue_sync(self, request: Optional[SyncRequest] = None) -> SyncRequest:
@@ -203,6 +251,7 @@ class PrivateQueue:
         self.counters.bump("pq_enqueues")
         self.counters.bump("sync_roundtrips")
         self._queue.put(request)
+        self._wake_drain()
         return request
 
     def enqueue_end(self) -> None:
@@ -211,6 +260,7 @@ class PrivateQueue:
         self.closed_by_client = True
         self.synced = False
         self._queue.put(END)
+        self._wake_drain()
 
     # -- handler side ------------------------------------------------------
     def dequeue(self, timeout: Optional[float] = None):

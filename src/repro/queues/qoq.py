@@ -8,7 +8,7 @@ which is exactly what preserves the paper's second reasoning guarantee
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.queues.mpsc import MPSCQueue
 from repro.queues.private_queue import PrivateQueue
@@ -37,11 +37,29 @@ SHUTDOWN = _ShutdownSentinel()
 class QueueOfQueues:
     """MPSC queue of :class:`PrivateQueue` objects owned by one handler."""
 
-    __slots__ = ("counters", "_queue")
+    __slots__ = ("counters", "_queue", "_drain_waiter")
 
     def __init__(self, counters: Optional[Counters] = None) -> None:
         self.counters = counters or Counters()
         self._queue: MPSCQueue = MPSCQueue()
+        #: wake callback of an awaitable consumer (see
+        #: :meth:`~repro.queues.private_queue.PrivateQueue.register_drain_waiter`)
+        self._drain_waiter: "Callable[[], None] | None" = None
+
+    # -- awaitable seam ----------------------------------------------------
+    def register_drain_waiter(self, wake: "Callable[[], None] | None") -> None:
+        """Install (or clear) the handler-side wake callback.
+
+        Invoked after every reservation insert and on :meth:`close`, so a
+        coroutine handler parked on a future is resolved instead of blocking
+        in the MPSC condition variable.  Blocking handlers leave it unset.
+        """
+        self._drain_waiter = wake
+
+    def _wake_drain(self) -> None:
+        wake = self._drain_waiter
+        if wake is not None:
+            wake()
 
     # -- client side (many producers) --------------------------------------
     def enqueue(self, private_queue: PrivateQueue) -> None:
@@ -53,6 +71,7 @@ class QueueOfQueues:
         self.counters.bump("qoq_enqueues")
         self.counters.bump("reservations")
         self._queue.put(private_queue)
+        self._wake_drain()
 
     # -- handler side (single consumer) -------------------------------------
     def dequeue(self, timeout: Optional[float] = None) -> "PrivateQueue | _ShutdownSentinel | None":
@@ -83,6 +102,7 @@ class QueueOfQueues:
     def close(self) -> None:
         """No client will ever reserve this handler again (shutdown)."""
         self._queue.close()
+        self._wake_drain()
 
     def __len__(self) -> int:
         return len(self._queue)

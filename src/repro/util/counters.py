@@ -105,10 +105,19 @@ class Counters:
         if amount < 0:
             raise ValueError("counters are monotonic; amount must be >= 0")
         with self._lock:
-            self._values[name] = self._values.get(name, 0) + amount
+            try:
+                self._values[name] += amount
+            except KeyError:
+                self._values[name] = amount
 
     def bump(self, name: str) -> None:
-        self.add(name, 1)
+        # inlined add(name, 1): bump is the request-path hot call and the
+        # known names are pre-seeded, so the try never actually raises
+        with self._lock:
+            try:
+                self._values[name] += 1
+            except KeyError:
+                self._values[name] = 1
 
     def get(self, name: str) -> int:
         with self._lock:

@@ -16,6 +16,11 @@ from repro.core.runtime import QsRuntime
 
 ALL_LEVELS = [level.value for level in LEVEL_ORDER]
 BACKENDS = ("threads", "sim")
+#: every execution backend, for suites that exercise the full matrix
+#: (the functional fixtures below stay on the in-memory pair: process
+#: spawns real workers per test and async rejects some thread-only idioms,
+#: so those backends run the parity + dedicated suites instead)
+ALL_BACKENDS = ("threads", "sim", "process", "async")
 
 
 @pytest.fixture(params=ALL_LEVELS)
@@ -54,3 +59,9 @@ def baseline_runtime(backend_name):
     rt = QsRuntime(QsConfig.none(), backend=backend_name)
     yield rt
     rt.shutdown()
+
+
+@pytest.fixture(params=ALL_BACKENDS)
+def any_backend_name(request) -> str:
+    """All four execution backends (threads, sim, process, async)."""
+    return request.param

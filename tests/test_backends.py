@@ -16,12 +16,13 @@ import random
 import pytest
 
 from repro import DeadlockError, QsRuntime, SeparateObject, command, query
-from repro.backends import ProcessBackend, SimBackend, ThreadedBackend, create_backend
+from repro.backends import (AsyncBackend, ProcessBackend, SimBackend, ThreadedBackend,
+                            create_backend)
 from repro.config import QsConfig
 from repro.workloads.concurrent.runner import run_concurrent
 from repro.workloads.params import ConcurrentSizes
 
-BACKENDS = ("threads", "sim", "process")
+BACKENDS = ("threads", "sim", "process", "async")
 
 #: counters whose values are schedule-independent for the workloads below
 #: (retry-style counters like lock_waits or wait_condition_retries are not)
@@ -182,6 +183,11 @@ class TestEachBackend:
             # state so handlers act as clients of each other — inherently a
             # shared-memory workload (see docs/backends.md, process limits)
             pytest.skip("threadring requires shared-memory handler state")
+        if backend == "async":
+            # threadring's handlers issue blocking queries from inside
+            # request bodies; on the shared event loop that would stall
+            # every handler (see docs/backends.md, async limits)
+            pytest.skip("threadring blocks inside handler bodies")
         assert run_concurrent("threadring", config, sizes).value["passes"] == 21
 
 
@@ -295,11 +301,13 @@ class TestBackendSelection:
         assert isinstance(create_backend("threaded"), ThreadedBackend)
         assert isinstance(create_backend("sim"), SimBackend)
         assert isinstance(create_backend("process"), ProcessBackend)
+        assert isinstance(create_backend("async"), AsyncBackend)
+        assert isinstance(create_backend("asyncio"), AsyncBackend)
         instance = ThreadedBackend()
         assert create_backend(instance) is instance
 
     def test_unknown_backend_rejected(self):
-        with pytest.raises(ValueError, match="unknown execution backend"):
+        with pytest.raises(ValueError, match="invalid backend spec 'quantum'"):
             create_backend("quantum")
 
     def test_process_spec_components(self):
@@ -310,15 +318,46 @@ class TestBackendSelection:
         backend = create_backend("process:4")
         assert backend.processes == 4 and backend.codec == "pickle"
 
-    def test_invalid_process_spec_rejected(self):
-        with pytest.raises(ValueError, match="invalid component"):
+    # every malformed spec — wrong name, wrong component, stray component,
+    # empty component — must raise ONE consistent error quoting the grammar
+    @pytest.mark.parametrize("spec", [
+        "quantum",
+        "sim:bogus",             # unknown scheduling policy
+        "sim:random:x",          # non-integer seed
+        "process:msgpack",       # neither count nor codec
+        "process:2:3",           # two counts
+        "process:json:pickle",   # two codecs
+        "process:abc:",          # invalid then empty component
+        "process::json",         # empty component
+        "threads:2",             # threads takes no components
+        "async:4",               # async takes no components
+        "async:fast",
+    ])
+    def test_malformed_specs_all_quote_the_grammar(self, spec):
+        with pytest.raises(ValueError) as excinfo:
+            create_backend(spec)
+        message = str(excinfo.value)
+        assert message.startswith(f"invalid backend spec {spec.lower()!r}: ")
+        assert "threads | sim[:policy[:seed]] | process[:nproc][:codec] | async" in message
+
+    def test_spec_error_reasons_are_actionable(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy 'bogus'"):
+            create_backend("sim:bogus")
+        with pytest.raises(ValueError, match="invalid component 'msgpack'"):
             create_backend("process:msgpack")
         with pytest.raises(ValueError, match="two process counts"):
             create_backend("process:2:3")
-
-    def test_threads_spec_components_rejected(self):
-        with pytest.raises(ValueError, match="takes none"):
+        with pytest.raises(ValueError, match="takes no spec components"):
             create_backend("threads:4")
+        with pytest.raises(ValueError, match="takes no spec components"):
+            create_backend("async:4")
+
+    def test_env_var_spec_errors_match_direct_ones(self, monkeypatch):
+        # REPRO_BACKEND goes through the same parser, so a typo in the
+        # environment produces the same actionable message
+        monkeypatch.setenv("REPRO_BACKEND", "sim:bogus")
+        with pytest.raises(ValueError, match="invalid backend spec 'sim:bogus'"):
+            QsRuntime("all")
 
     def test_config_carries_backend(self, monkeypatch):
         monkeypatch.delenv("REPRO_BACKEND", raising=False)

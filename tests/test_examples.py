@@ -23,7 +23,7 @@ def test_examples_directory_contents():
     assert {"quickstart.py", "cowichan_pipeline.py", "bank_transfers.py",
             "chameneos_redux.py", "sync_coalescing_tour.py",
             "dining_philosophers.py", "monitored_pipeline.py",
-            "deadlock_analysis.py"} <= names
+            "deadlock_analysis.py", "async_fan_in.py"} <= names
 
 
 def test_quickstart_runs():
@@ -74,6 +74,13 @@ def test_dining_philosophers_never_deadlocks_and_serves_all_meals():
     proc = run_example("dining_philosophers.py", "--philosophers", "4", "--rounds", "6")
     assert proc.returncode == 0, proc.stderr
     assert "all 24 meals served, no deadlock" in proc.stdout
+
+
+def test_async_fan_in_audits_clean():
+    proc = run_example("async_fan_in.py", "--clients", "500", "--handlers", "2")
+    assert proc.returncode == 0, proc.stderr
+    assert "500 coroutine clients" in proc.stdout
+    assert "audit ok: every client's requests executed in order" in proc.stdout
 
 
 def test_monitored_pipeline_verifies_guarantees():
