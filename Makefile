@@ -10,11 +10,12 @@
 #   make explore     short schedule-exploration smoke of both workloads
 #   make process-smoke    backend-parity and transport suites on the process backend
 #   make async-smoke      backend-parity and awaitable-API suites on the async backend
+#   make shard-smoke      sharding suite on the process/async backends + smoke bench
 
 PYTHON ?= python
 
 .PHONY: install lint test coverage bench bench-backends bench-gate explore \
-	process-smoke async-smoke clean
+	process-smoke async-smoke shard-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -50,6 +51,15 @@ async-smoke:
 	REPRO_BACKEND=async $(PYTHON) -m pytest -q tests/test_backends.py \
 		tests/test_async_backend.py tests/test_client_lifecycle.py
 	$(PYTHON) examples/async_fan_in.py --clients 500 --handlers 2
+
+# the sharding suite across the deployment backends (mirrors CI shard-smoke),
+# the sharded CLI example, and a smoke-sized shard_scaling measurement
+shard-smoke:
+	REPRO_BACKEND=process $(PYTHON) -m pytest -q tests/test_shard.py tests/test_backends.py
+	REPRO_BACKEND=async $(PYTHON) -m pytest -q tests/test_shard.py
+	$(PYTHON) -m repro --backend process run sharded-bank --shards 4 --clients 3 --iterations 10
+	$(PYTHON) -m repro --backend async run sharded-bank --shards 4 --clients 3 --iterations 10
+	$(PYTHON) benchmarks/bench_backends.py --smoke --out BENCH_shard_smoke.json
 
 # bank-transfers must stay clean on every schedule; the philosophers hunt is
 # *expected* to find its seeded deadlock (exit 1 = "problem found") and the

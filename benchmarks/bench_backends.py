@@ -49,6 +49,26 @@ trajectory — with three measurements:
     the per-worker-count scaling series (with ``cpu_count`` alongside, since
     its ceiling is the hardware).
 
+``shard_scaling``
+    One *hot* logical object vs the same object sharded over 2/4/8 replica
+    handlers (``repro.shard``), on the ``process`` and ``async`` backends:
+
+    * *compute*: a fixed amount of CPU-bound kernel work routed by key
+      across the shards of one group.  One shard is the hot-handler
+      baseline — a single drain loop no backend can parallelise; with N
+      shards the process backend runs N drain loops in N processes, so on
+      a multi-core machine the wall-clock drops with the shard count
+      (``cpu_count`` is recorded; on one core both backends are honestly
+      flat, exactly like ``process_scaling``'s compute column).
+    * *hot_key*: a flooder bursts kernel commands at one hot key while a
+      probe client queries a *cold* key.  Unsharded, the probe's query
+      FIFO-queues behind the hot backlog on the single handler; sharded,
+      the cold key routes to an idle replica and answers immediately.
+      Probe queries/second, sharded vs unsharded, is the headline
+      ``speedup`` — the serving win sharding exists for, on any core
+      count.  The full-size bench gates on it staying ≥ 2× at the gate
+      shard count (4).
+
 ``fan_in``
     ``threads`` vs. ``async`` at high client fan-in: N concurrent clients
     (1 000–10 000 on full runs) each reserve one of a small set of service
@@ -398,7 +418,152 @@ def bench_process_scaling(total_chunks: int, grid: int, limit: int,
 
 
 # ----------------------------------------------------------------------------
-# 5. threads vs async at high client fan-in
+# 5. sharding a hot handler: key routing over 1..N shards (repro.shard)
+# ----------------------------------------------------------------------------
+def _first_key_owned_by(group, shard: int, prefix: str) -> str:
+    i = 0
+    while True:
+        key = f"{prefix}-{i}"
+        if group.shard_of(key) == shard:
+            return key
+        i += 1
+
+
+def _balanced_chunk_keys(group, per_shard: int) -> List[str]:
+    """Routing keys giving every shard exactly ``per_shard`` equal-cost chunks.
+
+    Generated by filtering a key stream through the group's own consistent-
+    hash ring, so the bench routes by key exactly like real sharded code
+    does — while guaranteeing every shard count executes identical total
+    work (a scaling series must vary only the shard count, never the work).
+    """
+    buckets: List[List[str]] = [[] for _ in range(group.shards)]
+    i = 0
+    while any(len(bucket) < per_shard for bucket in buckets):
+        key = f"chunk-{i}"
+        i += 1
+        bucket = buckets[group.shard_of(key)]
+        if len(bucket) < per_shard:
+            bucket.append(key)
+    return [key for bucket in buckets for key in bucket]
+
+
+def _shard_compute(backend: str, shards: int, per_shard: int,
+                   grid: int, limit: int) -> Dict:
+    """Wall-clock for ``shards * per_shard`` kernel chunks routed by key."""
+    x0, y0 = _CHUNK_REGION
+    with QsRuntime("all", backend=backend) as rt:
+        group = rt.sharded("crunch", shards=shards).create(_Cruncher)
+        keys = _balanced_chunk_keys(group, per_shard)
+        start = time.perf_counter()
+        with group.separate() as g:
+            for key in keys:
+                g.on(key).crunch(x0, y0, grid, limit)
+            # the scatter-gather doubles as the drain barrier: it cannot
+            # complete before every routed command has executed
+            checksum = g.gather("checksum_value", merge=sum)
+        wall = time.perf_counter() - start
+    return {"wall_s": round(wall, 4), "checksum": checksum}
+
+
+def _shard_hot_key(backend: str, shards: int, bursts: int, burst_size: int,
+                   grid: int, limit: int) -> Dict:
+    """Probe queries against a cold key while a flooder crunches a hot key.
+
+    Both clients route through the group (``group.ref_for(key)`` — the
+    owning replica is an ordinary handler, so plain separate blocks work).
+    With one shard the probe's query FIFO-queues behind the flooder's
+    backlog; with N shards the cold key lives on an idle replica.
+    """
+    x0, y0 = _CHUNK_REGION
+    with QsRuntime("all", backend=backend) as rt:
+        group = rt.sharded("service", shards=shards).create(_Cruncher)
+        hot_key = _first_key_owned_by(group, 0, "hot")
+        cold_key = _first_key_owned_by(group, shards - 1, "cold")
+        done = rt.event()
+
+        def flooder() -> None:
+            for _ in range(bursts):
+                with rt.separate(group.ref_for(hot_key)) as hot:
+                    for _ in range(burst_size):
+                        hot.crunch(x0, y0, grid, limit)
+            with rt.separate(group.ref_for(hot_key)) as hot:  # drain barrier
+                hot.checksum_value()
+            done.set()
+
+        rt.spawn_client(flooder, name="flooder")
+        served = 0
+        worst = 0.0
+        start = time.perf_counter()
+        while not done.is_set():
+            probe = time.perf_counter()
+            with rt.separate(group.ref_for(cold_key)) as svc:
+                svc.checksum_value()
+            worst = max(worst, time.perf_counter() - probe)
+            served += 1
+        elapsed = time.perf_counter() - start
+        rt.join_clients()
+    return {
+        "load_wall_s": round(elapsed, 4),
+        "queries_served": served,
+        "queries_per_s": round(served / elapsed, 1) if elapsed > 0 else 0.0,
+        "worst_latency_ms": round(worst * 1e3, 2),
+    }
+
+
+def bench_shard_scaling(total_chunks: int, grid: int, limit: int,
+                        shard_series: List[int], hot_bursts: int,
+                        hot_burst_size: int, hot_grid: int, hot_limit: int,
+                        gate_shards: int) -> Dict:
+    backends = ("process", "async")
+    compute = []
+    parity = True
+    expected_checksum = None
+    for backend in backends:
+        hot_wall = None
+        for shards in shard_series:
+            per_shard = max(1, total_chunks // shards)
+            run = _shard_compute(backend, shards, per_shard, grid, limit)
+            if expected_checksum is None:
+                expected_checksum = run["checksum"]
+            parity = parity and run["checksum"] == expected_checksum
+            if hot_wall is None:  # the 1-shard point is the hot-handler baseline
+                hot_wall = run["wall_s"]
+            compute.append({
+                "backend": backend,
+                "shards": shards,
+                "wall_s": run["wall_s"],
+                "speedup_vs_hot": round(hot_wall / run["wall_s"], 3),
+            })
+
+    hot_key = {"gate_shards": gate_shards}
+    for backend in backends:
+        single = _shard_hot_key(backend, 1, hot_bursts, hot_burst_size, hot_grid, hot_limit)
+        sharded = _shard_hot_key(backend, gate_shards, hot_bursts, hot_burst_size,
+                                 hot_grid, hot_limit)
+        hot_key[backend] = {
+            "single": single,
+            "sharded": sharded,
+            "speedup": round(sharded["queries_per_s"] / max(single["queries_per_s"], 0.1), 3),
+        }
+    return {
+        "workload": {"total_chunks": total_chunks, "grid": grid, "limit": limit,
+                     "hot_bursts": hot_bursts, "hot_burst_size": hot_burst_size,
+                     "hot_grid": hot_grid, "hot_limit": hot_limit,
+                     "kernel": "mandelbrot (Cowichan-style, pure python)"},
+        "cpu_count": os.cpu_count(),
+        "compute": compute,
+        "compute_parity": parity,
+        "hot_key": hot_key,
+        # headline: cold-key service throughput while one key is hot — the
+        # isolation win sharding buys on any core count (the compute series
+        # additionally shows real multi-core scaling where cores exist)
+        "speedup": hot_key["process"]["speedup"],
+    }
+
+
+# ----------------------------------------------------------------------------
+# 6. threads vs async at high client fan-in
 # ----------------------------------------------------------------------------
 def _fan_in_run(backend: str, clients: int, handlers: int, pings: int) -> Dict:
     """N concurrent clients burst commands at ``handlers`` service handlers.
@@ -515,12 +680,16 @@ def main() -> int:
         clients, transfers = 2, 10
         chunks, grid, limit, series = 4, 24, 40, [1, 2]
         fan_series, fan_handlers, fan_pings, fan_gate = [200, 1_000], 2, 1, 1_000
+        shard_chunks, shard_series, shard_gate = 4, [1, 2], 2
+        hot_bursts, hot_burst_size, hot_grid, hot_limit = 2, 3, 48, 60
     else:
         total, burst = 200_000, 64
         blocks, pings = 500, 50
         clients, transfers = 4, 40
         chunks, grid, limit, series = 48, 160, 150, [1, 2, 4]
         fan_series, fan_handlers, fan_pings, fan_gate = [1_000, 5_000, 10_000], 4, 1, 5_000
+        shard_chunks, shard_series, shard_gate = 8, [1, 2, 4, 8], 4
+        hot_bursts, hot_burst_size, hot_grid, hot_limit = 3, 5, 120, 120
 
     results = {
         "meta": {
@@ -533,6 +702,9 @@ def main() -> int:
         "runtime_pingpong": bench_runtime_pingpong(blocks, pings, args.batch_size),
         "backends": bench_backends(clients, transfers),
         "process_scaling": bench_process_scaling(chunks, grid, limit, series),
+        "shard_scaling": bench_shard_scaling(shard_chunks, grid, limit, shard_series,
+                                             hot_bursts, hot_burst_size, hot_grid,
+                                             hot_limit, shard_gate),
         "fan_in": bench_fan_in(fan_series, fan_handlers, fan_pings, fan_gate),
     }
 
@@ -559,6 +731,17 @@ def main() -> int:
           f"(worst {svc['threads']['worst_latency_ms']}ms) | "
           f"process {svc['process']['queries_per_s']}/s "
           f"(worst {svc['process']['worst_latency_ms']}ms) -> {svc['speedup']}x")
+    sharding = results["shard_scaling"]
+    for row in sharding["compute"]:
+        print(f"shard kernel [{row['backend']}] x{row['shards']} shards: "
+              f"{row['wall_s']}s ({row['speedup_vs_hot']}x vs hot handler)")
+    for backend in ("process", "async"):
+        hk = sharding["hot_key"][backend]
+        print(f"hot key [{backend}]: 1 shard {hk['single']['queries_per_s']}/s "
+              f"(worst {hk['single']['worst_latency_ms']}ms) | "
+              f"{sharding['hot_key']['gate_shards']} shards "
+              f"{hk['sharded']['queries_per_s']}/s "
+              f"(worst {hk['sharded']['worst_latency_ms']}ms) -> {hk['speedup']}x")
     fan = results["fan_in"]
     for row in fan["series"]:
         print(f"fan-in x{row['clients']} clients: threads {row['threads_s']}s "

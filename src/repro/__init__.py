@@ -7,6 +7,9 @@ This package reproduces the PPoPP 2015 paper by West, Nanz and Meyer:
 * :mod:`repro.backends`   — pluggable execution backends: OS threads, the
   deterministic virtual-time simulator, one-process-per-handler sockets,
   or asyncio coroutine clients at 10k+ fan-in (see ``docs/backends.md``);
+* :mod:`repro.shard`      — sharded handler groups: one logical object
+  partitioned over N handlers with consistent key routing and
+  scatter-gather queries (see ``docs/sharding.md``);
 * :mod:`repro.queues`     — the SPSC/MPSC queue substrate with the batched
   drain fast path;
 * :mod:`repro.sched`      — the lightweight-task / virtual-time scheduler
@@ -90,6 +93,7 @@ from repro.core import (
     register_expanded,
 )
 from repro.core.async_api import AsyncClient, AsyncReservedProxy, AsyncSeparateBlock
+from repro.shard import AsyncShardedProxy, ReshardPlan, ShardedGroup, ShardedProxy
 from repro.errors import (
     DeadlockError,
     NotReservedError,
@@ -119,6 +123,10 @@ __all__ = [
     "AsyncClient",
     "AsyncReservedProxy",
     "AsyncSeparateBlock",
+    "ShardedGroup",
+    "ShardedProxy",
+    "AsyncShardedProxy",
+    "ReshardPlan",
     "create_backend",
     "Handler",
     "SeparateObject",

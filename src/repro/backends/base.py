@@ -92,6 +92,20 @@ class ExecutionBackend(ABC):
         """
         return obj
 
+    def create_shard_handlers(self, runtime: Any, names: List[str]) -> List[Any]:
+        """Create the replica handlers backing one sharded group.
+
+        The placement hook of :mod:`repro.shard`: a backend may steer where
+        the replicas of a logical object execute.  The default — used by the
+        in-memory backends, where every handler shares the process anyway —
+        simply creates one ordinary handler per name.  The process backend
+        overrides this to pin consecutive replicas to *distinct* worker
+        processes (round-robin across the pool), so a sharded group always
+        spreads over real cores regardless of how many handlers existed
+        before it.
+        """
+        return [runtime.new_handler(name) for name in names]
+
     def create_private_queue(self, handler: Any, counters: Any) -> Any:
         """Build the private queue a client uses to talk to ``handler``.
 

@@ -478,6 +478,29 @@ class ProcessBackend(ThreadedBackend):
         with self._lock:
             self._streams.append(stream)
 
+    def create_shard_handlers(self, runtime: Any, names: List[str]) -> List[Any]:
+        """Place shard replicas so sharding means real cores.
+
+        Without a worker cap the default placement (one fresh process per
+        handler) is already ideal.  With a cap, pre-pin replica ``i`` to
+        worker ``i % cap`` *before* the handlers start — deterministic
+        round-robin across the whole pool, independent of how many handlers
+        (and therefore assignments) the program created earlier, so a
+        4-shard group on a 4-worker pool always lands on 4 distinct
+        processes instead of wherever the global rotation happened to be.
+        """
+        if self.processes is not None:
+            with self._lock:
+                pool = max(1, min(self.processes, len(names)))
+                while len(self._workers) < pool:
+                    self._spawn_worker()
+                for i, name in enumerate(names):
+                    if name not in self._assignment:
+                        worker = self._workers[i % pool]
+                        self._assignment[name] = worker
+                        worker.handler_names.append(name)
+        return super().create_shard_handlers(runtime, names)
+
     # ------------------------------------------------------------------
     # handler plumbing
     # ------------------------------------------------------------------

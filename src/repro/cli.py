@@ -15,9 +15,11 @@ command            what it does
 ``ir``             print, analyse and optimize IR functions (the paper's
                    Figs. 12–15 pipeline): sync-sets, dominators, loops,
                    sync coalescing and hoisting
-``explore``        concurrency testing, two modes: with a workload argument,
-                   schedule-fuzz it on the simulator under seeded scheduling
-                   policies, saving/replaying failing schedules
+``explore``        concurrency testing, two modes: with a workload argument
+                   (``bank-transfers``, ``sharded-counter``,
+                   ``dining-philosophers``), schedule-fuzz it on the
+                   simulator under seeded scheduling policies,
+                   saving/replaying failing schedules
                    (``repro explore dining-philosophers --policy random
                    --seeds 200``); without one, run the operational-semantics
                    explorer on a paper program plus the static wait-for
@@ -25,8 +27,10 @@ command            what it does
 ``trace``          run a small traced workload on the runtime, dump the
                    instrumentation events and check the reasoning
                    guarantees on the actual execution
-``run``            run one of the built-in end-to-end examples
-                   (``bank-transfers``, ``dining-philosophers``)
+``run``            run one of the built-in end-to-end examples from the
+                   :mod:`repro.workloads.runnable` registry
+                   (``bank-transfers``, ``dining-philosophers``,
+                   ``sharded-bank --shards N``)
 =================  ==========================================================
 
 The global ``--backend {threads,sim,process,async}`` option selects the
@@ -297,129 +301,26 @@ def _explore_semantics(args: argparse.Namespace) -> int:
     return 0
 
 
-class ExampleAccount(SeparateObject):
-    """Bank account of the ``repro run bank-transfers`` example.
-
-    Module-level (not nested in ``cmd_run``) so the process backend can ship
-    instances to handler processes — pickle needs an importable class.
-    """
-
-    def __init__(self, balance: int) -> None:
-        self.balance = balance
-
-    @command
-    def credit(self, amount: int) -> None:
-        self.balance += amount
-
-    @command
-    def debit(self, amount: int) -> None:
-        self.balance -= amount
-
-    @query
-    def read(self) -> int:
-        return self.balance
-
-
-class ExampleFork(SeparateObject):
-    """Fork of the ``repro run dining-philosophers`` example (module-level
-    for the same picklability reason as :class:`ExampleAccount`)."""
-
-    def __init__(self) -> None:
-        self.uses = 0
-
-    @command
-    def use(self) -> None:
-        self.uses += 1
-
-    @query
-    def total_uses(self) -> int:
-        return self.uses
-
-
 def cmd_run(args: argparse.Namespace) -> int:
     """Run a built-in example end to end (on the selected backend).
 
-    The examples are deterministic (seeded RNGs), so the printed balances
-    and meal counts are identical under ``--backend threads``,
-    ``--backend sim``, ``--backend process`` and ``--backend async`` —
-    which is exactly the backend-parity claim.
+    The examples come from the :mod:`repro.workloads.runnable` registry;
+    all of them are deterministic (seeded RNGs), so the printed balances /
+    meal counts are identical under ``--backend threads``, ``sim``,
+    ``process`` and ``async`` — which is exactly the backend-parity claim.
     """
-    import random
-
-    from repro import QsRuntime
+    from repro.workloads.runnable import get_example
 
     if args.clients < 0 or args.iterations < 0:
         raise SystemExit("repro run: --clients and --iterations must be non-negative")
-    if args.example == "dining-philosophers" and args.clients < 2:
-        raise SystemExit("repro run: dining-philosophers needs at least 2 philosophers "
-                         "(a lone philosopher has only one fork)")
-
-    if args.example == "bank-transfers":
-        Account = ExampleAccount
-        initial = 1_000
-        # backend=None lets QsRuntime apply the documented resolution order
-        # (explicit flag > REPRO_BACKEND > config default)
-        with QsRuntime("all", backend=args.backend) as rt:
-            backend = rt.backend.name
-            alice = rt.new_handler("alice").create(Account, initial)
-            bob = rt.new_handler("bob").create(Account, initial)
-
-            def transferrer(seed: int) -> None:
-                rng = random.Random(seed)
-                for _ in range(args.iterations):
-                    amount = rng.randint(1, 20)
-                    with rt.separate(alice, bob) as (a, b):
-                        a.debit(amount)
-                        b.credit(amount)
-
-            for i in range(args.clients):
-                rt.spawn_client(transferrer, i, name=f"transfer-{i}")
-            rt.join_clients()
-            with rt.separate(alice, bob) as (a, b):
-                balances = (a.read(), b.read())
-
-        total = sum(balances)
-        print(f"backend={backend} clients={args.clients} transfers={args.clients * args.iterations}")
-        print(f"final balances: alice={balances[0]} bob={balances[1]}")
-        if total != 2 * initial:
-            print(f"money NOT conserved: total {total} != {2 * initial}")
-            return 1
-        print(f"total {total} (money conserved)")
-        return 0
-
-    # dining-philosophers
-    Fork = ExampleFork
-    n = args.clients
-    with QsRuntime("all", backend=args.backend) as rt:
-        backend = rt.backend.name
-        forks = [rt.new_handler(f"fork-{i}").create(Fork) for i in range(n)]
-        meals = [0] * n
-
-        def philosopher(i: int) -> None:
-            left, right = forks[i], forks[(i + 1) % n]
-            for _ in range(args.iterations):
-                # both forks reserved atomically: no lock-order deadlock
-                with rt.separate(left, right) as (fl, fr):
-                    fl.use()
-                    fr.use()
-                    meals[i] += 1
-
-        for i in range(n):
-            rt.spawn_client(philosopher, i, name=f"philosopher-{i}")
-        rt.join_clients()
-        with rt.separate(*forks) as proxies:
-            proxies = proxies if isinstance(proxies, tuple) else (proxies,)
-            uses = [proxy.total_uses() for proxy in proxies]
-
-    expected = n * args.iterations
-    print(f"backend={backend} philosophers={n} rounds={args.iterations}")
-    print(f"meals: {meals}")
-    print(f"fork uses: {uses}")
-    if sum(meals) != expected or sum(uses) != 2 * expected:
-        print("outcome INCONSISTENT")
-        return 1
-    print(f"all {expected} meals served, no deadlock")
-    return 0
+    if args.shards < 1:
+        raise SystemExit("repro run: --shards must be >= 1")
+    example = get_example(args.example)
+    if args.clients < example.min_clients:
+        raise SystemExit(
+            f"repro run: {example.name} needs at least {example.min_clients} clients "
+            f"({example.min_clients_reason})")
+    return example.run(args)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -515,10 +416,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_ir.add_argument("--distinct", help="comma-separated handler variables known not to alias")
     p_ir.set_defaults(func=cmd_ir)
 
-    # workload names are spelled out rather than imported so that building
-    # the parser stays free of the runtime import chain;
-    # tests/test_explore.py asserts they match the registry
-    explore_workloads = ("bank-transfers", "dining-philosophers")
+    # both runnable registries drive their sub-command's choices, so a new
+    # workload/example registers once and appears in --help automatically
+    from repro.explore.workloads import WORKLOAD_NAMES as explore_workloads
     from repro.sched.policy import POLICY_NAMES
 
     p_explore = sub.add_parser(
@@ -552,12 +452,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_explore.add_argument("--max-states", type=int, default=200_000)
     p_explore.set_defaults(func=cmd_explore)
 
-    p_run = sub.add_parser("run", help="run a built-in end-to-end example")
-    p_run.add_argument("example", choices=["bank-transfers", "dining-philosophers"])
+    from repro.workloads.runnable import EXAMPLES
+
+    p_run = sub.add_parser(
+        "run", help="run a built-in end-to-end example",
+        description="examples:\n" + "\n".join(
+            f"  {example.name:<22} {example.help}" for example in EXAMPLES.values()),
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    p_run.add_argument("example", choices=list(EXAMPLES))
     p_run.add_argument("--clients", type=int, default=4,
                        help="transferring clients / philosophers")
     p_run.add_argument("--iterations", type=int, default=20,
                        help="transfers per client / rounds per philosopher")
+    p_run.add_argument("--shards", type=int, default=4,
+                       help="shard count for sharded examples (sharded-bank)")
     p_run.set_defaults(func=cmd_run)
 
     p_trace = sub.add_parser("trace", help="run a traced workload and check the guarantees")

@@ -125,6 +125,19 @@ class AsyncClient:
         await self.sync(ref)
         return client._execute_client_query(ref, fn, args, dict(kwargs), feature=method)
 
+    def issue_query(self, ref: SeparateRef, method: str, *args: Any, **kwargs: Any):
+        """Issue a query without awaiting it; ``await pending.wait_async()`` later.
+
+        The awaitable half of the issue/wait split
+        (:meth:`~repro.core.client.Client.issue_query`): scatter-gather
+        (:class:`~repro.shard.proxy.AsyncShardedProxy`) issues one query
+        per shard up front so the shard-side bodies overlap, then awaits
+        the :class:`~repro.core.client.PendingQuery` results in shard
+        order.  Issuing never blocks the loop — the QoQ protocol's enqueue
+        is asynchronous and the waits live entirely in ``wait_async``.
+        """
+        return self._client.issue_query(ref, method, *args, **kwargs)
+
     async def query_function(self, ref: SeparateRef, fn: Callable[..., Any],
                              *args: Any, **kwargs: Any) -> Any:
         client = self._client

@@ -33,7 +33,7 @@ from repro.config import QsConfig
 from repro.core.expanded import prepare_arguments
 from repro.core.handler import Handler
 from repro.core.region import SeparateRef
-from repro.errors import NotReservedError, ReservationError
+from repro.errors import NotReservedError, ReservationError, ScoopError
 from repro.queues.private_queue import CallRequest, PrivateQueue, ResultBox, SyncRequest
 from repro.util.counters import Counters
 from repro.util.tracing import NullTracer, Tracer
@@ -74,6 +74,77 @@ class Reservation:
     holds_lock: bool = False
 
 
+class PendingQuery:
+    """A query that has been *issued* but whose wait is still the caller's.
+
+    This is the issue/wait client split made first-class: scatter-gather
+    (:mod:`repro.shard`) issues one query per shard up front, then collects
+    the results — blocking (:meth:`wait`) or awaited (:meth:`wait_async`) —
+    so the per-shard handler work overlaps instead of serialising.  Under
+    the unoptimized protocol the pending state is the packaged query's
+    result box; under client-executed queries it is the in-flight SYNC
+    round trip (``None`` when dynamic coalescing elided it), after which the
+    query body runs on the waiting side via the backend's
+    ``execute_synced_query`` placement hook.
+
+    At most one query may be pending per handler, and each result may be
+    waited for once — waiting is what restores the client's synchronous
+    control, so issuing anything else to the same handler first (or waiting
+    twice) would invalidate the pending state.  Both misuses raise
+    :class:`~repro.errors.ScoopError` instead of corrupting the protocol;
+    a pending query abandoned when its separate block closes is simply
+    dropped with the block.
+    """
+
+    __slots__ = ("_client", "_ref", "_fn", "_args", "_kwargs", "_feature", "_box", "_sync",
+                 "_consumed")
+
+    def __init__(self, client: "Client", ref: SeparateRef, fn: Callable[[Any], Any],
+                 args: tuple, kwargs: dict, feature: str,
+                 box: Optional[ResultBox] = None,
+                 sync_request: Optional[SyncRequest] = None) -> None:
+        self._client = client
+        self._ref = ref
+        self._fn = fn
+        self._args = args
+        self._kwargs = kwargs
+        self._feature = feature
+        self._box = box
+        self._sync = sync_request
+        self._consumed = False
+
+    def _consume(self) -> None:
+        if self._consumed:
+            raise ScoopError(
+                f"the result of pending query {self._feature!r} on handler "
+                f"{self._ref.handler.name!r} has already been consumed")
+        self._consumed = True
+        if self._box is None:
+            self._client._pending_queries.pop(self._ref.handler, None)
+
+    def wait(self) -> Any:
+        """Block for (and return) the query's result."""
+        self._consume()
+        if self._box is not None:
+            return self._box.wait()
+        if self._sync is not None:
+            self._sync.release.wait()
+            self._client._finish_sync(self._ref)
+        return self._client._execute_client_query(
+            self._ref, self._fn, self._args, self._kwargs, feature=self._feature)
+
+    async def wait_async(self) -> Any:
+        """Awaitable twin of :meth:`wait` (asyncio backend only)."""
+        self._consume()
+        if self._box is not None:
+            return await self._box.wait_async()
+        if self._sync is not None:
+            await self._sync.release.wait_async()
+            self._client._finish_sync(self._ref)
+        return self._client._execute_client_query(
+            self._ref, self._fn, self._args, self._kwargs, feature=self._feature)
+
+
 class Client:
     """Per-thread client state: reservation stacks, queue cache, request ops."""
 
@@ -99,6 +170,10 @@ class Client:
         self._reservations: Dict[Handler, List[Reservation]] = {}
         #: cache of private queues per handler (Section 3.2)
         self._pq_cache: Dict[Handler, List[PrivateQueue]] = {}
+        #: queries issued (sync sent) but not yet waited for, per handler —
+        #: logging anything else to such a handler would corrupt the
+        #: client-executed-query protocol, so the request ops reject it
+        self._pending_queries: Dict[Handler, "PendingQuery"] = {}
 
     # ------------------------------------------------------------------
     # reservations
@@ -164,6 +239,9 @@ class Client:
                 raise ReservationError(
                     f"separate blocks must be released innermost-first (handler {handler.name!r})"
                 )
+            # a pending issued query dies with its block (the handler fired
+            # the sync and will resume past it at the END marker)
+            self._pending_queries.pop(handler, None)
             reservation.private_queue.enqueue_end()
             self.backend.notify_handler(handler)
             self.tracer.record("release", handler.name, client=self.name,
@@ -205,12 +283,20 @@ class Client:
     def reserved(self, handler: Handler) -> bool:
         return bool(self._reservations.get(handler))
 
+    def _check_no_pending_query(self, handler: Handler) -> None:
+        if handler in self._pending_queries:
+            raise ScoopError(
+                f"a query issued on handler {handler.name!r} is still pending; wait for "
+                "its result (PendingQuery.wait / await wait_async) before logging further "
+                "requests to that handler")
+
     # ------------------------------------------------------------------
     # requests
     # ------------------------------------------------------------------
     def call(self, ref: SeparateRef, method: str, *args: Any, **kwargs: Any) -> None:
         """Log an asynchronous call of ``method`` on the separate object."""
         handler = ref.handler
+        self._check_no_pending_query(handler)
         queue = self.queue_for(handler)
         args, kwargs = prepare_arguments(args, kwargs, self.counters)
         request = CallRequest(
@@ -233,6 +319,7 @@ class Client:
     def call_function(self, ref: SeparateRef, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> None:
         """Asynchronously apply ``fn(raw_object, *args, **kwargs)`` on the handler."""
         handler = ref.handler
+        self._check_no_pending_query(handler)
         queue = self.queue_for(handler)
         args, kwargs = prepare_arguments(args, kwargs, self.counters)
         feature = getattr(fn, "__name__", "<callable>")
@@ -253,6 +340,28 @@ class Client:
             return box.wait()
         self.sync(ref)
         return self._execute_client_query(ref, fn, args, dict(kwargs), feature=method)
+
+    def issue_query(self, ref: SeparateRef, method: str, *args: Any, **kwargs: Any) -> PendingQuery:
+        """Issue a synchronous query without waiting for its result.
+
+        Returns a :class:`PendingQuery` whose ``wait()`` (or awaited
+        ``wait_async()``) produces the result.  Issuing several queries to
+        *different* handlers before waiting is how scatter-gather overlaps
+        per-shard work; at most one query may be pending per handler.
+        """
+        fn = operator.methodcaller(method, *args, **kwargs)
+        box = self._start_query(ref, fn, args, dict(kwargs), feature=method, described=True)
+        if box is not None:
+            # packaged query: the request is on the queue, FIFO keeps it
+            # ordered against anything logged later — nothing to guard
+            return PendingQuery(self, ref, fn, args, dict(kwargs), method, box=box)
+        pending = PendingQuery(self, ref, fn, args, dict(kwargs), method,
+                               sync_request=self._begin_sync(ref))
+        # client-executed query: between the SYNC and the wait the handler
+        # must stay parked on this queue, so further requests are rejected
+        # until the result is consumed (see _check_no_pending_query)
+        self._pending_queries[ref.handler] = pending
+        return pending
 
     def query_function(self, ref: SeparateRef, fn: Callable[..., Any], *args: Any, **kwargs: Any) -> Any:
         """Synchronous query applying ``fn(raw_object, *args, **kwargs)``."""
@@ -277,6 +386,7 @@ class Client:
         caller must sync (again in its own wait style) and then run
         :meth:`_execute_client_query`.
         """
+        self._check_no_pending_query(ref.handler)
         self.counters.bump("queries")
         self.tracer.record("log-query", ref.handler.name, client=self.name,
                            feature=feature, block=self.queue_for(ref.handler).block_id)
@@ -319,6 +429,7 @@ class Client:
         ``None`` when dynamic sync coalescing elided the round trip.
         """
         handler = ref.handler
+        self._check_no_pending_query(handler)
         queue = self.queue_for(handler)
         if self.config.dynamic_sync_coalescing and queue.synced:
             self.counters.bump("syncs_elided")

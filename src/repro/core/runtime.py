@@ -139,6 +139,25 @@ class QsRuntime:
         """Create ``count`` handlers named ``{prefix}-0 .. {prefix}-{count-1}``."""
         return [self.new_handler(f"{prefix}-{i}") for i in range(count)]
 
+    def sharded(self, name: str, shards: int, shard_key: Optional[Callable[[Any], Any]] = None,
+                vnodes: Optional[int] = None) -> Any:
+        """Create a :class:`~repro.shard.group.ShardedGroup` of ``shards`` handlers.
+
+        The group partitions one logical object across ``shards`` replica
+        handlers (named ``{name}/shard{i}``) with consistent key hashing;
+        populate it with ``.create(cls, ...)`` or ``.adopt([...])`` and open
+        routing blocks with ``group.separate()`` /
+        ``group.separate_async()``.  ``shard_key`` maps routing keys to the
+        stable key the hash ring uses (identity by default); ``vnodes``
+        tunes the ring's virtual-node count.  See ``docs/sharding.md``.
+        """
+        self._check_open()
+        from repro.shard.group import ShardedGroup
+        from repro.shard.ring import DEFAULT_VNODES
+
+        return ShardedGroup(self, name, shards, shard_key=shard_key,
+                            vnodes=vnodes if vnodes is not None else DEFAULT_VNODES)
+
     def handler(self, name: str) -> Handler:
         """Get (or lazily create) the handler called ``name``."""
         with self._lock:

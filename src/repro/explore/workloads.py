@@ -8,13 +8,22 @@ Workloads must be *deterministic given the schedule* — any randomness comes
 from fixed per-client seeds — so that one scheduling seed always maps to
 one outcome and a saved schedule replays bit-exactly.
 
-Two scenarios ship with the reproduction:
+Three scenarios ship with the reproduction:
 
 ``bank-transfers``
     The paper's flagship reasoning example (Fig. 5): concurrent transfers
     between two accounts with an auditor.  Correct under *all* schedules —
     exploring it demonstrates the guarantee side of the paper's claim
     (money conserved, audits consistent, handler order respected).
+
+``sharded-counter``
+    The :mod:`repro.shard` subsystem under schedule fuzzing: clients route
+    increments to a 3-shard counter group by key and scatter-gather the
+    total after every increment.  Correct under all schedules — per-shard
+    FIFO means a client's gather always sees its own preceding adds, gather
+    totals are monotone per client, and key routing is schedule- (and
+    process-) independent.  Exploring it fuzzes the routing/gather
+    interleavings the sharding docs promise to keep safe.
 
 ``dining-philosophers``
     A *deadlock-prone* variant of Section 2.4 with a seeded lock-ordering
@@ -124,6 +133,95 @@ def check_bank_transfers(observations: dict, clients: int, iterations: int) -> N
 
 
 # ----------------------------------------------------------------------------
+# sharded-counter: routing + scatter-gather under schedule exploration
+# ----------------------------------------------------------------------------
+class ShardCounter(SeparateObject):
+    def __init__(self) -> None:
+        self.value = 0
+
+    @command
+    def add(self, amount: int) -> None:
+        self.value += amount
+
+    @query
+    def read(self) -> int:
+        return self.value
+
+
+#: shard count of the explored group (small enough that several keys share a
+#: shard, so routed requests genuinely contend)
+SHARD_COUNT = 3
+
+
+def run_sharded_counter(rt, clients: int = DEFAULT_CLIENTS,
+                        iterations: int = DEFAULT_ITERATIONS) -> dict:
+    from repro.util.rng import py_random
+
+    group = rt.sharded("counters", shards=SHARD_COUNT).create(ShardCounter)
+    gathers = [[] for _ in range(clients)]
+    own_sums = [[] for _ in range(clients)]
+    keys = [f"client{i}-{j}" for i in range(clients) for j in range(iterations)]
+    expected = 0
+
+    def worker(i: int) -> None:
+        rng = py_random(i)
+        own = 0
+        for j in range(iterations):
+            amount = rng.randint(1, 9)
+            own += amount
+            with group.separate() as g:
+                g.on(f"client{i}-{j}").add(amount)
+                # same block, same shard: per-shard FIFO guarantees the
+                # gather's query to that shard observes the add above
+                gathers[i].append(g.gather("read", merge=sum))
+            own_sums[i].append(own)
+
+    for i in range(clients):
+        rng = py_random(i)
+        expected += sum(rng.randint(1, 9) for _ in range(iterations))
+        rt.spawn_client(worker, i, name=f"sharder-{i}")
+    rt.join_clients()
+    with group.separate() as g:
+        final = g.gather("read", merge=sum)
+        per_shard = g.gather("read")
+    return {
+        "final": final,
+        "expected": expected,
+        "per_shard": per_shard,
+        "gathers": gathers,
+        "own_sums": own_sums,
+        "routes": {key: group.shard_of(key) for key in keys},
+    }
+
+
+def check_sharded_counter(observations: dict, clients: int, iterations: int) -> None:
+    from repro.shard.ring import HashRing
+
+    expected = observations["expected"]
+    assert observations["final"] == expected, (
+        f"sharded total {observations['final']} != sum of all increments {expected}"
+    )
+    assert sum(observations["per_shard"]) == expected, (
+        f"per-shard gather {observations['per_shard']} does not sum to {expected}"
+    )
+    ring = HashRing(SHARD_COUNT, name="counters")
+    for key, shard in observations["routes"].items():
+        assert ring.owner_of(key) == shard, (
+            f"routing of {key!r} is not schedule/process independent "
+            f"(recorded shard {shard}, ring says {ring.owner_of(key)})"
+        )
+    for i, (seen, own) in enumerate(zip(observations["gathers"], observations["own_sums"])):
+        assert seen == sorted(seen), (
+            f"client {i} observed non-monotone gather totals {seen}"
+        )
+        for j, (total, mine) in enumerate(zip(seen, own)):
+            assert mine <= total <= expected, (
+                f"client {i} gather {j} saw {total}, outside "
+                f"[own contribution {mine}, grand total {expected}]"
+            )
+
+
+# ----------------------------------------------------------------------------
 # dining-philosophers: a seeded, schedule-dependent lock-ordering bug
 # ----------------------------------------------------------------------------
 class Fork(SeparateObject):
@@ -221,6 +319,13 @@ WORKLOADS: Dict[str, ExploreWorkload] = {
             deadlock_reachable=False,
             run=run_bank_transfers,
             check=check_bank_transfers,
+        ),
+        ExploreWorkload(
+            name="sharded-counter",
+            description="repro.shard routing + scatter-gather; correct under every schedule",
+            deadlock_reachable=False,
+            run=run_sharded_counter,
+            check=check_sharded_counter,
         ),
         ExploreWorkload(
             name="dining-philosophers",

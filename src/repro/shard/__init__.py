@@ -1,0 +1,37 @@
+"""Sharded handler groups: key routing and scatter-gather over N handlers.
+
+The scale lever after batching (PR 1), multi-process handlers (PR 3) and
+coroutine fan-in (PR 4): partition one logical object's state across N
+replica handlers so a *hot* object is no longer one drain loop.  See
+:mod:`repro.shard.group` for the model and ``docs/sharding.md`` for the
+guarantee contract (what per-shard FIFO keeps, what global ordering gives
+up).
+
+Entry points::
+
+    group = rt.sharded("accounts", shards=4).create(Account, 100)
+    with group.separate() as g:
+        g.on("alice").deposit(30)
+        total = g.gather("read", merge=sum)
+"""
+
+from repro.shard.group import ReshardPlan, ShardedGroup
+from repro.shard.proxy import (
+    AsyncShardedBlock,
+    AsyncShardedProxy,
+    ShardedBlock,
+    ShardedProxy,
+)
+from repro.shard.ring import DEFAULT_VNODES, HashRing, stable_key_bytes
+
+__all__ = [
+    "ShardedGroup",
+    "ReshardPlan",
+    "ShardedBlock",
+    "ShardedProxy",
+    "AsyncShardedBlock",
+    "AsyncShardedProxy",
+    "HashRing",
+    "stable_key_bytes",
+    "DEFAULT_VNODES",
+]

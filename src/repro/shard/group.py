@@ -1,0 +1,192 @@
+"""Sharded handler groups: one logical object partitioned over N handlers.
+
+The QoQ runtime gives every handler a private-queue-per-client and drains
+whole blocks in FIFO order — but one *hot* handler is still one drain loop,
+so a popular shared object caps throughput no matter how many cores or
+coroutines the backend provides.  A :class:`ShardedGroup` removes that cap
+by partitioning the logical object's state across N replica handlers (one
+instance of the user's class per shard) and routing every call and query to
+the owning replica by consistent key hashing (:mod:`repro.shard.ring`).
+
+Each shard *is* an ordinary handler underneath: reservations, private
+queues, tickets, sync coalescing and counters are the unchanged shared
+machinery, so every per-shard QoQ guarantee — per-client request FIFO,
+FIFO-of-private-queues service order, multi-reservation atomicity — holds
+exactly as for a single handler.  What sharding deliberately gives up is
+*global cross-shard ordering*: two commands routed to different shards may
+execute in either order (see ``docs/sharding.md`` for the full contract).
+
+Usage::
+
+    group = rt.sharded("accounts", shards=4).create(Account, 100)
+
+    with group.separate() as g:           # reserves all shards atomically
+        g.on("alice").deposit(30)         # routed to alice's shard
+        g.on("bob").deposit(12)
+        total = g.gather("read", merge=sum)   # scatter-gather query
+
+    async with group.separate_async() as g:   # asyncio backend
+        await g.on("alice").deposit(30)
+        total = await g.gather("read", merge=sum)
+
+Backends host the replicas through the
+:meth:`~repro.backends.base.ExecutionBackend.create_shard_handlers`
+placement hook; the process backend pins consecutive replicas to distinct
+worker processes (round-robin across the pool), so sharding there means
+real cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.core.handler import Handler
+from repro.core.region import SeparateRef
+from repro.errors import ScoopError
+from repro.shard.ring import DEFAULT_VNODES, HashRing
+
+
+@dataclass(frozen=True)
+class ReshardPlan:
+    """What a reshard from ``old_shards`` to ``new_shards`` would move.
+
+    Produced by :meth:`ShardedGroup.plan_reshard`.  Thanks to consistent
+    hashing only the keys in ``moved`` change owner; ``assignments`` lists
+    each probed key with its ``(key, old_shard, new_shard)`` triple so a
+    migration can copy exactly the state that has to travel.  (A list, not
+    a dict: routing keys need not be hashable when the group maps them
+    through a ``shard_key`` function.)  Executing the plan (draining,
+    copying, re-routing) is the follow-up the
+    :meth:`ShardedGroup.rebalance` hook reserves its name for.
+    """
+
+    group: str
+    old_shards: int
+    new_shards: int
+    moved: List[Any] = field(default_factory=list)
+    assignments: List[Tuple[Any, int, int]] = field(default_factory=list)
+
+    @property
+    def moved_fraction(self) -> float:
+        return len(self.moved) / max(1, len(self.assignments))
+
+
+class ShardedGroup:
+    """N replica handlers serving one logical object behind key routing."""
+
+    def __init__(self, runtime: Any, name: str, shards: int,
+                 shard_key: Optional[Callable[[Any], Any]] = None,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        if shards < 1:
+            raise ScoopError("a sharded group needs at least one shard")
+        self.runtime = runtime
+        self.name = name
+        #: optional user function mapping a routing key object to the stable
+        #: key the ring hashes (identity by default)
+        self.shard_key = shard_key
+        self.ring = HashRing(shards, name=name, vnodes=vnodes)
+        names = [f"{name}/shard{i}" for i in range(shards)]
+        self.handlers: List[Handler] = runtime.backend.create_shard_handlers(runtime, names)
+        #: one SeparateRef per shard, filled in by :meth:`create` / :meth:`adopt`
+        self.refs: List[SeparateRef] = []
+
+    # ------------------------------------------------------------------
+    # populating the shards
+    # ------------------------------------------------------------------
+    def create(self, cls: Callable[..., Any], *args: Any, **kwargs: Any) -> "ShardedGroup":
+        """Instantiate ``cls(*args, **kwargs)`` once per shard; returns self."""
+        return self.adopt([cls(*args, **kwargs) for _ in self.handlers])
+
+    def adopt(self, objects: Sequence[Any]) -> "ShardedGroup":
+        """Adopt pre-built replica objects (one per shard, in shard order)."""
+        if self.refs:
+            raise ScoopError(f"sharded group {self.name!r} already has its replicas")
+        if len(objects) != len(self.handlers):
+            raise ScoopError(
+                f"sharded group {self.name!r} has {len(self.handlers)} shards "
+                f"but {len(objects)} replica objects were supplied")
+        self.refs = [handler.adopt(obj) for handler, obj in zip(self.handlers, objects)]
+        return self
+
+    def _check_populated(self) -> None:
+        if not self.refs:
+            raise ScoopError(
+                f"sharded group {self.name!r} has no replicas yet; call "
+                f".create(cls, ...) or .adopt([...]) first")
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self.handlers)
+
+    def shard_of(self, key: Any) -> int:
+        """The shard index owning ``key`` (after the group's shard_key map)."""
+        return self.ring.owner_of(self.shard_key(key) if self.shard_key else key)
+
+    def ref_for(self, key: Any) -> SeparateRef:
+        """The owning replica's SeparateRef — usable with plain ``rt.separate``."""
+        self._check_populated()
+        return self.refs[self.shard_of(key)]
+
+    # ------------------------------------------------------------------
+    # separate blocks over the whole group
+    # ------------------------------------------------------------------
+    def separate(self) -> "ShardedBlock":
+        """Reserve every shard atomically; yields a routing :class:`ShardedProxy`.
+
+        One multi-handler reservation (Section 3.3) covers all shards, so
+        requests routed to different shards within the block keep per-shard
+        FIFO while executing genuinely in parallel.
+        """
+        from repro.shard.proxy import ShardedBlock
+
+        self._check_populated()
+        return ShardedBlock(self.runtime.current_client(), self)
+
+    def separate_async(self) -> Any:
+        """Awaitable twin of :meth:`separate` for coroutine clients."""
+        from repro.shard.proxy import AsyncShardedBlock
+
+        self._check_populated()
+        return AsyncShardedBlock(self.runtime.async_client(), self)
+
+    # ------------------------------------------------------------------
+    # resharding (the follow-up hook)
+    # ------------------------------------------------------------------
+    def plan_reshard(self, new_shards: int, keys: Sequence[Any] = (),
+                     vnodes: Optional[int] = None) -> ReshardPlan:
+        """Compute which of ``keys`` would change owner at ``new_shards``.
+
+        Pure planning — nothing moves.  Consistent hashing keeps the moved
+        fraction near ``|new - old| / max(new, old)`` instead of the
+        almost-everything a modulo scheme would reshuffle.
+        """
+        if new_shards < 1:
+            raise ScoopError("a sharded group needs at least one shard")
+        new_ring = HashRing(new_shards, name=self.name,
+                            vnodes=vnodes if vnodes is not None else self.ring.vnodes)
+        mapped = [self.shard_key(k) if self.shard_key else k for k in keys]
+        assignments = [(key, self.ring.owner_of(m), new_ring.owner_of(m))
+                       for key, m in zip(keys, mapped)]
+        moved = [key for key, old, new in assignments if old != new]
+        return ReshardPlan(group=self.name, old_shards=self.shards,
+                           new_shards=new_shards, moved=moved, assignments=assignments)
+
+    def rebalance(self, new_shards: int) -> None:
+        """Live resharding hook: drain, migrate moved keys, swap the ring.
+
+        Deliberately unimplemented for now — :meth:`plan_reshard` computes
+        the migration set; executing it (pausing routed traffic, copying
+        per-key state between replicas, atomically swapping the ring) is
+        the documented follow-up this hook reserves the surface for.
+        """
+        raise NotImplementedError(
+            "live resharding is a planned follow-up; use plan_reshard(new_shards, keys) "
+            "to compute the migration set today")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (f"ShardedGroup({self.name!r}, shards={self.shards}, "
+                f"populated={bool(self.refs)})")

@@ -1,0 +1,97 @@
+"""Consistent key hashing for sharded handler groups.
+
+Routing must be *stable*: the same key has to land on the same shard in
+every client thread, in every backend, and — because the sim backend's
+schedule traces replay across processes — in every interpreter invocation.
+Python's built-in ``hash`` is salted per process (``PYTHONHASHSEED``), so
+the ring hashes a canonical byte encoding of the key with ``zlib.crc32``
+instead.
+
+The ring itself is classic consistent hashing: every shard owns ``vnodes``
+points on a 32-bit circle, and a key belongs to the first shard point at or
+after the key's hash (wrapping around).  Compared to ``hash(key) % n`` this
+buys the property resharding needs: growing from N to N+1 shards moves only
+the keys that fall into the new shard's arcs (about ``1/(N+1)`` of the key
+space) instead of reshuffling almost everything — which is what makes the
+:meth:`~repro.shard.group.ShardedGroup.plan_reshard` hook cheap to act on.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import List, Tuple
+
+#: default virtual nodes per shard; enough to keep the arcs statistically
+#: even for small shard counts without making ring construction noticeable
+DEFAULT_VNODES = 64
+
+
+def stable_key_bytes(key: object) -> bytes:
+    """Encode a routing key as canonical bytes (process-stable, type-tagged).
+
+    Supported key types: ``str``, ``bytes``, ``bool``, ``int``, ``float``
+    and (nested) tuples of those.  Anything else is rejected — falling back
+    to ``repr`` could smuggle a memory address into the route and silently
+    break replay determinism.  The type tag keeps ``1``, ``1.0``, ``True``
+    and ``"1"`` on distinct points, matching how users think about keys.
+    """
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return b"b" + (b"1" if key else b"0")
+    if isinstance(key, int):
+        return b"i" + str(key).encode("ascii")
+    if isinstance(key, float):
+        return b"f" + repr(key).encode("ascii")
+    if isinstance(key, str):
+        return b"s" + key.encode("utf-8")
+    if isinstance(key, bytes):
+        return b"y" + key
+    if isinstance(key, tuple):
+        parts = [stable_key_bytes(item) for item in key]
+        return b"t" + b"".join(b"%d:%s" % (len(p), p) for p in parts)
+    raise TypeError(
+        f"shard keys must be str/bytes/int/float/bool or tuples of those, "
+        f"not {type(key).__name__}; pass a shard_key function that extracts "
+        f"a stable key from your object"
+    )
+
+
+def _point(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+class HashRing:
+    """Maps keys to shard indices ``0 .. shards-1`` by consistent hashing."""
+
+    def __init__(self, shards: int, name: str = "", vnodes: int = DEFAULT_VNODES) -> None:
+        if shards < 1:
+            raise ValueError("a hash ring needs at least one shard")
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.shards = shards
+        self.name = name
+        self.vnodes = vnodes
+        points: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for v in range(vnodes):
+                points.append((_point(f"{name}#{shard}#{v}".encode("utf-8")), shard))
+        # ties (two vnodes hashing identically) resolve to the lower shard
+        # index, deterministically, via the tuple sort
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [s for _, s in points]
+
+    def owner_of(self, key: object) -> int:
+        """The shard index owning ``key`` (first point clockwise of its hash)."""
+        h = _point(stable_key_bytes(key))
+        idx = bisect.bisect_left(self._points, h)
+        if idx == len(self._points):  # wrap around the circle
+            idx = 0
+        return self._owners[idx]
+
+    def moved_keys(self, other: "HashRing", keys) -> List[object]:
+        """The subset of ``keys`` whose owner differs between the two rings."""
+        return [key for key in keys if self.owner_of(key) != other.owner_of(key)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"HashRing(shards={self.shards}, vnodes={self.vnodes}, name={self.name!r})"

@@ -18,6 +18,9 @@ The counters correspond directly to the cost sources discussed in the paper:
 * ``lock_waits``        -- times a client had to wait for the handler lock
 * ``context_switches``  -- scheduling hand-offs between tasks
 * ``bytes_copied``      -- payload bytes moved between regions
+* ``shard_routes``      -- requests routed to a shard by key (repro.shard)
+* ``shard_broadcasts``  -- commands fanned out to every shard of a group
+* ``shard_gathers``     -- scatter-gather queries issued across a group
 """
 
 from __future__ import annotations
@@ -45,6 +48,9 @@ COUNTER_NAMES = (
     "multi_reservations",
     "wait_condition_retries",
     "expanded_copies",
+    "shard_routes",
+    "shard_broadcasts",
+    "shard_gathers",
 )
 
 

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.workloads.runnable import EXAMPLE_NAMES, EXAMPLES
 
 
 def run_cli(capsys, *argv):
@@ -110,6 +111,46 @@ class TestTrace:
 
 
 class TestRun:
+    def test_example_choices_come_from_the_registry(self):
+        # `repro run` derives its choices and help text from the runnable
+        # registry, so a newly registered example appears automatically
+        assert set(EXAMPLE_NAMES) == {"bank-transfers", "dining-philosophers",
+                                      "sharded-bank"}
+        help_text = build_parser().format_help()
+        for name in EXAMPLE_NAMES:
+            assert name in help_text
+        run_parser = build_parser()._subparsers._group_actions[0].choices["run"]
+        run_help = run_parser.format_help()
+        for example in EXAMPLES.values():
+            assert example.name in run_help
+
+    @pytest.mark.parametrize("name", EXAMPLE_NAMES)
+    def test_every_registered_example_runs_clean(self, capsys, name):
+        # ONE parametrised test covers every runnable example on the
+        # deterministic sim backend (new registrations are tested for free)
+        code, out = run_cli(capsys, "--backend", "sim", "run", name,
+                            "--clients", "3", "--iterations", "4", "--shards", "2")
+        assert code == 0, f"{name} failed:\n{out}"
+        assert "NOT conserved" not in out and "INCONSISTENT" not in out
+
+    def test_sharded_bank_identical_on_both_backends(self, capsys):
+        outputs = {}
+        for backend in ("threads", "sim"):
+            code, out = run_cli(capsys, "--backend", backend, "run", "sharded-bank",
+                                "--clients", "3", "--iterations", "5", "--shards", "3")
+            assert code == 0
+            assert "money conserved across 3 shards" in out
+            outputs[backend] = [line for line in out.splitlines() if "backend=" not in line]
+        assert outputs["threads"] == outputs["sim"]
+
+    def test_run_validations(self):
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["run", "sharded-bank", "--shards", "0"])
+        with pytest.raises(SystemExit, match="at least 2"):
+            main(["run", "dining-philosophers", "--clients", "1"])
+        with pytest.raises(SystemExit, match="non-negative"):
+            main(["run", "bank-transfers", "--clients", "-1"])
+
     def test_bank_transfers_identical_on_both_backends(self, capsys):
         outputs = {}
         for backend in ("threads", "sim"):

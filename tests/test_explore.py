@@ -25,11 +25,14 @@ SEEDS = 30  # enough for the philosophers hunt: roughly half the seeds deadlock
 
 class TestWorkloadRegistry:
     def test_builtin_workloads_registered(self):
-        assert set(WORKLOAD_NAMES) == {"bank-transfers", "dining-philosophers"}
+        assert set(WORKLOAD_NAMES) == {"bank-transfers", "sharded-counter",
+                                       "dining-philosophers"}
 
-    def test_cli_choices_match_the_registry(self):
-        # the CLI hardcodes the names to keep parser construction lightweight
-        help_text = build_parser().format_help()
+    def test_cli_choices_come_from_the_registry(self):
+        # the explore sub-command derives its choices from WORKLOAD_NAMES,
+        # so every registered workload appears in its --help automatically
+        explore_parser = build_parser()._subparsers._group_actions[0].choices["explore"]
+        help_text = explore_parser.format_help()
         for name in WORKLOAD_NAMES:
             assert name in help_text
 
@@ -114,6 +117,22 @@ class TestGuaranteeSide:
         assert all(outcome.ok for outcome in report.outcomes)
         # exploration must actually explore: the schedules differ across seeds
         assert report.distinct_schedules > 1
+
+    def test_sharded_counter_clean_under_exploration(self):
+        """Routing + scatter-gather interleavings fuzzed deterministically."""
+        report = explore("sharded-counter", seeds=8, policy="random",
+                         keep_outcomes=True)
+        assert not report.found_failure, report.summary()
+        assert all(outcome.ok for outcome in report.outcomes)
+        assert report.distinct_schedules > 1
+
+    def test_sharded_counter_replays_bit_exactly(self):
+        first = run_once("sharded-counter", policy="random", seed=3)
+        assert first.ok, first.summary()
+        replayed = replay("sharded-counter", first.trace)
+        assert replayed.ok
+        assert replayed.virtual_time == first.virtual_time
+        assert replayed.decisions == first.decisions
 
 
 class TestExploreCli:

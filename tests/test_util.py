@@ -57,6 +57,64 @@ class TestCounters:
         a.merge(b)
         assert a.get("queries") == 7
 
+    # -- the edge cases behind cross-process/shard counter aggregation -------
+    def test_merge_with_unknown_keys_creates_them(self):
+        # worker snapshots may carry counters the parent never bumped (or,
+        # after an upgrade, names a newer worker knows and we do not);
+        # merging must create them, not drop or crash on them
+        a, b = Counters(), Counters()
+        b.add("queries", 2)
+        b.add("exotic_worker_metric", 9)
+        a.merge(b)
+        assert a.get("queries") == 2
+        assert a.get("exotic_worker_metric") == 9
+        a.merge(CounterSnapshot({"exotic_worker_metric": 1, "another_new_one": 4}))
+        assert a.get("exotic_worker_metric") == 10
+        assert a.get("another_new_one") == 4
+
+    def test_merge_accepts_snapshots_and_counters_identically(self):
+        a, b = Counters(), Counters()
+        b.add("shard_routes", 6)
+        a.merge(b)
+        a.merge(b.snapshot())
+        assert a.get("shard_routes") == 12
+
+    def test_diff_on_disjoint_snapshots_keeps_both_key_sets(self):
+        later = CounterSnapshot({"async_calls": 3, "only_later": 5})
+        earlier = CounterSnapshot({"only_earlier": 2})
+        delta = later.diff(earlier)
+        assert delta["async_calls"] == 3
+        assert delta["only_later"] == 5
+        assert delta["only_earlier"] == -2  # went away relative to earlier
+        assert set(delta.values) == {"async_calls", "only_later", "only_earlier"}
+
+    def test_diff_of_identical_snapshots_is_all_zero(self):
+        snap = CounterSnapshot({"queries": 4, "shard_gathers": 1})
+        delta = snap.diff(snap)
+        assert all(value == 0 for value in delta.values.values())
+
+    def test_communication_ops_is_stable_under_merge(self):
+        # aggregating worker/shard counters must preserve the Fig. 16 metric:
+        # communication_ops(merged) == sum of the parts' communication_ops
+        parts = []
+        for i in range(3):
+            part = Counters()
+            part.add("async_calls", i + 1)
+            part.add("sync_roundtrips", 2 * i)
+            part.add("qoq_enqueues", 5)
+            part.add("lock_acquisitions", i)
+            part.add("syncs_elided", 7)  # deliberately NOT a communication op
+            parts.append(part)
+        merged = Counters()
+        for part in parts:
+            merged.merge(part)
+        assert merged.snapshot().communication_ops == sum(
+            part.snapshot().communication_ops for part in parts)
+
+    def test_communication_ops_ignores_unknown_keys(self):
+        snap = CounterSnapshot({"async_calls": 1, "exotic_worker_metric": 50})
+        assert snap.communication_ops == 1
+
     def test_thread_safety_of_increments(self):
         counters = Counters()
 
