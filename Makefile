@@ -11,11 +11,12 @@
 #   make process-smoke    backend-parity and transport suites on the process backend
 #   make async-smoke      backend-parity and awaitable-API suites on the async backend
 #   make shard-smoke      sharding suite on the process/async backends + smoke bench
+#   make failover-smoke   worker-kill recovery suite + fuzzed live-resharding pass
 
 PYTHON ?= python
 
 .PHONY: install lint test coverage bench bench-backends bench-gate explore \
-	process-smoke async-smoke shard-smoke clean
+	process-smoke async-smoke shard-smoke failover-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -60,6 +61,14 @@ shard-smoke:
 	$(PYTHON) -m repro --backend process run sharded-bank --shards 4 --clients 3 --iterations 10
 	$(PYTHON) -m repro --backend async run sharded-bank --shards 4 --clients 3 --iterations 10
 	$(PYTHON) benchmarks/bench_backends.py --smoke --out BENCH_shard_smoke.json
+
+# kill workers mid-workload and demand lossless completion (mirrors CI
+# failover-smoke), then fuzz the live-resharding protocol under the simulator
+failover-smoke:
+	mkdir -p traces
+	$(PYTHON) -m pytest -q tests/test_failover.py
+	$(PYTHON) -m repro explore resharding-bank --policy random --seeds 8 \
+		--save-trace traces/resharding-bank.trace.json
 
 # bank-transfers must stay clean on every schedule; the philosophers hunt is
 # *expected* to find its seeded deadlock (exit 1 = "problem found") and the

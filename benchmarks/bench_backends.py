@@ -69,6 +69,18 @@ trajectory — with three measurements:
       count.  The full-size bench gates on it staying ≥ 2× at the gate
       shard count (4).
 
+``reshard_downtime``
+    Live resharding under probe load (``threads`` and ``process``): a
+    probe client queries one key as fast as it can while another client
+    runs ``group.rebalance`` on a preloaded sharded store.  Recorded per
+    backend: the quiet-phase baseline rate, the rate through the reshard
+    window, their ratio (``availability`` — the headline, gated on the
+    process backend), the worst probe latency (the freeze window, made
+    visible) and the rebalance wall time.  ``lossless`` asserts every
+    preloaded and post-reshard record is still reachable through the new
+    ring — a correctness claim, gated in every mode like the parity
+    booleans.
+
 ``fan_in``
     ``threads`` vs. ``async`` at high client fan-in: N concurrent clients
     (1 000–10 000 on full runs) each reserve one of a small set of service
@@ -563,7 +575,126 @@ def bench_shard_scaling(total_chunks: int, grid: int, limit: int,
 
 
 # ----------------------------------------------------------------------------
-# 6. threads vs async at high client fan-in
+# 6. live resharding: probe availability through a rebalance
+# ----------------------------------------------------------------------------
+class _ShardKv(SeparateObject):
+    """A sharded store implementing the migration hooks ``rebalance`` needs."""
+
+    def __init__(self) -> None:
+        self.entries: Dict[str, List[int]] = {}
+
+    @command
+    def put(self, key: str, value: int) -> None:
+        self.entries.setdefault(key, []).append(value)
+
+    @query
+    def total(self) -> int:
+        return sum(len(values) for values in self.entries.values())
+
+    def reshard_export(self, keys):
+        return {key: self.entries.pop(key) for key in keys if key in self.entries}
+
+    def reshard_import(self, state) -> None:
+        for key, values in state.items():
+            self.entries.setdefault(key, []).extend(values)
+
+
+def _reshard_run(backend: str, shards_from: int, shards_to: int,
+                 keys_n: int, preload: int, quiet_probes: int) -> Dict:
+    """One rebalance under probe load: availability ratio + losslessness.
+
+    A probe client hammers queries at one key; its quiet-phase rate is the
+    baseline.  A second client then runs ``group.rebalance`` live, and the
+    probe keeps going — the reshard's freeze window shows up as the worst
+    probe latency and as the during/baseline throughput ratio
+    (``availability``).  The store is preloaded so the migration moves real
+    payload (over the socket codec seam on the process backend), and after
+    the reshard every record must still be reachable through the new ring.
+    """
+    keys = [f"acct-{i}" for i in range(keys_n)]
+    with QsRuntime("all", backend=backend) as rt:
+        group = rt.sharded("kv", shards=shards_from).create(_ShardKv)
+        with group.separate() as g:
+            for i in range(preload):
+                g.on(keys[i % keys_n]).put(keys[i % keys_n], i)
+        probe_key = keys[0]
+
+        def probe_once() -> None:
+            with rt.separate(group.ref_for(probe_key)) as kv:
+                kv.total()
+
+        start = time.perf_counter()
+        for _ in range(quiet_probes):
+            probe_once()
+        baseline_qps = quiet_probes / max(time.perf_counter() - start, 1e-9)
+
+        done = rt.event()
+        reshard_wall = [0.0]
+
+        def resharder() -> None:
+            begin = time.perf_counter()
+            group.rebalance(shards_to, keys=keys)
+            reshard_wall[0] = time.perf_counter() - begin
+            done.set()
+
+        rt.spawn_client(resharder, name="resharder")
+        served = 0
+        worst = 0.0
+        start = time.perf_counter()
+        # probe until the reshard completes; the quiet-probe floor keeps the
+        # window measurable when the migration wins the race
+        while not done.is_set() or served < quiet_probes:
+            probe = time.perf_counter()
+            probe_once()
+            worst = max(worst, time.perf_counter() - probe)
+            served += 1
+        during_qps = served / max(time.perf_counter() - start, 1e-9)
+        rt.join_clients()
+
+        # post-reshard traffic routes on the new ring; the gather must see
+        # every preloaded and fresh record exactly once
+        with group.separate() as g:
+            for key in keys:
+                g.on(key).put(key, -1)
+            total = g.gather("total", merge=sum)
+        lossless = (total == preload + keys_n
+                    and group.topology.ring_epoch == 1)
+    return {
+        "baseline_qps": round(baseline_qps, 1),
+        "during_qps": round(during_qps, 1),
+        "availability": round(during_qps / max(baseline_qps, 0.1), 3),
+        "worst_probe_ms": round(worst * 1e3, 2),
+        "reshard_wall_s": round(reshard_wall[0], 4),
+        "lossless": lossless,
+    }
+
+
+def bench_reshard_downtime(shards_from: int, shards_to: int, keys_n: int,
+                           preload: int, quiet_probes: int) -> Dict:
+    runs = {}
+    lossless = True
+    for backend in ("threads", "process"):
+        run = _reshard_run(backend, shards_from, shards_to, keys_n,
+                           preload, quiet_probes)
+        lossless = lossless and run.pop("lossless")
+        runs[backend] = run
+    return {
+        "workload": {"shards_from": shards_from, "shards_to": shards_to,
+                     "keys": keys_n, "preload_records": preload,
+                     "quiet_probes": quiet_probes},
+        "threads": runs["threads"],
+        "process": runs["process"],
+        # correctness of the live migration, gated in every mode
+        "lossless": lossless,
+        # headline: probe throughput through the reshard relative to the
+        # quiet baseline, on the deployment (process) backend — the "live"
+        # in live resharding, as a number
+        "availability": runs["process"]["availability"],
+    }
+
+
+# ----------------------------------------------------------------------------
+# 7. threads vs async at high client fan-in
 # ----------------------------------------------------------------------------
 def _fan_in_run(backend: str, clients: int, handlers: int, pings: int) -> Dict:
     """N concurrent clients burst commands at ``handlers`` service handlers.
@@ -682,6 +813,7 @@ def main() -> int:
         fan_series, fan_handlers, fan_pings, fan_gate = [200, 1_000], 2, 1, 1_000
         shard_chunks, shard_series, shard_gate = 4, [1, 2], 2
         hot_bursts, hot_burst_size, hot_grid, hot_limit = 2, 3, 48, 60
+        rd_from, rd_to, rd_keys, rd_preload, rd_probes = 2, 3, 8, 64, 40
     else:
         total, burst = 200_000, 64
         blocks, pings = 500, 50
@@ -690,6 +822,7 @@ def main() -> int:
         fan_series, fan_handlers, fan_pings, fan_gate = [1_000, 5_000, 10_000], 4, 1, 5_000
         shard_chunks, shard_series, shard_gate = 8, [1, 2, 4, 8], 4
         hot_bursts, hot_burst_size, hot_grid, hot_limit = 3, 5, 120, 120
+        rd_from, rd_to, rd_keys, rd_preload, rd_probes = 3, 5, 16, 4_000, 400
 
     results = {
         "meta": {
@@ -705,6 +838,8 @@ def main() -> int:
         "shard_scaling": bench_shard_scaling(shard_chunks, grid, limit, shard_series,
                                              hot_bursts, hot_burst_size, hot_grid,
                                              hot_limit, shard_gate),
+        "reshard_downtime": bench_reshard_downtime(rd_from, rd_to, rd_keys,
+                                                   rd_preload, rd_probes),
         "fan_in": bench_fan_in(fan_series, fan_handlers, fan_pings, fan_gate),
     }
 
@@ -742,6 +877,13 @@ def main() -> int:
               f"{sharding['hot_key']['gate_shards']} shards "
               f"{hk['sharded']['queries_per_s']}/s "
               f"(worst {hk['sharded']['worst_latency_ms']}ms) -> {hk['speedup']}x")
+    rd = results["reshard_downtime"]
+    for backend in ("threads", "process"):
+        row = rd[backend]
+        print(f"reshard downtime [{backend}]: quiet {row['baseline_qps']}/s -> "
+              f"during {row['during_qps']}/s ({row['availability']}x, worst probe "
+              f"{row['worst_probe_ms']}ms, reshard {row['reshard_wall_s']}s) "
+              f"lossless={rd['lossless']}")
     fan = results["fan_in"]
     for row in fan["series"]:
         print(f"fan-in x{row['clients']} clients: threads {row['threads_s']}s "

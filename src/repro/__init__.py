@@ -69,8 +69,8 @@ command line (``repro --backend sim run bank-transfers``).  Install with
 bench entry points CI uses.
 """
 
-from repro.backends import (AsyncBackend, ExecutionBackend, ProcessBackend, SimBackend,
-                            ThreadedBackend, create_backend)
+from repro.backends import (AsyncBackend, BackendSpec, ExecutionBackend, ProcessBackend,
+                            SimBackend, ThreadedBackend, create_backend)
 from repro.config import LEVEL_ORDER, OptimizationLevel, QsConfig
 from repro.core import (
     Expanded,
@@ -93,7 +93,8 @@ from repro.core import (
     register_expanded,
 )
 from repro.core.async_api import AsyncClient, AsyncReservedProxy, AsyncSeparateBlock
-from repro.shard import AsyncShardedProxy, ReshardPlan, ShardedGroup, ShardedProxy
+from repro.shard import (AsyncShardedProxy, ReshardPlan, ShardTopology, ShardedGroup,
+                         ShardedProxy)
 from repro.errors import (
     DeadlockError,
     NotReservedError,
@@ -127,6 +128,8 @@ __all__ = [
     "ShardedProxy",
     "AsyncShardedProxy",
     "ReshardPlan",
+    "ShardTopology",
+    "BackendSpec",
     "create_backend",
     "Handler",
     "SeparateObject",

@@ -40,7 +40,8 @@ are rejected rather than silently ignored.
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
 
 from repro.backends.async_ import AsyncBackend, AsyncClientHandle, AsyncEventHandle
 from repro.backends.base import ClientHandle, ExecutionBackend
@@ -75,68 +76,146 @@ def _spec_error(spec: str, reason: str) -> ValueError:
     return ValueError(f"invalid backend spec {spec!r}: {reason}; expected {SPEC_GRAMMAR}")
 
 
-def _parse_sim_spec(name: str, policy_spec: str) -> SimBackend:
-    policy_name, _, seed_text = policy_spec.partition(":")
-    if policy_name not in POLICY_NAMES:
-        raise _spec_error(name, f"unknown scheduling policy {policy_name!r}")
-    seed = 0
-    if seed_text:
-        try:
-            seed = int(seed_text)
-        except ValueError:
-            raise _spec_error(name, f"invalid scheduling seed {seed_text!r}") from None
-    return SimBackend(policy=make_policy(policy_name, seed=seed), seed=seed)
+#: accepted spelling -> canonical name (the ``BACKEND_NAMES`` entry)
+_CANONICAL = {
+    "threads": "threads",
+    "threaded": "threads",
+    "sim": "sim",
+    "virtual": "sim",
+    "process": "process",
+    "processes": "process",
+    "async": "async",
+    "asyncio": "async",
+}
 
 
-def _parse_process_spec(name: str, spec: str) -> ProcessBackend:
-    processes = None
-    codec = None
-    for part in spec.split(":"):
-        if not part:
-            raise _spec_error(name, "empty component")
-        if part.isdigit():
-            if processes is not None:
-                raise _spec_error(name, "two process counts")
-            processes = int(part)
-        elif part in CODEC_NAMES:
-            if codec is not None:
-                raise _spec_error(name, "two codecs")
-            codec = part
-        else:
+@dataclass(frozen=True)
+class BackendSpec:
+    """A backend spec as structured data: the parsed twin of the spec string.
+
+    ``BackendSpec.parse("process:4:pickle")`` and :meth:`to_spec` round-trip
+    through the one grammar (:data:`SPEC_GRAMMAR`) that the string form uses,
+    with every parse error preserved verbatim; :meth:`create` instantiates
+    the backend.  ``QsRuntime(backend=...)`` and ``QsConfig.backend`` accept
+    a ``BackendSpec`` anywhere they accept a spec string, so programmatic
+    callers can stop assembling ``f"process:{n}:{codec}"`` strings.
+
+    Fields that do not apply to the named backend stay ``None``: ``policy``
+    and ``seed`` belong to ``sim``, ``processes`` and ``codec`` to
+    ``process``.  :meth:`parse` is the validating constructor — building an
+    instance directly skips grammar checks (``create`` still rejects unknown
+    backend names).  ``name`` is always canonical after a parse: aliases
+    (``threaded``, ``virtual``, ``processes``, ``asyncio``) collapse to the
+    :data:`BACKEND_NAMES` spelling, which is what ``to_spec`` emits.
+    """
+
+    name: str
+    policy: Optional[str] = None
+    seed: Optional[int] = None
+    processes: Optional[int] = None
+    codec: Optional[str] = None
+
+    @classmethod
+    def parse(cls, spec: "str | BackendSpec") -> "BackendSpec":
+        """Parse a spec string (idempotently: a ``BackendSpec`` passes through).
+
+        Raises exactly the ``ValueError`` the string-spec path always raised
+        for malformed specs, quoting the original spelling and the grammar.
+        """
+        if isinstance(spec, BackendSpec):
+            return spec
+        text = str(spec)
+        base, _, rest = text.lower().partition(":")
+        factory = BACKENDS.get(base)
+        if factory is None:
+            valid = ", ".join(BACKEND_NAMES)
+            raise _spec_error(text, f"unknown execution backend {base!r} (one of: {valid})")
+        canonical = _CANONICAL[base]
+        if not rest:
+            return cls(name=canonical)
+        if factory is SimBackend:
+            policy_name, _, seed_text = rest.partition(":")
+            if policy_name not in POLICY_NAMES:
+                raise _spec_error(text, f"unknown scheduling policy {policy_name!r}")
+            seed: Optional[int] = None
+            if seed_text:
+                try:
+                    seed = int(seed_text)
+                except ValueError:
+                    raise _spec_error(text, f"invalid scheduling seed {seed_text!r}") from None
+            return cls(name=canonical, policy=policy_name, seed=seed)
+        if factory is ProcessBackend:
+            processes = None
+            codec = None
+            for part in rest.split(":"):
+                if not part:
+                    raise _spec_error(text, "empty component")
+                if part.isdigit():
+                    if processes is not None:
+                        raise _spec_error(text, "two process counts")
+                    processes = int(part)
+                elif part in CODEC_NAMES:
+                    if codec is not None:
+                        raise _spec_error(text, "two codecs")
+                    codec = part
+                else:
+                    raise _spec_error(
+                        text, f"invalid component {part!r} (neither a process count nor a codec)")
+            return cls(name=canonical, processes=processes, codec=codec)
+        raise _spec_error(
+            text,
+            f"the {base!r} backend takes no spec components "
+            "(only sim takes a policy/seed, process a count/codec)")
+
+    def to_spec(self) -> str:
+        """The canonical spec string (``parse(s.to_spec()) == s`` for parsed specs)."""
+        parts = [self.name]
+        if self.policy is not None:
+            parts.append(self.policy)
+            if self.seed is not None:
+                parts.append(str(self.seed))
+        if self.processes is not None:
+            parts.append(str(self.processes))
+        if self.codec is not None:
+            parts.append(self.codec)
+        return ":".join(parts)
+
+    def __str__(self) -> str:
+        return self.to_spec()
+
+    def create(self) -> ExecutionBackend:
+        """Instantiate the backend this spec describes."""
+        factory = BACKENDS.get(self.name)
+        if factory is None:
+            valid = ", ".join(BACKEND_NAMES)
             raise _spec_error(
-                name, f"invalid component {part!r} (neither a process count nor a codec)")
-    return ProcessBackend(processes=processes, codec=codec or "pickle")
+                self.to_spec(), f"unknown execution backend {self.name!r} (one of: {valid})")
+        if factory is SimBackend:
+            if self.policy is None:
+                return SimBackend()
+            seed = self.seed if self.seed is not None else 0
+            return SimBackend(policy=make_policy(self.policy, seed=seed), seed=seed)
+        if factory is ProcessBackend:
+            return ProcessBackend(processes=self.processes, codec=self.codec or "pickle")
+        return factory()
 
 
-def create_backend(name: "str | ExecutionBackend | None") -> ExecutionBackend:
+def create_backend(name: "str | BackendSpec | ExecutionBackend | None") -> ExecutionBackend:
     """Resolve a backend spec (or pass an instance through) to a backend.
 
     A spec is a backend name optionally followed by backend-specific
     components: a sim scheduling policy and seed (``"sim:random"``,
-    ``"sim:pct:42"``) or a process count and codec (``"process:4:json"``).
-    Components on the threaded and async backends are rejected — silently
-    ignoring them would be misleading.  Every malformed spec raises a
-    ``ValueError`` naming the valid grammar (:data:`SPEC_GRAMMAR`).
+    ``"sim:pct:42"``) or a process count and codec (``"process:4:json"``) —
+    as a string or an equivalent :class:`BackendSpec`.  Components on the
+    threaded and async backends are rejected — silently ignoring them would
+    be misleading.  Every malformed spec raises a ``ValueError`` naming the
+    valid grammar (:data:`SPEC_GRAMMAR`).
     """
     if name is None:
         return ThreadedBackend()
     if isinstance(name, ExecutionBackend):
         return name
-    base, _, spec = str(name).lower().partition(":")
-    factory = BACKENDS.get(base)
-    if factory is None:
-        valid = ", ".join(BACKEND_NAMES)
-        raise _spec_error(str(name), f"unknown execution backend {base!r} (one of: {valid})")
-    if not spec:
-        return factory()
-    if factory is SimBackend:
-        return _parse_sim_spec(str(name), spec)
-    if factory is ProcessBackend:
-        return _parse_process_spec(str(name), spec)
-    raise _spec_error(
-        str(name),
-        f"the {base!r} backend takes no spec components "
-        "(only sim takes a policy/seed, process a count/codec)")
+    return BackendSpec.parse(name).create()
 
 
 __all__ = [
@@ -153,6 +232,7 @@ __all__ = [
     "AsyncEventHandle",
     "BACKENDS",
     "BACKEND_NAMES",
+    "BackendSpec",
     "SPEC_GRAMMAR",
     "create_backend",
 ]

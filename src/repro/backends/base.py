@@ -48,7 +48,7 @@ backends, which is what makes backend-parity testing meaningful.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 class ClientHandle(ABC):
@@ -105,6 +105,16 @@ class ExecutionBackend(ABC):
         before it.
         """
         return [runtime.new_handler(name) for name in names]
+
+    def describe_placement(self, names: List[str]) -> Dict[str, str]:
+        """Where each named handler executes (``ShardedGroup.topology``).
+
+        In-memory backends host every handler inside the current process;
+        the process backend overrides this with the worker each handler is
+        pinned to (``"worker:<pid>"``), which is also how a failover's
+        re-pinning becomes observable.
+        """
+        return {name: "in-process" for name in names}
 
     def create_private_queue(self, handler: Any, counters: Any) -> Any:
         """Build the private queue a client uses to talk to ``handler``.

@@ -48,6 +48,7 @@ from __future__ import annotations
 import itertools
 import json
 import os
+import pickle
 import secrets
 import socket
 import subprocess
@@ -186,8 +187,17 @@ class _RemoteQoQ:
         if self.closed:
             return
         self.closed = True
-        self.report = self.worker.request(
-            {"op": "close", "handler": self.handler.name, "tickets": self._tickets})
+        op = {"op": "close", "handler": self.handler.name, "tickets": self._tickets}
+        try:
+            self.report = self.worker.request(op)
+        except ScoopError:
+            if not self.backend.failover or self.worker.proc.poll() is None:
+                raise  # a rejection from a live worker is a real error
+            # the worker died before (or while) draining: fail it over — the
+            # replacement replays every journaled block — and re-ask there
+            self.backend.worker_failed(self.worker)
+            self.worker = self.backend._worker_for(self.handler.name)
+            self.report = self.worker.request(op)
 
     def __len__(self) -> int:
         return 0
@@ -217,6 +227,12 @@ class ProcessPrivateQueue:
         self.block_id: Optional[int] = None
         self._stream: Optional[FrameStream] = None
         self._pending_ticket: Optional[int] = None
+        #: the current block's ticket (kept past the deferred open for failover)
+        self._ticket: Optional[int] = None
+        #: genuine replies consumed in the current block
+        self._replies_seen = 0
+        #: replies to discard because a failover replay regenerates them
+        self._stale_replies = 0
 
     # -- connection ----------------------------------------------------------
     def _connect(self) -> FrameStream:
@@ -240,6 +256,11 @@ class ProcessPrivateQueue:
         block, so the deferral cannot reorder service.
         """
         self._pending_ticket = ticket
+        self._ticket = ticket
+        # NOT _stale_replies: stale replies belong to the *connection* (a
+        # failover replay's regenerated replies can straddle a block change),
+        # so that debt survives until drained or the stream is replaced.
+        self._replies_seen = 0
 
     def _ensure_open(self) -> FrameStream:
         stream = self._connect()
@@ -248,6 +269,57 @@ class ProcessPrivateQueue:
             stream.send({"kind": "open", "ticket": ticket, "block": self.block_id})
         return stream
 
+    def _send(self, payload: Dict[str, Any]) -> None:
+        """Journal, then ship one data frame; fail over on a dead worker.
+
+        The journal write happens *before* the send, so a frame lost with a
+        crashing worker is replayed by :meth:`_failover_reconnect` (which
+        re-sends the whole current block, this frame included — hence no
+        retry here after a reconnect).
+        """
+        self.backend.journal_frame(self.handler.name, self._ticket, payload)
+        try:
+            self._ensure_open().send(payload)
+        except (OSError, SocketQueueClosed):
+            if not self.backend.failover:
+                raise
+            self._failover_reconnect()
+
+    def _failover_reconnect(self) -> None:
+        """Re-establish the current block on the dead worker's replacement.
+
+        Declares the worker failed (idempotent; first caller wins), connects
+        to wherever the handler was re-pinned, and replays the current
+        block's journal — open frame first, then every data frame already
+        sent.  The worker re-executes the block from the restored snapshot,
+        so every reply consumed before the crash is *regenerated*; those are
+        marked stale and discarded by :meth:`_recv_reply`.
+        """
+        last_error: Optional[BaseException] = None
+        for _ in range(2):  # the replacement itself may die mid-replay
+            try:
+                self.backend.worker_failed(self.worker)
+                self.worker = self.backend._worker_for(self.handler.name)
+                if self._stream is not None:
+                    self._stream.close()
+                    self._stream = None
+                stream = self._connect()
+                if self._ticket is not None:
+                    stream.send({"kind": "open", "ticket": self._ticket,
+                                 "block": self.block_id})
+                for frame in self.backend.journal_for(self.handler.name, self._ticket):
+                    stream.send(frame)
+                self._pending_ticket = None
+                # every reply this block already consumed comes again; replies
+                # pending on the discarded stream died with it (hence =, not +=)
+                self._stale_replies = self._replies_seen
+                return
+            except (OSError, SocketQueueClosed, ScoopError) as exc:
+                last_error = exc
+        raise ScoopError(
+            f"handler {self.handler.name!r} lost its worker process and failover "
+            f"could not re-establish the block") from last_error
+
     # -- client-side surface (same accounting as the in-memory queue) -------
     def enqueue_call(self, request: Any) -> None:
         self.counters.bump("pq_enqueues")
@@ -255,15 +327,14 @@ class ProcessPrivateQueue:
         if request.payload_bytes:
             self.counters.add("bytes_copied", request.payload_bytes)
         self.synced = False
-        self._ensure_open().send(self._call_payload("call", request))
+        self._send(self._call_payload("call", request))
 
     def enqueue_sync(self, request: Optional[SyncRequest] = None) -> SyncRequest:
         if request is None:
             request = SyncRequest()
         self.counters.bump("pq_enqueues")
         self.counters.bump("sync_roundtrips")
-        stream = self._ensure_open()
-        stream.send({"kind": "sync"})
+        self._send({"kind": "sync"})
         self._recv_reply("sync")  # blocks until the drain reaches the marker
         request.fire()
         return request
@@ -274,8 +345,7 @@ class ProcessPrivateQueue:
         self.counters.bump("pq_enqueues")
         self.counters.bump("sync_roundtrips")
         self.synced = False
-        stream = self._ensure_open()
-        stream.send(self._call_payload("query", request))
+        self._send(self._call_payload("query", request))
         reply = self._recv_reply("query")
         if reply["kind"] == "error":
             request.result.set_error(self._reply_exception(reply))
@@ -287,7 +357,7 @@ class ProcessPrivateQueue:
         self.counters.bump("pq_enqueues")
         self.closed_by_client = True
         self.synced = False
-        self._ensure_open().send({"kind": "end"})
+        self._send({"kind": "end"})
 
     def invoke(self, handle: Any, feature: Optional[str], args: tuple, kwargs: dict,
                fn: Optional[Callable[..., Any]] = None) -> Any:
@@ -299,8 +369,7 @@ class ProcessPrivateQueue:
         else:
             self._require_pickle("ship a callable query body")
             payload["fn"] = fn
-        stream = self._ensure_open()
-        stream.send(payload)
+        self._send(payload)
         reply = self._recv_reply("invoke")
         if reply["kind"] == "error":
             raise self._reply_exception(reply)
@@ -345,21 +414,33 @@ class ProcessPrivateQueue:
                 f"use the process backend's pickle codec (e.g. backend='process:pickle')")
 
     def _recv_reply(self, what: str) -> Dict[str, Any]:
-        assert self._stream is not None
-        try:
-            reply = self._stream.recv(timeout=self.backend.reply_timeout)
-        except SocketQueueClosed:
-            raise ScoopError(
-                f"handler process for {self.handler.name!r} closed the connection "
-                f"while a {what} reply was pending") from None
-        if reply is None:
-            raise ScoopError(
-                f"no {what} reply from handler {self.handler.name!r} within "
-                f"{self.backend.reply_timeout}s")
-        counters = reply.get("counters")
-        if counters:
-            self.backend.merge_worker_counters(self.handler, counters)
-        return reply
+        while True:
+            assert self._stream is not None
+            try:
+                reply = self._stream.recv(timeout=self.backend.reply_timeout)
+            except (SocketQueueClosed, OSError):
+                if self.backend.failover:
+                    # the worker died with our reply: fail over and let the
+                    # replayed block regenerate it (minus the stale ones)
+                    self._failover_reconnect()
+                    continue
+                raise ScoopError(
+                    f"handler process for {self.handler.name!r} closed the connection "
+                    f"while a {what} reply was pending") from None
+            if reply is None:
+                raise ScoopError(
+                    f"no {what} reply from handler {self.handler.name!r} within "
+                    f"{self.backend.reply_timeout}s")
+            counters = reply.get("counters")
+            if counters:
+                # merge even from stale replies: the high-water merge makes it
+                # safe, and the snapshot may be the freshest we ever see
+                self.backend.merge_worker_counters(self.handler, counters)
+            if self._stale_replies > 0:
+                self._stale_replies -= 1
+                continue
+            self._replies_seen += 1
+            return reply
 
     def _reply_exception(self, reply: Dict[str, Any]) -> BaseException:
         error = reply.get("error")
@@ -386,18 +467,28 @@ class ProcessBackend(ThreadedBackend):
     reply_timeout:
         Upper bound on waiting for a sync/query reply before raising — the
         process-backend analogue of a hung handler.
+    failover:
+        When ``True`` (default), a worker process that dies mid-run is
+        detected on its broken connections and its handlers are re-pinned
+        onto surviving (or fresh) workers: hosted objects are restored from
+        their adopt-time snapshots and every block replayed from the
+        parent's frame journal in ticket order, so clients observe at most
+        a stall — never a dropped or reordered request.  ``False`` restores
+        the old fail-stop behaviour (a dead worker raises
+        :class:`~repro.errors.ScoopError` at the first affected client).
     """
 
     name = "process"
 
     def __init__(self, processes: Optional[int] = None, codec: str = "pickle",
-                 reply_timeout: float = 300.0) -> None:
+                 reply_timeout: float = 300.0, failover: bool = True) -> None:
         super().__init__()
         if processes is not None and processes < 1:
             raise ValueError("processes must be >= 1")
         self.processes = processes
         self.codec = get_codec(codec).name
         self.reply_timeout = reply_timeout
+        self.failover = failover
         self.token = secrets.token_hex(16)
         self._lock = threading.Lock()
         self._workers: List[_WorkerProcess] = []
@@ -407,6 +498,11 @@ class ProcessBackend(ThreadedBackend):
         self._oid_seq = itertools.count(1)
         self._counters_seen: Dict[str, Dict[str, int]] = {}
         self._counters_lock = threading.Lock()
+        # failover state: adopt-time object snapshots and the per-(handler,
+        # ticket) frame journal that a replacement worker replays
+        self._hosted: Dict[str, Dict[int, bytes]] = {}
+        self._journal: Dict[str, Dict[int, Dict[str, Any]]] = {}
+        self._journal_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # worker management
@@ -478,6 +574,90 @@ class ProcessBackend(ThreadedBackend):
         with self._lock:
             self._streams.append(stream)
 
+    # ------------------------------------------------------------------
+    # failover: journal + re-pin + restore
+    # ------------------------------------------------------------------
+    def journal_frame(self, handler_name: str, ticket: Optional[int],
+                      payload: Dict[str, Any]) -> None:
+        """Record one data frame so a replacement worker can replay it."""
+        if not self.failover or ticket is None:
+            return
+        with self._journal_lock:
+            entry = self._journal.setdefault(handler_name, {}).setdefault(
+                ticket, {"frames": [], "ended": False})
+            entry["frames"].append(payload)
+            if payload.get("kind") == "end":
+                entry["ended"] = True
+
+    def journal_for(self, handler_name: str, ticket: Optional[int]) -> List[Dict[str, Any]]:
+        """The frames already sent for one block, in send order."""
+        if ticket is None:
+            return []
+        with self._journal_lock:
+            entry = self._journal.get(handler_name, {}).get(ticket)
+            return list(entry["frames"]) if entry else []
+
+    def worker_failed(self, dead: _WorkerProcess) -> None:
+        """Re-pin a dead worker's handlers onto survivors (idempotent).
+
+        Holds the backend lock across the whole re-pin + restore, so a
+        client racing to reconnect (blocked in :meth:`_worker_for`) cannot
+        hello a replacement before its handler server, hosted objects and
+        journaled blocks are in place.  Capped pools spread orphans
+        round-robin over the survivors; uncapped pools keep the
+        one-process-per-handler shape by spawning a fresh worker per
+        orphan.  Bumps ``shard_failovers`` once per re-pinned handler.
+        """
+        with self._lock:
+            if dead not in self._workers:
+                return  # someone else already failed this worker over
+            if dead.proc.poll() is None:
+                # connections broke but the process lingers (half-dead, e.g.
+                # stuck after closing its sockets): finish the job so the
+                # replacement is unambiguous
+                dead.proc.kill()
+                try:
+                    dead.proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:  # pragma: no cover - defensive
+                    pass
+            self._workers.remove(dead)
+            try:
+                dead.control.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+            runtime = getattr(self, "runtime", None)
+            for i, name in enumerate(sorted(dead.handler_names)):
+                if self.processes is not None and self._workers:
+                    target = self._workers[i % len(self._workers)]
+                else:
+                    target = self._spawn_worker()
+                self._assignment[name] = target
+                target.handler_names.append(name)
+                self._restore_handler(target, name)
+                if runtime is not None:
+                    handler = runtime._handlers.get(name)
+                    if handler is not None:
+                        if isinstance(handler.qoq, _RemoteQoQ):
+                            handler.qoq.worker = target
+                        handler.counters.bump("shard_failovers")
+
+    def _restore_handler(self, target: _WorkerProcess, name: str) -> None:
+        """Rebuild one orphaned handler on ``target`` (caller holds _lock)."""
+        target.request({"op": "handler", "name": name})
+        with self._journal_lock:
+            snapshots = sorted(self._hosted.get(name, {}).items())
+            blocks = [(ticket, list(entry["frames"]))
+                      for ticket, entry in sorted(self._journal.get(name, {}).items())
+                      if entry["ended"]]
+        for oid, blob in snapshots:
+            target.request({"op": "host", "handler": name, "oid": oid,
+                            "obj": pickle.loads(blob)})
+        # only *ended* blocks are pre-filed: an in-flight block is replayed
+        # by its owning client over its reconnected queue, which alone knows
+        # whether more frames are coming
+        if blocks:
+            target.request({"op": "restore", "handler": name, "blocks": blocks})
+
     def create_shard_handlers(self, runtime: Any, names: List[str]) -> List[Any]:
         """Place shard replicas so sharding means real cores.
 
@@ -504,9 +684,26 @@ class ProcessBackend(ThreadedBackend):
     # ------------------------------------------------------------------
     # handler plumbing
     # ------------------------------------------------------------------
+    def _control_request(self, handler_name: str, op: Dict[str, Any]) -> _WorkerProcess:
+        """Send a control op for ``handler_name``, failing over a dead worker.
+
+        A control op can fail because the worker crashed (fail over, retry on
+        the replacement) or because it rejected the op (a real error — the
+        worker is alive, so re-raise).  Returns the worker that answered.
+        """
+        worker = self._worker_for(handler_name)
+        try:
+            worker.request(op)
+        except ScoopError:
+            if not self.failover or worker.proc.poll() is None:
+                raise
+            self.worker_failed(worker)
+            worker = self._worker_for(handler_name)
+            worker.request(op)
+        return worker
+
     def start_handler(self, handler: Any) -> None:
-        worker = self._worker_for(handler.name)
-        worker.request({"op": "handler", "name": handler.name})
+        worker = self._control_request(handler.name, {"op": "handler", "name": handler.name})
         # from now on reservations of this handler go over the wire
         handler.qoq = _RemoteQoQ(self, handler, worker)
 
@@ -526,10 +723,10 @@ class ProcessBackend(ThreadedBackend):
     # placement hooks
     # ------------------------------------------------------------------
     def adopt_object(self, handler: Any, obj: Any) -> Any:
-        worker = self._worker_for(handler.name)
         oid = next(self._oid_seq)
         try:
-            worker.request({"op": "host", "handler": handler.name, "oid": oid, "obj": obj})
+            self._control_request(
+                handler.name, {"op": "host", "handler": handler.name, "oid": oid, "obj": obj})
         except ScoopError:
             raise
         except Exception as exc:  # noqa: BLE001 - unpicklable object, most likely
@@ -537,7 +734,22 @@ class ProcessBackend(ThreadedBackend):
                 f"cannot host {type(obj).__name__} in handler process "
                 f"{handler.name!r}: {exc!r} (objects must be picklable, with an "
                 f"importable, module-level class)") from exc
+        if self.failover:
+            # adopt-time snapshot: the state a replacement worker restores
+            # before replaying the journal (hosting just proved obj pickles)
+            with self._journal_lock:
+                self._hosted.setdefault(handler.name, {})[oid] = pickle.dumps(obj)
         return RemoteHandle(handler.name, oid, type(obj))
+
+    def describe_placement(self, names: List[str]) -> Dict[str, str]:
+        """The worker process each handler is pinned to (or ``unassigned``)."""
+        with self._lock:
+            placement = {}
+            for name in names:
+                worker = self._assignment.get(name)
+                placement[name] = (f"worker:{worker.proc.pid}" if worker is not None
+                                   else "unassigned")
+            return placement
 
     def create_private_queue(self, handler: Any, counters: Any) -> ProcessPrivateQueue:
         return ProcessPrivateQueue(self, handler, self._worker_for(handler.name), counters)
@@ -579,6 +791,9 @@ class ProcessBackend(ThreadedBackend):
             workers, self._workers = self._workers, []
             streams, self._streams = self._streams, []
             self._assignment.clear()
+        with self._journal_lock:
+            self._hosted.clear()
+            self._journal.clear()
         for stream in streams:
             stream.close()
         for worker in workers:

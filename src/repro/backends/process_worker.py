@@ -25,7 +25,8 @@ The worker is started as ``python -c "from repro.backends.process_worker
 import main; main()"`` with a JSON spec in the ``REPRO_PROCESS_WORKER``
 environment variable; it connects back to the parent's control listener,
 reports the data port it chose, and then obeys control ops (``handler``,
-``host``, ``close``, ``exit``).  The control channel always speaks pickle
+``host``, ``restore``, ``close``, ``exit``).  The control channel always
+speaks pickle
 (it ships live objects at ``host`` time); data connections use the codec
 the backend was configured with.
 """
@@ -63,6 +64,22 @@ class _Block:
         self.ended = False
 
 
+class _NullStream:
+    """Reply sink for blocks restored after a failover.
+
+    A restored block's original client already consumed its replies from the
+    dead worker, so the re-execution (which only rebuilds handler state and
+    counters) drops them: ``send`` raises ``BrokenPipeError``, which the
+    reply paths already treat as "client gone".
+    """
+
+    def send(self, payload: Dict[str, Any]) -> None:
+        raise BrokenPipeError("restored block: replies already delivered")
+
+    def close(self) -> None:  # pragma: no cover - interface parity
+        pass
+
+
 class HandlerServer:
     """One handler transplanted into this process: objects + ticketed drain."""
 
@@ -91,6 +108,24 @@ class HandlerServer:
         """No more blocks will ever be opened; ``tickets`` were issued."""
         with self._cond:
             self._tickets_total = tickets
+            self._cond.notify_all()
+
+    def restore(self, blocks: "list[tuple[int, list]]") -> None:
+        """Pre-file journaled blocks from before a failover (ticket order).
+
+        The parent replays every *ended* block of the dead worker here; the
+        drain then re-executes them against the freshly re-hosted objects,
+        reconstructing the handler state the dead process took with it.
+        Replies go to a :class:`_NullStream` (their clients already got
+        them); in-flight blocks are not restored — their owning clients
+        re-send them on their own reconnected private queues.
+        """
+        with self._cond:
+            for ticket, frames in blocks:
+                block = _Block(int(ticket), _NullStream())  # type: ignore[arg-type]
+                block.items.extend(frames)
+                block.ended = True
+                self._blocks[int(ticket)] = block
             self._cond.notify_all()
 
     # -- the wire side ------------------------------------------------------
@@ -297,10 +332,16 @@ class Worker:
     def _dispatch(self, op: Dict[str, Any]) -> Dict[str, Any]:
         name = op.get("op")
         if name == "handler":
-            self.servers[op["name"]] = HandlerServer(op["name"])
+            # idempotent: a failover re-pin may re-announce a handler this
+            # worker already serves (replacing it would discard restored state)
+            if op["name"] not in self.servers:
+                self.servers[op["name"]] = HandlerServer(op["name"])
             return {"ok": True}
         if name == "host":
             self.servers[op["handler"]].host(int(op["oid"]), op["obj"])
+            return {"ok": True}
+        if name == "restore":
+            self.servers[op["handler"]].restore(op.get("blocks") or [])
             return {"ok": True}
         if name == "close":
             server = self.servers[op["handler"]]

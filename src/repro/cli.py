@@ -327,12 +327,21 @@ def cmd_trace(args: argparse.Namespace) -> int:
     from repro import QsRuntime
     from repro.core.guarantees import check_runtime
 
-    # specs are matched case-insensitively, like create_backend resolves them
-    env_spec = (os.environ.get("REPRO_BACKEND") or "").lower()
-    if args.backend == "process" or (args.backend is None and env_spec.startswith("process")):
-        raise SystemExit(
-            "repro trace: handler-side trace events are recorded in the handler's "
-            "process, which the parent's tracer cannot see; use --backend threads or sim")
+    # normalise the effective spec (flag, else environment) through the same
+    # parser create_backend uses, so aliases ("PROCESS") and full specs
+    # ("process:4:pickle") cannot sneak past the guard
+    from repro.backends import BackendSpec
+
+    effective = args.backend or os.environ.get("REPRO_BACKEND") or None
+    if effective is not None:
+        try:
+            effective_name = BackendSpec.parse(effective).name
+        except Exception:
+            effective_name = None  # let the runtime raise its own spec error
+        if effective_name == "process":
+            raise SystemExit(
+                "repro trace: handler-side trace events are recorded in the handler's "
+                "process, which the parent's tracer cannot see; use --backend threads or sim")
 
     class Account(SeparateObject):
         def __init__(self, balance=0):
@@ -386,12 +395,23 @@ def cmd_trace(args: argparse.Namespace) -> int:
 # parser wiring
 # ----------------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
-    from repro.backends import BACKEND_NAMES
+    from repro.backends import BACKEND_NAMES, SPEC_GRAMMAR, BackendSpec
+
+    def backend_spec(text: str) -> str:
+        # validate eagerly (so typos fail at the parser with the grammar in
+        # hand) but pass the original spec string through to the runtime
+        try:
+            BackendSpec.parse(text)
+        except Exception as exc:
+            raise argparse.ArgumentTypeError(str(exc)) from None
+        return text
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__,
                                      formatter_class=argparse.RawDescriptionHelpFormatter)
-    parser.add_argument("--backend", choices=list(BACKEND_NAMES), default=None,
-                        help="execution backend for commands that run the runtime "
+    parser.add_argument("--backend", type=backend_spec, default=None,
+                        metavar="{" + ",".join(BACKEND_NAMES) + "}[:...]",
+                        help="execution backend for commands that run the runtime: "
+                             f"a name or full spec, {SPEC_GRAMMAR} "
                              "(default: threads, or the REPRO_BACKEND environment variable)")
     sub = parser.add_subparsers(dest="command", required=True)
 

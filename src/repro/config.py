@@ -22,6 +22,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # no runtime import: config must stay dependency-free
+    from repro.backends import BackendSpec  # noqa: F401
 
 
 class OptimizationLevel(enum.Enum):
@@ -97,8 +101,9 @@ class QsConfig:
         behind socket private queues; true multi-core parallelism) or
         ``"async"`` (handlers and coroutine clients as asyncio tasks on
         one event loop; 10k+ client fan-in).  Spec components are allowed
-        — ``"sim:random:7"``, ``"process:4:json"``.  See
-        :mod:`repro.backends`.
+        — ``"sim:random:7"``, ``"process:4:json"`` — and a structured
+        :class:`~repro.backends.BackendSpec` is accepted wherever a spec
+        string is.  See :mod:`repro.backends`.
     sched_policy:
         Ready-queue scheduling policy of the simulated backend (ignored by
         the threaded backend, where the OS schedules): ``"fifo"`` (the
@@ -116,7 +121,7 @@ class QsConfig:
     private_queue_cache: bool = True
     direct_handoff: bool = True
     qoq_batch: int = 16
-    backend: str = "threads"
+    backend: "str | BackendSpec" = "threads"
     sched_policy: str = "fifo"
     sched_seed: int = 0
     name: str = "all"
@@ -220,7 +225,7 @@ class QsConfig:
         if self.qoq_batch > 1:
             flags.append(f"batch={self.qoq_batch}")
         summary = "+".join(flags) if flags else "no optimizations"
-        backend = self.backend
+        backend = str(self.backend)  # a BackendSpec stringifies to its spec
         if self.sched_policy != "fifo":
             backend += f", sched={self.sched_policy}@{self.sched_seed}"
         return f"QsConfig({self.name}: {summary}, backend={backend})"

@@ -17,7 +17,7 @@ is the command-line face of the same machinery.
 """
 
 from repro.explore.driver import ExploreReport, RunOutcome, explore, replay, run_once
-from repro.explore.workloads import ExploreWorkload, WORKLOADS, get_workload
+from repro.explore.workloads import ExploreWorkload, FaultPlan, WORKLOADS, get_workload
 
 __all__ = [
     "ExploreReport",
@@ -27,5 +27,6 @@ __all__ = [
     "run_once",
     "WORKLOADS",
     "ExploreWorkload",
+    "FaultPlan",
     "get_workload",
 ]

@@ -40,6 +40,7 @@ from repro.explore.workloads import (
     DEFAULT_CLIENTS,
     DEFAULT_ITERATIONS,
     ExploreWorkload,
+    FaultPlan,
     get_workload,
 )
 from repro.sched.policy import ReplayPolicy, ScheduleTrace, make_policy
@@ -97,7 +98,8 @@ class ExploreReport:
 
 
 def _attach_meta(trace: Optional[ScheduleTrace], workload: ExploreWorkload,
-                 clients: int, iterations: int, outcome: RunOutcome) -> None:
+                 clients: int, iterations: int, outcome: RunOutcome,
+                 faults: Optional[FaultPlan] = None) -> None:
     if trace is None:
         return
     trace.meta = {
@@ -108,20 +110,32 @@ def _attach_meta(trace: Optional[ScheduleTrace], workload: ExploreWorkload,
         "stuck_tasks": list(outcome.stuck_tasks),
         "virtual_time": outcome.virtual_time,
     }
+    if faults is not None:
+        # the fault schedule is part of the failing configuration: replay
+        # rebuilds the same plan from here, so (seed, plan) reproduces
+        trace.meta["reshards"] = list(faults.reshards)
 
 
 def run_once(workload: "str | ExploreWorkload", policy: str = "fifo", seed: int = 0,
              clients: int = DEFAULT_CLIENTS, iterations: int = DEFAULT_ITERATIONS,
              config: "QsConfig | str | None" = None,
-             replay_trace: Optional[ScheduleTrace] = None) -> RunOutcome:
+             replay_trace: Optional[ScheduleTrace] = None,
+             faults: Optional[FaultPlan] = None) -> RunOutcome:
     """Execute ``workload`` under one schedule and classify the outcome.
 
     With ``replay_trace`` the recorded decisions are re-executed exactly
     (``policy``/``seed`` are ignored); otherwise ``policy`` is instantiated
     with ``seed``.  The schedule actually executed is always recorded and
-    attached to the returned outcome.
+    attached to the returned outcome.  ``faults`` hands a fault-aware
+    workload its fault schedule (live reshard targets); passing one to a
+    workload that is not fault-aware is an error.
     """
     workload = get_workload(workload)
+    if faults is not None and not workload.fault_aware:
+        raise ValueError(
+            f"workload {workload.name!r} is not fault-aware and cannot take a FaultPlan")
+    if workload.fault_aware and faults is None:
+        faults = FaultPlan()  # resolve now so the trace meta records the plan
     if replay_trace is not None:
         policy_obj = ReplayPolicy(replay_trace)
         policy_name, policy_seed = "replay", None
@@ -134,7 +148,10 @@ def run_once(workload: "str | ExploreWorkload", policy: str = "fifo", seed: int 
     rt = None
     try:
         rt = QsRuntime(config if config is not None else "all", trace=True, backend=backend)
-        observations = workload.run(rt, clients, iterations)
+        if workload.fault_aware:
+            observations = workload.run(rt, clients, iterations, faults=faults)
+        else:
+            observations = workload.run(rt, clients, iterations)
         rt.shutdown()
         report = check_trace(rt.trace_events())
         if not report.ok:
@@ -182,7 +199,7 @@ def run_once(workload: "str | ExploreWorkload", policy: str = "fifo", seed: int 
         outcome.virtual_time = backend.scheduler.now
     outcome.trace = backend.schedule_recording()
     outcome.decisions = len(outcome.trace) if outcome.trace is not None else 0
-    _attach_meta(outcome.trace, workload, clients, iterations, outcome)
+    _attach_meta(outcome.trace, workload, clients, iterations, outcome, faults=faults)
     return outcome
 
 
@@ -192,7 +209,8 @@ def explore(workload: "str | ExploreWorkload", seeds: "int | Iterable[int]" = 20
             config: "QsConfig | str | None" = None,
             stop_on_failure: bool = True,
             keep_outcomes: bool = False,
-            save_trace: Optional[str] = None) -> ExploreReport:
+            save_trace: Optional[str] = None,
+            faults: Optional[FaultPlan] = None) -> ExploreReport:
     """Hunt for failing schedules: run ``workload`` under each seed in turn.
 
     ``seeds`` is either a count (seeds ``0 .. N-1``) or an explicit
@@ -207,7 +225,7 @@ def explore(workload: "str | ExploreWorkload", seeds: "int | Iterable[int]" = 20
     fingerprints = set()
     for seed in seed_list:
         outcome = run_once(workload, policy=policy, seed=seed, clients=clients,
-                           iterations=iterations, config=config)
+                           iterations=iterations, config=config, faults=faults)
         report.seeds_run += 1
         if outcome.trace is not None:
             fingerprints.add(tuple(d.chosen for d in outcome.trace.decisions))
@@ -225,13 +243,15 @@ def explore(workload: "str | ExploreWorkload", seeds: "int | Iterable[int]" = 20
 
 def replay(workload: "str | ExploreWorkload", trace: "ScheduleTrace | str",
            clients: Optional[int] = None, iterations: Optional[int] = None,
-           config: "QsConfig | str | None" = None) -> RunOutcome:
+           config: "QsConfig | str | None" = None,
+           faults: Optional[FaultPlan] = None) -> RunOutcome:
     """Re-execute a recorded schedule and classify the (identical) outcome.
 
     ``trace`` may be a :class:`ScheduleTrace` or a path to one saved by
-    :func:`explore`.  Run parameters default to the values stored in the
-    trace's metadata, so ``replay(name, path)`` reproduces the recorded run
-    exactly — same stuck tasks, same virtual time.
+    :func:`explore`.  Run parameters — including a fault-aware workload's
+    :class:`FaultPlan` — default to the values stored in the trace's
+    metadata, so ``replay(name, path)`` reproduces the recorded run
+    exactly — same stuck tasks, same virtual time, same reshard schedule.
     """
     workload = get_workload(workload)
     if isinstance(trace, str):
@@ -246,5 +266,7 @@ def replay(workload: "str | ExploreWorkload", trace: "ScheduleTrace | str",
         clients = int(meta.get("clients", DEFAULT_CLIENTS))
     if iterations is None:
         iterations = int(meta.get("iterations", DEFAULT_ITERATIONS))
+    if faults is None and meta.get("reshards") is not None:
+        faults = FaultPlan(reshards=tuple(int(n) for n in meta["reshards"]))
     return run_once(workload, clients=clients, iterations=iterations, config=config,
-                    replay_trace=trace)
+                    replay_trace=trace, faults=faults)

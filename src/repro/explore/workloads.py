@@ -25,6 +25,16 @@ Three scenarios ship with the reproduction:
     process-) independent.  Exploring it fuzzes the routing/gather
     interleavings the sharding docs promise to keep safe.
 
+``resharding-bank``
+    Live resharding under schedule fuzzing: clients stream per-key,
+    per-client sequenced records into a sharded group while a dedicated
+    client executes the :class:`~repro.explore.workloads.FaultPlan` —
+    a series of live ``rebalance()`` calls migrating every account
+    between shard counts.  Correct under all schedules — the oracle
+    asserts zero dropped and zero reordered per-client records across
+    every migration interleaving, disjoint final ownership, and that the
+    final ring routes every key to the shard actually holding it.
+
 ``dining-philosophers``
     A *deadlock-prone* variant of Section 2.4 with a seeded lock-ordering
     bug.  Philosophers race to be seated by a waiter; a philosopher who
@@ -40,7 +50,7 @@ Three scenarios ship with the reproduction:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro.core.api import command, query
 from repro.core.region import SeparateObject
@@ -48,6 +58,21 @@ from repro.core.region import SeparateObject
 #: default run parameters (overridable from the driver/CLI)
 DEFAULT_CLIENTS = 3
 DEFAULT_ITERATIONS = 2
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The fault schedule a fault-aware workload executes as it runs.
+
+    An explorable decision point of its own: the driver records the plan in
+    the schedule trace's metadata, so a failing (seed, plan) pair replays
+    exactly.  ``reshards`` is the sequence of live ``rebalance()`` targets
+    (shard counts) the workload's resharding client walks through; the
+    default crosses both directions (grow past, then shrink below, the
+    initial shard count).
+    """
+
+    reshards: Tuple[int, ...] = (5, 2)
 
 
 @dataclass(frozen=True)
@@ -59,7 +84,9 @@ class ExploreWorkload:
     ``check(observations, clients, iterations)`` raises ``AssertionError``
     on an invariant violation.  ``deadlock_reachable`` documents whether
     the scenario has schedules that deadlock (so smoke tooling knows what
-    outcome to expect).
+    outcome to expect).  A workload with ``fault_aware`` accepts the
+    driver's ``faults`` plan as ``run(..., faults=...)`` and injects it
+    (live reshards) while the scenario executes.
     """
 
     name: str
@@ -67,6 +94,7 @@ class ExploreWorkload:
     deadlock_reachable: bool
     run: Callable[..., dict]
     check: Callable[..., None]
+    fault_aware: bool = False
 
 
 # ----------------------------------------------------------------------------
@@ -222,6 +250,120 @@ def check_sharded_counter(observations: dict, clients: int, iterations: int) -> 
 
 
 # ----------------------------------------------------------------------------
+# resharding-bank: live migration races against routed traffic
+# ----------------------------------------------------------------------------
+class ReshardBank(SeparateObject):
+    """One shard replica: per-account append logs that migrate between shards."""
+
+    def __init__(self) -> None:
+        self.entries: Dict[str, List[Tuple[int, int]]] = {}
+
+    @command
+    def record(self, key: str, client: int, seq: int) -> None:
+        self.entries.setdefault(key, []).append((client, seq))
+
+    @query
+    def dump(self) -> Dict[str, List[Tuple[int, int]]]:
+        return {key: list(log) for key, log in self.entries.items()}
+
+    # migration hooks used by ShardedGroup.rebalance (plain methods: they run
+    # inside the group's fully-reserved migration block, never concurrently
+    # with record/dump on the same replica)
+    def reshard_export(self, keys):
+        return {key: self.entries.pop(key) for key in keys if key in self.entries}
+
+    def reshard_import(self, state) -> None:
+        for key, log in state.items():
+            self.entries.setdefault(key, []).extend(log)
+
+
+#: the accounts under migration — few enough that several share a shard, so
+#: every reshard moves keys that live traffic is actively hitting
+RESHARD_KEYS: Tuple[str, ...] = tuple(f"acct-{i}" for i in range(8))
+
+#: initial shard count of the resharding-bank group
+RESHARD_SHARDS = 3
+
+
+def run_resharding_bank(rt, clients: int = DEFAULT_CLIENTS,
+                        iterations: int = DEFAULT_ITERATIONS,
+                        faults: "FaultPlan | None" = None) -> dict:
+    plan = faults if faults is not None else FaultPlan()
+    group = rt.sharded("bank", shards=RESHARD_SHARDS).create(ReshardBank)
+    sent: List[Tuple[str, int, int]] = []
+
+    def worker(i: int) -> None:
+        for j in range(iterations):
+            key = RESHARD_KEYS[(i + j) % len(RESHARD_KEYS)]
+            with group.separate() as g:
+                g.on(key).record(key, i, j)
+            sent.append((key, i, j))
+
+    def resharder() -> None:
+        for target in plan.reshards:
+            group.rebalance(target, keys=list(RESHARD_KEYS))
+
+    for i in range(clients):
+        rt.spawn_client(worker, i, name=f"banker-{i}")
+    rt.spawn_client(resharder, name="resharder")
+    rt.join_clients()
+    with group.separate() as g:
+        dumps = g.gather("dump")
+    return {
+        "sent": sent,
+        "dumps": dumps,
+        "owners": {key: group.shard_of(key) for key in RESHARD_KEYS},
+        "epoch": group.epoch,
+        "reshards": list(plan.reshards),
+    }
+
+
+def check_resharding_bank(observations: dict, clients: int, iterations: int) -> None:
+    dumps = observations["dumps"]
+    # 1. no account is split or duplicated across shards
+    seen_keys: Dict[str, int] = {}
+    for shard, dump in enumerate(dumps):
+        for key in dump:
+            assert key not in seen_keys, (
+                f"account {key!r} present on both shard {seen_keys[key]} and "
+                f"shard {shard} after resharding"
+            )
+            seen_keys[key] = shard
+    # 2. the final ring routes every key to the shard actually holding it
+    for key, shard in seen_keys.items():
+        assert observations["owners"][key] == shard, (
+            f"account {key!r} lives on shard {shard} but the final ring "
+            f"routes it to shard {observations['owners'][key]}"
+        )
+    # 3. zero dropped records: every sent record appears exactly once
+    recorded = [(key, client, seq)
+                for dump in dumps
+                for key, log in dump.items()
+                for client, seq in log]
+    assert sorted(recorded) == sorted(observations["sent"]), (
+        f"records dropped or duplicated across migrations: "
+        f"{len(recorded)} recorded vs {len(observations['sent'])} sent"
+    )
+    # 4. zero reordered records: each client's seqs per account ascend in log
+    # order, across every export/import hop the account took
+    for dump in dumps:
+        for key, log in dump.items():
+            per_client: Dict[int, List[int]] = {}
+            for client, seq in log:
+                per_client.setdefault(client, []).append(seq)
+            for client, seqs in per_client.items():
+                assert seqs == sorted(seqs), (
+                    f"client {client}'s records on {key!r} were reordered by "
+                    f"migration: {seqs}"
+                )
+    # 5. every rebalance bumped the ring epoch exactly once
+    assert observations["epoch"] == len(observations["reshards"]), (
+        f"ring epoch {observations['epoch']} != {len(observations['reshards'])} "
+        f"executed reshards"
+    )
+
+
+# ----------------------------------------------------------------------------
 # dining-philosophers: a seeded, schedule-dependent lock-ordering bug
 # ----------------------------------------------------------------------------
 class Fork(SeparateObject):
@@ -326,6 +468,14 @@ WORKLOADS: Dict[str, ExploreWorkload] = {
             deadlock_reachable=False,
             run=run_sharded_counter,
             check=check_sharded_counter,
+        ),
+        ExploreWorkload(
+            name="resharding-bank",
+            description="live rebalance() races routed traffic; lossless under every schedule",
+            deadlock_reachable=False,
+            run=run_resharding_bank,
+            check=check_resharding_bank,
+            fault_aware=True,
         ),
         ExploreWorkload(
             name="dining-philosophers",

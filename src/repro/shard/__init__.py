@@ -15,7 +15,7 @@ Entry points::
         total = g.gather("read", merge=sum)
 """
 
-from repro.shard.group import ReshardPlan, ShardedGroup
+from repro.shard.group import ReshardPlan, ShardTopology, ShardedGroup
 from repro.shard.proxy import (
     AsyncShardedBlock,
     AsyncShardedProxy,
@@ -27,6 +27,7 @@ from repro.shard.ring import DEFAULT_VNODES, HashRing, stable_key_bytes
 __all__ = [
     "ShardedGroup",
     "ReshardPlan",
+    "ShardTopology",
     "ShardedBlock",
     "ShardedProxy",
     "AsyncShardedBlock",

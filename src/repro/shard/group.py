@@ -34,12 +34,22 @@ Backends host the replicas through the
 placement hook; the process backend pins consecutive replicas to distinct
 worker processes (round-robin across the pool), so sharding there means
 real cores.
+
+The topology is *live*: :meth:`ShardedGroup.rebalance` executes a
+:class:`ReshardPlan` while clients keep issuing blocks.  The group keeps
+its ring, handler list, replica refs and a monotonically increasing **ring
+epoch** in one immutable state record; every separate block snapshots that
+record at reservation time (under the group's topology lock), so a block
+routes consistently against exactly one epoch, and the epoch-bumping swap
+inside ``rebalance`` is atomic with the migration block's reservation.
+:attr:`ShardedGroup.topology` exposes the same record read-only, including
+where each replica is placed (worker pid on the process backend).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.handler import Handler
 from repro.core.region import SeparateRef
@@ -51,14 +61,15 @@ from repro.shard.ring import DEFAULT_VNODES, HashRing
 class ReshardPlan:
     """What a reshard from ``old_shards`` to ``new_shards`` would move.
 
-    Produced by :meth:`ShardedGroup.plan_reshard`.  Thanks to consistent
-    hashing only the keys in ``moved`` change owner; ``assignments`` lists
-    each probed key with its ``(key, old_shard, new_shard)`` triple so a
-    migration can copy exactly the state that has to travel.  (A list, not
-    a dict: routing keys need not be hashable when the group maps them
-    through a ``shard_key`` function.)  Executing the plan (draining,
-    copying, re-routing) is the follow-up the
-    :meth:`ShardedGroup.rebalance` hook reserves its name for.
+    Produced by :meth:`ShardedGroup.plan_reshard` and consumed by
+    :meth:`ShardedGroup.rebalance`.  Thanks to consistent hashing only the
+    keys in ``moved`` change owner; ``assignments`` lists each probed key
+    with its ``(key, old_shard, new_shard)`` triple so the migration copies
+    exactly the state that has to travel.  (A list, not a dict: routing
+    keys need not be hashable when the group maps them through a
+    ``shard_key`` function.)  ``vnodes`` records the ring geometry the plan
+    was computed against, so executing the plan later builds the identical
+    new ring.
     """
 
     group: str
@@ -66,10 +77,45 @@ class ReshardPlan:
     new_shards: int
     moved: List[Any] = field(default_factory=list)
     assignments: List[Tuple[Any, int, int]] = field(default_factory=list)
+    vnodes: Optional[int] = None
 
     @property
     def moved_fraction(self) -> float:
         return len(self.moved) / max(1, len(self.assignments))
+
+
+@dataclass(frozen=True)
+class ShardTopology:
+    """Read-only snapshot of a group's topology (one consistent epoch).
+
+    ``placement`` pairs each shard handler's name with where the backend
+    executes it — ``"in-process"`` on the thread/sim/async backends, the
+    pinned worker (``"worker:<pid>"``) on the process backend.
+    """
+
+    group: str
+    shards: int
+    vnodes: int
+    ring_epoch: int
+    placement: Tuple[Tuple[str, str], ...]
+
+
+@dataclass(frozen=True)
+class _TopologyState:
+    """The group's mutable topology as one immutable record.
+
+    Swapped atomically (single attribute assignment) under the group's
+    topology lock; blocks capture the whole record so ring, handler list,
+    refs and epoch can never be observed torn.
+    """
+
+    ring: HashRing
+    handlers: Tuple[Handler, ...]
+    refs: Tuple[SeparateRef, ...]
+    epoch: int
+
+    def ref_for_mapped(self, mapped_key: Any) -> SeparateRef:
+        return self.refs[self.ring.owner_of(mapped_key)]
 
 
 class ShardedGroup:
@@ -85,51 +131,104 @@ class ShardedGroup:
         #: optional user function mapping a routing key object to the stable
         #: key the ring hashes (identity by default)
         self.shard_key = shard_key
-        self.ring = HashRing(shards, name=name, vnodes=vnodes)
+        ring = HashRing(shards, name=name, vnodes=vnodes)
         names = [f"{name}/shard{i}" for i in range(shards)]
-        self.handlers: List[Handler] = runtime.backend.create_shard_handlers(runtime, names)
-        #: one SeparateRef per shard, filled in by :meth:`create` / :meth:`adopt`
-        self.refs: List[SeparateRef] = []
+        handlers = tuple(runtime.backend.create_shard_handlers(runtime, names))
+        self._state = _TopologyState(ring=ring, handlers=handlers, refs=(), epoch=0)
+        #: serialises topology swaps against block entry (snapshot + reserve)
+        self._topology_lock = runtime.backend.create_lock()
+        #: replica factory remembered by :meth:`create`, reused when a
+        #: rebalance grows the group
+        self._factory: Optional[Callable[[], Any]] = None
+        #: handlers dropped from the topology by a shrink; they stay
+        #: registered (and idle) until runtime shutdown
+        self._retired: List[Handler] = []
 
     # ------------------------------------------------------------------
     # populating the shards
     # ------------------------------------------------------------------
     def create(self, cls: Callable[..., Any], *args: Any, **kwargs: Any) -> "ShardedGroup":
         """Instantiate ``cls(*args, **kwargs)`` once per shard; returns self."""
-        return self.adopt([cls(*args, **kwargs) for _ in self.handlers])
+        self._factory = lambda: cls(*args, **kwargs)
+        return self.adopt([cls(*args, **kwargs) for _ in self._state.handlers])
 
     def adopt(self, objects: Sequence[Any]) -> "ShardedGroup":
         """Adopt pre-built replica objects (one per shard, in shard order)."""
-        if self.refs:
+        state = self._state
+        if state.refs:
             raise ScoopError(f"sharded group {self.name!r} already has its replicas")
-        if len(objects) != len(self.handlers):
+        if len(objects) != len(state.handlers):
             raise ScoopError(
-                f"sharded group {self.name!r} has {len(self.handlers)} shards "
+                f"sharded group {self.name!r} has {len(state.handlers)} shards "
                 f"but {len(objects)} replica objects were supplied")
-        self.refs = [handler.adopt(obj) for handler, obj in zip(self.handlers, objects)]
+        refs = tuple(handler.adopt(obj) for handler, obj in zip(state.handlers, objects))
+        self._state = _TopologyState(ring=state.ring, handlers=state.handlers,
+                                     refs=refs, epoch=state.epoch)
         return self
 
     def _check_populated(self) -> None:
-        if not self.refs:
+        if not self._state.refs:
             raise ScoopError(
                 f"sharded group {self.name!r} has no replicas yet; call "
                 f".create(cls, ...) or .adopt([...]) first")
+
+    # ------------------------------------------------------------------
+    # topology views
+    # ------------------------------------------------------------------
+    @property
+    def ring(self) -> HashRing:
+        return self._state.ring
+
+    @property
+    def handlers(self) -> List[Handler]:
+        return list(self._state.handlers)
+
+    @property
+    def refs(self) -> List[SeparateRef]:
+        return list(self._state.refs)
+
+    @property
+    def epoch(self) -> int:
+        """The current ring epoch (starts at 0, +1 per completed rebalance)."""
+        return self._state.epoch
+
+    @property
+    def topology(self) -> ShardTopology:
+        """Read-only topology snapshot: shards, vnodes, epoch, placement."""
+        state = self._state
+        names = [h.name for h in state.handlers]
+        placement = self.runtime.backend.describe_placement(names)
+        return ShardTopology(
+            group=self.name,
+            shards=len(state.handlers),
+            vnodes=state.ring.vnodes,
+            ring_epoch=state.epoch,
+            placement=tuple((name, placement.get(name, "in-process")) for name in names),
+        )
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
     @property
     def shards(self) -> int:
-        return len(self.handlers)
+        return len(self._state.handlers)
+
+    def _map_key(self, key: Any) -> Any:
+        return self.shard_key(key) if self.shard_key else key
 
     def shard_of(self, key: Any) -> int:
-        """The shard index owning ``key`` (after the group's shard_key map)."""
-        return self.ring.owner_of(self.shard_key(key) if self.shard_key else key)
+        """The shard index owning ``key`` (after the group's shard_key map).
+
+        Reads the *current* topology; inside a separate block use the
+        block's proxy, which routes against its reservation-time snapshot.
+        """
+        return self._state.ring.owner_of(self._map_key(key))
 
     def ref_for(self, key: Any) -> SeparateRef:
         """The owning replica's SeparateRef — usable with plain ``rt.separate``."""
         self._check_populated()
-        return self.refs[self.shard_of(key)]
+        state = self._state
+        return state.ref_for_mapped(self._map_key(key))
 
     # ------------------------------------------------------------------
     # separate blocks over the whole group
@@ -139,7 +238,9 @@ class ShardedGroup:
 
         One multi-handler reservation (Section 3.3) covers all shards, so
         requests routed to different shards within the block keep per-shard
-        FIFO while executing genuinely in parallel.
+        FIFO while executing genuinely in parallel.  The block snapshots the
+        topology when it reserves: a concurrent :meth:`rebalance` never
+        re-routes requests already logged inside an open block.
         """
         from repro.shard.proxy import ShardedBlock
 
@@ -154,7 +255,7 @@ class ShardedGroup:
         return AsyncShardedBlock(self.runtime.async_client(), self)
 
     # ------------------------------------------------------------------
-    # resharding (the follow-up hook)
+    # resharding: plan, then apply live
     # ------------------------------------------------------------------
     def plan_reshard(self, new_shards: int, keys: Sequence[Any] = (),
                      vnodes: Optional[int] = None) -> ReshardPlan:
@@ -162,31 +263,170 @@ class ShardedGroup:
 
         Pure planning — nothing moves.  Consistent hashing keeps the moved
         fraction near ``|new - old| / max(new, old)`` instead of the
-        almost-everything a modulo scheme would reshuffle.
+        almost-everything a modulo scheme would reshuffle.  Feed the plan to
+        :meth:`rebalance` to execute it; for the migration to be complete,
+        ``keys`` must enumerate every key whose state has to survive the
+        move (keys never probed are never exported).
         """
         if new_shards < 1:
             raise ScoopError("a sharded group needs at least one shard")
-        new_ring = HashRing(new_shards, name=self.name,
-                            vnodes=vnodes if vnodes is not None else self.ring.vnodes)
-        mapped = [self.shard_key(k) if self.shard_key else k for k in keys]
-        assignments = [(key, self.ring.owner_of(m), new_ring.owner_of(m))
+        state = self._state
+        ring_vnodes = vnodes if vnodes is not None else state.ring.vnodes
+        new_ring = HashRing(new_shards, name=self.name, vnodes=ring_vnodes)
+        mapped = [self._map_key(k) for k in keys]
+        assignments = [(key, state.ring.owner_of(m), new_ring.owner_of(m))
                        for key, m in zip(keys, mapped)]
         moved = [key for key, old, new in assignments if old != new]
-        return ReshardPlan(group=self.name, old_shards=self.shards,
-                           new_shards=new_shards, moved=moved, assignments=assignments)
+        return ReshardPlan(group=self.name, old_shards=len(state.handlers),
+                           new_shards=new_shards, moved=moved,
+                           assignments=assignments, vnodes=ring_vnodes)
 
-    def rebalance(self, new_shards: int) -> None:
-        """Live resharding hook: drain, migrate moved keys, swap the ring.
+    def rebalance(self, plan_or_new_shards: "ReshardPlan | int",
+                  keys: Sequence[Any] = (), vnodes: Optional[int] = None,
+                  replicas: Optional[Sequence[Any]] = None) -> ReshardPlan:
+        """Execute a reshard live: drain, migrate moved keys, swap the ring.
 
-        Deliberately unimplemented for now — :meth:`plan_reshard` computes
-        the migration set; executing it (pausing routed traffic, copying
-        per-key state between replicas, atomically swapping the ring) is
-        the documented follow-up this hook reserves the surface for.
+        Accepts either the :class:`ReshardPlan` from :meth:`plan_reshard`
+        or a target shard count (``keys``/``vnodes`` are then forwarded to
+        :meth:`plan_reshard` first).  The protocol, per the paper's
+        drain-freeze-move-resume discipline:
+
+        1. new shard handlers (and replica objects) are created for a grow —
+           placed through the backend's ``create_shard_handlers`` hook, named
+           ``{group}/shard{i}@e{epoch}`` when a previous shrink retired the
+           base name;
+        2. under the topology lock, the calling client reserves the union of
+           old and new handlers in one multi-reservation and the topology
+           record (ring + handlers + refs + **epoch+1**) is swapped in —
+           every block that reserved before this point routes (and is
+           served) entirely against the old ring, every later block against
+           the new one, so no per-client sequence is dropped or reordered;
+        3. inside the reserved block, each migrating key range is moved by a
+           synchronous ``reshard_export(keys)`` query on the old owner (the
+           drain: it runs only after every earlier block on that shard) and
+           a ``reshard_import(state)`` command on the new owner (ordered
+           before every post-swap block there).  On the process backend the
+           state travels over the existing framed-socket codec seam; on
+           threads/sim/async it is an in-memory handoff;
+        4. the reservation is released; handlers dropped by a shrink retire
+           in place (idle until runtime shutdown).
+
+        The replica class must implement ``reshard_export(keys) -> state``
+        (remove and return the state of those keys) and
+        ``reshard_import(state)`` (absorb it) whenever the plan moves keys.
+        Counters: ``reshard_moves`` grows by ``len(plan.moved)``,
+        ``ring_epoch`` by one.  Do **not** call this while holding a
+        separate block on the same group — the migration needs its own
+        block and would deadlock behind yours.  Returns the executed plan.
         """
-        raise NotImplementedError(
-            "live resharding is a planned follow-up; use plan_reshard(new_shards, keys) "
-            "to compute the migration set today")
+        self._check_populated()
+        if isinstance(plan_or_new_shards, ReshardPlan):
+            plan = plan_or_new_shards
+            if plan.group != self.name:
+                raise ScoopError(
+                    f"reshard plan is for group {plan.group!r}, not {self.name!r}")
+            if plan.old_shards != self.shards:
+                raise ScoopError(
+                    f"stale reshard plan: group {self.name!r} now has "
+                    f"{self.shards} shards but the plan was computed "
+                    f"against {plan.old_shards}")
+        else:
+            plan = self.plan_reshard(int(plan_or_new_shards), keys=keys, vnodes=vnodes)
+
+        old_state = self._state
+        new_count = plan.new_shards
+        ring_vnodes = plan.vnodes if plan.vnodes is not None else old_state.ring.vnodes
+        if new_count == len(old_state.handlers) and ring_vnodes == old_state.ring.vnodes:
+            return plan  # identical ring: nothing to migrate, keep the epoch
+
+        if plan.moved and not self._supports_migration(old_state.refs[0]):
+            raise ScoopError(
+                f"sharded group {self.name!r} cannot migrate keys: the replica "
+                f"class must define reshard_export(keys) and reshard_import(state)")
+
+        # -- step 1: build the new topology's handler/ref lists (outside the
+        # topology lock: process/sim handler startup may block or reschedule)
+        new_handlers = list(old_state.handlers[:new_count])
+        new_refs = list(old_state.refs[:new_count])
+        grown: List[Handler] = []
+        if new_count > len(old_state.handlers):
+            grown, grown_refs = self._grow(old_state, new_count, replicas)
+            new_handlers.extend(grown)
+            new_refs.extend(grown_refs)
+        new_ring = HashRing(new_count, name=self.name, vnodes=ring_vnodes)
+
+        # -- step 2: atomic swap, fused with the migration reservation
+        client = self.runtime.current_client()
+        combined = list(old_state.handlers) + grown
+        self._topology_lock.acquire()
+        try:
+            reservations = client.reserve(combined)
+            self._state = _TopologyState(ring=new_ring, handlers=tuple(new_handlers),
+                                         refs=tuple(new_refs), epoch=old_state.epoch + 1)
+        finally:
+            self._topology_lock.release()
+        self.runtime.counters.bump("ring_epoch")
+
+        # -- step 3: move each migrating key range old owner -> new owner
+        moved_total = 0
+        try:
+            pair_keys: Dict[Tuple[int, int], List[Any]] = {}
+            for key, old_idx, new_idx in plan.assignments:
+                if old_idx != new_idx:
+                    pair_keys.setdefault((old_idx, new_idx), []).append(key)
+            for (old_idx, new_idx) in sorted(pair_keys):
+                moving = pair_keys[(old_idx, new_idx)]
+                state = client.query(old_state.refs[old_idx], "reshard_export", moving)
+                client.call(new_refs[new_idx], "reshard_import", state)
+                moved_total += len(moving)
+        finally:
+            client.release(reservations)
+        if moved_total:
+            self.runtime.counters.add("reshard_moves", moved_total)
+
+        # -- step 4: deferred retirement of handlers a shrink dropped
+        if new_count < len(old_state.handlers):
+            self._retired.extend(old_state.handlers[new_count:])
+        return plan
+
+    @staticmethod
+    def _supports_migration(ref: SeparateRef) -> bool:
+        raw = ref._raw()
+        target = getattr(raw, "_scoop_class", None) or type(raw)
+        return (callable(getattr(target, "reshard_export", None))
+                and callable(getattr(target, "reshard_import", None)))
+
+    def _grow(self, old_state: _TopologyState, new_count: int,
+              replicas: Optional[Sequence[Any]]) -> Tuple[List[Handler], List[SeparateRef]]:
+        """Create handlers + replicas for shards ``old_count .. new_count-1``."""
+        old_count = len(old_state.handlers)
+        wanted = new_count - old_count
+        if replicas is not None:
+            objects = list(replicas)
+            if len(objects) != wanted:
+                raise ScoopError(
+                    f"rebalance of {self.name!r} adds {wanted} shards but "
+                    f"{len(objects)} replica objects were supplied")
+        elif self._factory is not None:
+            objects = [self._factory() for _ in range(wanted)]
+        else:
+            raise ScoopError(
+                f"sharded group {self.name!r} was populated via adopt(); growing "
+                f"it needs the new replica objects (pass replicas=[...])")
+        taken = ({h.name for h in old_state.handlers}
+                 | {h.name for h in self._retired})
+        epoch = old_state.epoch + 1
+        names = []
+        for i in range(old_count, new_count):
+            base = f"{self.name}/shard{i}"
+            # a shrink retires the base name; reuse would collide in the
+            # runtime's registry, so re-grown shards carry the epoch
+            names.append(base if base not in taken else f"{base}@e{epoch}")
+        handlers = list(self.runtime.backend.create_shard_handlers(self.runtime, names))
+        refs = [handler.adopt(obj) for handler, obj in zip(handlers, objects)]
+        return handlers, refs
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return (f"ShardedGroup({self.name!r}, shards={self.shards}, "
-                f"populated={bool(self.refs)})")
+        state = self._state
+        return (f"ShardedGroup({self.name!r}, shards={len(state.handlers)}, "
+                f"epoch={state.epoch}, populated={bool(state.refs)})")

@@ -21,6 +21,15 @@ Inside the block the :class:`ShardedProxy` routes:
 the asyncio backend — same shared protocol engine, with the two waits
 awaited (``await proxy.gather(...)``) instead of blocked on.
 
+Routing is **epoch-consistent**: block entry snapshots the group's
+topology record under the topology lock, atomically with the reservation,
+and the proxy routes every request against that snapshot (its
+:attr:`~ShardedProxy.epoch`).  A concurrent
+:meth:`~repro.shard.group.ShardedGroup.rebalance` therefore never re-routes
+a request inside an open block — blocks are uniformly "before" (old ring,
+served before the migration drains) or "after" (new ring, served after the
+imported state lands) the reshard.
+
 The routing counters (``shard_routes``, ``shard_broadcasts``,
 ``shard_gathers``) are bumped client-side only, identically for thread and
 coroutine clients, so they take part in backend-parity assertions.
@@ -41,11 +50,14 @@ def _merge(results: List[Any], merge: Optional[Callable[[List[Any]], Any]]) -> A
 class ShardedProxy:
     """Routing view of a sharded group inside a (blocking) separate block."""
 
-    __slots__ = ("_group", "_client")
+    __slots__ = ("_group", "_client", "_view")
 
-    def __init__(self, group: Any, client: Client) -> None:
+    def __init__(self, group: Any, client: Client, view: Any = None) -> None:
         self._group = group
         self._client = client
+        # out-of-block construction (diagnostics) falls back to the current
+        # topology; blocks always pass their reservation-time snapshot
+        self._view = view if view is not None else group._state
 
     @property
     def group(self) -> Any:
@@ -53,33 +65,41 @@ class ShardedProxy:
 
     @property
     def shards(self) -> int:
-        return self._group.shards
+        return len(self._view.refs)
+
+    @property
+    def epoch(self) -> int:
+        """The ring epoch this block routes against (fixed at reservation)."""
+        return self._view.epoch
+
+    def _ref_for(self, key: Any) -> Any:
+        return self._view.ref_for_mapped(self._group._map_key(key))
 
     # -- routing -------------------------------------------------------------
     def on(self, key: Any) -> ReservedProxy:
         """The owning shard's reserved proxy for ``key``."""
         self._client.counters.bump("shard_routes")
-        return ReservedProxy(self._group.ref_for(key), self._client)
+        return ReservedProxy(self._ref_for(key), self._client)
 
     def shard(self, index: int) -> ReservedProxy:
         """Direct access to shard ``index`` (diagnostics / migration code)."""
-        return ReservedProxy(self._group.refs[index], self._client)
+        return ReservedProxy(self._view.refs[index], self._client)
 
     def call(self, key: Any, method: str, *args: Any, **kwargs: Any) -> None:
         """Log ``method`` asynchronously on the shard owning ``key``."""
         self._client.counters.bump("shard_routes")
-        self._client.call(self._group.ref_for(key), method, *args, **kwargs)
+        self._client.call(self._ref_for(key), method, *args, **kwargs)
 
     def query(self, key: Any, method: str, *args: Any, **kwargs: Any) -> Any:
         """Synchronous query on the shard owning ``key``."""
         self._client.counters.bump("shard_routes")
-        return self._client.query(self._group.ref_for(key), method, *args, **kwargs)
+        return self._client.query(self._ref_for(key), method, *args, **kwargs)
 
     # -- scatter-gather -------------------------------------------------------
     def broadcast(self, method: str, *args: Any, **kwargs: Any) -> None:
         """Log an asynchronous command on every shard."""
         self._client.counters.bump("shard_broadcasts")
-        for ref in self._group.refs:
+        for ref in self._view.refs:
             self._client.call(ref, method, *args, **kwargs)
 
     def gather(self, method: str, *args: Any,
@@ -92,11 +112,11 @@ class ShardedProxy:
         """
         self._client.counters.bump("shard_gathers")
         pending = [self._client.issue_query(ref, method, *args, **kwargs)
-                   for ref in self._group.refs]
+                   for ref in self._view.refs]
         return _merge([p.wait() for p in pending], merge)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"<ShardedProxy of {self._group!r}>"
+        return f"<ShardedProxy of {self._group!r} @epoch {self._view.epoch}>"
 
 
 class ShardedBlock:
@@ -108,8 +128,16 @@ class ShardedBlock:
         self._reservations: List[Reservation] = []
 
     def __enter__(self) -> ShardedProxy:
-        self._reservations = self._client.reserve(self._group.handlers)
-        return ShardedProxy(self._group, self._client)
+        group = self._group
+        # snapshot + reserve are one atomic step w.r.t. rebalance's swap:
+        # the lock orders this block entirely before or after the reshard
+        group._topology_lock.acquire()
+        try:
+            view = group._state
+            self._reservations = self._client.reserve(list(view.handlers))
+        finally:
+            group._topology_lock.release()
+        return ShardedProxy(group, self._client, view)
 
     def __exit__(self, exc_type, exc, tb) -> None:
         self._client.release(self._reservations)
@@ -119,11 +147,12 @@ class ShardedBlock:
 class AsyncShardedProxy:
     """Awaitable routing view for coroutine clients (asyncio backend)."""
 
-    __slots__ = ("_group", "_async_client")
+    __slots__ = ("_group", "_async_client", "_view")
 
-    def __init__(self, group: Any, async_client: Any) -> None:
+    def __init__(self, group: Any, async_client: Any, view: Any = None) -> None:
         self._group = group
         self._async_client = async_client
+        self._view = view if view is not None else group._state
 
     @property
     def group(self) -> Any:
@@ -131,11 +160,19 @@ class AsyncShardedProxy:
 
     @property
     def shards(self) -> int:
-        return self._group.shards
+        return len(self._view.refs)
+
+    @property
+    def epoch(self) -> int:
+        """The ring epoch this block routes against (fixed at reservation)."""
+        return self._view.epoch
 
     @property
     def _counters(self):
         return self._async_client._client.counters
+
+    def _ref_for(self, key: Any) -> Any:
+        return self._view.ref_for_mapped(self._group._map_key(key))
 
     # -- routing -------------------------------------------------------------
     def on(self, key: Any) -> Any:
@@ -143,26 +180,26 @@ class AsyncShardedProxy:
         from repro.core.async_api import AsyncReservedProxy
 
         self._counters.bump("shard_routes")
-        return AsyncReservedProxy(self._group.ref_for(key), self._async_client)
+        return AsyncReservedProxy(self._ref_for(key), self._async_client)
 
     def shard(self, index: int) -> Any:
         from repro.core.async_api import AsyncReservedProxy
 
-        return AsyncReservedProxy(self._group.refs[index], self._async_client)
+        return AsyncReservedProxy(self._view.refs[index], self._async_client)
 
     async def call(self, key: Any, method: str, *args: Any, **kwargs: Any) -> None:
         self._counters.bump("shard_routes")
-        await self._async_client.call(self._group.ref_for(key), method, *args, **kwargs)
+        await self._async_client.call(self._ref_for(key), method, *args, **kwargs)
 
     async def query(self, key: Any, method: str, *args: Any, **kwargs: Any) -> Any:
         self._counters.bump("shard_routes")
-        return await self._async_client.query(self._group.ref_for(key), method,
+        return await self._async_client.query(self._ref_for(key), method,
                                               *args, **kwargs)
 
     # -- scatter-gather -------------------------------------------------------
     async def broadcast(self, method: str, *args: Any, **kwargs: Any) -> None:
         self._counters.bump("shard_broadcasts")
-        for ref in self._group.refs:
+        for ref in self._view.refs:
             await self._async_client.call(ref, method, *args, **kwargs)
 
     async def gather(self, method: str, *args: Any,
@@ -171,12 +208,12 @@ class AsyncShardedProxy:
         self._counters.bump("shard_gathers")
         pending: List[PendingQuery] = [
             self._async_client.issue_query(ref, method, *args, **kwargs)
-            for ref in self._group.refs
+            for ref in self._view.refs
         ]
         return _merge([await p.wait_async() for p in pending], merge)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"<AsyncShardedProxy of {self._group!r}>"
+        return f"<AsyncShardedProxy of {self._group!r} @epoch {self._view.epoch}>"
 
 
 class AsyncShardedBlock:
@@ -188,8 +225,17 @@ class AsyncShardedBlock:
         self._reservations: List[Reservation] = []
 
     async def __aenter__(self) -> AsyncShardedProxy:
-        self._reservations = self._async_client._client.reserve(self._group.handlers)
-        return AsyncShardedProxy(self._group, self._async_client)
+        group = self._group
+        # same atomic snapshot+reserve as the blocking twin; the critical
+        # section never blocks under the QoQ protocol, so holding the lock
+        # briefly on the event-loop thread is safe
+        group._topology_lock.acquire()
+        try:
+            view = group._state
+            self._reservations = self._async_client._client.reserve(list(view.handlers))
+        finally:
+            group._topology_lock.release()
+        return AsyncShardedProxy(group, self._async_client, view)
 
     async def __aexit__(self, exc_type, exc, tb) -> None:
         self._async_client._client.release(self._reservations)

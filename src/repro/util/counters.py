@@ -21,6 +21,10 @@ The counters correspond directly to the cost sources discussed in the paper:
 * ``shard_routes``      -- requests routed to a shard by key (repro.shard)
 * ``shard_broadcasts``  -- commands fanned out to every shard of a group
 * ``shard_gathers``     -- scatter-gather queries issued across a group
+* ``reshard_moves``     -- keys migrated between shards by a live rebalance
+* ``ring_epoch``        -- ring epoch bumps (= completed rebalances)
+* ``shard_failovers``   -- handlers re-pinned onto a surviving worker after
+                           a process-backend worker death
 """
 
 from __future__ import annotations
@@ -51,6 +55,9 @@ COUNTER_NAMES = (
     "shard_routes",
     "shard_broadcasts",
     "shard_gathers",
+    "reshard_moves",
+    "ring_epoch",
+    "shard_failovers",
 )
 
 

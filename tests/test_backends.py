@@ -16,7 +16,7 @@ import random
 import pytest
 
 from repro import DeadlockError, QsRuntime, SeparateObject, command, query
-from repro.backends import (AsyncBackend, ProcessBackend, SimBackend, ThreadedBackend,
+from repro.backends import (AsyncBackend, BackendSpec, ProcessBackend, SimBackend, ThreadedBackend,
                             create_backend)
 from repro.config import QsConfig
 from repro.workloads.concurrent.runner import run_concurrent
@@ -351,6 +351,51 @@ class TestBackendSelection:
             create_backend("threads:4")
         with pytest.raises(ValueError, match="takes no spec components"):
             create_backend("async:4")
+
+    def test_backend_spec_parse_and_round_trip(self):
+        spec = BackendSpec.parse("process:4:pickle")
+        assert spec == BackendSpec(name="process", processes=4, codec="pickle")
+        assert spec.to_spec() == "process:4:pickle"
+        assert str(spec) == "process:4:pickle"
+        # round trip: parse(to_spec()) is the identity
+        for text in ("threads", "sim", "sim:random", "sim:random:7",
+                     "process", "process:2", "process:json", "process:2:json",
+                     "async"):
+            parsed = BackendSpec.parse(text)
+            assert BackendSpec.parse(parsed.to_spec()) == parsed
+        # aliases canonicalise, case-insensitively
+        assert BackendSpec.parse("PROCESS").name == "process"
+        assert BackendSpec.parse("Threaded").name == "threads"
+        assert BackendSpec.parse("virtual").name == "sim"
+        assert BackendSpec.parse("asyncio").name == "async"
+        # instances pass through parse unchanged
+        assert BackendSpec.parse(spec) is spec
+
+    def test_backend_spec_create_builds_the_right_backend(self):
+        backend = BackendSpec.parse("process:3:json").create()
+        assert isinstance(backend, ProcessBackend)
+        assert backend.processes == 3 and backend.codec == "json"
+        sim = BackendSpec.parse("sim:random:9").create()
+        assert isinstance(sim, SimBackend)
+        assert isinstance(BackendSpec.parse("threads").create(), ThreadedBackend)
+
+    def test_backend_spec_errors_match_string_specs(self):
+        # BackendSpec.parse and create_backend raise the identical message
+        for bad in ("quantum", "sim:bogus", "process:2:3", "threads:4"):
+            with pytest.raises(ValueError) as via_spec:
+                BackendSpec.parse(bad)
+            with pytest.raises(ValueError) as via_create:
+                create_backend(bad)
+            assert str(via_spec.value) == str(via_create.value)
+
+    def test_runtime_and_config_accept_backend_spec(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        with QsRuntime("all", backend=BackendSpec.parse("sim")) as rt:
+            assert rt.backend.name == "sim"
+        config = QsConfig.all().with_(backend=BackendSpec(name="sim"))
+        with QsRuntime(config) as rt:
+            assert rt.backend.name == "sim"
+        assert "backend=sim" in config.describe()
 
     def test_env_var_spec_errors_match_direct_ones(self, monkeypatch):
         # REPRO_BACKEND goes through the same parser, so a typo in the

@@ -188,6 +188,31 @@ class TestBackendOption:
         with pytest.raises(SystemExit):
             main(["--backend", "quantum", "run", "bank-transfers"])
 
+    def test_full_spec_strings_accepted_by_the_flag(self, capsys):
+        # --backend takes any spec create_backend would (not just bare names)
+        code, out = run_cli(capsys, "--backend", "sim:random:7", "trace",
+                            "--clients", "2", "--iterations", "1", "--tail", "3")
+        assert code == 0
+        assert "reasoning guarantees hold" in out
+
+    def test_malformed_spec_rejected_at_the_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--backend", "process:msgpack", "run", "bank-transfers"])
+        assert "invalid backend spec" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("spec", ["process", "process:4:pickle", "PROCESS"])
+    def test_trace_rejects_every_process_spec_spelling(self, spec):
+        # the guard normalises through BackendSpec.parse, so a full spec or
+        # an alias cannot sneak a process backend past it
+        with pytest.raises(SystemExit, match="handler-side trace events"):
+            main(["--backend", spec, "trace", "--clients", "1", "--iterations", "1"])
+
+    @pytest.mark.parametrize("spec", ["process", "process:2:json", "PROCESS"])
+    def test_trace_rejects_process_specs_from_the_environment(self, spec, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", spec)
+        with pytest.raises(SystemExit, match="handler-side trace events"):
+            main(["trace", "--clients", "1", "--iterations", "1"])
+
 
 class TestExperimentAndFigures:
     def test_experiment_table5_runs_from_the_cli(self, capsys):

@@ -16,7 +16,7 @@ import pytest
 
 from repro.cli import build_parser, main
 from repro.errors import SeparateAccessError
-from repro.explore import explore, get_workload, replay, run_once
+from repro.explore import FaultPlan, explore, get_workload, replay, run_once
 from repro.explore.workloads import WORKLOAD_NAMES
 from repro.sched.policy import ScheduleTrace
 
@@ -26,7 +26,7 @@ SEEDS = 30  # enough for the philosophers hunt: roughly half the seeds deadlock
 class TestWorkloadRegistry:
     def test_builtin_workloads_registered(self):
         assert set(WORKLOAD_NAMES) == {"bank-transfers", "sharded-counter",
-                                       "dining-philosophers"}
+                                       "resharding-bank", "dining-philosophers"}
 
     def test_cli_choices_come_from_the_registry(self):
         # the explore sub-command derives its choices from WORKLOAD_NAMES,
@@ -212,6 +212,35 @@ class TestExploreCli:
             main(["explore", "--replay", "some.trace.json"])
         with pytest.raises(SystemExit, match="requires a workload"):
             main(["explore", "--save-trace", "out.json"])
+
+
+class TestReshardingBank:
+    """Live migration fuzzing: lossless under every explored interleaving."""
+
+    @pytest.mark.parametrize("policy", ["random", "pct"])
+    def test_fuzzed_migration_interleavings_stay_lossless(self, policy):
+        report = explore("resharding-bank", seeds=8, policy=policy)
+        assert not report.found_failure, report.failure.summary()
+        assert report.seeds_run == 8
+
+    def test_fault_plan_travels_in_trace_meta_and_replays(self):
+        plan = FaultPlan(reshards=(4, 6, 2))
+        outcome = run_once("resharding-bank", policy="random", seed=5, faults=plan)
+        assert outcome.ok, outcome.summary()
+        assert outcome.trace.meta["reshards"] == [4, 6, 2]
+        # replay rebuilds the same plan from the metadata: identical run
+        again = replay("resharding-bank", outcome.trace)
+        assert again.ok, again.summary()
+        assert again.virtual_time == outcome.virtual_time
+        assert again.decisions == outcome.decisions
+
+    def test_default_plan_is_recorded(self):
+        outcome = run_once("resharding-bank", policy="fifo", seed=0)
+        assert outcome.trace.meta["reshards"] == [5, 2]
+
+    def test_non_fault_aware_workloads_reject_plans(self):
+        with pytest.raises(ValueError, match="not fault-aware"):
+            run_once("bank-transfers", faults=FaultPlan())
 
 
 class TestTraceMetadata:

@@ -35,6 +35,9 @@ PARITY_COUNTERS = (
     "shard_routes",
     "shard_broadcasts",
     "shard_gathers",
+    "reshard_moves",
+    "ring_epoch",
+    "shard_failovers",
 )
 
 
@@ -51,6 +54,28 @@ class Cell(SeparateObject):
     @query
     def read(self) -> int:
         return self.value
+
+
+class Ledger(SeparateObject):
+    """Per-key append logs — migratable state for the rebalance tests."""
+
+    def __init__(self) -> None:
+        self.logs = {}
+
+    @command
+    def record(self, key, value) -> None:
+        self.logs.setdefault(key, []).append(value)
+
+    @query
+    def dump(self) -> dict:
+        return {key: list(log) for key, log in self.logs.items()}
+
+    def reshard_export(self, keys):
+        return {key: self.logs.pop(key) for key in keys if key in self.logs}
+
+    def reshard_import(self, state) -> None:
+        for key, log in state.items():
+            self.logs.setdefault(key, []).extend(log)
 
 
 class ShardAccount(SeparateObject):
@@ -223,10 +248,54 @@ class TestGroupBasics:
         for key, old, new in plan.assignments:
             assert old == group.shard_of(key)
 
-    def test_rebalance_is_the_documented_follow_up(self, qs_runtime):
+    def test_topology_is_a_read_only_snapshot(self, qs_runtime):
+        group = qs_runtime.sharded("cells", shards=3).create(Cell)
+        topo = group.topology
+        assert topo.group == "cells"
+        assert topo.shards == 3
+        assert topo.ring_epoch == 0
+        assert [name for name, _ in topo.placement] == [h.name for h in group.handlers]
+        with pytest.raises(Exception):  # frozen dataclass
+            topo.shards = 5
+
+    def test_rebalance_rejects_a_plan_for_another_group(self, qs_runtime):
+        group = qs_runtime.sharded("cells", shards=2).create(Ledger)
+        other = qs_runtime.sharded("other", shards=2).create(Ledger)
+        plan = other.plan_reshard(3)
+        with pytest.raises(ScoopError, match="is for group 'other'"):
+            group.rebalance(plan)
+
+    def test_rebalance_rejects_a_stale_plan(self, qs_runtime):
+        group = qs_runtime.sharded("cells", shards=2).create(Ledger)
+        stale = group.plan_reshard(3, keys=["a", "b"])
+        group.rebalance(4, keys=["a", "b"])
+        with pytest.raises(ScoopError, match="stale reshard plan"):
+            group.rebalance(stale)
+
+    def test_rebalance_requires_migration_hooks_when_keys_move(self, qs_runtime):
         group = qs_runtime.sharded("cells", shards=2).create(Cell)
-        with pytest.raises(NotImplementedError, match="plan_reshard"):
-            group.rebalance(4)
+        keys = [f"key-{i}" for i in range(50)]
+        with pytest.raises(ScoopError, match="reshard_export"):
+            group.rebalance(4, keys=keys)
+        # ...but a reshard that moves nothing works without the hooks
+        plan = group.rebalance(4)
+        assert plan.moved == [] and group.shards == 4 and group.epoch == 1
+
+    def test_growing_an_adopted_group_needs_replica_objects(self, qs_runtime):
+        group = qs_runtime.sharded("cells", shards=2)
+        group.adopt([Ledger(), Ledger()])
+        with pytest.raises(ScoopError, match="populated via adopt"):
+            group.rebalance(3)
+        group.rebalance(3, replicas=[Ledger()])
+        assert group.shards == 3
+        with pytest.raises(ScoopError, match="1 replica objects were supplied"):
+            group.rebalance(5, replicas=[Ledger()])
+
+    def test_rebalance_to_the_same_ring_is_a_no_op(self, qs_runtime):
+        group = qs_runtime.sharded("cells", shards=3).create(Ledger)
+        plan = group.rebalance(3)
+        assert plan.new_shards == 3
+        assert group.epoch == 0  # identical ring: epoch not bumped
 
 
 # ----------------------------------------------------------------------------
@@ -286,8 +355,128 @@ class TestShardedOnEachBackend:
 
 
 # ----------------------------------------------------------------------------
+# live resharding on every backend
+# ----------------------------------------------------------------------------
+@pytest.mark.parametrize("backend", SHARD_BACKENDS)
+class TestRebalanceOnEachBackend:
+    KEYS = [f"acct-{i}" for i in range(12)]
+
+    def _populate(self, group) -> None:
+        with group.separate() as g:
+            for n, key in enumerate(self.KEYS):
+                g.on(key).record(key, n)
+
+    def _collect(self, group) -> dict:
+        with group.separate() as g:
+            dumps = g.gather("dump")
+        merged = {}
+        for shard, dump in enumerate(dumps):
+            for key, log in dump.items():
+                assert key not in merged, f"{key!r} on two shards after reshard"
+                merged[key] = (shard, log)
+        return merged
+
+    def test_grow_migrates_every_moved_key(self, backend):
+        with QsRuntime("all", backend=backend) as rt:
+            group = rt.sharded("ledgers", shards=3).create(Ledger)
+            self._populate(group)
+            plan = group.rebalance(5, keys=self.KEYS)
+            assert group.shards == 5 and group.epoch == 1
+            merged = self._collect(group)
+            assert set(merged) == set(self.KEYS)
+            for n, key in enumerate(self.KEYS):
+                shard, log = merged[key]
+                assert log == [n]
+                assert shard == group.shard_of(key)  # final ring owns it
+            stats = rt.stats()
+            assert stats["reshard_moves"] == len(plan.moved) > 0
+            assert stats["ring_epoch"] == 1
+
+    def test_shrink_then_regrow_round_trips_state(self, backend):
+        with QsRuntime("all", backend=backend) as rt:
+            group = rt.sharded("ledgers", shards=4).create(Ledger)
+            self._populate(group)
+            group.rebalance(2, keys=self.KEYS)
+            assert group.shards == 2
+            # the regrown shards carry epoch-suffixed handler names (the
+            # shrink retired the base names in the runtime registry)
+            group.rebalance(4, keys=self.KEYS)
+            assert group.shards == 4 and group.epoch == 2
+            merged = self._collect(group)
+            assert set(merged) == set(self.KEYS)
+            for n, key in enumerate(self.KEYS):
+                assert merged[key][1] == [n]
+                assert merged[key][0] == group.shard_of(key)
+            assert rt.stats()["ring_epoch"] == 2
+
+    def test_traffic_lands_on_the_new_ring_after_rebalance(self, backend):
+        with QsRuntime("all", backend=backend) as rt:
+            group = rt.sharded("ledgers", shards=2).create(Ledger)
+            self._populate(group)
+            group.rebalance(5, keys=self.KEYS)
+            with group.separate() as g:
+                for key in self.KEYS:
+                    g.on(key).record(key, "post")
+            merged = self._collect(group)
+            for n, key in enumerate(self.KEYS):
+                # pre-reshard and post-reshard records meet on one shard,
+                # in per-client order
+                assert merged[key][1] == [n, "post"]
+
+    def test_topology_reflects_the_new_placement(self, backend):
+        with QsRuntime("all", backend=backend) as rt:
+            group = rt.sharded("ledgers", shards=2).create(Ledger)
+            before = group.topology
+            group.rebalance(4, keys=[])
+            after = group.topology
+            assert before.shards == 2 and after.shards == 4
+            assert after.ring_epoch == before.ring_epoch + 1
+            assert len(after.placement) == 4
+            hosts = dict(after.placement)
+            if backend == "process":
+                assert all(host.startswith("worker:") for host in hosts.values())
+            else:
+                assert set(hosts.values()) == {"in-process"}
+
+
+# ----------------------------------------------------------------------------
 # cross-backend parity (identical results AND counters)
 # ----------------------------------------------------------------------------
+def resharding_workload(backend: str) -> dict:
+    """Records + two live reshards (grow, shrink); deterministic anywhere."""
+    with QsRuntime("all", backend=backend) as rt:
+        group = rt.sharded("ledgers", shards=3).create(Ledger)
+        keys = [f"acct-{i}" for i in range(10)]
+        with group.separate() as g:
+            for n, key in enumerate(keys):
+                g.on(key).record(key, n)
+        group.rebalance(5, keys=keys)
+        with group.separate() as g:
+            for key in keys:
+                g.on(key).record(key, "mid")
+        group.rebalance(2, keys=keys)
+        with group.separate() as g:
+            dumps = g.gather("dump")
+        counters = {name: rt.stats()[name] for name in PARITY_COUNTERS}
+    merged = {}
+    for dump in dumps:
+        merged.update(dump)
+    return {"merged": merged, "shards": len(dumps), "counters": counters}
+
+
+def test_resharding_backends_agree():
+    results = {backend: resharding_workload(backend) for backend in SHARD_BACKENDS}
+    reference = results["threads"]
+    assert reference["shards"] == 2
+    assert reference["counters"]["ring_epoch"] == 2
+    assert reference["counters"]["reshard_moves"] > 0
+    assert reference["counters"]["shard_failovers"] == 0
+    for backend in SHARD_BACKENDS[1:]:
+        assert results[backend] == reference, (
+            f"resharding results and counters must not depend on the backend "
+            f"({backend} vs threads)")
+
+
 def test_sharded_backends_agree():
     results = {backend: sharded_workload(backend) for backend in SHARD_BACKENDS}
     reference = results["threads"]
