@@ -51,6 +51,7 @@ process-smoke:
 async-smoke:
 	REPRO_BACKEND=async $(PYTHON) -m pytest -q tests/test_backends.py \
 		tests/test_async_backend.py tests/test_client_lifecycle.py
+	REPRO_BACKEND=async:2 $(PYTHON) -m pytest -q tests/test_backends.py
 	$(PYTHON) examples/async_fan_in.py --clients 500 --handlers 2
 
 # the sharding suite across the deployment backends (mirrors CI shard-smoke),

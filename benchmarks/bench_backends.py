@@ -67,7 +67,13 @@ trajectory — with three measurements:
       Probe queries/second, sharded vs unsharded, is the headline
       ``speedup`` — the serving win sharding exists for, on any core
       count.  The full-size bench gates on it staying ≥ 2× at the gate
-      shard count (4).
+      shard count (4).  The async backend's sharded point runs under
+      ``async:shards`` (one event loop per replica): on a single loop the
+      cold replica's coroutine still queues behind the hot one, so
+      spreading replicas over loops is what makes the probe answer —
+      and the CPU-bound kernel means the win needs real cores
+      (``hot_key.async.speedup`` is gated with a ``min_cpu_count``
+      condition).
 
 ``reshard_downtime``
     Live resharding under probe load (``threads`` and ``process``): a
@@ -80,6 +86,24 @@ trajectory — with three measurements:
     preloaded and post-reshard record is still reachable through the new
     ring — a correctness claim, gated in every mode like the parity
     booleans.
+
+``wire_codec``
+    The wire fast path in isolation, on a raw ``FrameStream`` socketpair:
+    a small-call-shaped payload pushed frame by frame (``send``/``recv``,
+    one syscall each) vs. coalesced (``feed``/``flush`` batching a burst
+    into one ``sendall``, ``recv_many`` decoding the burst from one
+    ``recv`` fill), for each of the three codecs.  Encoded frame sizes are
+    recorded alongside; the headline ``speedup`` is coalesced ``bin``
+    throughput over plain ``json`` throughput — the combined win of the
+    compact binary codec and frame coalescing over the original wire.
+
+``async_multiloop``
+    A sharded group of blocking handlers under ``async`` (one event loop:
+    every handler coroutine serialises on it) vs. ``async:nloops`` (shard
+    replicas pinned round-robin across loops, so blocking handlers
+    overlap).  The handlers sleep rather than crunch, so the overlap win
+    is real even on one core; the headline ``speedup`` is single-loop
+    wall over multi-loop wall.
 
 ``fan_in``
     ``threads`` vs. ``async`` at high client fan-in: N concurrent clients
@@ -102,6 +126,7 @@ import json
 import os
 import pathlib
 import platform
+import socket
 import sys
 import threading
 import time
@@ -109,7 +134,9 @@ from typing import Dict, List
 
 from repro import QsRuntime, SeparateObject, command, query
 from repro.config import QsConfig
+from repro.queues.codec import get_codec
 from repro.queues.private_queue import CallRequest, PrivateQueue
+from repro.queues.socket_queue import FrameStream
 from repro.util.counters import Counters
 
 
@@ -535,7 +562,10 @@ def bench_shard_scaling(total_chunks: int, grid: int, limit: int,
         hot_wall = None
         for shards in shard_series:
             per_shard = max(1, total_chunks // shards)
-            run = _shard_compute(backend, shards, per_shard, grid, limit)
+            # async points run one loop per shard (the 1-shard baseline is
+            # the plain single-loop backend either way)
+            spec = f"async:{shards}" if backend == "async" and shards > 1 else backend
+            run = _shard_compute(spec, shards, per_shard, grid, limit)
             if expected_checksum is None:
                 expected_checksum = run["checksum"]
             parity = parity and run["checksum"] == expected_checksum
@@ -550,14 +580,20 @@ def bench_shard_scaling(total_chunks: int, grid: int, limit: int,
 
     hot_key = {"gate_shards": gate_shards}
     for backend in backends:
+        # the async sharded point pins one event loop per replica — on a
+        # single loop the cold replica's coroutine queues behind the hot
+        # one and sharding buys nothing
+        sharded_spec = f"async:{gate_shards}" if backend == "async" else backend
         single = _shard_hot_key(backend, 1, hot_bursts, hot_burst_size, hot_grid, hot_limit)
-        sharded = _shard_hot_key(backend, gate_shards, hot_bursts, hot_burst_size,
+        sharded = _shard_hot_key(sharded_spec, gate_shards, hot_bursts, hot_burst_size,
                                  hot_grid, hot_limit)
         hot_key[backend] = {
             "single": single,
             "sharded": sharded,
             "speedup": round(sharded["queries_per_s"] / max(single["queries_per_s"], 0.1), 3),
         }
+        if backend == "async":
+            hot_key[backend]["loops"] = gate_shards
     return {
         "workload": {"total_chunks": total_chunks, "grid": grid, "limit": limit,
                      "hot_bursts": hot_bursts, "hot_burst_size": hot_burst_size,
@@ -794,6 +830,124 @@ def bench_fan_in(client_series: List[int], handlers: int, pings: int,
 
 
 # ----------------------------------------------------------------------------
+# 8. the wire fast path: codecs x (plain frames vs coalesced bursts)
+# ----------------------------------------------------------------------------
+#: the shape of the dominant wire traffic — one small async call frame
+_SMALL_CALL = {"kind": "call", "feature": "credit", "args": [7], "kwargs": {},
+               "object": 0, "ticket": 12345}
+
+
+def _wire_rps(codec_name: str, frames: int, burst: int, coalesced: bool) -> float:
+    """Frames/second through a FrameStream socketpair, one codec, one path.
+
+    ``coalesced=False`` is the pre-coalescing wire: one ``send`` (one
+    ``sendall`` syscall) and one ``recv`` per frame.  ``coalesced=True``
+    batches each burst with ``feed``/``flush`` into a single ``sendall``
+    and drains it with ``recv_many`` (one ``recv`` fill per burst).  The
+    burst stays far below the socketpair buffer so the sender never
+    blocks on a full pipe.
+    """
+    a, b = socket.socketpair()
+    try:
+        left, right = FrameStream(a, codec_name), FrameStream(b, codec_name)
+        payload = _SMALL_CALL
+        done = 0
+        start = time.perf_counter()
+        while done < frames:
+            n = min(burst, frames - done)
+            if coalesced:
+                for _ in range(n):
+                    left.feed(payload)
+                left.flush()
+                got = 0
+                while got < n:
+                    got += len(right.recv_many(timeout=1.0))
+            else:
+                for _ in range(n):
+                    left.send(payload)
+                for _ in range(n):
+                    right.recv(timeout=1.0)
+            done += n
+        elapsed = time.perf_counter() - start
+    finally:
+        a.close()
+        b.close()
+    return done / elapsed
+
+
+def bench_wire_codec(frames: int, burst: int, repeats: int = 3) -> Dict:
+    codecs = {}
+    for name in ("json", "pickle", "bin"):
+        plain = max(_wire_rps(name, frames, burst, False) for _ in range(repeats))
+        coal = max(_wire_rps(name, frames, burst, True) for _ in range(repeats))
+        codecs[name] = {
+            "frame_bytes": len(get_codec(name).encode(_SMALL_CALL)),
+            "plain_frames_per_s": round(plain),
+            "coalesced_frames_per_s": round(coal),
+            "coalescing_speedup": round(coal / plain, 3),
+        }
+    return {
+        "workload": {"frames": frames, "burst": burst,
+                     "payload": "small call frame (6 fields)"},
+        "codecs": codecs,
+        # headline: the new wire (compact binary + coalesced bursts) over
+        # the original wire (json, frame-per-syscall)
+        "speedup": round(codecs["bin"]["coalesced_frames_per_s"]
+                         / max(codecs["json"]["plain_frames_per_s"], 1), 3),
+    }
+
+
+# ----------------------------------------------------------------------------
+# 9. multi-loop async: blocking shard replicas overlap across event loops
+# ----------------------------------------------------------------------------
+class _Napper(SeparateObject):
+    """A handler that blocks its event loop — the case multi-loop exists for."""
+
+    def __init__(self) -> None:
+        self.naps = 0
+
+    @command
+    def nap(self, seconds: float) -> None:
+        time.sleep(seconds)
+        self.naps += 1
+
+    @query
+    def naps_taken(self) -> int:
+        return self.naps
+
+
+def _multiloop_wall(spec: str, shards: int, naps_per_shard: int,
+                    nap_s: float) -> float:
+    with QsRuntime("all", backend=spec) as rt:
+        group = rt.sharded("nap", shards=shards).create(_Napper)
+        keys = _balanced_chunk_keys(group, naps_per_shard)
+        start = time.perf_counter()
+        with group.separate() as g:
+            for key in keys:
+                g.on(key).nap(nap_s)
+            # the scatter-gather doubles as the drain barrier
+            total = g.gather("naps_taken", merge=sum)
+        wall = time.perf_counter() - start
+    assert total == shards * naps_per_shard, "lost naps"
+    return wall
+
+
+def bench_async_multiloop(shards: int, naps_per_shard: int, nap_s: float) -> Dict:
+    single = _multiloop_wall("async", shards, naps_per_shard, nap_s)
+    multi = _multiloop_wall(f"async:{shards}", shards, naps_per_shard, nap_s)
+    return {
+        "workload": {"shards": shards, "naps_per_shard": naps_per_shard,
+                     "nap_s": nap_s},
+        "loops": shards,
+        "single_loop_s": round(single, 4),
+        "multi_loop_s": round(multi, 4),
+        # headline: one loop serialises every blocking replica; nloops
+        # overlap them — sleep releases the GIL, so this holds on one core
+        "speedup": round(single / multi, 3),
+    }
+
+
+# ----------------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------------
 def main() -> int:
@@ -814,6 +968,8 @@ def main() -> int:
         shard_chunks, shard_series, shard_gate = 4, [1, 2], 2
         hot_bursts, hot_burst_size, hot_grid, hot_limit = 2, 3, 48, 60
         rd_from, rd_to, rd_keys, rd_preload, rd_probes = 2, 3, 8, 64, 40
+        wire_frames, wire_burst = 4_000, 32
+        ml_shards, ml_naps, ml_nap_s = 2, 2, 0.02
     else:
         total, burst = 200_000, 64
         blocks, pings = 500, 50
@@ -823,6 +979,8 @@ def main() -> int:
         shard_chunks, shard_series, shard_gate = 8, [1, 2, 4, 8], 4
         hot_bursts, hot_burst_size, hot_grid, hot_limit = 3, 5, 120, 120
         rd_from, rd_to, rd_keys, rd_preload, rd_probes = 3, 5, 16, 4_000, 400
+        wire_frames, wire_burst = 40_000, 32
+        ml_shards, ml_naps, ml_nap_s = 4, 3, 0.05
 
     results = {
         "meta": {
@@ -841,6 +999,8 @@ def main() -> int:
         "reshard_downtime": bench_reshard_downtime(rd_from, rd_to, rd_keys,
                                                    rd_preload, rd_probes),
         "fan_in": bench_fan_in(fan_series, fan_handlers, fan_pings, fan_gate),
+        "wire_codec": bench_wire_codec(wire_frames, wire_burst),
+        "async_multiloop": bench_async_multiloop(ml_shards, ml_naps, ml_nap_s),
     }
 
     out = pathlib.Path(args.out) if args.out else (
@@ -890,6 +1050,15 @@ def main() -> int:
               f"(worst {row['threads_worst_latency_ms']}ms) | "
               f"async {row['async_s']}s (worst {row['async_worst_latency_ms']}ms) "
               f"-> {row['speedup']}x")
+    wire = results["wire_codec"]
+    for name, row in wire["codecs"].items():
+        print(f"wire [{name}] {row['frame_bytes']}B/frame: "
+              f"plain {row['plain_frames_per_s']:,}/s | coalesced "
+              f"{row['coalesced_frames_per_s']:,}/s ({row['coalescing_speedup']}x)")
+    print(f"wire fast path (bin coalesced vs json plain): {wire['speedup']}x")
+    ml = results["async_multiloop"]
+    print(f"multi-loop async x{ml['loops']} loops: single {ml['single_loop_s']}s "
+          f"-> multi {ml['multi_loop_s']}s ({ml['speedup']}x)")
     print(f"wrote {out}")
 
     # gate the fresh measurement against the checked-in floors; the mode

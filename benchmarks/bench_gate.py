@@ -13,6 +13,10 @@ own ``meta.smoke`` flag, and the matching floor column of
 * every dotted path under ``floors`` must exist and be >= its floor
   (a *missing* series is itself a failure — a benchmark that silently
   stopped producing a number must not pass the gate);
+* a floor entry may carry ``min_cpu_count``: the row is skipped (not
+  failed) when the measurement's recorded ``meta.cpu_count`` is below it
+  — for claims that only hold with real parallel hardware (e.g. the
+  multi-loop async speedup on the CPU-bound hot-key probe);
 * every dotted path under ``require_true`` must be exactly ``true``
   (parity and determinism are correctness claims, gated in every mode).
 
@@ -51,11 +55,16 @@ def resolve(data: Any, dotted: str) -> Any:
 def check(bench: dict, thresholds: dict, mode: str) -> Tuple[list, bool]:
     rows = []
     ok = True
+    cpu_count = bench.get("meta", {}).get("cpu_count") or 0
     for path, floors in thresholds.get("floors", {}).items():
         floor = floors.get(mode)
         value = resolve(bench, path)
         if floor is None:
             rows.append((path, value, f"(no {mode} floor)", "skip"))
+            continue
+        need_cores = floors.get("min_cpu_count")
+        if need_cores is not None and cpu_count < need_cores:
+            rows.append((path, value, f"(needs >= {need_cores} cores)", "skip"))
             continue
         if value is _MISSING:
             rows.append((path, "MISSING", f">= {floor}", "FAIL"))

@@ -13,10 +13,10 @@ is backend-agnostic; a backend decides how handlers and clients *execute*:
 ``process``  each handler in its own OS process behind a socket server;
              clients stay threads of the parent, requests travel as framed
              messages, handlers execute with true multi-core parallelism
-``async``    handlers and coroutine clients as asyncio tasks on one event
-             loop; clients become nearly free, so fan-in scales to tens of
-             thousands of concurrent clients (blocking thread clients
-             still work alongside)
+``async``    handlers and coroutine clients as asyncio tasks on one or
+             more event loops; clients become nearly free, so fan-in
+             scales to tens of thousands of concurrent clients (blocking
+             thread clients still work alongside)
 =========== ==============================================================
 
 Select one with ``QsRuntime(backend="sim")``, ``QsConfig(backend="sim")``,
@@ -25,7 +25,7 @@ on the command line.
 
 Backend specs follow one grammar (every parse error quotes it)::
 
-    threads | sim[:policy[:seed]] | process[:nproc][:codec] | async
+    threads | sim[:policy[:seed]] | process[:nproc][:codec] | async[:nloops]
 
 A sim spec carries a scheduling policy and seed — ``"sim:random"``,
 ``"sim:random:7"``, ``"sim:pct:3"`` — selecting which interleaving the
@@ -33,9 +33,11 @@ simulator executes (see :mod:`repro.sched.policy`); so
 ``REPRO_BACKEND=sim:random:7`` reruns a whole program suite under one
 specific adversarial schedule without touching any source.  A process spec
 carries a worker-process cap and/or a wire codec — ``"process:4"``,
-``"process:json"``, ``"process:2:pickle"`` (see :mod:`repro.queues.codec`).
-``threads`` and ``async`` take no components; trailing components on them
-are rejected rather than silently ignored.
+``"process:json"``, ``"process:2:bin"`` (see :mod:`repro.queues.codec`).
+An async spec carries an event-loop count — ``"async:4"`` runs four loops
+with shard replicas pinned round-robin across them.  ``threads`` takes no
+components; trailing components on it are rejected rather than silently
+ignored.
 """
 
 from __future__ import annotations
@@ -67,7 +69,7 @@ BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
 BACKEND_NAMES = ("threads", "sim", "process", "async")
 
 #: the one spec grammar every parse error points at
-SPEC_GRAMMAR = ("threads | sim[:policy[:seed]] | process[:nproc][:codec] | async "
+SPEC_GRAMMAR = ("threads | sim[:policy[:seed]] | process[:nproc][:codec] | async[:nloops] "
                 f"(policies: {', '.join(POLICY_NAMES)}; codecs: {', '.join(CODEC_NAMES)})")
 
 
@@ -102,7 +104,7 @@ class BackendSpec:
 
     Fields that do not apply to the named backend stay ``None``: ``policy``
     and ``seed`` belong to ``sim``, ``processes`` and ``codec`` to
-    ``process``.  :meth:`parse` is the validating constructor — building an
+    ``process``, ``loops`` to ``async``.  :meth:`parse` is the validating constructor — building an
     instance directly skips grammar checks (``create`` still rejects unknown
     backend names).  ``name`` is always canonical after a parse: aliases
     (``threaded``, ``virtual``, ``processes``, ``asyncio``) collapse to the
@@ -114,6 +116,7 @@ class BackendSpec:
     seed: Optional[int] = None
     processes: Optional[int] = None
     codec: Optional[str] = None
+    loops: Optional[int] = None
 
     @classmethod
     def parse(cls, spec: "str | BackendSpec") -> "BackendSpec":
@@ -162,10 +165,16 @@ class BackendSpec:
                     raise _spec_error(
                         text, f"invalid component {part!r} (neither a process count nor a codec)")
             return cls(name=canonical, processes=processes, codec=codec)
+        if factory is AsyncBackend:
+            if not rest.isdigit() or int(rest) < 1:
+                raise _spec_error(
+                    text, f"invalid event-loop count {rest!r} (a positive integer)")
+            return cls(name=canonical, loops=int(rest))
         raise _spec_error(
             text,
             f"the {base!r} backend takes no spec components "
-            "(only sim takes a policy/seed, process a count/codec)")
+            "(only sim takes a policy/seed, process a count/codec, "
+            "async a loop count)")
 
     def to_spec(self) -> str:
         """The canonical spec string (``parse(s.to_spec()) == s`` for parsed specs)."""
@@ -178,6 +187,8 @@ class BackendSpec:
             parts.append(str(self.processes))
         if self.codec is not None:
             parts.append(self.codec)
+        if self.loops is not None:
+            parts.append(str(self.loops))
         return ":".join(parts)
 
     def __str__(self) -> str:
@@ -197,6 +208,8 @@ class BackendSpec:
             return SimBackend(policy=make_policy(self.policy, seed=seed), seed=seed)
         if factory is ProcessBackend:
             return ProcessBackend(processes=self.processes, codec=self.codec or "pickle")
+        if factory is AsyncBackend:
+            return AsyncBackend(loops=self.loops or 1)
         return factory()
 
 
@@ -205,10 +218,10 @@ def create_backend(name: "str | BackendSpec | ExecutionBackend | None") -> Execu
 
     A spec is a backend name optionally followed by backend-specific
     components: a sim scheduling policy and seed (``"sim:random"``,
-    ``"sim:pct:42"``) or a process count and codec (``"process:4:json"``) —
-    as a string or an equivalent :class:`BackendSpec`.  Components on the
-    threaded and async backends are rejected — silently ignoring them would
-    be misleading.  Every malformed spec raises a ``ValueError`` naming the
+    ``"sim:pct:42"``), a process count and codec (``"process:4:json"``), or
+    an async event-loop count (``"async:4"``) — as a string or an
+    equivalent :class:`BackendSpec`.  Components on the threaded backend
+    are rejected — silently ignoring them would be misleading.  Every malformed spec raises a ``ValueError`` naming the
     valid grammar (:data:`SPEC_GRAMMAR`).
     """
     if name is None:

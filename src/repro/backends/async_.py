@@ -3,24 +3,24 @@
 The thread and process backends model every client as an OS thread, which
 caps realistic fan-in at a few hundred clients — far from the paper's
 motivating regime of "heavy traffic from millions of users".
-:class:`AsyncBackend` moves the *client* side onto a single :mod:`asyncio`
-event loop, where a client is a coroutine task costing a few KiB instead of
+:class:`AsyncBackend` moves the *client* side onto :mod:`asyncio` event
+loops, where a client is a coroutine task costing a few KiB instead of
 a stack and a kernel schedulable entity; ten thousand concurrent clients
 are routine (see the ``fan_in`` series of ``benchmarks/bench_backends.py``).
 
 How the pieces execute:
 
 * **Handlers are asyncio tasks.**  Each handler's queue-of-queues drain
-  loop runs as a coroutine on the backend's event loop (a dedicated
-  daemon thread).  Instead of blocking in the queues' condition variables
-  it parks on a per-handler :class:`asyncio.Event` that the queues' new
-  *drain-waiter* seam resolves on every enqueue
+  loop runs as a coroutine on one of the backend's event loops (each a
+  dedicated daemon thread).  Instead of blocking in the queues' condition
+  variables it parks on a per-handler :class:`asyncio.Event` that the
+  queues' *drain-waiter* seam resolves on every enqueue
   (:meth:`~repro.queues.private_queue.PrivateQueue.register_drain_waiter`)
   — futures resolved on enqueue, with the batched drain fast path and the
   request dispatch (:meth:`~repro.core.handler.Handler.drain_batch`)
   unchanged.
 * **Awaitable clients are asyncio tasks too.**  ``runtime.spawn_async_client``
-  runs a coroutine client on the same loop; it talks to handlers through
+  runs a coroutine client on one of the loops; it talks to handlers through
   the awaitable surface of :class:`~repro.core.async_api.AsyncClient`
   (``await call/query/sync``, ``async with runtime.separate_async(...)``),
   whose waits resolve through :class:`AsyncEventHandle` futures instead of
@@ -32,8 +32,21 @@ How the pieces execute:
   kinds of client coexist against the same handlers with identical
   counters — which is what lets the backend-parity suite run unmodified.
 
+**Multi-loop mode** (``backend="async:nloops"``) runs *nloops* event loops,
+each on its own daemon thread.  A handler is created on exactly one loop
+and stays there for life — so per-handler guarantees are untouched: its
+requests still execute one at a time, in order, on one thread (ownership
+binds to that loop's thread exactly as the single-loop backend binds to
+its only thread).  What multi-loop adds is parallelism *between* handlers:
+shard replicas are pinned round-robin across loops through the
+:meth:`create_shard_handlers` placement hook, so an I/O-heavy hot shard no
+longer convoys every other shard behind its waits.  (CPU-bound handler
+bodies still share the GIL; the win is for handlers that block in I/O or
+sleep, and for isolating a flooded handler's backlog from its neighbours'
+latency.)  Coroutine clients are spread round-robin over the same loops.
+
 All reservation/protocol code is shared with the other backends; only the
-blocking points differ.  Because every handler shares the loop thread, a
+blocking points differ.  Because handlers share their loop's thread, a
 request body must not block (no blocking queries from inside handler code
 — the ``threadring``-style handler-as-client pattern needs ``threads``).
 """
@@ -44,20 +57,96 @@ import asyncio
 import threading
 import time
 from collections import deque
-from typing import Any, Callable, Coroutine, Deque, List, Optional, Tuple
+from typing import Any, Callable, Coroutine, Deque, Dict, List, Optional, Tuple
 
 from repro.backends.base import ClientHandle, ExecutionBackend
 from repro.errors import ScoopError
 from repro.queues.qoq import SHUTDOWN
 
 
+class _LoopThread:
+    """One asyncio event loop on its own daemon thread, with coalesced posts.
+
+    Cross-thread callbacks go through one shared deque per loop: posting
+    coalesces the loop wake-ups (one self-pipe write per burst instead of
+    one per callback — at 10k client spawns that is the difference between
+    a syscall storm and a handful of writes).
+    """
+
+    __slots__ = ("index", "loop", "thread", "_ready",
+                 "_pending", "_pending_lock", "_pending_scheduled")
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(target=self._run, name=f"async-loop-{index}",
+                                       daemon=True)
+        self._ready = threading.Event()
+        self._pending: Deque[Tuple[Callable[..., None], tuple]] = deque()
+        self._pending_lock = threading.Lock()
+        self._pending_scheduled = False
+
+    def start(self) -> None:
+        self.thread.start()
+        self._ready.wait()
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self.loop)
+        self.loop.call_soon(self._ready.set)
+        try:
+            self.loop.run_forever()
+        finally:
+            # give cancelled tasks one chance to unwind, then close for good
+            pending = asyncio.all_tasks(self.loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                self.loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True))
+            self.loop.close()
+
+    def post(self, callback: Callable[..., None], *args: Any) -> None:
+        """Run ``callback`` on this loop, from any thread; no-op once closed."""
+        if threading.current_thread() is self.thread:
+            # same-thread fast path: skip the self-pipe write (this is the
+            # hot path for coroutine clients waking their handlers)
+            self.loop.call_soon(callback, *args)
+            return
+        with self._pending_lock:
+            self._pending.append((callback, args))
+            if self._pending_scheduled:
+                return
+            self._pending_scheduled = True
+        try:
+            self.loop.call_soon_threadsafe(self._drain_pending)
+        except RuntimeError:  # loop already closed during teardown
+            with self._pending_lock:
+                self._pending_scheduled = False
+
+    def _drain_pending(self) -> None:
+        """Run every coalesced cross-thread callback (on the loop thread)."""
+        while True:
+            with self._pending_lock:
+                if not self._pending:
+                    self._pending_scheduled = False
+                    return
+                callback, args = self._pending.popleft()
+            callback(*args)
+
+    def stop(self, timeout: float) -> None:
+        self.post(self.loop.stop)
+        self.thread.join(timeout=timeout)
+
+
 class AsyncEventHandle:
     """Event usable from both worlds: blocking threads and coroutines.
 
     ``wait``/``set``/``is_set``/``clear`` follow :class:`threading.Event`;
-    ``wait_async`` additionally lets a coroutine on the backend's loop await
-    the event without blocking the loop.  ``set()`` may be called from any
-    thread: pending loop futures are resolved threadsafe.
+    ``wait_async`` additionally lets a coroutine on one of the backend's
+    loops await the event without blocking that loop.  ``set()`` may be
+    called from any thread: each pending future is resolved on the loop it
+    was created on (futures are loop-bound, and with multiple loops the
+    waiters of one event may span several of them).
 
     One of these is allocated per sync round trip and per packaged query,
     so the constructor stays skeletal: the :class:`threading.Event` a
@@ -83,14 +172,8 @@ class AsyncEventHandle:
             thread_event.set()
         if not waiters:
             return
-        if self._backend.on_loop_thread():
-            # handlers fire sync releases / result boxes from the loop, so
-            # this is the hot path: resolve the futures in place
-            for fut in waiters:
-                self._resolve(fut)
-        else:
-            for fut in waiters:
-                self._backend._post(self._resolve, fut)
+        for fut in waiters:
+            self._backend._resolve_future(fut)
 
     @staticmethod
     def _resolve(fut: asyncio.Future) -> None:
@@ -120,7 +203,10 @@ class AsyncEventHandle:
     async def wait_async(self) -> bool:
         if self._flag:
             return True
-        fut = self._backend.loop.create_future()
+        # the future must belong to the loop this coroutine runs on — with
+        # multiple loops "the backend's loop" is ambiguous, the running one
+        # is not
+        fut = asyncio.get_running_loop().create_future()
         with self._lock:
             # re-check under the lock: a set() racing with registration must
             # either see the future or have left the flag set
@@ -173,27 +259,35 @@ class AsyncClientHandle(ClientHandle):
 
 
 class AsyncBackend(ExecutionBackend):
-    """Execute handlers and coroutine clients on one asyncio event loop."""
+    """Execute handlers and coroutine clients on one or more asyncio loops."""
 
     name = "async"
     #: the runtime's awaitable client API checks this before wiring itself up
     supports_async_clients = True
 
-    def __init__(self) -> None:
+    def __init__(self, loops: int = 1) -> None:
+        if loops < 1:
+            raise ValueError(f"AsyncBackend needs at least one loop, got {loops}")
         self.runtime: Any = None
-        self.loop: Optional[asyncio.AbstractEventLoop] = None
-        self._loop_thread: Optional[threading.Thread] = None
-        self._loop_ready = threading.Event()
+        self.nloops = loops
+        self._loops: List[_LoopThread] = []
+        self._by_loop: Dict[asyncio.AbstractEventLoop, _LoopThread] = {}
+        self._threads: set = set()
         self._started = False
         self._finished = False
-        #: cross-thread callbacks waiting to be drained on the loop; posting
-        #: through one shared deque coalesces the loop wake-ups (one
-        #: self-pipe write per burst instead of one per callback — at 10k
-        #: client spawns that is the difference between a syscall storm and
-        #: a handful of writes)
-        self._pending: Deque[Tuple[Callable[..., None], tuple]] = deque()
-        self._pending_lock = threading.Lock()
-        self._pending_scheduled = False
+        #: shard-placement pins (handler name -> loop index) set by
+        #: create_shard_handlers before the handlers are started
+        self._pins: Dict[str, int] = {}
+        #: where each started handler landed (for describe_placement)
+        self._loop_of: Dict[str, int] = {}
+        self._rr_lock = threading.Lock()
+        self._handler_rr = 0
+        self._client_rr = 0
+
+    @property
+    def loop(self) -> Optional[asyncio.AbstractEventLoop]:
+        """The primary event loop (single-loop compatibility surface)."""
+        return self._loops[0].loop if self._loops else None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -204,80 +298,70 @@ class AsyncBackend(ExecutionBackend):
                              "create a fresh backend per runtime")
         self._started = True
         self.runtime = runtime
-        self.loop = asyncio.new_event_loop()
-        self._loop_thread = threading.Thread(target=self._run_loop, name="async-loop",
-                                             daemon=True)
-        self._loop_thread.start()
-        self._loop_ready.wait()
-
-    def _run_loop(self) -> None:
-        asyncio.set_event_loop(self.loop)
-        self.loop.call_soon(self._loop_ready.set)
-        try:
-            self.loop.run_forever()
-        finally:
-            # give cancelled tasks one chance to unwind, then close for good
-            pending = asyncio.all_tasks(self.loop)
-            for task in pending:
-                task.cancel()
-            if pending:
-                self.loop.run_until_complete(
-                    asyncio.gather(*pending, return_exceptions=True))
-            self.loop.close()
+        self._loops = [_LoopThread(i) for i in range(self.nloops)]
+        for lp in self._loops:
+            lp.start()
+        self._by_loop = {lp.loop: lp for lp in self._loops}
+        self._threads = {lp.thread for lp in self._loops}
 
     def shutdown(self, timeout: float = 10.0) -> None:
         if not self._started or self._finished:
             return
         self._finished = True
-        self._post(self.loop.stop)
-        if self._loop_thread is not None:
-            self._loop_thread.join(timeout=timeout)
+        for lp in self._loops:
+            lp.stop(timeout)
 
     # ------------------------------------------------------------------
     # loop plumbing
     # ------------------------------------------------------------------
-    def _post(self, callback: Callable[..., None], *args: Any) -> None:
-        """Run ``callback`` on the loop, from any thread; no-op once closed."""
-        if threading.current_thread() is self._loop_thread:
-            # same-thread fast path: skip the self-pipe write (this is the
-            # hot path for coroutine clients waking their handlers)
-            self.loop.call_soon(callback, *args)
-            return
-        with self._pending_lock:
-            self._pending.append((callback, args))
-            if self._pending_scheduled:
-                return
-            self._pending_scheduled = True
-        try:
-            self.loop.call_soon_threadsafe(self._drain_pending)
-        except RuntimeError:  # loop already closed during teardown
-            with self._pending_lock:
-                self._pending_scheduled = False
-
-    def _drain_pending(self) -> None:
-        """Run every coalesced cross-thread callback (on the loop thread)."""
-        while True:
-            with self._pending_lock:
-                if not self._pending:
-                    self._pending_scheduled = False
-                    return
-                callback, args = self._pending.popleft()
-            callback(*args)
-
     def on_loop_thread(self) -> bool:
-        return threading.current_thread() is self._loop_thread
+        return threading.current_thread() in self._threads
+
+    def _resolve_future(self, fut: asyncio.Future) -> None:
+        """Resolve an event-handle future on the loop that owns it."""
+        lp = self._by_loop.get(fut.get_loop())
+        if lp is not None:
+            if threading.current_thread() is lp.thread:
+                # handlers fire sync releases / result boxes from their own
+                # loop, so this is the hot path: resolve in place
+                AsyncEventHandle._resolve(fut)
+            else:
+                lp.post(AsyncEventHandle._resolve, fut)
+            return
+        try:  # pragma: no cover - future from a loop we do not own
+            fut.get_loop().call_soon_threadsafe(AsyncEventHandle._resolve, fut)
+        except RuntimeError:
+            pass
+
+    def _next_client_loop(self) -> _LoopThread:
+        with self._rr_lock:
+            index = self._client_rr
+            self._client_rr += 1
+        return self._loops[index % len(self._loops)]
+
+    def _assign_handler_loop(self, name: str) -> _LoopThread:
+        """Pick the loop a new handler lives on (pin beats round-robin)."""
+        with self._rr_lock:
+            pin = self._pins.pop(name, None)
+            if pin is None:
+                pin = self._handler_rr
+                self._handler_rr += 1
+            index = pin % len(self._loops)
+            self._loop_of[name] = index
+        return self._loops[index]
 
     def spawn_task(self, factory: Callable[[], Coroutine], name: str) -> AsyncClientHandle:
         """Schedule ``factory()`` as a loop task; returns a joinable handle."""
         if self._finished:
             raise ScoopError("the async backend has been shut down")
         handle = AsyncClientHandle(name)
+        lp = self._next_client_loop()
 
         def _start() -> None:
-            task = self.loop.create_task(factory(), name=name)
+            task = lp.loop.create_task(factory(), name=name)
             task.add_done_callback(lambda _t: handle._mark_done())
 
-        self._post(_start)
+        lp.post(_start)
         return handle
 
     # ------------------------------------------------------------------
@@ -288,7 +372,7 @@ class AsyncBackend(ExecutionBackend):
 
     def create_lock(self) -> Any:
         # reservation spinlocks protect a handful of non-awaiting
-        # instructions, so a plain thread lock is safe on the loop too
+        # instructions, so a plain thread lock is safe on the loops too
         return threading.Lock()
 
     def now(self) -> float:
@@ -311,13 +395,14 @@ class AsyncBackend(ExecutionBackend):
             return waker
 
         def _wake() -> None:
-            if threading.current_thread() is self._loop_thread:
-                # coroutine clients enqueue from the loop itself: setting
-                # the (idempotent) event in place skips a scheduled callback
-                # per request — the fan-in hot path
+            lp: _LoopThread = handler._async_loop
+            if threading.current_thread() is lp.thread:
+                # clients coroutines on the handler's own loop enqueue from
+                # that loop: setting the (idempotent) event in place skips a
+                # scheduled callback per request — the fan-in hot path
                 handler._async_wake.set()
             else:
-                self._post(self._set_wake, handler)
+                lp.post(self._set_wake, handler)
 
         handler._async_waker = _wake
         return _wake
@@ -327,32 +412,50 @@ class AsyncBackend(ExecutionBackend):
         handler._async_wake.set()
 
     def start_handler(self, handler: Any) -> None:
+        lp = self._assign_handler_loop(handler.name)
+        handler._async_loop = lp
         handler._async_wake = asyncio.Event()
         handler._async_done = threading.Event()
-        # the loop thread executes every handler, so bind ownership there —
-        # the SeparateObject access checks keep working unchanged
-        handler._thread = self._loop_thread
-        handler.owner.bind_thread(self._loop_thread)
+        # one loop thread executes this handler for life, so bind ownership
+        # there — the SeparateObject access checks keep working unchanged
+        handler._thread = lp.thread
+        handler.owner.bind_thread(lp.thread)
         handler.qoq.register_drain_waiter(self._waker(handler))
 
         def _start() -> None:
-            task = self.loop.create_task(self._handler_loop(handler),
-                                         name=f"handler:{handler.name}")
+            task = lp.loop.create_task(self._handler_loop(handler),
+                                       name=f"handler:{handler.name}")
             task.add_done_callback(lambda _t: handler._async_done.set())
 
-        self._post(_start)
+        lp.post(_start)
 
     def stop_handler(self, handler: Any, timeout: float = 5.0) -> None:
         # the stop flag is set and the queue-of-queues closed by the caller
         # (close itself fires the drain waiter); nudge once more in case the
         # task was parked on an abandoned private queue, then wait it out
-        self._post(self._set_wake, handler)
+        handler._async_loop.post(self._set_wake, handler)
         handler._async_done.wait(timeout=timeout)
 
     def create_private_queue(self, handler: Any, counters: Any) -> Any:
         queue = super().create_private_queue(handler, counters)
         queue.register_drain_waiter(self._waker(handler))
         return queue
+
+    def create_shard_handlers(self, runtime: Any, names: List[str]) -> List[Any]:
+        """Pin consecutive shard replicas to distinct loops (round-robin).
+
+        With one loop this is a no-op placement; with ``async:nloops`` it is
+        what turns sharding into real between-handler parallelism — the
+        same contract the process backend implements across worker
+        processes, here across event loops.
+        """
+        with self._rr_lock:
+            for i, name in enumerate(names):
+                self._pins[name] = i
+        return super().create_shard_handlers(runtime, names)
+
+    def describe_placement(self, names: List[str]) -> Dict[str, str]:
+        return {name: f"loop:{self._loop_of.get(name, 0)}" for name in names}
 
     async def _handler_loop(self, handler: Any) -> None:
         """The handler loop of Fig. 7, with awaits at the blocking points."""
@@ -402,11 +505,11 @@ class AsyncBackend(ExecutionBackend):
     # the blocking-loop hooks are never reached: start_handler runs the
     # coroutine loop above instead of Handler._loop
     def handler_next_queue(self, handler: Any) -> Optional[Any]:  # pragma: no cover
-        raise ScoopError("the async backend drains handlers on its event loop")
+        raise ScoopError("the async backend drains handlers on its event loops")
 
     def handler_next_batch(self, handler: Any, private_queue: Any,
                            max_items: int) -> Optional[List[Any]]:  # pragma: no cover
-        raise ScoopError("the async backend drains handlers on its event loop")
+        raise ScoopError("the async backend drains handlers on its event loops")
 
     # ------------------------------------------------------------------
     # client plumbing
@@ -420,4 +523,5 @@ class AsyncBackend(ExecutionBackend):
         return thread
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"AsyncBackend(loop_running={self.loop is not None and self.loop.is_running()})"
+        running = bool(self._loops) and self._loops[0].loop.is_running()
+        return f"AsyncBackend(loops={self.nloops}, running={running})"

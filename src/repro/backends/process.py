@@ -58,7 +58,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.backends.threaded import ThreadedBackend
 from repro.errors import ScoopError
-from repro.queues.codec import get_codec
+from repro.queues.codec import CODECS, get_codec
 from repro.queues.private_queue import ResultBox, SyncRequest
 from repro.queues.socket_queue import FrameStream, SocketQueueClosed
 
@@ -241,6 +241,9 @@ class ProcessPrivateQueue:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             sock.settimeout(None)
             self._stream = FrameStream(sock, self.backend.codec)
+            # hello stays an eager send: the worker's registration window is
+            # bounded (10 s), and a connection is made once then reused
+            # across blocks — only per-call frames are worth coalescing
             self._stream.send({"kind": "hello", "handler": self.handler.name,
                                "token": self.backend.token, "client": self.client_name})
             self.backend.register_stream(self._stream)
@@ -266,24 +269,73 @@ class ProcessPrivateQueue:
         stream = self._connect()
         if self._pending_ticket is not None:
             ticket, self._pending_ticket = self._pending_ticket, None
-            stream.send({"kind": "open", "ticket": ticket, "block": self.block_id})
+            stream.feed({"kind": "open", "ticket": ticket, "block": self.block_id})
         return stream
 
-    def _send(self, payload: Dict[str, Any]) -> None:
-        """Journal, then ship one data frame; fail over on a dead worker.
+    def _feed(self, payload: Dict[str, Any]) -> None:
+        """Journal, then *buffer* one data frame; fail over on a dead worker.
 
-        The journal write happens *before* the send, so a frame lost with a
+        The journal write happens *before* the feed, so a frame lost with a
         crashing worker is replayed by :meth:`_failover_reconnect` (which
         re-sends the whole current block, this frame included — hence no
-        retry here after a reconnect).
+        retry here after a reconnect).  The frame goes out with the next
+        :meth:`_flush_wire` — or immediately, once enough frames are pending
+        that the stream flushes the burst itself (syscall coalescing: many
+        asynchronous calls, one ``sendall``).
         """
         self.backend.journal_frame(self.handler.name, self._ticket, payload)
         try:
-            self._ensure_open().send(payload)
+            stream = self._ensure_open()
+            flushed = stream.feed(payload)
+            self._check_delivery(stream, flushed)
         except (OSError, SocketQueueClosed):
             if not self.backend.failover:
                 raise
             self._failover_reconnect()
+            return
+        self._note_coalesced(flushed)
+
+    def _flush_wire(self) -> None:
+        """Ship every buffered frame in one ``sendall`` (before any wait)."""
+        stream = self._stream
+        if stream is None:
+            return
+        try:
+            flushed = stream.flush()
+            self._check_delivery(stream, flushed)
+        except (OSError, SocketQueueClosed):
+            if not self.backend.failover:
+                raise
+            self._failover_reconnect()
+            return
+        self._note_coalesced(flushed)
+
+    @staticmethod
+    def _check_delivery(stream: FrameStream, flushed: int) -> None:
+        """Raise if a just-flushed burst went to an already dead worker.
+
+        A whole coalesced block can leave in *one* ``sendall``, and a
+        sendall into a freshly killed worker's socket succeeds (the kernel
+        buffers it before the RST lands).  A block that contains no reply
+        wait would then complete without anyone noticing the loss — and
+        its ticket becomes a gap that wedges the replacement worker's
+        in-order drain forever.  The peer's FIN is already queued locally
+        by then, so probing for it turns the silent loss into the normal
+        failover path, which replays the journaled block.
+        """
+        if flushed and stream.peer_closed():
+            raise SocketQueueClosed("worker closed while a burst was in flight")
+
+    def _note_coalesced(self, flushed: int) -> None:
+        # N frames in one sendall = N-1 syscalls saved; the counter is a
+        # pure frame count, so it is identical across wire codecs
+        if flushed > 1:
+            self.counters.add("wire_frames_coalesced", flushed - 1)
+
+    def _send(self, payload: Dict[str, Any]) -> None:
+        """Journal, buffer and flush one frame (the synchronous-path send)."""
+        self._feed(payload)
+        self._flush_wire()
 
     def _failover_reconnect(self) -> None:
         """Re-establish the current block on the dead worker's replacement.
@@ -309,6 +361,9 @@ class ProcessPrivateQueue:
                                  "block": self.block_id})
                 for frame in self.backend.journal_for(self.handler.name, self._ticket):
                     stream.send(frame)
+                # the replay itself is fire-and-forget: make sure it did not
+                # just vanish into a replacement that died mid-replay
+                self._check_delivery(stream, 1)
                 self._pending_ticket = None
                 # every reply this block already consumed comes again; replies
                 # pending on the discarded stream died with it (hence =, not +=)
@@ -327,7 +382,9 @@ class ProcessPrivateQueue:
         if request.payload_bytes:
             self.counters.add("bytes_copied", request.payload_bytes)
         self.synced = False
-        self._send(self._call_payload("call", request))
+        # asynchronous calls only feed: the burst is flushed by the next
+        # synchronous frame (sync/query/end) or the stream's own batch limit
+        self._feed(self._call_payload("call", request))
 
     def enqueue_sync(self, request: Optional[SyncRequest] = None) -> SyncRequest:
         if request is None:
@@ -408,10 +465,16 @@ class ProcessPrivateQueue:
                 "args": list(request.args[1:]), "kwargs": dict(request.kwargs or {})}
 
     def _require_pickle(self, what: str) -> None:
-        if self.backend.codec != "pickle":
+        """Reject codecs that cannot ship arbitrary objects (callables).
+
+        Only the full-fidelity codecs qualify: 'pickle' outright, and 'bin'
+        via its pickle fallback for non-native values.
+        """
+        if not CODECS[self.backend.codec].faithful:
             raise ScoopError(
                 f"the {self.backend.codec!r} wire codec cannot {what}; "
-                f"use the process backend's pickle codec (e.g. backend='process:pickle')")
+                f"use a full-fidelity codec — 'pickle' or 'bin' "
+                f"(e.g. backend='process:bin')")
 
     def _recv_reply(self, what: str) -> Dict[str, Any]:
         while True:

@@ -36,9 +36,12 @@ command            what it does
 The global ``--backend {threads,sim,process,async}`` option selects the
 execution backend for the commands that run the runtime (``run``,
 ``trace``): OS threads in wall-clock time, the deterministic virtual-time
-simulator, one OS process per handler, or one asyncio event loop hosting
+simulator, one OS process per handler, or asyncio event loops hosting
 every handler (and any coroutine clients) — e.g. ``repro --backend sim run
 bank-transfers`` or ``repro --backend async run dining-philosophers``.
+Full specs work too: ``process:4:bin`` caps the worker pool at four and
+selects the compact binary wire codec, ``async:4`` spreads handlers over
+four event loops (see ``docs/backends.md``).
 
 Every sub-command prints plain text only; exit status 0 means success, 1 is
 used for analysis results that found problems (deadlock cycles, guarantee

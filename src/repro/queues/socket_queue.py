@@ -8,11 +8,14 @@ implements exactly that:
 
 * :class:`FrameStream` is the hardened transport: 4-byte big-endian
   length-prefixed frames whose payloads go through a pluggable
-  :class:`~repro.queues.codec.Codec` (JSON by default, pickle for
-  full-fidelity same-trust links).  Each stream keeps a per-connection
-  receive buffer, so a timeout in the middle of a frame *never* desyncs the
-  stream: the bytes already received wait in the buffer and the next read
-  resumes where the last one stopped.
+  :class:`~repro.queues.codec.Codec` (JSON by default, pickle or the
+  compact ``bin`` codec for full-fidelity same-trust links).  Each stream
+  keeps a per-connection receive buffer, so a timeout in the middle of a
+  frame *never* desyncs the stream: the bytes already received wait in the
+  buffer and the next read resumes where the last one stopped.  Small
+  frames can be *coalesced*: ``feed`` buffers encoded frames and ``flush``
+  ships them in one ``sendall`` (one syscall for a burst of calls), and
+  ``recv_many`` decodes every complete frame a single buffer fill yields.
 * :class:`SocketPrivateQueue` exposes the same client/handler surface as
   :class:`~repro.queues.private_queue.PrivateQueue` (``enqueue_call`` /
   ``enqueue_sync`` / ``enqueue_end`` / ``dequeue`` plus the dynamic ``synced``
@@ -29,12 +32,13 @@ also be used standalone (see ``benchmarks/bench_ablations.py``).
 
 from __future__ import annotations
 
+import select
 import socket
 import struct
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ScoopError
 from repro.queues.codec import Codec, get_codec
@@ -52,9 +56,35 @@ _CALL, _SYNC, _END, _RESULT, _ERROR = "call", "sync", "end", "result", "error"
 #: treated as a timeout, not as an error — see ``FrameStream._fill``.
 _WOULD_BLOCK = (socket.timeout, BlockingIOError)
 
+#: flush the coalescing buffer automatically once this many frames are
+#: pending.  A pure frame-*count* threshold (not bytes) keeps the
+#: ``wire_frames_coalesced`` counter identical across codecs, which the
+#: backend-parity suite checks.
+COALESCE_MAX_FRAMES = 32
+
 
 class SocketQueueClosed(ScoopError):
     """The peer closed the connection (EOF on the underlying socket)."""
+
+
+class _WireEOF:
+    """Sentinel distinguishing "peer closed" from "nothing yet" in ``dequeue``.
+
+    ``dequeue`` used to return ``None`` for *both* a timeout and a closed
+    peer, so pollers (``SocketQueueServer._drain``) could not tell a quiet
+    five seconds from end-of-stream and silently stopped draining after any
+    idle gap.  Now ``None`` means timeout (try again) and :data:`WIRE_EOF`
+    means the client side is gone for good.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "WIRE_EOF"
+
+
+#: singleton returned by :meth:`SocketPrivateQueue.dequeue` on a closed peer
+WIRE_EOF = _WireEOF()
 
 
 class FrameStream:
@@ -69,6 +99,13 @@ class FrameStream:
     resumed by the next ``recv``, so timeouts are always safe to interleave
     with traffic of any size.  (The original prototype discarded partial
     reads, permanently desyncing the length-prefixed stream.)
+
+    Receive deadlines are enforced with ``select`` on the receiver's side
+    only — the socket's blocking mode is never touched — so a concurrent
+    ``send``/``flush`` from another thread can never inherit a receiver's
+    deadline and spuriously raise ``socket.timeout`` mid-``sendall``.  (The
+    previous implementation set ``settimeout`` on the shared socket for the
+    duration of the deadline window.)
     """
 
     def __init__(self, sock: socket.socket, codec: "str | Codec" = "json") -> None:
@@ -76,13 +113,86 @@ class FrameStream:
         self.codec: Codec = get_codec(codec)
         self._recv_buf = bytearray()
         self._send_lock = threading.Lock()
+        self._send_buf = bytearray()
+        self._send_pending = 0
 
     # -- sending -----------------------------------------------------------
     def send(self, payload: Dict[str, Any]) -> None:
-        """Encode and send one frame (atomic with respect to other senders)."""
+        """Encode and send one frame (atomic with respect to other senders).
+
+        Any frames still sitting in the coalescing buffer are flushed first,
+        so ``feed``/``send`` interleavings preserve enqueue order.
+        """
         data = self.codec.encode(payload)
         with self._send_lock:
-            self.sock.sendall(_HEADER.pack(len(data)) + data)
+            self._send_buf += _HEADER.pack(len(data))
+            self._send_buf += data
+            self._send_pending += 1
+            self._flush_locked()
+
+    def feed(self, payload: Dict[str, Any]) -> int:
+        """Buffer one encoded frame for a later ``flush``.
+
+        Returns the number of frames flushed as a side effect: 0 while the
+        burst is still accumulating, or the batch size once
+        :data:`COALESCE_MAX_FRAMES` pending frames force an automatic flush.
+        Callers that care about syscall coalescing (the process backend's
+        ``wire_frames_coalesced`` counter) use the return value.
+        """
+        data = self.codec.encode(payload)
+        with self._send_lock:
+            self._send_buf += _HEADER.pack(len(data))
+            self._send_buf += data
+            self._send_pending += 1
+            if self._send_pending >= COALESCE_MAX_FRAMES:
+                return self._flush_locked()
+        return 0
+
+    def flush(self) -> int:
+        """Ship all buffered frames in one ``sendall``; returns the count."""
+        with self._send_lock:
+            return self._flush_locked()
+
+    def _flush_locked(self) -> int:
+        count = self._send_pending
+        if not count:
+            return 0
+        # detach the buffer *before* sending: if sendall raises (dead peer),
+        # the caller's failover path replays from its journal — it must not
+        # also find the frames still pending here and double-send them
+        data = bytes(self._send_buf)
+        self._send_buf.clear()
+        self._send_pending = 0
+        self.sock.sendall(data)
+        return count
+
+    @property
+    def pending_frames(self) -> int:
+        """Frames fed but not yet flushed (introspection for tests)."""
+        return self._send_pending
+
+    def peer_closed(self) -> bool:
+        """True if the peer's EOF (or reset) is already queued locally.
+
+        A coalesced burst ``sendall``-ed into a freshly dead peer can
+        *succeed* — the kernel accepts the bytes before the peer's RST
+        lands — so a fire-and-forget sender would never learn the frames
+        were lost.  A zero-timeout ``select`` plus ``MSG_PEEK`` surfaces
+        the queued EOF without consuming any real reply data; pending
+        (e.g. stale-reply) bytes read as "alive".
+        """
+        try:
+            ready, _, _ = select.select([self.sock], [], [], 0)
+        except (OSError, ValueError):
+            return True  # socket already closed locally
+        if not ready:
+            return False
+        try:
+            return self.sock.recv(1, socket.MSG_PEEK) == b""
+        except BlockingIOError:  # pragma: no cover - readability raced away
+            return False
+        except OSError:
+            return True  # ECONNRESET and friends: definitely gone
 
     # -- receiving ---------------------------------------------------------
     def recv(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
@@ -96,20 +206,45 @@ class FrameStream:
         deadline = None
         if timeout is not None and timeout > 0:
             deadline = time.monotonic() + timeout
-        try:
-            if not self._fill(_HEADER.size, timeout, deadline):
-                return None
-            (length,) = _HEADER.unpack(bytes(self._recv_buf[: _HEADER.size]))
-            if not self._fill(_HEADER.size + length, timeout, deadline):
-                return None
-        finally:
-            # never leave the socket non-blocking (or on a stale short
-            # timeout): sends on this same socket assume blocking mode
-            if timeout is not None:
-                try:
-                    self.sock.settimeout(None)
-                except OSError:
-                    pass
+        if not self._fill(_HEADER.size, timeout, deadline):
+            return None
+        (length,) = _HEADER.unpack(bytes(self._recv_buf[: _HEADER.size]))
+        if not self._fill(_HEADER.size + length, timeout, deadline):
+            return None
+        return self._pop_frame(length)
+
+    def recv_many(self, timeout: Optional[float] = None,
+                  max_frames: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Receive at least one frame, plus every further *complete* frame
+        already buffered — without extra syscalls.
+
+        This is the receive half of coalescing: one kernel read may carry a
+        whole burst of small frames, and draining them all at once means one
+        wakeup per burst instead of one per frame.  Returns ``[]`` on
+        timeout; raises :class:`SocketQueueClosed` on EOF (only when no
+        complete frame was decoded first — decoded frames are never lost).
+        """
+        first = self.recv(timeout=timeout)
+        if first is None:
+            return []
+        frames = [first]
+        while max_frames is None or len(frames) < max_frames:
+            buffered = self._pop_buffered()
+            if buffered is None:
+                break
+            frames.append(buffered)
+        return frames
+
+    def _pop_buffered(self) -> Optional[Dict[str, Any]]:
+        """Decode one frame purely from the receive buffer (no syscalls)."""
+        if len(self._recv_buf) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack(bytes(self._recv_buf[: _HEADER.size]))
+        if len(self._recv_buf) < _HEADER.size + length:
+            return None
+        return self._pop_frame(length)
+
+    def _pop_frame(self, length: int) -> Dict[str, Any]:
         body = bytes(self._recv_buf[_HEADER.size: _HEADER.size + length])
         del self._recv_buf[: _HEADER.size + length]
         return self.codec.decode(body)
@@ -119,20 +254,27 @@ class FrameStream:
 
         On timeout the bytes read so far *stay in the buffer* — this is the
         invariant that keeps the length-prefixed stream in sync across
-        timeouts.
+        timeouts.  Readiness waits use ``select`` so the deadline never
+        leaks into the socket's blocking mode (concurrent senders would
+        inherit it).
         """
         while len(self._recv_buf) < needed:
-            if deadline is not None:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
+            if timeout is not None:
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                else:
+                    # timeout=0 (or negative): non-blocking poll
+                    remaining = 0
+                ready, _, _ = select.select([self.sock], [], [], remaining)
+                if not ready:
                     return False
-                self.sock.settimeout(remaining)
-            else:
-                # None = block forever; 0 (and negatives) = non-blocking poll
-                self.sock.settimeout(timeout if timeout is None else 0)
             try:
                 chunk = self.sock.recv(65536)
             except _WOULD_BLOCK:
+                # the socket itself may carry a timeout set by its owner;
+                # honour it as "nothing to read" rather than an error
                 return False
             if not chunk:
                 raise SocketQueueClosed("the peer closed the connection")
@@ -146,7 +288,8 @@ class FrameStream:
             pass
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        return f"FrameStream(codec={self.codec.name!r}, buffered={len(self._recv_buf)})"
+        return (f"FrameStream(codec={self.codec.name!r}, "
+                f"buffered={len(self._recv_buf)}, pending={self._send_pending})")
 
 
 @dataclass
@@ -156,8 +299,8 @@ class WireRequest:
     ``args`` is always normalised to a tuple on decode: the JSON codec has no
     tuple type, so arguments arrive as a list and naive decoding would leak
     the wire representation into handler code (``Tuple`` in the type, list at
-    runtime).  Nested containers keep whatever the codec supports — lossy
-    under JSON, faithful under pickle.
+    runtime).  Nested containers are faithful under ``pickle`` and ``bin``;
+    the JSON codec refuses them at encode time rather than mutating them.
     """
 
     kind: str
@@ -189,10 +332,10 @@ class SocketPrivateQueue:
     The client half lives wherever the client thread/process runs; the
     handler half (:class:`SocketQueueServer`) drains requests against a local
     object.  The ``codec`` decides what can travel: ``"json"`` (the default)
-    carries JSON types only, ``"pickle"`` round-trips arbitrary picklable
-    arguments and results faithfully (tuples included).  The protocol
-    (call / sync / end / result) is the one the paper's private queues
-    implement in shared memory.
+    carries JSON types only, ``"pickle"`` and ``"bin"`` round-trip arbitrary
+    picklable arguments and results faithfully (tuples included).  The
+    protocol (call / sync / end / result) is the one the paper's private
+    queues implement in shared memory.
     """
 
     def __init__(self, counters: Optional[Counters] = None,
@@ -253,18 +396,21 @@ class SocketPrivateQueue:
     # ------------------------------------------------------------------
     # handler side
     # ------------------------------------------------------------------
-    def dequeue(self, timeout: Optional[float] = None) -> Optional[WireRequest]:
-        """Receive the next request (``None`` on timeout or closed peer).
+    def dequeue(self, timeout: Optional[float] = None
+                ) -> Union[WireRequest, _WireEOF, None]:
+        """Receive the next request.
 
-        Safe at any ``timeout``, including ``0`` (non-blocking poll): an
-        empty queue returns ``None`` rather than leaking ``BlockingIOError``,
-        and a timeout splitting a large frame leaves the partial bytes in the
-        stream's buffer for the next call.
+        Returns ``None`` on timeout (nothing yet — poll again) and the
+        :data:`WIRE_EOF` sentinel when the client side closed the socket,
+        so pollers can tell a quiet interval from end-of-stream.  Safe at
+        any ``timeout``, including ``0`` (non-blocking poll): a timeout
+        splitting a large frame leaves the partial bytes in the stream's
+        buffer for the next call.
         """
         try:
             message = self._handler.recv(timeout=timeout)
         except SocketQueueClosed:
-            return None
+            return WIRE_EOF
         if message is None:
             return None
         return WireRequest.from_message(message)
@@ -286,13 +432,20 @@ class SocketQueueServer:
     applied asynchronously, sync/query requests are applied and answered,
     END terminates the drain.  It runs on its own thread so tests and
     benchmarks can drive the client side synchronously.
+
+    A quiet interval does *not* stop the drain: ``dequeue`` distinguishes a
+    timeout (``None`` — keep polling) from a closed peer (:data:`WIRE_EOF`
+    — the client is gone), so a client may pause arbitrarily long
+    mid-block.  ``idle_timeout`` only bounds each individual poll.
     """
 
     def __init__(self, queue: SocketPrivateQueue, target: Any,
-                 counters: Optional[Counters] = None) -> None:
+                 counters: Optional[Counters] = None,
+                 idle_timeout: float = 5.0) -> None:
         self.queue = queue
         self.target = target
         self.counters = counters or queue.counters
+        self.idle_timeout = idle_timeout
         self.executed: int = 0
         self._thread = threading.Thread(target=self._drain, name="socket-handler", daemon=True)
         self.failures: list = []
@@ -312,8 +465,10 @@ class SocketQueueServer:
 
     def _drain(self) -> None:
         while True:
-            request = self.queue.dequeue(timeout=5.0)
-            if request is None or request.is_end:
+            request = self.queue.dequeue(timeout=self.idle_timeout)
+            if request is None:
+                continue  # idle poll — the client may just be slow
+            if request is WIRE_EOF or request.is_end:
                 return
             if request.is_sync:
                 try:

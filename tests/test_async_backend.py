@@ -11,6 +11,8 @@ result boxes, fan-in scale, and the API's guard rails.
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
 from repro import QsRuntime, SeparateObject, command, query
@@ -254,6 +256,72 @@ def test_two_thousand_coroutine_clients():
             with rt.separate(ref) as acc:
                 totals.append(acc.read())
         assert sum(totals) == n
+
+
+# ----------------------------------------------------------------------------
+# multi-loop: async:nloops spreads handlers across event-loop threads
+# ----------------------------------------------------------------------------
+class Napper(SeparateObject):
+    def __init__(self) -> None:
+        self.naps = 0
+
+    @command
+    def nap(self, seconds: float) -> None:
+        time.sleep(seconds)
+        self.naps += 1
+
+    @query
+    def naps_taken(self) -> int:
+        return self.naps
+
+
+class TestMultiLoop:
+    def test_bank_parity_across_loop_counts(self):
+        reference = _bank_with_thread_clients("threads", clients=3, transfers=10)
+        for spec in ("async:2", "async:4"):
+            result = _bank_with_thread_clients(spec, clients=3, transfers=10)
+            assert result == reference, (
+                f"{spec} must produce identical results and counters")
+
+    def test_shard_replicas_pin_to_distinct_loops(self):
+        with QsRuntime("all", backend="async:3") as rt:
+            group = rt.sharded("accts", shards=3).create(Account, 0)
+            hosts = dict(group.topology.placement)
+            assert sorted(hosts.values()) == ["loop:0", "loop:1", "loop:2"]
+
+    def test_handlers_overlap_across_loops(self):
+        """Four handlers blocking 0.2 s each must overlap under async:4 —
+        on one loop they would serialise to ~0.8 s of wall clock."""
+        with QsRuntime("all", backend="async:4") as rt:
+            refs = [rt.new_handler(f"nap-{i}").create(Napper) for i in range(4)]
+            start = time.monotonic()
+            for ref in refs:
+                with rt.separate(ref) as n:
+                    n.nap(0.2)  # async call: enqueued, not awaited
+            for ref in refs:
+                with rt.separate(ref) as n:
+                    assert n.naps_taken() == 1
+            wall = time.monotonic() - start
+        assert wall < 0.6, f"naps serialised: {wall:.3f}s for 4 x 0.2s"
+
+    def test_direct_constructor_and_validation(self):
+        from repro.backends import AsyncBackend
+
+        backend = AsyncBackend(loops=2)
+        assert backend.nloops == 2
+        with QsRuntime("all", backend=backend) as rt:
+            ref = rt.new_handler("acct").create(Account, 5)
+            with rt.separate(ref) as acc:
+                acc.credit(5)
+                assert acc.read() == 10
+        with pytest.raises(ValueError, match="at least one"):
+            AsyncBackend(loops=0)
+
+    def test_env_var_selects_loop_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "async:3")
+        with QsRuntime("all") as rt:
+            assert rt.backend.name == "async"
+            assert rt.backend.nloops == 3
 
 
 # ----------------------------------------------------------------------------

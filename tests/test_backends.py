@@ -206,6 +206,28 @@ def test_backends_agree(workload):
             f"({backend} vs threads)")
 
 
+#: backend spec variants that must stay observationally identical to their
+#: base backend: every wire codec, and every async loop count
+SPEC_VARIANTS = ("process:2:json", "process:2:pickle", "process:2:bin",
+                 "async:2", "async:3")
+
+
+@pytest.mark.parametrize("spec", SPEC_VARIANTS)
+def test_codec_and_loop_variants_agree(spec):
+    """Parity across wire codecs and loop counts, not just backend names.
+
+    The bin codec and frame coalescing must not change a single parity
+    counter relative to json/pickle (the coalescing threshold is a pure
+    frame count for exactly this reason), and handlers spread over N event
+    loops must behave like handlers sharing one.
+    """
+    reference = bank_workload("threads")
+    result = bank_workload(spec)
+    assert result == reference, (
+        f"observable results and counters must not depend on the wire codec "
+        f"or loop count ({spec} vs threads)")
+
+
 # ----------------------------------------------------------------------------
 # sim-only guarantees
 # ----------------------------------------------------------------------------
@@ -317,6 +339,13 @@ class TestBackendSelection:
         assert backend.processes is None and backend.codec == "pickle"
         backend = create_backend("process:4")
         assert backend.processes == 4 and backend.codec == "pickle"
+        backend = create_backend("process:2:bin")
+        assert backend.processes == 2 and backend.codec == "bin"
+
+    def test_async_spec_loop_count(self):
+        assert create_backend("async").nloops == 1
+        assert create_backend("async:1").nloops == 1
+        assert create_backend("async:4").nloops == 4
 
     # every malformed spec — wrong name, wrong component, stray component,
     # empty component — must raise ONE consistent error quoting the grammar
@@ -330,15 +359,17 @@ class TestBackendSelection:
         "process:abc:",          # invalid then empty component
         "process::json",         # empty component
         "threads:2",             # threads takes no components
-        "async:4",               # async takes no components
-        "async:fast",
+        "async:fast",            # loop count must be a positive integer
+        "async:0",
+        "async:2:2",
     ])
     def test_malformed_specs_all_quote_the_grammar(self, spec):
         with pytest.raises(ValueError) as excinfo:
             create_backend(spec)
         message = str(excinfo.value)
         assert message.startswith(f"invalid backend spec {spec.lower()!r}: ")
-        assert "threads | sim[:policy[:seed]] | process[:nproc][:codec] | async" in message
+        assert ("threads | sim[:policy[:seed]] | process[:nproc][:codec] "
+                "| async[:nloops]") in message
 
     def test_spec_error_reasons_are_actionable(self):
         with pytest.raises(ValueError, match="unknown scheduling policy 'bogus'"):
@@ -349,8 +380,10 @@ class TestBackendSelection:
             create_backend("process:2:3")
         with pytest.raises(ValueError, match="takes no spec components"):
             create_backend("threads:4")
-        with pytest.raises(ValueError, match="takes no spec components"):
-            create_backend("async:4")
+        with pytest.raises(ValueError, match="invalid event-loop count 'fast'"):
+            create_backend("async:fast")
+        with pytest.raises(ValueError, match="invalid event-loop count '0'"):
+            create_backend("async:0")
 
     def test_backend_spec_parse_and_round_trip(self):
         spec = BackendSpec.parse("process:4:pickle")
@@ -360,7 +393,7 @@ class TestBackendSelection:
         # round trip: parse(to_spec()) is the identity
         for text in ("threads", "sim", "sim:random", "sim:random:7",
                      "process", "process:2", "process:json", "process:2:json",
-                     "async"):
+                     "process:2:bin", "async", "async:2", "async:8"):
             parsed = BackendSpec.parse(text)
             assert BackendSpec.parse(parsed.to_spec()) == parsed
         # aliases canonicalise, case-insensitively

@@ -142,6 +142,30 @@ class TestWorkerFailover:
                 assert led.dump() == {"k": [1, 2]}
             assert rt.stats()["shard_failovers"] == 1
 
+    def test_fire_and_forget_block_into_a_dead_worker_is_not_lost(self):
+        """A coalesced block with no reply wait must not vanish silently.
+
+        The whole block leaves in *one* sendall, and a sendall into a
+        freshly killed worker succeeds (the kernel buffers it before the
+        RST lands) — so without the post-flush liveness probe the client
+        completes the block, nobody replays it, and its ticket becomes a
+        gap that wedges the replacement's in-order drain forever."""
+        backend = ProcessBackend(processes=2)
+        backend.reply_timeout = 30.0  # fail fast if the drain wedges
+        with QsRuntime("all", backend=backend) as rt:
+            ref = rt.new_handler("ledger").create(Ledger)
+            with rt.separate(ref) as led:
+                led.record("k", 1)
+            _kill_worker_of(backend, "ledger")
+            # fire-and-forget: commands only, flushed by the block's end —
+            # the client never waits on a reply inside this block
+            with rt.separate(ref) as led:
+                led.record("k", 2)
+            # the next block's query must see *both* post-kill records
+            with rt.separate(ref) as led:
+                assert led.dump() == {"k": [1, 2]}
+            assert rt.stats()["shard_failovers"] == 1
+
     def test_rebalance_after_failover(self):
         """A live reshard still works once a shard has been re-pinned."""
         backend = ProcessBackend(processes=3)

@@ -124,7 +124,7 @@ class TestCodecs:
         with QsRuntime("all", backend="process:json") as rt:
             ref = rt.new_handler("box").create(Box)
             with rt.separate(ref) as b:
-                with pytest.raises(ScoopError, match="pickle codec"):
+                with pytest.raises(ScoopError, match="'pickle' or 'bin'"):
                     b.apply(top_level_halve, 10)
 
     def test_pickle_codec_ships_callables(self):
@@ -132,6 +132,61 @@ class TestCodecs:
             ref = rt.new_handler("box").create(Box)
             with rt.separate(ref) as b:
                 assert b.compute(top_level_halve, 10) == 5
+
+    def test_bin_codec_round_trips_rich_arguments(self):
+        """Tentpole: the compact binary codec has pickle's fidelity."""
+        payload = {"point": (1, 2), "nested": [(3, 4), {5, 6}], "blob": b"\x00\xff",
+                   "big": 2 ** 80}
+        with QsRuntime("all", backend="process:bin") as rt:
+            ref = rt.new_handler("box").create(Box)
+            with rt.separate(ref) as b:
+                b.put(payload)
+                value = b.get()
+        assert value == payload
+        assert isinstance(value["point"], tuple)
+        assert isinstance(value["nested"][0], tuple)
+        assert isinstance(value["nested"][1], set)
+
+    def test_bin_codec_ships_callables_via_pickle_fallback(self):
+        with QsRuntime("all", backend="process:bin") as rt:
+            ref = rt.new_handler("box").create(Box)
+            with rt.separate(ref) as b:
+                assert b.compute(top_level_halve, 10) == 5
+
+    def test_nested_tuple_payload_under_all_three_codecs(self):
+        """Satellite: json raises a pointed error instead of silently
+        mutating nested tuples into lists; pickle and bin stay faithful."""
+        nested = [("k", (1, 2))]
+        for codec in ("pickle", "bin"):
+            with QsRuntime("all", backend=f"process:{codec}") as rt:
+                ref = rt.new_handler("box").create(Box)
+                with rt.separate(ref) as b:
+                    b.put(nested)
+                    value = b.get()
+                assert value == nested
+                assert isinstance(value[0], tuple)
+                assert isinstance(value[0][1], tuple)
+        with QsRuntime("all", backend="process:json") as rt:
+            ref = rt.new_handler("box").create(Box)
+            with rt.separate(ref) as b:
+                with pytest.raises(ScoopError, match="pickle.*bin|bin.*pickle"):
+                    b.put(nested)
+
+    def test_coalescing_counter_identical_across_codecs(self):
+        """A burst of async calls coalesces into batched sendalls, and the
+        wire_frames_coalesced counter — a pure frame count — must not
+        depend on the codec."""
+        observed = {}
+        for codec in ("json", "pickle", "bin"):
+            with QsRuntime("all", backend=f"process:{codec}") as rt:
+                ref = rt.new_handler("box").create(Box)
+                with rt.separate(ref) as b:
+                    for i in range(100):
+                        b.put(i)
+                    assert b.calls_seen() == 100
+                observed[codec] = rt.stats()["wire_frames_coalesced"]
+        assert observed["json"] == observed["pickle"] == observed["bin"]
+        assert observed["json"] > 0, "a 100-call burst must coalesce frames"
 
     def test_packaged_function_query_ships_raw_fn(self):
         # regression: with client-executed queries off, query_function wraps

@@ -435,6 +435,8 @@ class TestRebalanceOnEachBackend:
             hosts = dict(after.placement)
             if backend == "process":
                 assert all(host.startswith("worker:") for host in hosts.values())
+            elif backend == "async":
+                assert all(host.startswith("loop:") for host in hosts.values())
             else:
                 assert set(hosts.values()) == {"in-process"}
 

@@ -16,6 +16,8 @@ import pytest
 from repro.errors import ScoopError
 from repro.queues.codec import get_codec
 from repro.queues.socket_queue import (
+    COALESCE_MAX_FRAMES,
+    WIRE_EOF,
     FrameStream,
     SocketPrivateQueue,
     SocketQueueClosed,
@@ -208,14 +210,94 @@ class TestTimeoutRegressions:
             queue.close_handler()
 
     def test_closed_peer_distinguished_from_timeout(self):
+        # regression: dequeue returned None for BOTH a timeout and a closed
+        # peer, so pollers could not tell a quiet interval from end-of-stream
         queue = SocketPrivateQueue()
+        assert queue.dequeue(timeout=0.05) is None          # timeout -> None
         queue.close_client()
-        # dequeue keeps its None-on-closed surface...
-        assert queue.dequeue(timeout=0.05) is None
-        # ...but the stream layer reports EOF explicitly
+        assert queue.dequeue(timeout=0.05) is WIRE_EOF      # EOF -> sentinel
+        # the stream layer reports EOF explicitly too
         with pytest.raises(SocketQueueClosed):
             queue._handler.recv(timeout=0.05)
         queue.close_handler()
+
+    def test_server_keeps_draining_across_idle_gaps(self):
+        # regression: SocketQueueServer._drain treated a quiet idle_timeout
+        # as end-of-stream (dequeue's None ambiguity) and silently stopped
+        # draining — calls enqueued after the pause were never executed
+        counters = Counters()
+        queue = SocketPrivateQueue(counters)
+        target = Counter()
+        # a short idle_timeout stands in for the production 5 s window
+        server = SocketQueueServer(queue, target, counters,
+                                   idle_timeout=0.1).start()
+        try:
+            queue.enqueue_call("increment", 1)
+            time.sleep(0.4)  # several idle polls elapse mid-block
+            queue.enqueue_call("increment", 2)
+            assert queue.query("read") == 3
+            queue.enqueue_end()
+            server.join(timeout=5)
+            assert target.value == 3
+            assert server.executed == 2
+        finally:
+            queue.close_client()
+            queue.close_handler()
+
+    def test_server_stops_on_client_eof_without_end(self):
+        # WIRE_EOF (a vanished client) still terminates the drain promptly
+        queue = SocketPrivateQueue()
+        server = SocketQueueServer(queue, Counter(), idle_timeout=0.1).start()
+        queue.close_client()
+        server.join(timeout=5)
+        queue.close_handler()
+
+    def test_concurrent_sends_never_inherit_a_recv_deadline(self):
+        # regression: FrameStream.recv's deadline path set settimeout() on
+        # the shared socket, so a concurrent sendall from another thread
+        # could spuriously raise socket.timeout once the kernel buffer
+        # filled inside the deadline window
+        a, b = socket.socketpair()
+        left, right = FrameStream(a), FrameStream(b)
+        big = "z" * 500_000  # several times a socketpair's kernel buffer
+        errors = []
+        sent = threading.Event()
+
+        def sender():
+            try:
+                for _ in range(4):
+                    left.send({"kind": "result", "value": big})
+            except Exception as exc:  # noqa: BLE001 - the regression itself
+                errors.append(exc)
+            finally:
+                sent.set()
+
+        def receiver():
+            # timed recvs poll left's socket while its sender blocks in
+            # sendall on the very same socket
+            got = 0
+            while got < 4:
+                frame = right.recv(timeout=0.01)
+                if frame is not None:
+                    got += 1
+            sent.wait(timeout=5)
+
+        try:
+            send_thread = threading.Thread(target=sender, daemon=True)
+            recv_thread = threading.Thread(target=receiver, daemon=True)
+            # left ALSO polls for replies with a deadline while sending:
+            # this is the exact interleaving that used to poison sendall
+            send_thread.start()
+            for _ in range(50):
+                assert left.recv(timeout=0.005) is None
+            recv_thread.start()
+            send_thread.join(timeout=10)
+            recv_thread.join(timeout=10)
+            assert not send_thread.is_alive(), "sender wedged"
+            assert errors == [], f"send raised under a concurrent timed recv: {errors}"
+        finally:
+            left.close()
+            right.close()
 
 
 class TestCodecs:
@@ -265,6 +347,170 @@ class TestCodecs:
     def test_unknown_codec_rejected(self):
         with pytest.raises(ValueError, match="unknown wire codec"):
             SocketPrivateQueue(codec="yaml")
+
+    def test_bin_codec_round_trips_tuples_faithfully(self):
+        queue = SocketPrivateQueue(codec="bin")
+        try:
+            queue.enqueue_call("place", (1, 2), [(3, 4)], corners={"a": (5, 6)})
+            request = queue.dequeue(timeout=1.0)
+            assert request.args == ((1, 2), [(3, 4)])
+            assert isinstance(request.args[0], tuple)
+            assert isinstance(request.args[1][0], tuple)
+            assert isinstance(request.kwargs["corners"]["a"], tuple)
+        finally:
+            queue.close_client()
+            queue.close_handler()
+
+    def test_bin_codec_query_round_trip(self):
+        class Geometry:
+            def diagonal(self, corner):
+                return (corner[0] * 2, corner[1] * 2)
+
+        queue = SocketPrivateQueue(codec="bin")
+        server = SocketQueueServer(queue, Geometry()).start()
+        try:
+            result = queue.query("diagonal", (3, 4))
+            assert result == (6, 8)
+            assert isinstance(result, tuple)
+        finally:
+            queue.enqueue_end()
+            server.join(timeout=5)
+            queue.close_client()
+            queue.close_handler()
+
+    def test_json_codec_refuses_nested_tuples_instead_of_mutating(self):
+        # regression: JSON silently decoded nested tuples as lists; now the
+        # mismatch is a pointed error naming the codecs that can carry them
+        queue = SocketPrivateQueue(codec="json")
+        try:
+            with pytest.raises(ScoopError, match="pickle.*bin|bin.*pickle"):
+                queue.enqueue_call("place", [(1, 2)])
+        finally:
+            queue.close_client()
+            queue.close_handler()
+
+
+class TestCoalescing:
+    """feed/flush (send side) and recv_many (receive side) batching."""
+
+    def _pair(self, codec="json"):
+        a, b = socket.socketpair()
+        return FrameStream(a, codec), FrameStream(b, codec)
+
+    def test_feed_buffers_until_flush(self):
+        left, right = self._pair()
+        try:
+            for n in range(3):
+                assert left.feed({"kind": "call", "n": n}) == 0
+            assert left.pending_frames == 3
+            # nothing on the wire yet
+            assert right.recv(timeout=0.05) is None
+            assert left.flush() == 3
+            assert left.pending_frames == 0
+            frames = right.recv_many(timeout=1.0)
+            assert [f["n"] for f in frames] == [0, 1, 2]
+        finally:
+            left.close()
+            right.close()
+
+    def test_feed_auto_flushes_at_the_batch_limit(self):
+        left, right = self._pair()
+        try:
+            flushed = []
+            for n in range(COALESCE_MAX_FRAMES + 5):
+                flushed.append(left.feed({"kind": "call", "n": n}))
+            assert flushed.count(COALESCE_MAX_FRAMES) == 1
+            assert left.pending_frames == 5
+            assert left.flush() == 5
+            got = []
+            while len(got) < COALESCE_MAX_FRAMES + 5:
+                got.extend(right.recv_many(timeout=1.0))
+            assert [f["n"] for f in got] == list(range(COALESCE_MAX_FRAMES + 5))
+        finally:
+            left.close()
+            right.close()
+
+    def test_send_flushes_pending_frames_first(self):
+        # feed/send interleavings must preserve enqueue order
+        left, right = self._pair()
+        try:
+            left.feed({"kind": "call", "n": 0})
+            left.send({"kind": "sync", "n": 1})
+            frames = right.recv_many(timeout=1.0)
+            assert [f["n"] for f in frames] == [0, 1]
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_many_respects_max_frames(self):
+        left, right = self._pair()
+        try:
+            for n in range(6):
+                left.feed({"kind": "call", "n": n})
+            left.flush()
+            first = right.recv_many(timeout=1.0, max_frames=4)
+            assert [f["n"] for f in first] == [0, 1, 2, 3]
+            rest = right.recv_many(timeout=1.0)
+            assert [f["n"] for f in rest] == [4, 5]
+        finally:
+            left.close()
+            right.close()
+
+    def test_flush_on_empty_buffer_is_a_no_op(self):
+        left, right = self._pair()
+        try:
+            assert left.flush() == 0
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_many_timeout_returns_empty_list(self):
+        left, right = self._pair()
+        try:
+            assert right.recv_many(timeout=0.02) == []
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_closed_false_on_a_live_connection_even_with_pending_data(self):
+        left, right = self._pair()
+        try:
+            assert not left.peer_closed()
+            right.send({"kind": "reply"})  # queued bytes are not EOF
+            time.sleep(0.05)
+            assert not left.peer_closed()
+            assert left.recv(timeout=1.0) == {"kind": "reply"}
+        finally:
+            left.close()
+            right.close()
+
+    def test_peer_closed_surfaces_a_dead_peer_despite_a_successful_flush(self):
+        # Over TCP the first sendall after the peer dies *succeeds* — the
+        # kernel buffers the burst before the RST lands — so a
+        # fire-and-forget sender would never see an error.  The queued FIN
+        # must still be visible through peer_closed().
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        client = socket.create_connection(listener.getsockname())
+        server, _ = listener.accept()
+        stream = FrameStream(client)
+        try:
+            assert not stream.peer_closed()
+            server.close()  # the "worker" dies with the connection open
+            stream.feed({"kind": "call", "n": 0})
+            stream.feed({"kind": "end"})
+            try:
+                stream.flush()  # typically succeeds into the kernel buffer
+            except (OSError, SocketQueueClosed):
+                pass  # the RST may also land first; either way:
+            deadline = time.monotonic() + 2.0
+            while not stream.peer_closed():
+                assert time.monotonic() < deadline, "EOF never surfaced"
+                time.sleep(0.01)
+        finally:
+            stream.close()
+            listener.close()
 
 
 class TestFrameStream:

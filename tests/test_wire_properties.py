@@ -55,6 +55,32 @@ _pickle_values = st.recursive(
 
 _pickle_payloads = st.dictionaries(st.text(max_size=8), _pickle_values, max_size=5)
 
+# bin payloads: everything pickle carries, plus big ints (past the native
+# 64-bit tag) and protocol-shaped dicts exercising the kind/key tables
+_bin_values = st.recursive(
+    st.one_of(
+        _json_scalars,
+        st.integers(min_value=-(2**80), max_value=2**80),
+        st.binary(max_size=20),
+        st.frozensets(st.integers(), max_size=4),
+        st.sets(st.integers(), max_size=4),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.tuples(children, children),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+#: keys mix table-coded protocol names with arbitrary (escaped) strings
+_bin_keys = st.one_of(
+    st.sampled_from(["kind", "feature", "args", "kwargs", "value", "ticket"]),
+    st.text(max_size=8),
+)
+
+_bin_payloads = st.dictionaries(_bin_keys, _bin_values, max_size=5)
+
 
 def _pump(codec_name: str, payloads, chunk_sizes, recv_timeout=1.0):
     """Send ``payloads`` as raw bytes in odd chunkings; decode them back."""
@@ -117,6 +143,19 @@ def test_pickle_sequences_round_trip_faithfully(payloads, chunk_sizes):
             assert type(got[key]) is type(value)
 
 
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(payloads=st.lists(_bin_payloads, min_size=1, max_size=6),
+       chunk_sizes=st.lists(st.integers(min_value=1, max_value=37),
+                            min_size=1, max_size=5))
+def test_bin_sequences_round_trip_faithfully(payloads, chunk_sizes):
+    received = _pump("bin", payloads, chunk_sizes)
+    assert received == payloads
+    for sent, got in zip(payloads, received):
+        for key, value in sent.items():
+            assert type(got[key]) is type(value)
+
+
 @settings(max_examples=10, deadline=None,
           suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
 @given(size=st.integers(min_value=70_000, max_value=200_000),
@@ -126,6 +165,45 @@ def test_frames_larger_than_one_recv(size, tail):
     and whatever follows it in the pipe must still decode cleanly."""
     payloads = [{"big": "x" * size}, *tail]
     assert _pump("json", payloads, chunk_sizes=[50_000]) == payloads
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large])
+@given(size=st.integers(min_value=70_000, max_value=200_000),
+       tail=st.lists(_bin_payloads, max_size=2))
+def test_bin_frames_larger_than_one_recv(size, tail):
+    payloads = [{"big": "x" * size, "blob": b"\x00" * 1000}, *tail]
+    assert _pump("bin", payloads, chunk_sizes=[50_000]) == payloads
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(payloads=st.lists(_bin_payloads, min_size=1, max_size=10),
+       codec_name=st.sampled_from(["bin", "pickle"]),
+       max_frames=st.one_of(st.none(), st.integers(min_value=1, max_value=4)))
+def test_coalesced_bursts_decode_to_the_identical_sequence(payloads, codec_name,
+                                                           max_frames):
+    """The coalescing contract: a burst of frames fed and flushed as ONE
+    sendall decodes — via recv_many, in any batch granularity — to exactly
+    the fed sequence."""
+    a, b = socket.socketpair()
+    try:
+        left, right = FrameStream(a, codec_name), FrameStream(b, codec_name)
+        auto_flushed = sum(left.feed(p) for p in payloads)
+        flushed = left.flush()
+        assert auto_flushed + flushed == len(payloads)
+        received = []
+        while len(received) < len(payloads):
+            batch = right.recv_many(timeout=1.0, max_frames=max_frames)
+            assert batch, "burst never fully arrived"
+            if max_frames is not None:
+                assert len(batch) <= max_frames
+            received.extend(batch)
+        assert received == payloads
+        assert right.recv(timeout=0.01) is None  # nothing trailing
+    finally:
+        a.close()
+        b.close()
 
 
 @settings(max_examples=15, deadline=None,
