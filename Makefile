@@ -10,13 +10,15 @@
 #   make explore     short schedule-exploration smoke of both workloads
 #   make process-smoke    backend-parity and transport suites on the process backend
 #   make async-smoke      backend-parity and awaitable-API suites on the async backend
+#   make hybrid-smoke     parity + lifecycle suites on the process+async backend,
+#                         fan-in example, and a smoke bench artifact
 #   make shard-smoke      sharding suite on the process/async backends + smoke bench
 #   make failover-smoke   worker-kill recovery suite + fuzzed live-resharding pass
 
 PYTHON ?= python
 
 .PHONY: install lint test coverage bench bench-backends bench-gate explore \
-	process-smoke async-smoke shard-smoke failover-smoke clean
+	process-smoke async-smoke hybrid-smoke shard-smoke failover-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -53,6 +55,16 @@ async-smoke:
 		tests/test_async_backend.py tests/test_client_lifecycle.py
 	REPRO_BACKEND=async:2 $(PYTHON) -m pytest -q tests/test_backends.py
 	$(PYTHON) examples/async_fan_in.py --clients 500 --handlers 2
+
+# the hybrid backend end to end (mirrors CI hybrid-smoke): parity, dedicated
+# and lifecycle suites under the composite spec, the fan-in example with
+# coroutine clients against process workers, and a smoke-sized measurement
+# carrying the hybrid_fan_in_compute series
+hybrid-smoke:
+	REPRO_BACKEND=process+async:2:2 $(PYTHON) -m pytest -q tests/test_backends.py \
+		tests/test_hybrid_backend.py tests/test_client_lifecycle.py
+	$(PYTHON) examples/async_fan_in.py --backend process+async:2:2 --clients 500 --handlers 2
+	$(PYTHON) benchmarks/bench_backends.py --smoke --out BENCH_hybrid_smoke.json
 
 # the sharding suite across the deployment backends (mirrors CI shard-smoke),
 # the sharded CLI example, and a smoke-sized shard_scaling measurement

@@ -117,6 +117,16 @@ trajectory — with three measurements:
     latency for both backends; the top-level ``speedup`` is taken at the
     5 000-client point (the scale regime the async backend exists for) and
     the full-size bench gates on it staying ≥ 2×.
+
+``hybrid_fan_in_compute``
+    The composition the ``process+async`` backend exists for, measured as
+    one number: 1k–10k coroutine clients each route a CPU-bound kernel
+    chunk to one of a few process-hosted shards.  The series runs the
+    multi-worker hybrid; the baseline re-runs the gate point with every
+    shard pinned to a single worker process — same coroutine fan-in, same
+    coalesced wire, so the ``speedup`` isolates what the extra cores buy.
+    Gated with ``min_cpu_count`` (one core cannot show a compute win);
+    the checksum ``parity`` claim is gated in every mode.
 """
 
 from __future__ import annotations
@@ -310,19 +320,7 @@ class _Cruncher(SeparateObject):
 
     @command
     def crunch(self, x0: float, y0: float, grid: int, limit: int) -> None:
-        total = 0
-        step = 2.5 / grid
-        for i in range(grid):
-            cr = x0 + step * i
-            for j in range(grid):
-                ci = y0 + step * j
-                zr = zi = 0.0
-                k = 0
-                while k < limit and zr * zr + zi * zi <= 4.0:
-                    zr, zi = zr * zr - zi * zi + cr, 2.0 * zr * zi + ci
-                    k += 1
-                total += k
-        self.checksum += total
+        self.checksum += _kernel_chunk(x0, y0, grid, limit)
 
     @query
     def checksum_value(self) -> int:
@@ -344,6 +342,23 @@ class _Frontend(SeparateObject):
 #: every chunk computes the same region near the set boundary, so chunk cost
 #: is constant — a scaling series must vary only the worker count, not the work
 _CHUNK_REGION = (-0.7445, 0.088)
+
+
+def _kernel_chunk(x0: float, y0: float, grid: int, limit: int) -> int:
+    """One kernel chunk's checksum, computed inline (the parity oracle)."""
+    total = 0
+    step = 2.5 / grid
+    for i in range(grid):
+        cr = x0 + step * i
+        for j in range(grid):
+            ci = y0 + step * j
+            zr = zi = 0.0
+            k = 0
+            while k < limit and zr * zr + zi * zi <= 4.0:
+                zr, zi = zr * zr - zi * zi + cr, 2.0 * zr * zi + ci
+                k += 1
+            total += k
+    return total
 
 
 def _dispatch_crunches(rt, refs, chunks_each: int, grid: int, limit: int) -> None:
@@ -830,6 +845,108 @@ def bench_fan_in(client_series: List[int], handlers: int, pings: int,
 
 
 # ----------------------------------------------------------------------------
+# 7b. hybrid fan-in: coroutine clients x compute-bound process shards
+# ----------------------------------------------------------------------------
+def _hybrid_fan_in_run(spec: str, clients: int, shards: int,
+                       grid: int, limit: int) -> Dict:
+    """N coroutine clients each route one kernel chunk to a process shard.
+
+    The ``fan_in`` bench measures concurrent client *arrival* (threads vs
+    coroutines); this one composes it with ``process_scaling``'s compute
+    story: the clients are asyncio tasks (cheap at 10k), the shards are
+    CPU-bound handlers in worker processes (real cores).  Wall clock runs
+    from client creation through the scatter-gather drain barrier, so it
+    covers both the fan-in and the kernel work; the recorded checksum is
+    the parity oracle (``clients * _kernel_chunk(...)``).
+    """
+    import gc
+
+    x0, y0 = _CHUNK_REGION
+    latencies = [0.0] * clients
+    with QsRuntime("all", backend=spec) as rt:
+        group = rt.sharded("compute", shards=shards).create(_Cruncher)
+        keys = [_first_key_owned_by(group, s, "k") for s in range(shards)]
+
+        async def client(i: int) -> None:
+            ref = group.ref_for(keys[i % shards])
+            begin = time.perf_counter()
+            async with rt.separate_async(ref) as worker:
+                await worker.crunch(x0, y0, grid, limit)
+            latencies[i] = time.perf_counter() - begin
+
+        gc_was_enabled = gc.isenabled()
+        gc.disable()
+        try:
+            start = time.perf_counter()
+            for i in range(clients):
+                rt.spawn_async_client(client, i, name=f"client-{i}")
+            rt.join_clients()
+            with group.separate() as g:  # scatter-gather doubles as the drain barrier
+                checksum = g.gather("checksum_value", merge=sum)
+            wall = time.perf_counter() - start
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            gc.collect()
+    return {
+        "wall_s": round(wall, 4),
+        "worst_latency_ms": round(max(latencies) * 1e3, 2),
+        "checksum": checksum,
+    }
+
+
+def bench_hybrid_fan_in(client_series: List[int], shards: int, loops: int,
+                        grid: int, limit: int, gate_clients: int) -> Dict:
+    """``hybrid_fan_in_compute``: the fan-in win and the multi-core win in one.
+
+    The series runs ``process+async:shards:loops`` (one worker process per
+    shard); the baseline re-runs the gate point on ``process+async:1:loops``
+    — same coroutine clients, same coalesced wire, but every shard pinned
+    to a single worker, so the only difference is the cores.  The headline
+    ``speedup`` is single-worker wall over multi-worker wall at the gate
+    fan-in; like ``process_scaling``'s compute column it needs real
+    parallel hardware, so its floor carries ``min_cpu_count``.
+    """
+    x0, y0 = _CHUNK_REGION
+    per_chunk = _kernel_chunk(x0, y0, grid, limit)
+    multi_spec = f"process+async:{shards}:{loops}"
+    points = []
+    parity = True
+    gate_run = None
+    for clients in client_series:
+        run = _hybrid_fan_in_run(multi_spec, clients, shards, grid, limit)
+        parity = parity and run["checksum"] == clients * per_chunk
+        points.append({
+            "clients": clients,
+            "hybrid_s": run["wall_s"],
+            "worst_latency_ms": run["worst_latency_ms"],
+        })
+        if clients == gate_clients:
+            gate_run = run
+    if gate_run is None:  # gate point not in the series: use the largest
+        gate_clients = client_series[-1]
+        gate_run = _hybrid_fan_in_run(multi_spec, gate_clients, shards, grid, limit)
+    single = _hybrid_fan_in_run(f"process+async:1:{loops}", gate_clients,
+                                shards, grid, limit)
+    parity = parity and single["checksum"] == gate_clients * per_chunk
+    return {
+        "workload": {"shards": shards, "loops": loops, "grid": grid,
+                     "limit": limit, "chunks_per_client": 1,
+                     "kernel": "mandelbrot (Cowichan-style, pure python)"},
+        "cpu_count": os.cpu_count(),
+        "series": points,
+        "parity": parity,
+        "gate_clients": gate_clients,
+        "single_worker": {"wall_s": single["wall_s"],
+                          "worst_latency_ms": single["worst_latency_ms"]},
+        # headline: coroutine fan-in scaling with worker processes — the
+        # composition the hybrid backend exists for (floor is
+        # min_cpu_count-gated: one core cannot show a compute win)
+        "speedup": round(single["wall_s"] / max(gate_run["wall_s"], 1e-9), 3),
+    }
+
+
+# ----------------------------------------------------------------------------
 # 8. the wire fast path: codecs x (plain frames vs coalesced bursts)
 # ----------------------------------------------------------------------------
 #: the shape of the dominant wire traffic — one small async call frame
@@ -950,6 +1067,20 @@ def bench_async_multiloop(shards: int, naps_per_shard: int, nap_s: float) -> Dic
 # ----------------------------------------------------------------------------
 # driver
 # ----------------------------------------------------------------------------
+def _raise_nofile_limit(target: int = 65_536) -> None:
+    """Best-effort RLIMIT_NOFILE raise: 10k concurrent framed sockets need
+    file descriptors the default soft limit (often 1024) does not allow."""
+    try:
+        import resource
+
+        soft, hard = resource.getrlimit(resource.RLIMIT_NOFILE)
+        if soft < target:
+            resource.setrlimit(resource.RLIMIT_NOFILE,
+                               (min(target, hard), hard))
+    except (ImportError, ValueError, OSError):
+        pass
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default=None,
@@ -970,6 +1101,8 @@ def main() -> int:
         rd_from, rd_to, rd_keys, rd_preload, rd_probes = 2, 3, 8, 64, 40
         wire_frames, wire_burst = 4_000, 32
         ml_shards, ml_naps, ml_nap_s = 2, 2, 0.02
+        hy_series, hy_shards, hy_loops, hy_grid, hy_limit, hy_gate = (
+            [50, 200], 2, 2, 12, 40, 200)
     else:
         total, burst = 200_000, 64
         blocks, pings = 500, 50
@@ -981,7 +1114,10 @@ def main() -> int:
         rd_from, rd_to, rd_keys, rd_preload, rd_probes = 3, 5, 16, 4_000, 400
         wire_frames, wire_burst = 40_000, 32
         ml_shards, ml_naps, ml_nap_s = 4, 3, 0.05
+        hy_series, hy_shards, hy_loops, hy_grid, hy_limit, hy_gate = (
+            [1_000, 5_000, 10_000], 4, 4, 24, 60, 5_000)
 
+    _raise_nofile_limit()
     results = {
         "meta": {
             "python": platform.python_version(),
@@ -999,6 +1135,8 @@ def main() -> int:
         "reshard_downtime": bench_reshard_downtime(rd_from, rd_to, rd_keys,
                                                    rd_preload, rd_probes),
         "fan_in": bench_fan_in(fan_series, fan_handlers, fan_pings, fan_gate),
+        "hybrid_fan_in_compute": bench_hybrid_fan_in(hy_series, hy_shards, hy_loops,
+                                                     hy_grid, hy_limit, hy_gate),
         "wire_codec": bench_wire_codec(wire_frames, wire_burst),
         "async_multiloop": bench_async_multiloop(ml_shards, ml_naps, ml_nap_s),
     }
@@ -1050,6 +1188,13 @@ def main() -> int:
               f"(worst {row['threads_worst_latency_ms']}ms) | "
               f"async {row['async_s']}s (worst {row['async_worst_latency_ms']}ms) "
               f"-> {row['speedup']}x")
+    hy = results["hybrid_fan_in_compute"]
+    for row in hy["series"]:
+        print(f"hybrid fan-in x{row['clients']} coroutine clients: "
+              f"{row['hybrid_s']}s (worst {row['worst_latency_ms']}ms)")
+    print(f"hybrid fan-in at {hy['gate_clients']} clients: single worker "
+          f"{hy['single_worker']['wall_s']}s -> {hy['workload']['shards']} workers "
+          f"-> {hy['speedup']}x (parity={hy['parity']})")
     wire = results["wire_codec"]
     for name, row in wire["codecs"].items():
         print(f"wire [{name}] {row['frame_bytes']}B/frame: "
@@ -1071,9 +1216,8 @@ def main() -> int:
         (pathlib.Path(__file__).resolve().parent / "thresholds.json").read_text(encoding="utf-8"))
     rows, ok = bench_gate.check(results, thresholds, "smoke" if args.smoke else "full")
     if not ok:
-        for path, value, expectation, status in rows:
-            if status == "FAIL":
-                print(f"BENCH REGRESSION: {path} = {value} (want {expectation})", file=sys.stderr)
+        for path, value, expectation, _status in bench_gate.failures(rows):
+            print(f"BENCH REGRESSION: {path} = {value} (want {expectation})", file=sys.stderr)
         return 1
     return 0
 

@@ -84,6 +84,18 @@ def check(bench: dict, thresholds: dict, mode: str) -> Tuple[list, bool]:
     return rows, ok
 
 
+def failures(rows: list) -> list:
+    """The collected failure list from one ``check`` pass.
+
+    ``check`` never stops at the first regression — every floor and every
+    ``require_true`` path is evaluated, so a single gate run reports *all*
+    missing and failing series at once (one CI round trip to see the full
+    damage, not one per regression).  This helper filters that pass down
+    to the FAIL rows for reporting.
+    """
+    return [row for row in rows if row[3] == "FAIL"]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench", nargs="?", default=str(DEFAULT_BENCH),
@@ -102,8 +114,11 @@ def main(argv=None) -> int:
     for path, value, expectation, status in rows:
         print(f"  {path:<{width}}  {value!s:>10}  {expectation:<12} {status}")
     if not ok:
-        print("bench-gate: PERF REGRESSION (or missing series) — see FAIL rows above",
-              file=sys.stderr)
+        failed = failures(rows)
+        print(f"bench-gate: {len(failed)} gate(s) failed in one pass "
+              "(regressions and/or missing series):", file=sys.stderr)
+        for path, value, expectation, _status in failed:
+            print(f"  {path} = {value} (want {expectation})", file=sys.stderr)
         return 1
     print("bench-gate: all floors hold")
     return 0

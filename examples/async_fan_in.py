@@ -4,6 +4,7 @@
 Run with::
 
     python examples/async_fan_in.py [--clients 2000] [--handlers 4] [--rounds 2]
+                                    [--backend async|process+async[:n:m]]
 
 The thread-per-client model caps realistic fan-in at a few hundred clients;
 this example spawns *thousands* of concurrent clients as asyncio tasks
@@ -19,6 +20,11 @@ every one of the N clients' requests executed, in per-client program order,
 without a single lock in user code.  Compare ``--backend threads`` fan-in
 in ``benchmarks/bench_backends.py`` (the ``fan_in`` series) for what the
 same pressure costs when every client needs an OS thread.
+
+With ``--backend process+async:4:2`` the same coroutine clients fan into
+handlers hosted in *worker processes* (the hybrid backend): identical
+code, identical audit, but the service handlers drain on real cores while
+the clients stay cheap asyncio tasks.
 """
 
 import argparse
@@ -56,10 +62,14 @@ def main() -> int:
                         help="service handlers the clients fan in on")
     parser.add_argument("--rounds", type=int, default=2,
                         help="separate blocks each client opens")
+    parser.add_argument("--backend", default="async",
+                        help="any backend spec that runs coroutine clients: "
+                             "'async[:nloops]' (default) or the hybrid "
+                             "'process+async[:nproc[:nloops[:codec]]]'")
     args = parser.parse_args()
 
     start = time.perf_counter()
-    with QsRuntime("all", backend="async") as rt:
+    with QsRuntime("all", backend=args.backend) as rt:
         services = [rt.new_handler(f"svc-{i}").create(TallyService)
                     for i in range(args.handlers)]
 
@@ -91,7 +101,7 @@ def main() -> int:
 
     expected_requests = args.clients * args.rounds * 2
     print(f"{args.clients} coroutine clients x {args.rounds} rounds over "
-          f"{args.handlers} handlers in {elapsed:.2f}s")
+          f"{args.handlers} handlers [{args.backend}] in {elapsed:.2f}s")
     print(f"clients served: {clients_seen}, requests executed: {requests}, "
           f"tally total: {total}")
     if clients_seen != args.clients or requests != expected_requests:

@@ -17,6 +17,11 @@ is backend-agnostic; a backend decides how handlers and clients *execute*:
              more event loops; clients become nearly free, so fan-in
              scales to tens of thousands of concurrent clients (blocking
              thread clients still work alongside)
+``process+async``
+             the composite of the two above: handlers in the process
+             worker pool (real cores), clients as coroutine tasks across
+             event loops — tens of thousands of concurrent clients
+             driving compute-bound handlers in parallel
 =========== ==============================================================
 
 Select one with ``QsRuntime(backend="sim")``, ``QsConfig(backend="sim")``,
@@ -26,6 +31,7 @@ on the command line.
 Backend specs follow one grammar (every parse error quotes it)::
 
     threads | sim[:policy[:seed]] | process[:nproc][:codec] | async[:nloops]
+        | process+async[:nproc[:nloops[:codec]]]
 
 A sim spec carries a scheduling policy and seed — ``"sim:random"``,
 ``"sim:random:7"``, ``"sim:pct:3"`` — selecting which interleaving the
@@ -35,9 +41,11 @@ specific adversarial schedule without touching any source.  A process spec
 carries a worker-process cap and/or a wire codec — ``"process:4"``,
 ``"process:json"``, ``"process:2:bin"`` (see :mod:`repro.queues.codec`).
 An async spec carries an event-loop count — ``"async:4"`` runs four loops
-with shard replicas pinned round-robin across them.  ``threads`` takes no
-components; trailing components on it are rejected rather than silently
-ignored.
+with shard replicas pinned round-robin across them.  The hybrid composite
+takes a worker cap, a loop count and a codec in that order —
+``"process+async:4:2:bin"`` is four worker processes, two client loops,
+binary wire frames.  ``threads`` takes no components; trailing components
+on it are rejected rather than silently ignored.
 """
 
 from __future__ import annotations
@@ -47,6 +55,7 @@ from typing import Callable, Dict, Optional
 
 from repro.backends.async_ import AsyncBackend, AsyncClientHandle, AsyncEventHandle
 from repro.backends.base import ClientHandle, ExecutionBackend
+from repro.backends.hybrid import HybridBackend
 from repro.backends.process import ProcessBackend
 from repro.backends.sim import SimBackend, SimClientHandle, SimEventHandle, SimLock
 from repro.backends.threaded import ThreadedBackend
@@ -63,13 +72,16 @@ BACKENDS: Dict[str, Callable[[], ExecutionBackend]] = {
     "processes": ProcessBackend,
     "async": AsyncBackend,
     "asyncio": AsyncBackend,
+    "process+async": HybridBackend,
+    "hybrid": HybridBackend,
 }
 
 #: canonical names (one per backend), for CLI choices and error messages
-BACKEND_NAMES = ("threads", "sim", "process", "async")
+BACKEND_NAMES = ("threads", "sim", "process", "async", "process+async")
 
 #: the one spec grammar every parse error points at
 SPEC_GRAMMAR = ("threads | sim[:policy[:seed]] | process[:nproc][:codec] | async[:nloops] "
+                "| process+async[:nproc[:nloops[:codec]]] "
                 f"(policies: {', '.join(POLICY_NAMES)}; codecs: {', '.join(CODEC_NAMES)})")
 
 
@@ -88,6 +100,8 @@ _CANONICAL = {
     "processes": "process",
     "async": "async",
     "asyncio": "async",
+    "process+async": "process+async",
+    "hybrid": "process+async",
 }
 
 
@@ -104,7 +118,9 @@ class BackendSpec:
 
     Fields that do not apply to the named backend stay ``None``: ``policy``
     and ``seed`` belong to ``sim``, ``processes`` and ``codec`` to
-    ``process``, ``loops`` to ``async``.  :meth:`parse` is the validating constructor — building an
+    ``process``, ``loops`` to ``async`` — and the ``process+async``
+    composite uses ``processes``, ``loops`` and ``codec`` together.
+    :meth:`parse` is the validating constructor — building an
     instance directly skips grammar checks (``create`` still rejects unknown
     backend names).  ``name`` is always canonical after a parse: aliases
     (``threaded``, ``virtual``, ``processes``, ``asyncio``) collapse to the
@@ -165,6 +181,30 @@ class BackendSpec:
                     raise _spec_error(
                         text, f"invalid component {part!r} (neither a process count nor a codec)")
             return cls(name=canonical, processes=processes, codec=codec)
+        if factory is HybridBackend:
+            counts: list = []
+            codec = None
+            for part in rest.split(":"):
+                if not part:
+                    raise _spec_error(text, "empty component")
+                if part.isdigit():
+                    if len(counts) >= 2:
+                        raise _spec_error(
+                            text, "more than a process count and a loop count")
+                    counts.append(int(part))
+                elif part in CODEC_NAMES:
+                    if codec is not None:
+                        raise _spec_error(text, "two codecs")
+                    codec = part
+                else:
+                    raise _spec_error(
+                        text, f"invalid component {part!r} (not a count or a codec)")
+            loops = counts[1] if len(counts) > 1 else None
+            if loops is not None and loops < 1:
+                raise _spec_error(
+                    text, f"invalid event-loop count {loops!r} (a positive integer)")
+            return cls(name=canonical, processes=counts[0] if counts else None,
+                       codec=codec, loops=loops)
         if factory is AsyncBackend:
             if not rest.isdigit() or int(rest) < 1:
                 raise _spec_error(
@@ -174,7 +214,7 @@ class BackendSpec:
             text,
             f"the {base!r} backend takes no spec components "
             "(only sim takes a policy/seed, process a count/codec, "
-            "async a loop count)")
+            "async a loop count, process+async counts and a codec)")
 
     def to_spec(self) -> str:
         """The canonical spec string (``parse(s.to_spec()) == s`` for parsed specs)."""
@@ -185,10 +225,10 @@ class BackendSpec:
                 parts.append(str(self.seed))
         if self.processes is not None:
             parts.append(str(self.processes))
-        if self.codec is not None:
-            parts.append(self.codec)
         if self.loops is not None:
             parts.append(str(self.loops))
+        if self.codec is not None:
+            parts.append(self.codec)
         return ":".join(parts)
 
     def __str__(self) -> str:
@@ -208,6 +248,9 @@ class BackendSpec:
             return SimBackend(policy=make_policy(self.policy, seed=seed), seed=seed)
         if factory is ProcessBackend:
             return ProcessBackend(processes=self.processes, codec=self.codec or "pickle")
+        if factory is HybridBackend:
+            return HybridBackend(processes=self.processes, loops=self.loops or 1,
+                                 codec=self.codec or "pickle")
         if factory is AsyncBackend:
             return AsyncBackend(loops=self.loops or 1)
         return factory()
@@ -240,6 +283,7 @@ __all__ = [
     "SimEventHandle",
     "SimLock",
     "ProcessBackend",
+    "HybridBackend",
     "AsyncBackend",
     "AsyncClientHandle",
     "AsyncEventHandle",

@@ -138,6 +138,96 @@ class _LoopThread:
         self.thread.join(timeout=timeout)
 
 
+class LoopPool:
+    """A set of event-loop threads plus the cross-thread plumbing they need.
+
+    This is the part of the asyncio machinery that is *not* about handlers:
+    starting/stopping ``nloops`` :class:`_LoopThread` s, spreading client
+    tasks round-robin across them, recognising "am I on one of my loop
+    threads?", and resolving loop-bound futures from wherever ``set()``
+    was called.  :class:`AsyncBackend` composes it with coroutine handler
+    loops; the hybrid ``process+async`` backend composes the *same* pool
+    with process-hosted handlers — one implementation of the loop
+    lifecycle, two placements of the handler side.
+    """
+
+    __slots__ = ("nloops", "loops", "by_loop", "threads",
+                 "_rr_lock", "_client_rr", "_started", "_finished")
+
+    def __init__(self, nloops: int = 1) -> None:
+        if nloops < 1:
+            raise ValueError(f"a loop pool needs at least one loop, got {nloops}")
+        self.nloops = nloops
+        self.loops: List[_LoopThread] = []
+        self.by_loop: Dict[asyncio.AbstractEventLoop, _LoopThread] = {}
+        self.threads: set = set()
+        self._rr_lock = threading.Lock()
+        self._client_rr = 0
+        self._started = False
+        self._finished = False
+
+    def start(self) -> None:
+        if self._started:
+            raise ScoopError("a LoopPool cannot be started twice; "
+                             "create a fresh pool per runtime")
+        self._started = True
+        self.loops = [_LoopThread(i) for i in range(self.nloops)]
+        for lp in self.loops:
+            lp.start()
+        self.by_loop = {lp.loop: lp for lp in self.loops}
+        self.threads = {lp.thread for lp in self.loops}
+
+    def stop(self, timeout: float) -> None:
+        if not self._started or self._finished:
+            return
+        self._finished = True
+        for lp in self.loops:
+            lp.stop(timeout)
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def on_loop_thread(self) -> bool:
+        return threading.current_thread() in self.threads
+
+    def _resolve_future(self, fut: asyncio.Future) -> None:
+        """Resolve an event-handle future on the loop that owns it."""
+        lp = self.by_loop.get(fut.get_loop())
+        if lp is not None:
+            if threading.current_thread() is lp.thread:
+                # handlers fire sync releases / result boxes from their own
+                # loop, so this is the hot path: resolve in place
+                AsyncEventHandle._resolve(fut)
+            else:
+                lp.post(AsyncEventHandle._resolve, fut)
+            return
+        try:  # pragma: no cover - future from a loop we do not own
+            fut.get_loop().call_soon_threadsafe(AsyncEventHandle._resolve, fut)
+        except RuntimeError:
+            pass
+
+    def next_client_loop(self) -> _LoopThread:
+        with self._rr_lock:
+            index = self._client_rr
+            self._client_rr += 1
+        return self.loops[index % len(self.loops)]
+
+    def spawn_task(self, factory: Callable[[], Coroutine], name: str) -> "AsyncClientHandle":
+        """Schedule ``factory()`` as a loop task; returns a joinable handle."""
+        if self._finished:
+            raise ScoopError("the backend's event loops have been shut down")
+        handle = AsyncClientHandle(name)
+        lp = self.next_client_loop()
+
+        def _start() -> None:
+            task = lp.loop.create_task(factory(), name=name)
+            task.add_done_callback(lambda _t: handle._mark_done())
+
+        lp.post(_start)
+        return handle
+
+
 class AsyncEventHandle:
     """Event usable from both worlds: blocking threads and coroutines.
 
@@ -147,6 +237,10 @@ class AsyncEventHandle:
     called from any thread: each pending future is resolved on the loop it
     was created on (futures are loop-bound, and with multiple loops the
     waiters of one event may span several of them).
+
+    The ``backend`` argument only needs a ``_resolve_future`` method — an
+    :class:`AsyncBackend`, or a bare :class:`LoopPool` (how the hybrid
+    backend hands these out) both qualify.
 
     One of these is allocated per sync round trip and per packaged query,
     so the constructor stays skeletal: the :class:`threading.Event` a
@@ -270,11 +364,8 @@ class AsyncBackend(ExecutionBackend):
             raise ValueError(f"AsyncBackend needs at least one loop, got {loops}")
         self.runtime: Any = None
         self.nloops = loops
-        self._loops: List[_LoopThread] = []
-        self._by_loop: Dict[asyncio.AbstractEventLoop, _LoopThread] = {}
-        self._threads: set = set()
+        self._pool = LoopPool(loops)
         self._started = False
-        self._finished = False
         #: shard-placement pins (handler name -> loop index) set by
         #: create_shard_handlers before the handlers are started
         self._pins: Dict[str, int] = {}
@@ -282,12 +373,15 @@ class AsyncBackend(ExecutionBackend):
         self._loop_of: Dict[str, int] = {}
         self._rr_lock = threading.Lock()
         self._handler_rr = 0
-        self._client_rr = 0
+
+    @property
+    def _loops(self) -> List[_LoopThread]:
+        return self._pool.loops
 
     @property
     def loop(self) -> Optional[asyncio.AbstractEventLoop]:
         """The primary event loop (single-loop compatibility surface)."""
-        return self._loops[0].loop if self._loops else None
+        return self._pool.loops[0].loop if self._pool.loops else None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -298,46 +392,22 @@ class AsyncBackend(ExecutionBackend):
                              "create a fresh backend per runtime")
         self._started = True
         self.runtime = runtime
-        self._loops = [_LoopThread(i) for i in range(self.nloops)]
-        for lp in self._loops:
-            lp.start()
-        self._by_loop = {lp.loop: lp for lp in self._loops}
-        self._threads = {lp.thread for lp in self._loops}
+        self._pool.start()
 
     def shutdown(self, timeout: float = 10.0) -> None:
-        if not self._started or self._finished:
-            return
-        self._finished = True
-        for lp in self._loops:
-            lp.stop(timeout)
+        self._pool.stop(timeout)
 
     # ------------------------------------------------------------------
-    # loop plumbing
+    # loop plumbing (delegated to the shared LoopPool)
     # ------------------------------------------------------------------
     def on_loop_thread(self) -> bool:
-        return threading.current_thread() in self._threads
+        return self._pool.on_loop_thread()
 
     def _resolve_future(self, fut: asyncio.Future) -> None:
-        """Resolve an event-handle future on the loop that owns it."""
-        lp = self._by_loop.get(fut.get_loop())
-        if lp is not None:
-            if threading.current_thread() is lp.thread:
-                # handlers fire sync releases / result boxes from their own
-                # loop, so this is the hot path: resolve in place
-                AsyncEventHandle._resolve(fut)
-            else:
-                lp.post(AsyncEventHandle._resolve, fut)
-            return
-        try:  # pragma: no cover - future from a loop we do not own
-            fut.get_loop().call_soon_threadsafe(AsyncEventHandle._resolve, fut)
-        except RuntimeError:
-            pass
+        self._pool._resolve_future(fut)
 
     def _next_client_loop(self) -> _LoopThread:
-        with self._rr_lock:
-            index = self._client_rr
-            self._client_rr += 1
-        return self._loops[index % len(self._loops)]
+        return self._pool.next_client_loop()
 
     def _assign_handler_loop(self, name: str) -> _LoopThread:
         """Pick the loop a new handler lives on (pin beats round-robin)."""
@@ -346,23 +416,15 @@ class AsyncBackend(ExecutionBackend):
             if pin is None:
                 pin = self._handler_rr
                 self._handler_rr += 1
-            index = pin % len(self._loops)
+            index = pin % len(self._pool.loops)
             self._loop_of[name] = index
-        return self._loops[index]
+        return self._pool.loops[index]
 
     def spawn_task(self, factory: Callable[[], Coroutine], name: str) -> AsyncClientHandle:
         """Schedule ``factory()`` as a loop task; returns a joinable handle."""
-        if self._finished:
+        if self._pool.finished:
             raise ScoopError("the async backend has been shut down")
-        handle = AsyncClientHandle(name)
-        lp = self._next_client_loop()
-
-        def _start() -> None:
-            task = lp.loop.create_task(factory(), name=name)
-            task.add_done_callback(lambda _t: handle._mark_done())
-
-        lp.post(_start)
-        return handle
+        return self._pool.spawn_task(factory, name)
 
     # ------------------------------------------------------------------
     # synchronisation primitives

@@ -143,6 +143,21 @@ class ExecutionBackend(ABC):
         """
         return fn(ref._raw())
 
+    async def execute_synced_query_async(self, client: Any, ref: Any, fn: Callable[[Any], Any],
+                                         feature: Optional[str] = None, args: tuple = (),
+                                         kwargs: Optional[dict] = None,
+                                         raw_fn: Optional[Callable[..., Any]] = None) -> Any:
+        """Awaitable twin of :meth:`execute_synced_query` for coroutine clients.
+
+        The in-memory backends run the body inline (nothing there can
+        block, so the default simply delegates); a backend whose query
+        bodies travel over a socket — the hybrid ``process+async`` backend
+        — overrides this to await the round trip instead of blocking the
+        event loop in the blocking hook.
+        """
+        return self.execute_synced_query(client, ref, fn, feature=feature,
+                                         args=args, kwargs=kwargs, raw_fn=raw_fn)
+
     # ------------------------------------------------------------------
     # synchronisation primitives
     # ------------------------------------------------------------------

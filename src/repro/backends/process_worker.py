@@ -389,7 +389,9 @@ def main() -> None:
 
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.bind(("127.0.0.1", 0))
-    listener.listen(64)
+    # deep backlog: a hybrid fan-in connects thousands of coroutine clients
+    # in a burst, and a refused connection there means a lost private queue
+    listener.listen(1024)
 
     ctrl.send({"op": "ready", "token": spec["token"],
                "port": listener.getsockname()[1], "pid": os.getpid()})

@@ -33,15 +33,17 @@ command            what it does
                    ``sharded-bank --shards N``)
 =================  ==========================================================
 
-The global ``--backend {threads,sim,process,async}`` option selects the
-execution backend for the commands that run the runtime (``run``,
-``trace``): OS threads in wall-clock time, the deterministic virtual-time
-simulator, one OS process per handler, or asyncio event loops hosting
-every handler (and any coroutine clients) — e.g. ``repro --backend sim run
-bank-transfers`` or ``repro --backend async run dining-philosophers``.
-Full specs work too: ``process:4:bin`` caps the worker pool at four and
-selects the compact binary wire codec, ``async:4`` spreads handlers over
-four event loops (see ``docs/backends.md``).
+The global ``--backend {threads,sim,process,async,process+async}`` option
+selects the execution backend for the commands that run the runtime
+(``run``, ``trace``): OS threads in wall-clock time, the deterministic
+virtual-time simulator, one OS process per handler, asyncio event loops
+hosting every handler (and any coroutine clients), or the hybrid composite
+(handlers in worker processes, clients as coroutine tasks) — e.g. ``repro
+--backend sim run bank-transfers`` or ``repro --backend async run
+dining-philosophers``.  Full specs work too: ``process:4:bin`` caps the
+worker pool at four and selects the compact binary wire codec, ``async:4``
+spreads handlers over four event loops, ``process+async:4:2`` is four
+worker processes with clients across two loops (see ``docs/backends.md``).
 
 Every sub-command prints plain text only; exit status 0 means success, 1 is
 used for analysis results that found problems (deadlock cycles, guarantee
@@ -310,7 +312,8 @@ def cmd_run(args: argparse.Namespace) -> int:
     The examples come from the :mod:`repro.workloads.runnable` registry;
     all of them are deterministic (seeded RNGs), so the printed balances /
     meal counts are identical under ``--backend threads``, ``sim``,
-    ``process`` and ``async`` — which is exactly the backend-parity claim.
+    ``process``, ``async`` and ``process+async`` — which is exactly the
+    backend-parity claim.
     """
     from repro.workloads.runnable import get_example
 
@@ -341,7 +344,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
             effective_name = BackendSpec.parse(effective).name
         except Exception:
             effective_name = None  # let the runtime raise its own spec error
-        if effective_name == "process":
+        if effective_name in ("process", "process+async"):
             raise SystemExit(
                 "repro trace: handler-side trace events are recorded in the handler's "
                 "process, which the parent's tracer cannot see; use --backend threads or sim")

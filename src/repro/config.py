@@ -98,10 +98,13 @@ class QsConfig:
         Execution backend the runtime uses: ``"threads"`` (OS threads,
         wall-clock time), ``"sim"`` (deterministic virtual time on the
         cooperative scheduler), ``"process"`` (one OS process per handler
-        behind socket private queues; true multi-core parallelism) or
+        behind socket private queues; true multi-core parallelism),
         ``"async"`` (handlers and coroutine clients as asyncio tasks on
-        one event loop; 10k+ client fan-in).  Spec components are allowed
-        — ``"sim:random:7"``, ``"process:4:json"`` — and a structured
+        one event loop; 10k+ client fan-in) or ``"process+async"`` (the
+        hybrid composite: handlers in the process worker pool, clients as
+        coroutine tasks across event loops).  Spec components are allowed
+        — ``"sim:random:7"``, ``"process:4:json"``,
+        ``"process+async:4:2:bin"`` — and a structured
         :class:`~repro.backends.BackendSpec` is accepted wherever a spec
         string is.  See :mod:`repro.backends`.
     sched_policy:

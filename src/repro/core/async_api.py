@@ -65,8 +65,8 @@ class AsyncClient:
         if not getattr(backend, "supports_async_clients", False):
             raise ScoopError(
                 f"the {backend.name!r} backend cannot run coroutine clients; "
-                "select the asyncio backend (QsRuntime(backend='async') or "
-                "REPRO_BACKEND=async)")
+                "use an asyncio backend (QsRuntime(backend='async'), the hybrid "
+                "'process+async', or the REPRO_BACKEND equivalents)")
         if not runtime.config.use_qoq:
             raise ScoopError(
                 "the awaitable client API needs the queue-of-queues protocol; "
@@ -123,7 +123,8 @@ class AsyncClient:
         if box is not None:
             return await box.wait_async()
         await self.sync(ref)
-        return client._execute_client_query(ref, fn, args, dict(kwargs), feature=method)
+        return await client._execute_client_query_async(ref, fn, args, dict(kwargs),
+                                                        feature=method)
 
     def issue_query(self, ref: SeparateRef, method: str, *args: Any, **kwargs: Any):
         """Issue a query without awaiting it; ``await pending.wait_async()`` later.
@@ -150,8 +151,8 @@ class AsyncClient:
         if box is not None:
             return await box.wait_async()
         await self.sync(ref)
-        return client._execute_client_query(ref, wrapped, args, dict(kwargs),
-                                            feature=feature, raw_fn=fn)
+        return await client._execute_client_query_async(ref, wrapped, args, dict(kwargs),
+                                                        feature=feature, raw_fn=fn)
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return f"AsyncClient({self.name!r})"

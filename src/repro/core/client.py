@@ -134,14 +134,14 @@ class PendingQuery:
             self._ref, self._fn, self._args, self._kwargs, feature=self._feature)
 
     async def wait_async(self) -> Any:
-        """Awaitable twin of :meth:`wait` (asyncio backend only)."""
+        """Awaitable twin of :meth:`wait` (asyncio-capable backends only)."""
         self._consume()
         if self._box is not None:
             return await self._box.wait_async()
         if self._sync is not None:
             await self._sync.release.wait_async()
             self._client._finish_sync(self._ref)
-        return self._client._execute_client_query(
+        return await self._client._execute_client_query_async(
             self._ref, self._fn, self._args, self._kwargs, feature=self._feature)
 
 
@@ -400,6 +400,23 @@ class Client:
                               raw_fn: Optional[Callable[..., Any]] = None) -> Any:
         """Run a synced query body on the client (Section 3.2) and trace it."""
         result = self.backend.execute_synced_query(
+            self, ref, fn, feature=feature if raw_fn is None else None,
+            args=args, kwargs=kwargs, raw_fn=raw_fn)
+        self.tracer.record("exec-client", ref.handler.name, client=self.name,
+                           feature=feature, block=self.queue_for(ref.handler).block_id)
+        return result
+
+    async def _execute_client_query_async(self, ref: SeparateRef, fn: Callable[[Any], Any],
+                                          args: tuple, kwargs: dict, feature: str,
+                                          raw_fn: Optional[Callable[..., Any]] = None) -> Any:
+        """Awaitable twin of :meth:`_execute_client_query`.
+
+        Coroutine clients land here (via :class:`PendingQuery.wait_async`
+        and the :class:`~repro.core.async_api.AsyncClient` query paths) so
+        a backend whose query bodies cross a socket can await the round
+        trip; in-memory backends run the body inline either way.
+        """
+        result = await self.backend.execute_synced_query_async(
             self, ref, fn, feature=feature if raw_fn is None else None,
             args=args, kwargs=kwargs, raw_fn=raw_fn)
         self.tracer.record("exec-client", ref.handler.name, client=self.name,

@@ -6,16 +6,29 @@ implementation" — the private queue is an SPSC channel, so nothing stops it
 from running over a byte stream between processes or machines.  This module
 implements exactly that:
 
-* :class:`FrameStream` is the hardened transport: 4-byte big-endian
-  length-prefixed frames whose payloads go through a pluggable
+* :class:`FrameBuffers` is the sync-agnostic framing core: 4-byte
+  big-endian length-prefixed frames whose payloads go through a pluggable
   :class:`~repro.queues.codec.Codec` (JSON by default, pickle or the
-  compact ``bin`` codec for full-fidelity same-trust links).  Each stream
-  keeps a per-connection receive buffer, so a timeout in the middle of a
-  frame *never* desyncs the stream: the bytes already received wait in the
-  buffer and the next read resumes where the last one stopped.  Small
+  compact ``bin`` codec for full-fidelity same-trust links), plus the
+  send-side burst assembly that coalescing is built on.  It never touches
+  a socket — it only turns payloads into bytes and bytes back into
+  payloads — so the exact same framing (and the exact same coalescing
+  counters) drives both I/O bindings below.
+* :class:`FrameStream` is the blocking binding over a stream socket.  Each
+  stream keeps a per-connection receive buffer, so a timeout in the middle
+  of a frame *never* desyncs the stream: the bytes already received wait in
+  the buffer and the next read resumes where the last one stopped.  Small
   frames can be *coalesced*: ``feed`` buffers encoded frames and ``flush``
   ships them in one ``sendall`` (one syscall for a burst of calls), and
   ``recv_many`` decodes every complete frame a single buffer fill yields.
+* :class:`AsyncFrameStream` is the asyncio binding over the same core:
+  ``feed``/``flush``/``send`` are non-blocking (bursts land in the
+  transport's write buffer, or in a pre-connection outbox that the
+  ``connect`` flushes in order), ``recv`` is awaited, and ``peer_closed``
+  reports the EOF the reader has already observed.  Frame layout, codec
+  behaviour and the coalescing accounting (``flush`` returns the burst
+  size) are bit-identical to the blocking binding because both delegate
+  to the one :class:`FrameBuffers` implementation.
 * :class:`SocketPrivateQueue` exposes the same client/handler surface as
   :class:`~repro.queues.private_queue.PrivateQueue` (``enqueue_call`` /
   ``enqueue_sync`` / ``enqueue_end`` / ``dequeue`` plus the dynamic ``synced``
@@ -32,6 +45,7 @@ also be used standalone (see ``benchmarks/bench_ablations.py``).
 
 from __future__ import annotations
 
+import asyncio
 import select
 import socket
 import struct
@@ -63,6 +77,28 @@ _WOULD_BLOCK = (socket.timeout, BlockingIOError)
 COALESCE_MAX_FRAMES = 32
 
 
+def _wait_readable(sock: socket.socket, timeout: Optional[float]) -> bool:
+    """Wait for readability without ``select.select``'s FD_SETSIZE cap.
+
+    ``select`` rejects any fd >= 1024 with ``ValueError`` — a limit a
+    10k-client fan-in blows straight through on the worker side, where
+    every framed connection holds a descriptor.  ``poll`` has no fd
+    ceiling, so readiness waits use it wherever the platform provides it
+    (everywhere but Windows, which keeps the old ``select`` path and its
+    cap).  ``timeout=None`` blocks; returns True when the socket is
+    readable, False on timeout.
+    """
+    if hasattr(select, "poll"):
+        poller = select.poll()
+        poller.register(sock, select.POLLIN)
+        # poll() takes milliseconds (None blocks); round up so a tiny
+        # remaining slice cannot degrade into a zero-timeout busy poll
+        ms = None if timeout is None else max(0, -(-int(timeout * 1_000_000) // 1000))
+        return bool(poller.poll(ms))
+    ready, _, _ = select.select([sock], [], [], timeout)
+    return bool(ready)
+
+
 class SocketQueueClosed(ScoopError):
     """The peer closed the connection (EOF on the underlying socket)."""
 
@@ -87,6 +123,96 @@ class _WireEOF:
 WIRE_EOF = _WireEOF()
 
 
+class FrameBuffers:
+    """The framing/coalescing core shared by both I/O bindings.
+
+    Owns the three things framing actually is — encode/decode through the
+    codec, the length-prefix parse state, and the send-side burst buffer —
+    and none of the I/O.  :class:`FrameStream` (blocking sockets) and
+    :class:`AsyncFrameStream` (asyncio streams) both delegate here, so the
+    wire format and the coalescing accounting cannot drift between them:
+    a burst assembled on one side decodes identically on the other no
+    matter which binding carried it.
+
+    Not thread-safe by itself; the blocking binding serialises senders with
+    its own lock, the asyncio binding is confined to one event loop.
+    """
+
+    __slots__ = ("codec", "_recv_buf", "_send_buf", "_send_pending")
+
+    def __init__(self, codec: "str | Codec" = "json") -> None:
+        self.codec: Codec = get_codec(codec)
+        self._recv_buf = bytearray()
+        self._send_buf = bytearray()
+        self._send_pending = 0
+
+    # -- send side: frame encode + burst assembly ---------------------------
+    def add_frame(self, payload: Dict[str, Any]) -> int:
+        """Encode ``payload`` into the pending burst; returns the new count."""
+        data = self.codec.encode(payload)
+        self._send_buf += _HEADER.pack(len(data))
+        self._send_buf += data
+        self._send_pending += 1
+        return self._send_pending
+
+    def take_burst(self) -> Tuple[bytes, int]:
+        """Detach every buffered frame as ``(bytes, frame_count)``.
+
+        The buffer is cleared *before* the caller performs any I/O: if the
+        write fails (dead peer), the failover path replays from its journal
+        — it must not also find the frames still pending here and
+        double-send them.
+        """
+        count = self._send_pending
+        if not count:
+            return b"", 0
+        data = bytes(self._send_buf)
+        self._send_buf.clear()
+        self._send_pending = 0
+        return data, count
+
+    @property
+    def pending_frames(self) -> int:
+        """Frames added but not yet taken (introspection for tests)."""
+        return self._send_pending
+
+    # -- receive side: length-prefix parse over an accumulating buffer ------
+    def extend(self, data: bytes) -> None:
+        """Append raw bytes read from the transport."""
+        self._recv_buf += data
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._recv_buf)
+
+    def needed_bytes(self) -> int:
+        """Bytes still missing before :meth:`pop_frame` can decode one.
+
+        ``0`` means a complete frame is already buffered.  The blocking
+        binding uses this to wait for exactly one frame's worth of data.
+        """
+        if len(self._recv_buf) < _HEADER.size:
+            return _HEADER.size - len(self._recv_buf)
+        (length,) = _HEADER.unpack(bytes(self._recv_buf[: _HEADER.size]))
+        missing = _HEADER.size + length - len(self._recv_buf)
+        return missing if missing > 0 else 0
+
+    def pop_frame(self) -> Optional[Dict[str, Any]]:
+        """Decode one frame purely from the buffer; ``None`` if incomplete.
+
+        A partial frame stays buffered untouched — this is the invariant
+        that keeps the length-prefixed stream in sync across timeouts.
+        """
+        if len(self._recv_buf) < _HEADER.size:
+            return None
+        (length,) = _HEADER.unpack(bytes(self._recv_buf[: _HEADER.size]))
+        if len(self._recv_buf) < _HEADER.size + length:
+            return None
+        body = bytes(self._recv_buf[_HEADER.size: _HEADER.size + length])
+        del self._recv_buf[: _HEADER.size + length]
+        return self.codec.decode(body)
+
+
 class FrameStream:
     """One side of a framed, codec-encoded connection over a stream socket.
 
@@ -100,7 +226,7 @@ class FrameStream:
     with traffic of any size.  (The original prototype discarded partial
     reads, permanently desyncing the length-prefixed stream.)
 
-    Receive deadlines are enforced with ``select`` on the receiver's side
+    Receive deadlines are enforced with a readiness poll on the receiver's side
     only — the socket's blocking mode is never touched — so a concurrent
     ``send``/``flush`` from another thread can never inherit a receiver's
     deadline and spuriously raise ``socket.timeout`` mid-``sendall``.  (The
@@ -110,11 +236,12 @@ class FrameStream:
 
     def __init__(self, sock: socket.socket, codec: "str | Codec" = "json") -> None:
         self.sock = sock
-        self.codec: Codec = get_codec(codec)
-        self._recv_buf = bytearray()
+        self._core = FrameBuffers(codec)
         self._send_lock = threading.Lock()
-        self._send_buf = bytearray()
-        self._send_pending = 0
+
+    @property
+    def codec(self) -> Codec:
+        return self._core.codec
 
     # -- sending -----------------------------------------------------------
     def send(self, payload: Dict[str, Any]) -> None:
@@ -123,11 +250,8 @@ class FrameStream:
         Any frames still sitting in the coalescing buffer are flushed first,
         so ``feed``/``send`` interleavings preserve enqueue order.
         """
-        data = self.codec.encode(payload)
         with self._send_lock:
-            self._send_buf += _HEADER.pack(len(data))
-            self._send_buf += data
-            self._send_pending += 1
+            self._core.add_frame(payload)
             self._flush_locked()
 
     def feed(self, payload: Dict[str, Any]) -> int:
@@ -139,12 +263,8 @@ class FrameStream:
         Callers that care about syscall coalescing (the process backend's
         ``wire_frames_coalesced`` counter) use the return value.
         """
-        data = self.codec.encode(payload)
         with self._send_lock:
-            self._send_buf += _HEADER.pack(len(data))
-            self._send_buf += data
-            self._send_pending += 1
-            if self._send_pending >= COALESCE_MAX_FRAMES:
+            if self._core.add_frame(payload) >= COALESCE_MAX_FRAMES:
                 return self._flush_locked()
         return 0
 
@@ -154,22 +274,18 @@ class FrameStream:
             return self._flush_locked()
 
     def _flush_locked(self) -> int:
-        count = self._send_pending
+        # the core detaches the burst before the sendall, so a dead-peer
+        # failure cannot leave the frames pending for a double-send
+        data, count = self._core.take_burst()
         if not count:
             return 0
-        # detach the buffer *before* sending: if sendall raises (dead peer),
-        # the caller's failover path replays from its journal — it must not
-        # also find the frames still pending here and double-send them
-        data = bytes(self._send_buf)
-        self._send_buf.clear()
-        self._send_pending = 0
         self.sock.sendall(data)
         return count
 
     @property
     def pending_frames(self) -> int:
         """Frames fed but not yet flushed (introspection for tests)."""
-        return self._send_pending
+        return self._core.pending_frames
 
     def peer_closed(self) -> bool:
         """True if the peer's EOF (or reset) is already queued locally.
@@ -177,12 +293,12 @@ class FrameStream:
         A coalesced burst ``sendall``-ed into a freshly dead peer can
         *succeed* — the kernel accepts the bytes before the peer's RST
         lands — so a fire-and-forget sender would never learn the frames
-        were lost.  A zero-timeout ``select`` plus ``MSG_PEEK`` surfaces
+        were lost.  A zero-timeout readiness poll plus ``MSG_PEEK`` surfaces
         the queued EOF without consuming any real reply data; pending
         (e.g. stale-reply) bytes read as "alive".
         """
         try:
-            ready, _, _ = select.select([self.sock], [], [], 0)
+            ready = _wait_readable(self.sock, 0)
         except (OSError, ValueError):
             return True  # socket already closed locally
         if not ready:
@@ -206,12 +322,12 @@ class FrameStream:
         deadline = None
         if timeout is not None and timeout > 0:
             deadline = time.monotonic() + timeout
-        if not self._fill(_HEADER.size, timeout, deadline):
-            return None
-        (length,) = _HEADER.unpack(bytes(self._recv_buf[: _HEADER.size]))
-        if not self._fill(_HEADER.size + length, timeout, deadline):
-            return None
-        return self._pop_frame(length)
+        while True:
+            frame = self._core.pop_frame()
+            if frame is not None:
+                return frame
+            if not self._fill(self._core.needed_bytes(), timeout, deadline):
+                return None
 
     def recv_many(self, timeout: Optional[float] = None,
                   max_frames: Optional[int] = None) -> List[Dict[str, Any]]:
@@ -237,28 +353,19 @@ class FrameStream:
 
     def _pop_buffered(self) -> Optional[Dict[str, Any]]:
         """Decode one frame purely from the receive buffer (no syscalls)."""
-        if len(self._recv_buf) < _HEADER.size:
-            return None
-        (length,) = _HEADER.unpack(bytes(self._recv_buf[: _HEADER.size]))
-        if len(self._recv_buf) < _HEADER.size + length:
-            return None
-        return self._pop_frame(length)
+        return self._core.pop_frame()
 
-    def _pop_frame(self, length: int) -> Dict[str, Any]:
-        body = bytes(self._recv_buf[_HEADER.size: _HEADER.size + length])
-        del self._recv_buf[: _HEADER.size + length]
-        return self.codec.decode(body)
+    def _fill(self, missing: int, timeout: Optional[float], deadline: Optional[float]) -> bool:
+        """Read at least ``missing`` more bytes; False on timeout.
 
-    def _fill(self, needed: int, timeout: Optional[float], deadline: Optional[float]) -> bool:
-        """Grow the receive buffer to ``needed`` bytes; False on timeout.
-
-        On timeout the bytes read so far *stay in the buffer* — this is the
-        invariant that keeps the length-prefixed stream in sync across
-        timeouts.  Readiness waits use ``select`` so the deadline never
-        leaks into the socket's blocking mode (concurrent senders would
-        inherit it).
+        On timeout the bytes read so far *stay in the core's buffer* — this
+        is the invariant that keeps the length-prefixed stream in sync
+        across timeouts.  Readiness waits use :func:`_wait_readable` so the
+        deadline never leaks into the socket's blocking mode (concurrent
+        senders would inherit it).
         """
-        while len(self._recv_buf) < needed:
+        target = self._core.buffered_bytes + missing
+        while self._core.buffered_bytes < target:
             if timeout is not None:
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -267,8 +374,7 @@ class FrameStream:
                 else:
                     # timeout=0 (or negative): non-blocking poll
                     remaining = 0
-                ready, _, _ = select.select([self.sock], [], [], remaining)
-                if not ready:
+                if not _wait_readable(self.sock, remaining):
                     return False
             try:
                 chunk = self.sock.recv(65536)
@@ -278,7 +384,7 @@ class FrameStream:
                 return False
             if not chunk:
                 raise SocketQueueClosed("the peer closed the connection")
-            self._recv_buf += chunk
+            self._core.extend(chunk)
         return True
 
     def close(self) -> None:
@@ -289,7 +395,127 @@ class FrameStream:
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (f"FrameStream(codec={self.codec.name!r}, "
-                f"buffered={len(self._recv_buf)}, pending={self._send_pending})")
+                f"buffered={self._core.buffered_bytes}, "
+                f"pending={self._core.pending_frames})")
+
+
+class AsyncFrameStream:
+    """The asyncio binding of :class:`FrameBuffers`: same frames, no blocking.
+
+    The send surface mirrors :class:`FrameStream` — ``feed`` buffers one
+    frame and auto-flushes at :data:`COALESCE_MAX_FRAMES`, ``flush`` ships
+    the pending burst and returns its size, ``send`` is add-then-flush —
+    but every operation completes without touching the event loop: bursts
+    land in the asyncio transport's write buffer or, before ``connect``
+    has finished, in an *outbox* that the connection flushes first, in
+    order.  The return values (and with them the caller's
+    ``wire_frames_coalesced`` accounting) are therefore bit-identical to
+    the blocking binding: the burst counts when it leaves the framing
+    core, regardless of which buffer carries it next.
+
+    Receiving is the awaited half: ``recv`` resolves one frame at a time
+    from the shared core, reading from the stream only when the buffer has
+    no complete frame.  EOF raises :class:`SocketQueueClosed` and latches
+    ``peer_closed`` — an asyncio consumer is expected to keep a reader
+    task parked in ``recv``, so a dead peer is noticed promptly instead of
+    via the blocking binding's send-time probe.
+
+    Confined to one event loop (no internal locking), which is exactly the
+    discipline of a per-(client, handler) private queue.
+    """
+
+    def __init__(self, codec: "str | Codec" = "json") -> None:
+        self._core = FrameBuffers(codec)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._outbox = bytearray()
+        self._eof = False
+        self._closed = False
+
+    @property
+    def codec(self) -> Codec:
+        return self._core.codec
+
+    @property
+    def connected(self) -> bool:
+        return self._writer is not None
+
+    async def connect(self, host: str, port: int, timeout: float = 10.0) -> None:
+        """Open the connection and ship everything the outbox accumulated."""
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout)
+        sock = writer.get_extra_info("socket")
+        if sock is not None:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._reader, self._writer = reader, writer
+        if self._outbox:
+            writer.write(bytes(self._outbox))
+            self._outbox.clear()
+
+    # -- sending (never blocks; mirrors FrameStream's accounting) -----------
+    def send(self, payload: Dict[str, Any]) -> int:
+        """Frame and ship one payload (plus any pending burst); the count."""
+        self._core.add_frame(payload)
+        return self.flush()
+
+    def feed(self, payload: Dict[str, Any]) -> int:
+        """Buffer one frame; auto-flush at :data:`COALESCE_MAX_FRAMES`."""
+        if self._core.add_frame(payload) >= COALESCE_MAX_FRAMES:
+            return self.flush()
+        return 0
+
+    def flush(self) -> int:
+        """Move the pending burst to the wire (or outbox); returns the count."""
+        data, count = self._core.take_burst()
+        if not count:
+            return 0
+        if self._writer is not None:
+            self._writer.write(data)
+        else:
+            self._outbox += data
+        return count
+
+    async def drain(self) -> None:
+        """Await the transport's flow control (awaitable contexts only)."""
+        if self._writer is not None:
+            await self._writer.drain()
+
+    @property
+    def pending_frames(self) -> int:
+        return self._core.pending_frames
+
+    def peer_closed(self) -> bool:
+        """True once the reader has observed the peer's EOF (or the stream
+        was closed locally) — the async twin of the blocking probe."""
+        return self._eof or self._closed
+
+    # -- receiving ----------------------------------------------------------
+    async def recv(self) -> Dict[str, Any]:
+        """Await one frame; raises :class:`SocketQueueClosed` on EOF."""
+        while True:
+            frame = self._core.pop_frame()
+            if frame is not None:
+                return frame
+            if self._reader is None:
+                raise ScoopError("AsyncFrameStream.recv before connect")
+            chunk = await self._reader.read(65536)
+            if not chunk:
+                self._eof = True
+                raise SocketQueueClosed("the peer closed the connection")
+            self._core.extend(chunk)
+
+    def close(self) -> None:
+        self._closed = True
+        if self._writer is not None:
+            try:
+                self._writer.close()
+            except Exception:  # noqa: BLE001 - loop may already be gone
+                pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        state = "connected" if self.connected else "connecting"
+        return (f"AsyncFrameStream(codec={self.codec.name!r}, {state}, "
+                f"pending={self._core.pending_frames})")
 
 
 @dataclass

@@ -20,7 +20,7 @@ BACKENDS = ("threads", "sim")
 #: (the functional fixtures below stay on the in-memory pair: process
 #: spawns real workers per test and async rejects some thread-only idioms,
 #: so those backends run the parity + dedicated suites instead)
-ALL_BACKENDS = ("threads", "sim", "process", "async")
+ALL_BACKENDS = ("threads", "sim", "process", "async", "process+async:2:2")
 
 
 @pytest.fixture(params=ALL_LEVELS)
@@ -63,5 +63,5 @@ def baseline_runtime(backend_name):
 
 @pytest.fixture(params=ALL_BACKENDS)
 def any_backend_name(request) -> str:
-    """All four execution backends (threads, sim, process, async)."""
+    """Every execution backend (threads, sim, process, async, hybrid)."""
     return request.param

@@ -16,13 +16,13 @@ import random
 import pytest
 
 from repro import DeadlockError, QsRuntime, SeparateObject, command, query
-from repro.backends import (AsyncBackend, BackendSpec, ProcessBackend, SimBackend, ThreadedBackend,
-                            create_backend)
+from repro.backends import (AsyncBackend, BackendSpec, HybridBackend, ProcessBackend, SimBackend,
+                            ThreadedBackend, create_backend)
 from repro.config import QsConfig
 from repro.workloads.concurrent.runner import run_concurrent
 from repro.workloads.params import ConcurrentSizes
 
-BACKENDS = ("threads", "sim", "process", "async")
+BACKENDS = ("threads", "sim", "process", "async", "process+async:2:2")
 
 #: counters whose values are schedule-independent for the workloads below
 #: (retry-style counters like lock_waits or wait_condition_retries are not)
@@ -178,10 +178,11 @@ class TestEachBackend:
         sizes = ConcurrentSizes(n=2, m=5, nt=20, ring_size=4, nc=10)
         config = QsConfig.all().with_(backend=backend)
         assert run_concurrent("mutex", config, sizes).value == 10
-        if backend == "process":
+        if backend.startswith("process"):
             # threadring wires the runtime and SeparateRefs *into* handler
             # state so handlers act as clients of each other — inherently a
-            # shared-memory workload (see docs/backends.md, process limits)
+            # shared-memory workload (see docs/backends.md, process limits);
+            # the hybrid composite hosts handlers the same way
             pytest.skip("threadring requires shared-memory handler state")
         if backend == "async":
             # threadring's handlers issue blocking queries from inside
@@ -209,7 +210,9 @@ def test_backends_agree(workload):
 #: backend spec variants that must stay observationally identical to their
 #: base backend: every wire codec, and every async loop count
 SPEC_VARIANTS = ("process:2:json", "process:2:pickle", "process:2:bin",
-                 "async:2", "async:3")
+                 "async:2", "async:3",
+                 "process+async:2:2:json", "process+async:2:2:bin",
+                 "process+async:2:1", "process+async:1:2")
 
 
 @pytest.mark.parametrize("spec", SPEC_VARIANTS)
@@ -362,6 +365,11 @@ class TestBackendSelection:
         "async:fast",            # loop count must be a positive integer
         "async:0",
         "async:2:2",
+        "process+async:fast",    # composite: neither a count nor a codec
+        "process+async:2:2:2",   # composite: more than two counts
+        "process+async:2:0",     # composite: loop count must be positive
+        "process+async::2",      # composite: empty component
+        "process+async:json:bin",  # composite: two codecs
     ])
     def test_malformed_specs_all_quote_the_grammar(self, spec):
         with pytest.raises(ValueError) as excinfo:
@@ -384,6 +392,12 @@ class TestBackendSelection:
             create_backend("async:fast")
         with pytest.raises(ValueError, match="invalid event-loop count '0'"):
             create_backend("async:0")
+        with pytest.raises(ValueError, match="more than a process count and a loop count"):
+            create_backend("process+async:2:2:2")
+        with pytest.raises(ValueError, match="invalid event-loop count 0"):
+            create_backend("process+async:2:0")
+        with pytest.raises(ValueError, match="invalid component 'fast'"):
+            create_backend("process+async:fast")
 
     def test_backend_spec_parse_and_round_trip(self):
         spec = BackendSpec.parse("process:4:pickle")
@@ -393,7 +407,9 @@ class TestBackendSelection:
         # round trip: parse(to_spec()) is the identity
         for text in ("threads", "sim", "sim:random", "sim:random:7",
                      "process", "process:2", "process:json", "process:2:json",
-                     "process:2:bin", "async", "async:2", "async:8"):
+                     "process:2:bin", "async", "async:2", "async:8",
+                     "process+async", "process+async:4", "process+async:4:2",
+                     "process+async:4:2:bin", "process+async:json"):
             parsed = BackendSpec.parse(text)
             assert BackendSpec.parse(parsed.to_spec()) == parsed
         # aliases canonicalise, case-insensitively
@@ -401,6 +417,12 @@ class TestBackendSelection:
         assert BackendSpec.parse("Threaded").name == "threads"
         assert BackendSpec.parse("virtual").name == "sim"
         assert BackendSpec.parse("asyncio").name == "async"
+        assert BackendSpec.parse("hybrid").name == "process+async"
+        # the composite parses positionally: nproc, then nloops, then codec
+        spec = BackendSpec.parse("process+async:4:2:bin")
+        assert spec == BackendSpec(name="process+async", processes=4,
+                                   loops=2, codec="bin")
+        assert spec.to_spec() == "process+async:4:2:bin"
         # instances pass through parse unchanged
         assert BackendSpec.parse(spec) is spec
 
@@ -408,6 +430,10 @@ class TestBackendSelection:
         backend = BackendSpec.parse("process:3:json").create()
         assert isinstance(backend, ProcessBackend)
         assert backend.processes == 3 and backend.codec == "json"
+        hybrid = BackendSpec.parse("process+async:3:2:json").create()
+        assert isinstance(hybrid, HybridBackend)
+        assert hybrid.processes == 3 and hybrid.nloops == 2 and hybrid.codec == "json"
+        assert BackendSpec.parse("process+async").create().nloops == 1
         sim = BackendSpec.parse("sim:random:9").create()
         assert isinstance(sim, SimBackend)
         assert isinstance(BackendSpec.parse("threads").create(), ThreadedBackend)

@@ -1,0 +1,170 @@
+"""Unit tests for ``benchmarks/bench_gate.py`` over synthetic measurements.
+
+The gate protects the repo's recorded performance claims, so the gate
+itself needs coverage: a regression in *it* (a floor silently skipped, a
+missing series passing, failures reported one at a time) would let the
+real numbers rot.  These tests drive ``check``/``failures``/``main`` with
+hand-built ``BENCH_backends.json``-shaped dicts — no benchmark runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_GATE_PATH = pathlib.Path(__file__).resolve().parent.parent / "benchmarks" / "bench_gate.py"
+_spec = importlib.util.spec_from_file_location("bench_gate", _GATE_PATH)
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+
+THRESHOLDS = {
+    "floors": {
+        "fan_in.speedup": {"full": 2.0, "smoke": 1.15},
+        "wire.speedup": {"full": 1.5, "smoke": 0.5},
+        "hybrid.speedup": {"full": 1.5, "smoke": 0.3, "min_cpu_count": 4},
+        "full_only.speedup": {"full": 1.1},
+    },
+    "require_true": ["fan_in.parity", "hybrid.parity"],
+}
+
+
+def _bench(cpu_count: int = 8, **sections) -> dict:
+    base = {
+        "meta": {"cpu_count": cpu_count, "smoke": False},
+        "fan_in": {"speedup": 3.0, "parity": True},
+        "wire": {"speedup": 2.0},
+        "hybrid": {"speedup": 2.5, "parity": True},
+        "full_only": {"speedup": 1.4},
+    }
+    base.update(sections)
+    return base
+
+
+def _statuses(rows) -> dict:
+    return {path: status for path, _value, _expect, status in rows}
+
+
+class TestCheck:
+    def test_all_floors_hold(self):
+        rows, ok = bench_gate.check(_bench(), THRESHOLDS, "full")
+        assert ok
+        assert set(_statuses(rows).values()) == {"ok"}
+        assert bench_gate.failures(rows) == []
+
+    def test_failing_floor_is_reported(self):
+        rows, ok = bench_gate.check(_bench(wire={"speedup": 1.2}), THRESHOLDS, "full")
+        assert not ok
+        assert _statuses(rows)["wire.speedup"] == "FAIL"
+
+    def test_missing_series_is_a_failure_not_a_pass(self):
+        bench = _bench()
+        del bench["wire"]
+        rows, ok = bench_gate.check(bench, THRESHOLDS, "full")
+        assert not ok
+        failed = {row[0]: row[1] for row in bench_gate.failures(rows)}
+        assert failed == {"wire.speedup": "MISSING"}
+
+    def test_non_numeric_value_fails_the_floor(self):
+        rows, ok = bench_gate.check(_bench(wire={"speedup": "fast"}), THRESHOLDS, "full")
+        assert not ok
+        assert _statuses(rows)["wire.speedup"] == "FAIL"
+
+    def test_all_failures_collected_in_one_pass(self):
+        # the gate never stops at the first regression: every failing
+        # floor, missing series and broken correctness claim comes back
+        # from a single check() call
+        bench = _bench(wire={"speedup": 0.9},
+                       fan_in={"speedup": 1.0, "parity": False})
+        del bench["full_only"]
+        rows, ok = bench_gate.check(bench, THRESHOLDS, "full")
+        assert not ok
+        assert sorted(row[0] for row in bench_gate.failures(rows)) == [
+            "fan_in.parity", "fan_in.speedup", "full_only.speedup", "wire.speedup"]
+
+    def test_min_cpu_count_skips_below_the_core_floor(self):
+        # one core cannot show a CPU-bound win: skipped, not failed ...
+        rows, ok = bench_gate.check(_bench(cpu_count=1, hybrid={"speedup": 0.1, "parity": True}),
+                                    THRESHOLDS, "full")
+        assert ok
+        assert _statuses(rows)["hybrid.speedup"] == "skip"
+        # ... but with enough cores the same number is a real regression
+        rows, ok = bench_gate.check(_bench(cpu_count=8, hybrid={"speedup": 0.1, "parity": True}),
+                                    THRESHOLDS, "full")
+        assert not ok
+        assert _statuses(rows)["hybrid.speedup"] == "FAIL"
+
+    def test_mode_without_a_floor_is_skipped(self):
+        # full_only has no smoke column: smoke runs skip it entirely
+        rows, ok = bench_gate.check(_bench(full_only={"speedup": 0.01}),
+                                    THRESHOLDS, "smoke")
+        assert ok
+        assert _statuses(rows)["full_only.speedup"] == "skip"
+
+    def test_smoke_mode_applies_the_looser_floors(self):
+        bench = _bench(fan_in={"speedup": 1.3, "parity": True})
+        _, full_ok = bench_gate.check(bench, THRESHOLDS, "full")
+        _, smoke_ok = bench_gate.check(bench, THRESHOLDS, "smoke")
+        assert not full_ok and smoke_ok
+
+    def test_require_true_rejects_anything_but_true(self):
+        for bad in (False, None, 1, "true"):
+            bench = _bench(hybrid={"speedup": 2.5, "parity": bad})
+            rows, ok = bench_gate.check(bench, THRESHOLDS, "full")
+            assert not ok, f"parity={bad!r} must not pass"
+            assert _statuses(rows)["hybrid.parity"] == "FAIL"
+
+    def test_require_true_missing_path_fails(self):
+        bench = _bench()
+        del bench["hybrid"]["parity"]
+        rows, ok = bench_gate.check(bench, THRESHOLDS, "full")
+        assert not ok
+        assert ("hybrid.parity", "MISSING", "== true", "FAIL") in rows
+
+
+class TestRepoThresholds:
+    """The committed thresholds file gates the committed measurement."""
+
+    def test_committed_bench_passes_the_committed_floors(self):
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        bench = json.loads((repo / "BENCH_backends.json").read_text(encoding="utf-8"))
+        thresholds = json.loads(
+            (repo / "benchmarks" / "thresholds.json").read_text(encoding="utf-8"))
+        mode = "smoke" if bench["meta"].get("smoke") else "full"
+        rows, ok = bench_gate.check(bench, thresholds, mode)
+        assert ok, f"committed bench fails its own gate: {bench_gate.failures(rows)}"
+
+    def test_hybrid_floor_is_wired_in(self):
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        thresholds = json.loads(
+            (repo / "benchmarks" / "thresholds.json").read_text(encoding="utf-8"))
+        floor = thresholds["floors"]["hybrid_fan_in_compute.speedup"]
+        assert floor["full"] >= 1.5
+        assert floor["min_cpu_count"] >= 4
+        assert "hybrid_fan_in_compute.parity" in thresholds["require_true"]
+
+
+class TestMain:
+    def test_exit_status_and_collected_failure_report(self, tmp_path, capsys):
+        bench = _bench(wire={"speedup": 0.9},
+                       fan_in={"speedup": 1.0, "parity": False})
+        bench_file = tmp_path / "bench.json"
+        bench_file.write_text(json.dumps(bench), encoding="utf-8")
+        thresholds_file = tmp_path / "thresholds.json"
+        thresholds_file.write_text(json.dumps(THRESHOLDS), encoding="utf-8")
+
+        code = bench_gate.main([str(bench_file), "--thresholds", str(thresholds_file)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "3 gate(s) failed in one pass" in captured.err
+        for path in ("fan_in.speedup", "fan_in.parity", "wire.speedup"):
+            assert path in captured.err
+
+        bench_file.write_text(json.dumps(_bench()), encoding="utf-8")
+        code = bench_gate.main([str(bench_file), "--thresholds", str(thresholds_file)])
+        assert code == 0
+        assert "all floors hold" in capsys.readouterr().out

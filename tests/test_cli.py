@@ -200,14 +200,18 @@ class TestBackendOption:
             main(["--backend", "process:msgpack", "run", "bank-transfers"])
         assert "invalid backend spec" in capsys.readouterr().err
 
-    @pytest.mark.parametrize("spec", ["process", "process:4:pickle", "PROCESS"])
+    @pytest.mark.parametrize("spec", ["process", "process:4:pickle", "PROCESS",
+                                      "process+async", "process+async:4:2:bin",
+                                      "hybrid", "PROCESS+ASYNC"])
     def test_trace_rejects_every_process_spec_spelling(self, spec):
         # the guard normalises through BackendSpec.parse, so a full spec or
-        # an alias cannot sneak a process backend past it
+        # an alias cannot sneak a process-hosted backend (plain or hybrid)
+        # past it
         with pytest.raises(SystemExit, match="handler-side trace events"):
             main(["--backend", spec, "trace", "--clients", "1", "--iterations", "1"])
 
-    @pytest.mark.parametrize("spec", ["process", "process:2:json", "PROCESS"])
+    @pytest.mark.parametrize("spec", ["process", "process:2:json", "PROCESS",
+                                      "process+async:2:2", "hybrid"])
     def test_trace_rejects_process_specs_from_the_environment(self, spec, monkeypatch):
         monkeypatch.setenv("REPRO_BACKEND", spec)
         with pytest.raises(SystemExit, match="handler-side trace events"):

@@ -204,3 +204,77 @@ class TestWorkerFailover:
                 rt.shutdown(check_failures=False)
             except (ScoopError, OSError):
                 pass  # fail-stop: the dead worker cannot answer the close
+
+
+class TestHybridWorkerFailover:
+    """The same contract with coroutine clients on the hybrid backend: the
+    per-queue reader task detects the dead worker, re-pins and replays off
+    the loop thread, and every awaiting coroutine's sequence completes."""
+
+    def test_killed_worker_under_coroutine_clients_completes_via_failover(self):
+        from repro.backends import HybridBackend
+
+        backend = HybridBackend(processes=2, loops=2)
+        with QsRuntime("all", backend=backend) as rt:
+            group = rt.sharded("ledgers", shards=2).create(Ledger)
+
+            async def client(i: int) -> None:
+                for j in range(20):
+                    key = KEYS[(i + j) % len(KEYS)]
+                    async with group.separate_async() as g:
+                        await g.on(key).record(key, (f"c{i}", j))
+
+            for i in range(3):
+                rt.spawn_async_client(client, i, name=f"rec-{i}")
+            time.sleep(0.05)  # let the coroutines get going
+            _kill_worker_of(backend, "ledgers/shard0")
+            rt.join_clients()
+
+            with group.separate() as g:
+                dumps = g.gather("dump")
+            per_client = {}
+            for dump in dumps:
+                for log in dump.values():
+                    for client_id, j in log:
+                        per_client.setdefault(client_id, []).append(j)
+            assert {c: sorted(js) for c, js in per_client.items()} == {
+                f"c{i}": list(range(20)) for i in range(3)}
+            for dump in dumps:
+                for log in dump.values():
+                    seen = {}
+                    for client_id, j in log:
+                        assert seen.get(client_id, -1) < j, (
+                            f"client {client_id} reordered in {log}")
+                        seen[client_id] = j
+            assert rt.stats()["shard_failovers"] >= 1
+
+    def test_failover_disabled_poisons_the_coroutine_queue(self):
+        from repro.backends import HybridBackend
+
+        backend = HybridBackend(processes=1, loops=1, failover=False)
+        rt = QsRuntime("all", backend=backend)
+        outcomes = []
+        try:
+            ref = rt.new_handler("ledger").create(Ledger)
+
+            async def writer() -> None:
+                async with rt.separate_async(ref) as led:
+                    await led.record("k", 1)
+                    assert await led.dump() == {"k": [1]}
+                _kill_worker_of(backend, "ledger")
+                try:
+                    async with rt.separate_async(ref) as led:
+                        await led.record("k", 2)
+                        await led.dump()
+                except (ScoopError, OSError) as exc:
+                    outcomes.append(type(exc).__name__)
+
+            rt.spawn_async_client(writer)
+            rt.join_clients()
+            assert outcomes, "the dead worker must surface as an error"
+            assert rt.stats()["shard_failovers"] == 0
+        finally:
+            try:
+                rt.shutdown(check_failures=False)
+            except (ScoopError, OSError):
+                pass  # fail-stop: the dead worker cannot answer the close

@@ -1,11 +1,12 @@
-"""Sharded handler groups: routing, scatter-gather, four-backend parity.
+"""Sharded handler groups: routing, scatter-gather, all-backend parity.
 
 The contract under test (see ``docs/sharding.md``): every per-shard QoQ
 guarantee survives sharding because each shard is an ordinary handler —
 identical results *and counters* on ``threads``/``sim``/``process``/
-``async`` for the same seeded workload, merge-identical scatter-gather on
-every backend, process-stable key routing, and deterministic placement of
-replicas across the process backend's worker pool.
+``async``/``process+async`` for the same seeded workload, merge-identical
+scatter-gather on every backend, process-stable key routing, and
+deterministic placement of replicas across the process backend's worker
+pool.
 """
 
 from __future__ import annotations
@@ -20,7 +21,7 @@ from repro.config import LEVEL_ORDER
 from repro.errors import ScoopError
 from repro.shard import HashRing, ShardedGroup, stable_key_bytes
 
-SHARD_BACKENDS = ("threads", "sim", "process", "async")
+SHARD_BACKENDS = ("threads", "sim", "process", "async", "process+async:2:2")
 
 #: counters whose values are schedule-independent for the workloads below
 PARITY_COUNTERS = (
@@ -433,7 +434,11 @@ class TestRebalanceOnEachBackend:
             assert after.ring_epoch == before.ring_epoch + 1
             assert len(after.placement) == 4
             hosts = dict(after.placement)
-            if backend == "process":
+            if backend.startswith("process+async"):
+                # hybrid placement names both halves: worker pid + client loop
+                assert all(host.startswith("worker:") and "+loop:" in host
+                           for host in hosts.values())
+            elif backend == "process":
                 assert all(host.startswith("worker:") for host in hosts.values())
             elif backend == "async":
                 assert all(host.startswith("loop:") for host in hosts.values())
