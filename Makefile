@@ -14,11 +14,15 @@
 #                         fan-in example, and a smoke bench artifact
 #   make shard-smoke      sharding suite on the process/async backends + smoke bench
 #   make failover-smoke   worker-kill recovery suite + fuzzed live-resharding pass
+#   make serve-smoke      gateway suite on the process and hybrid backends, a CLI
+#                         load run with its oracles, and a smoke serve_latency
+#                         artifact
 
 PYTHON ?= python
 
 .PHONY: install lint test coverage bench bench-backends bench-gate explore \
-	process-smoke async-smoke hybrid-smoke shard-smoke failover-smoke clean
+	process-smoke async-smoke hybrid-smoke shard-smoke failover-smoke \
+	serve-smoke clean
 
 install:
 	$(PYTHON) -m pip install -e .[dev]
@@ -82,6 +86,17 @@ failover-smoke:
 	$(PYTHON) -m pytest -q tests/test_failover.py
 	$(PYTHON) -m repro explore resharding-bank --policy random --seeds 8 \
 		--save-trace traces/resharding-bank.trace.json
+
+# the HTTP gateway end to end (mirrors CI serve-smoke): the serve suite under
+# both multi-core dispatch modes (process = executor, process+async = native
+# coroutine connections), one CLI load run whose oracles must pass, and a
+# smoke-sized serve_latency measurement
+serve-smoke:
+	REPRO_BACKEND=process $(PYTHON) -m pytest -q tests/test_serve.py
+	REPRO_BACKEND=process+async $(PYTHON) -m pytest -q tests/test_serve.py
+	$(PYTHON) -m repro --backend process+async serve --port 0 --shards 2 \
+		--load --rate 150 --duration 1 --cases 16
+	$(PYTHON) benchmarks/bench_serve.py --smoke --out BENCH_serve_smoke.json
 
 # bank-transfers must stay clean on every schedule; the philosophers hunt is
 # *expected* to find its seeded deadlock (exit 1 = "problem found") and the

@@ -283,7 +283,7 @@ def _bank(backend: str, clients: int, transfers: int) -> Dict:
                     b.credit(amount)
 
         for i in range(clients):
-            rt.spawn_client(transferrer, i, name=f"transfer-{i}")
+            rt.client(transferrer, i, name=f"transfer-{i}")
         rt.join_clients()
         with rt.separate(alice, bob) as (a, b):
             balances = (a.read(), b.read())
@@ -410,7 +410,7 @@ def _responsiveness(backend: str, workers: int, chunks_each: int,
                     done.set()
 
         for i in range(workers):
-            rt.spawn_client(dispatcher, i, name=f"dispatch-{i}")
+            rt.client(dispatcher, i, name=f"dispatch-{i}")
 
         served = 0
         worst = 0.0
@@ -545,7 +545,7 @@ def _shard_hot_key(backend: str, shards: int, bursts: int, burst_size: int,
                 hot.checksum_value()
             done.set()
 
-        rt.spawn_client(flooder, name="flooder")
+        rt.client(flooder, name="flooder")
         served = 0
         worst = 0.0
         start = time.perf_counter()
@@ -688,7 +688,7 @@ def _reshard_run(backend: str, shards_from: int, shards_to: int,
             reshard_wall[0] = time.perf_counter() - begin
             done.set()
 
-        rt.spawn_client(resharder, name="resharder")
+        rt.client(resharder, name="resharder")
         served = 0
         worst = 0.0
         start = time.perf_counter()
@@ -779,7 +779,7 @@ def _fan_in_run(backend: str, clients: int, handlers: int, pings: int) -> Dict:
         async def async_client(i: int) -> None:
             ref = refs[i % handlers]
             begin = time.perf_counter()
-            async with rt.separate_async(ref) as service:
+            async with rt.aclient().separate(ref) as service:
                 for _ in range(pings):
                     await service.ping()
             latencies[i] = time.perf_counter() - begin
@@ -790,9 +790,9 @@ def _fan_in_run(backend: str, clients: int, handlers: int, pings: int) -> Dict:
             start = time.perf_counter()
             for i in range(clients):
                 if backend == "async":
-                    rt.spawn_async_client(async_client, i, name=f"client-{i}")
+                    rt.aclient(async_client, i, name=f"client-{i}")
                 else:
-                    rt.spawn_client(thread_client, i, name=f"client-{i}")
+                    rt.client(thread_client, i, name=f"client-{i}")
             rt.join_clients()
             served = 0
             for ref in refs:  # blocking queries double as the drain barrier
@@ -870,7 +870,7 @@ def _hybrid_fan_in_run(spec: str, clients: int, shards: int,
         async def client(i: int) -> None:
             ref = group.ref_for(keys[i % shards])
             begin = time.perf_counter()
-            async with rt.separate_async(ref) as worker:
+            async with rt.aclient().separate(ref) as worker:
                 await worker.crunch(x0, y0, grid, limit)
             latencies[i] = time.perf_counter() - begin
 
@@ -879,7 +879,7 @@ def _hybrid_fan_in_run(spec: str, clients: int, shards: int,
         try:
             start = time.perf_counter()
             for i in range(clients):
-                rt.spawn_async_client(client, i, name=f"client-{i}")
+                rt.aclient(client, i, name=f"client-{i}")
             rt.join_clients()
             with group.separate() as g:  # scatter-gather doubles as the drain barrier
                 checksum = g.gather("checksum_value", merge=sum)
@@ -1140,6 +1140,10 @@ def main() -> int:
         "wire_codec": bench_wire_codec(wire_frames, wire_burst),
         "async_multiloop": bench_async_multiloop(ml_shards, ml_naps, ml_nap_s),
     }
+    import bench_serve
+
+    serve_params = bench_serve.smoke_params() if args.smoke else bench_serve.full_params()
+    results["serve_latency"] = bench_serve.bench_serve_latency(**serve_params)
 
     out = pathlib.Path(args.out) if args.out else (
         pathlib.Path(__file__).resolve().parent.parent / "BENCH_backends.json")
@@ -1204,6 +1208,7 @@ def main() -> int:
     ml = results["async_multiloop"]
     print(f"multi-loop async x{ml['loops']} loops: single {ml['single_loop_s']}s "
           f"-> multi {ml['multi_loop_s']}s ({ml['speedup']}x)")
+    bench_serve.print_summary(results["serve_latency"])
     print(f"wrote {out}")
 
     # gate the fresh measurement against the checked-in floors; the mode

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""The ``serve_latency`` series: open-loop HTTP latency through the gateway.
+
+Run standalone with::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py [--smoke]
+
+or as part of ``bench_backends.py``, which embeds the series into
+``BENCH_backends.json``.
+
+Every earlier series measures the runtime from the inside (a client object
+calling into a handler).  This one measures the whole serving path from the
+outside: real sockets into ``repro serve``'s gateway, REST routing, the
+read-path cache, admission control, then sharded QoQ dispatch — under an
+**open-loop** Poisson arrival process (see :mod:`repro.serve.loadgen` for
+why open-loop, and for the coordinated-omission guard: latency is measured
+from each request's *scheduled* arrival).
+
+Measured per backend (``process`` = executor dispatch into per-handler
+processes; ``hybrid`` = ``process+async``, coroutine connections on the
+backend's loop pool):
+
+* ``latency_p50_ms`` / ``latency_p99_ms`` / ``latency_worst_ms`` and
+  ``requests_per_s`` — the headline serving numbers (throughput is gated;
+  the latency percentiles are recorded as the trajectory, not gated,
+  because shared CI runners make absolute tail-latency floors meaningless);
+* ``shed_rate`` — fraction of offered load the admission controller turned
+  into immediate 503s instead of unbounded queueing;
+* the correctness oracles, gated in **every** mode: ``read_your_writes``
+  (every acked write visible to an immediate cache-crossing GET),
+  ``lossless`` (every 201-acked write present exactly once at the end —
+  no lost, no duplicated writes) and ``cache_effective`` (the read-path
+  cache actually served hits, ``cache_hits > 0``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from typing import Any, Dict, Tuple
+
+#: (series key, backend spec) — the two multi-core serving backends
+SERVE_BACKENDS: Tuple[Tuple[str, str], ...] = (
+    ("process", "process"),
+    ("hybrid", "process+async"),
+)
+
+
+def _one_backend(spec: str, rate: float, duration: float, cases: int,
+                 shards: int, watermark: int, read_fraction: float,
+                 seed: int) -> Dict[str, Any]:
+    from repro import QsRuntime
+    from repro.serve import run_load, serve_cases
+
+    with QsRuntime(backend=spec) as rt:
+        gateway = serve_cases(rt, shards=shards, watermark=watermark)
+        try:
+            host, port = gateway.address
+            report = run_load(host, port, rate=rate, duration=duration,
+                              cases=cases, read_fraction=read_fraction,
+                              seed=seed)
+            snap = rt.counters.snapshot()
+        finally:
+            gateway.stop()
+
+    row = report.as_dict()
+    row.update({
+        "backend_spec": spec,
+        "mode": gateway.mode,
+        "cache_hits": snap["cache_hits"],
+        "cache_misses": snap["cache_misses"],
+        "cache_invalidations": snap["cache_invalidations"],
+        "serve_shed": snap["serve_shed"],
+        # the gated booleans (bench_gate require_true paths)
+        "read_your_writes": report.read_your_writes and report.errors == 0,
+        "lossless": report.lost_writes == 0 and report.duplicated_writes == 0,
+        "cache_effective": snap["cache_hits"] > 0,
+    })
+    return row
+
+
+def bench_serve_latency(rate: float, duration: float, cases: int, shards: int,
+                        watermark: int, read_fraction: float = 0.9,
+                        seed: int = 20150207) -> Dict[str, Any]:
+    """Open-loop serve latency on every ``SERVE_BACKENDS`` entry."""
+    results: Dict[str, Any] = {
+        "workload": {
+            "rate_per_s": rate,
+            "duration_s": duration,
+            "cases": cases,
+            "shards": shards,
+            "watermark": watermark,
+            "read_fraction": read_fraction,
+            "seed": seed,
+        },
+    }
+    for key, spec in SERVE_BACKENDS:
+        results[key] = _one_backend(spec, rate, duration, cases, shards,
+                                    watermark, read_fraction, seed)
+    return results
+
+
+def print_summary(serve: Dict[str, Any]) -> None:
+    for key, _spec in SERVE_BACKENDS:
+        row = serve[key]
+        print(f"serve [{key}] {row['requests_per_s']}/s "
+              f"(p50 {row['latency_p50_ms']}ms p99 {row['latency_p99_ms']}ms "
+              f"worst {row['latency_worst_ms']}ms, shed {row['shed_rate']}) "
+              f"rw={row['read_your_writes']} lossless={row['lossless']} "
+              f"cache_hits={row['cache_hits']}")
+
+
+def smoke_params() -> Dict[str, Any]:
+    return {"rate": 150.0, "duration": 0.8, "cases": 16, "shards": 2,
+            "watermark": 64}
+
+
+def full_params() -> Dict[str, Any]:
+    return {"rate": 400.0, "duration": 3.0, "cases": 64, "shards": 4,
+            "watermark": 64}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny sizes for CI smoke runs")
+    parser.add_argument("--out", default=None,
+                        help="optional JSON output path (standalone runs)")
+    args = parser.parse_args()
+
+    params = smoke_params() if args.smoke else full_params()
+    serve = bench_serve_latency(**params)
+    print_summary(serve)
+    if args.out:
+        import pathlib
+
+        payload = {"meta": {"smoke": args.smoke}, "serve_latency": serve}
+        pathlib.Path(args.out).write_text(json.dumps(payload, indent=2) + "\n",
+                                          encoding="utf-8")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,9 +8,9 @@ Run with::
 
 The thread-per-client model caps realistic fan-in at a few hundred clients;
 this example spawns *thousands* of concurrent clients as asyncio tasks
-(``runtime.spawn_async_client``) against a small set of service handlers.
+(``runtime.aclient``) against a small set of service handlers.
 Each client opens awaitable separate blocks (``async with
-runtime.separate_async(...)``), logs commands with ``await svc.record(...)``
+runtime.aclient().separate(...)``), logs commands with ``await svc.record(...)``
 and reads its own tally back with an awaited query — the full SCOOP/Qs
 protocol (reservations, FIFO queue-of-queues service order, sync
 coalescing), just with coroutines where threads would be.
@@ -76,18 +76,18 @@ def main() -> int:
         async def client(client_id: int) -> None:
             ref = services[client_id % args.handlers]
             for round_no in range(args.rounds):
-                async with rt.separate_async(ref) as svc:
+                async with rt.aclient().separate(ref) as svc:
                     await svc.record(client_id, 1)
                     await svc.record(client_id, round_no)
             # one awaited query at the end: my tally must reflect exactly
             # my own requests, in order — guarantee 1 at 10k-task scale
-            async with rt.separate_async(ref) as svc:
+            async with rt.aclient().separate(ref) as svc:
                 expected = args.rounds + sum(range(args.rounds))
                 actual = await svc.tally_of(client_id)
                 assert actual == expected, (client_id, actual, expected)
 
         for i in range(args.clients):
-            rt.spawn_async_client(client, i, name=f"client-{i}")
+            rt.aclient(client, i, name=f"client-{i}")
         rt.join_clients()
 
         clients_seen = requests = total = 0

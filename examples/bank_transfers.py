@@ -72,8 +72,8 @@ def main() -> None:
                 with rt.separate(alice, bob) as (a, b):
                     observed_totals.append(a.read() + b.read())
 
-        threads = [rt.spawn_client(transferrer, i, name=f"transfer-{i}") for i in range(CLIENTS)]
-        threads.append(rt.spawn_client(auditor, name="auditor"))
+        threads = [rt.client(transferrer, i, name=f"transfer-{i}") for i in range(CLIENTS)]
+        threads.append(rt.client(auditor, name="auditor"))
         for thread in threads:
             thread.join()
 

@@ -67,7 +67,7 @@ def main() -> None:
                     meals[i] += 1
 
         for i in range(n):
-            rt.spawn_client(philosopher, i, name=f"philosopher-{i}")
+            rt.client(philosopher, i, name=f"philosopher-{i}")
         rt.join_clients()
 
         with rt.separate(*forks) as proxies:

@@ -124,9 +124,9 @@ def main() -> None:
         def worker_entry(worker_id: int) -> None:
             handled_counts[worker_id] = worker(worker_id)
 
-        rt.spawn_client(producer, name="producer")
+        rt.client(producer, name="producer")
         for w in range(args.workers):
-            rt.spawn_client(worker_entry, w, name=f"worker-{w}")
+            rt.client(worker_entry, w, name=f"worker-{w}")
         rt.join_clients()
 
         with rt.separate(sink) as s:

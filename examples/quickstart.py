@@ -62,7 +62,7 @@ def main() -> None:
                 if acc.current_balance() >= amount:
                     acc.withdraw(amount)
 
-        threads = [rt.spawn_client(spender, 10, name=f"spender-{i}") for i in range(5)]
+        threads = [rt.client(spender, 10, name=f"spender-{i}") for i in range(5)]
         for thread in threads:
             thread.join()
 

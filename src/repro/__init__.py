@@ -23,7 +23,10 @@ This package reproduces the PPoPP 2015 paper by West, Nanz and Meyer:
   cross-language backends;
 * :mod:`repro.workloads`  — the Cowichan and coordination benchmarks;
 * :mod:`repro.experiments`— drivers regenerating every table and figure of
-  the paper's evaluation.
+  the paper's evaluation;
+* :mod:`repro.serve`      — the HTTP gateway over sharded handlers: REST
+  routing, read-path cache, admission control and the open-loop load
+  generator (see ``docs/serving.md``).
 
 Quickstart::
 
@@ -57,20 +60,34 @@ The same program runs unmodified on either execution backend:
   the stuck participants);
 * ``QsRuntime(backend="process")`` — one OS **process** per handler behind
   framed sockets: true multi-core parallelism;
-* ``QsRuntime(backend="async")`` — one **asyncio** event loop hosting every
-  handler, with coroutine clients (``runtime.spawn_async_client`` +
-  ``async with runtime.separate_async(...)``) cheap enough for 10k+
-  concurrent fan-in.
+* ``QsRuntime(backend="async")`` — **asyncio** event loops hosting every
+  handler, with coroutine clients (``runtime.aclient(coro_fn)`` +
+  ``async with rt.aclient().separate(...)``) cheap enough for 10k+
+  concurrent fan-in;
+* ``QsRuntime(backend="process+async")`` — the **hybrid**: handlers in a
+  process worker pool, clients as coroutine tasks on a multi-loop pool.
+
+Clients of every shape come from one factory pair: ``runtime.client(fn)``
+spawns a client (thread or coroutine, following ``fn``'s shape) and
+``runtime.client()`` / ``runtime.aclient()`` return the calling thread's /
+task's own client.  The historical spellings ``spawn_client``,
+``spawn_async_client``, ``async_client`` and ``separate_async`` remain as
+deprecated aliases.
 
 Backends can also be selected per config (``QsConfig(backend="sim")``),
 per process (the ``REPRO_BACKEND`` environment variable), or from the
 command line (``repro --backend sim run bank-transfers``).  Install with
 ``pip install -e .[dev]`` and see the ``Makefile`` for the lint / test /
 bench entry points CI uses.
+
+The supported import surface of this top-level package is exactly
+``repro.__all__`` (guarded by ``tests/test_public_api.py`` and documented
+in ``docs/api.md``); anything deeper is internal and may change without
+notice.
 """
 
-from repro.backends import (AsyncBackend, BackendSpec, ExecutionBackend, ProcessBackend,
-                            SimBackend, ThreadedBackend, create_backend)
+from repro.backends import (AsyncBackend, BackendSpec, ExecutionBackend, HybridBackend,
+                            ProcessBackend, SimBackend, ThreadedBackend, create_backend)
 from repro.config import LEVEL_ORDER, OptimizationLevel, QsConfig
 from repro.core import (
     Expanded,
@@ -108,51 +125,65 @@ from repro.util.tracing import TraceEvent, Tracer
 
 __version__ = "1.0.0"
 
+# The curated public surface.  Grouped, alphabetical within each group;
+# tests/test_public_api.py pins the exact set so it cannot drift silently
+# (extending it is a deliberate act: update the golden list and docs/api.md
+# in the same change).
 __all__ = [
+    # runtime + configuration
+    "LEVEL_ORDER",
+    "LockBasedRuntime",
     "OptimizationLevel",
     "QsConfig",
-    "LEVEL_ORDER",
     "QsRuntime",
-    "LockBasedRuntime",
-    "qs_runtime",
     "lock_based_runtime",
-    "ExecutionBackend",
-    "ThreadedBackend",
-    "SimBackend",
-    "ProcessBackend",
+    "qs_runtime",
+    # execution backends
     "AsyncBackend",
+    "BackendSpec",
+    "ExecutionBackend",
+    "HybridBackend",
+    "ProcessBackend",
+    "SimBackend",
+    "ThreadedBackend",
+    "create_backend",
+    # the blocking client surface
+    "Handler",
+    "ReservedProxy",
+    "SeparateObject",
+    "SeparateRef",
+    "command",
+    "query",
+    # the awaitable client surface
     "AsyncClient",
     "AsyncReservedProxy",
     "AsyncSeparateBlock",
-    "ShardedGroup",
-    "ShardedProxy",
+    # sharding
     "AsyncShardedProxy",
     "ReshardPlan",
     "ShardTopology",
-    "BackendSpec",
-    "create_backend",
-    "Handler",
-    "SeparateObject",
-    "SeparateRef",
-    "ReservedProxy",
-    "command",
-    "query",
+    "ShardedGroup",
+    "ShardedProxy",
+    # expanded (by-value) types
     "Expanded",
     "ExpandedView",
     "expanded_view",
     "register_expanded",
-    "WaitStrategy",
-    "WaitOutcome",
-    "Tracer",
+    # wait conditions, tracing, guarantee checking
     "TraceEvent",
-    "check_runtime",
+    "Tracer",
+    "WaitOutcome",
+    "WaitStrategy",
     "assert_guarantees",
+    "check_runtime",
+    # error types
+    "DeadlockError",
+    "NotReservedError",
+    "QueryFailedError",
+    "ReservationError",
     "ScoopError",
     "SeparateAccessError",
-    "NotReservedError",
-    "ReservationError",
-    "QueryFailedError",
-    "DeadlockError",
     "WaitConditionTimeout",
+    # metadata
     "__version__",
 ]

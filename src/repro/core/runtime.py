@@ -27,8 +27,10 @@ evaluates; everything the runtime does is recorded in a shared
 
 from __future__ import annotations
 
+import inspect
 import os
 import threading
+import warnings
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.backends import ExecutionBackend, create_backend
@@ -217,12 +219,56 @@ class QsRuntime:
     # ------------------------------------------------------------------
     # clients (concurrent workloads spawn these)
     # ------------------------------------------------------------------
-    def spawn_client(self, fn: Callable[..., None], *args, name: Optional[str] = None, **kwargs) -> Any:
-        """Run ``fn`` as a new client; errors are collected for shutdown.
+    def client(self, fn: Optional[Callable[..., Any]] = None, *args,
+               name: Optional[str] = None, **kwargs) -> Any:
+        """The one client factory: spawn ``fn`` as a client, or get your own.
 
-        Returns a joinable handle: a real :class:`threading.Thread` under the
-        threaded backend, a virtual-time handle under the sim backend.
+        With a callable, runs ``fn(*args, **kwargs)`` as a new client and
+        returns a joinable handle; errors are collected and re-raised at
+        shutdown.  What kind of client ``fn`` becomes follows its shape: a
+        plain function runs on a client thread (a real
+        :class:`threading.Thread` under the threaded backend, a virtual-time
+        task under the sim backend), a coroutine function runs as an asyncio
+        task on the backend's event loop (asyncio backends only) — so one
+        spelling covers every backend.
+
+        Without arguments, returns the calling thread's blocking
+        :class:`~repro.core.client.Client` (the one ``runtime.separate``
+        uses).  Coroutine code wants :meth:`aclient` instead.
         """
+        if fn is None:
+            return self.current_client()
+        if inspect.iscoroutinefunction(fn):
+            return self._spawn_coroutine_client(fn, *args, name=name, **kwargs)
+        return self._spawn_thread_client(fn, *args, name=name, **kwargs)
+
+    def aclient(self, fn: Optional[Callable[..., Any]] = None, *args,
+                name: Optional[str] = None, **kwargs) -> Any:
+        """Awaitable twin of :meth:`client` for coroutine code.
+
+        With a coroutine function, runs ``fn(*args, **kwargs)`` as a client
+        task on the backend's event loop (thousands of concurrent clients
+        cost coroutines, not OS threads) and returns a handle that joins
+        from any thread.  Without arguments, returns the calling task's
+        :class:`~repro.core.async_api.AsyncClient` (created on first use),
+        whose ``separate(*refs)`` opens the awaitable separate block::
+
+            async with rt.aclient().separate(account) as acc:
+                await acc.deposit(42)
+                print(await acc.current_balance())
+        """
+        if fn is None:
+            from repro.core.async_api import current_async_client
+
+            return current_async_client(self)
+        if not inspect.iscoroutinefunction(fn):
+            raise TypeError(
+                f"aclient() spawns coroutine clients; {getattr(fn, '__name__', fn)!r} is not "
+                "a coroutine function — use runtime.client(...) for thread clients")
+        return self._spawn_coroutine_client(fn, *args, name=name, **kwargs)
+
+    def _spawn_thread_client(self, fn: Callable[..., None], *args,
+                             name: Optional[str] = None, **kwargs) -> Any:
         self._check_open()
 
         def _run() -> None:
@@ -235,17 +281,8 @@ class QsRuntime:
         self._client_handles.append(handle)
         return handle
 
-    def spawn_async_client(self, fn: Callable[..., Any], *args, name: Optional[str] = None,
-                           **kwargs) -> Any:
-        """Run the coroutine function ``fn`` as a client task (async backend).
-
-        ``fn(*args, **kwargs)`` must return a coroutine; it runs as an
-        asyncio task on the backend's event loop, so thousands of concurrent
-        clients cost coroutines, not OS threads.  Inside, use
-        ``async with runtime.separate_async(...)`` and ``await`` the proxy
-        methods.  Errors are collected and surfaced at shutdown exactly like
-        thread clients'; the returned handle joins from any thread.
-        """
+    def _spawn_coroutine_client(self, fn: Callable[..., Any], *args,
+                                name: Optional[str] = None, **kwargs) -> Any:
         self._check_open()
         from repro.core.async_api import AsyncClient, bind_async_client
 
@@ -265,22 +302,38 @@ class QsRuntime:
         self._client_handles.append(handle)
         return handle
 
+    # -- deprecated spellings (kept as thin aliases) -----------------------
+    @staticmethod
+    def _deprecated(old: str, new: str) -> None:
+        warnings.warn(f"QsRuntime.{old} is deprecated; use {new}",
+                      DeprecationWarning, stacklevel=3)
+
+    def spawn_client(self, fn: Callable[..., None], *args, name: Optional[str] = None,
+                     **kwargs) -> Any:
+        """Deprecated alias of :meth:`client` (thread-client path)."""
+        self._deprecated("spawn_client(fn, ...)", "runtime.client(fn, ...)")
+        return self._spawn_thread_client(fn, *args, name=name, **kwargs)
+
+    def spawn_async_client(self, fn: Callable[..., Any], *args, name: Optional[str] = None,
+                           **kwargs) -> Any:
+        """Deprecated alias of :meth:`aclient` (coroutine-client path)."""
+        self._deprecated("spawn_async_client(fn, ...)", "runtime.aclient(fn, ...)")
+        return self._spawn_coroutine_client(fn, *args, name=name, **kwargs)
+
     def async_client(self) -> Any:
-        """The calling task's awaitable client (created on first use)."""
+        """Deprecated alias of :meth:`aclient` (no-argument form)."""
+        self._deprecated("async_client()", "runtime.aclient()")
         from repro.core.async_api import current_async_client
 
         return current_async_client(self)
 
     def separate_async(self, *refs: SeparateRef):
-        """Awaitable twin of :meth:`separate` for coroutine clients.
-
-        Returns an ``async with`` context manager; the reserved proxies'
-        methods are coroutines (``await acc.deposit(1)``,
-        ``await acc.read()``).  Only available on the asyncio backend; wait
-        conditions (``wait_until``) remain thread-client-only.
-        """
+        """Deprecated alias of ``runtime.aclient().separate(*refs)``."""
+        self._deprecated("separate_async(...)", "runtime.aclient().separate(...)")
         self._check_open()
-        return self.async_client().separate(*refs)
+        from repro.core.async_api import current_async_client
+
+        return current_async_client(self).separate(*refs)
 
     def join_clients(self, timeout: Optional[float] = None) -> None:
         """Wait for every spawned client to finish."""

@@ -142,8 +142,8 @@ def run_bank_transfers(rt, clients: int = DEFAULT_CLIENTS,
                 audits.append(a.read() + b.read())
 
     for i in range(clients):
-        rt.spawn_client(transferrer, i, name=f"transfer-{i}")
-    rt.spawn_client(auditor, name="auditor")
+        rt.client(transferrer, i, name=f"transfer-{i}")
+    rt.client(auditor, name="auditor")
     rt.join_clients()
     with rt.separate(alice, bob) as (a, b):
         final = (a.read(), b.read())
@@ -207,7 +207,7 @@ def run_sharded_counter(rt, clients: int = DEFAULT_CLIENTS,
     for i in range(clients):
         rng = py_random(i)
         expected += sum(rng.randint(1, 9) for _ in range(iterations))
-        rt.spawn_client(worker, i, name=f"sharder-{i}")
+        rt.client(worker, i, name=f"sharder-{i}")
     rt.join_clients()
     with group.separate() as g:
         final = g.gather("read", merge=sum)
@@ -304,8 +304,8 @@ def run_resharding_bank(rt, clients: int = DEFAULT_CLIENTS,
             group.rebalance(target, keys=list(RESHARD_KEYS))
 
     for i in range(clients):
-        rt.spawn_client(worker, i, name=f"banker-{i}")
-    rt.spawn_client(resharder, name="resharder")
+        rt.client(worker, i, name=f"banker-{i}")
+    rt.client(resharder, name="resharder")
     rt.join_clients()
     with group.separate() as g:
         dumps = g.gather("dump")
@@ -431,7 +431,7 @@ def run_dining_philosophers(rt, clients: int = DEFAULT_CLIENTS,
                     meals[i] += 1
 
     for i in range(n):
-        rt.spawn_client(philosopher, i, name=f"philosopher-{i}")
+        rt.client(philosopher, i, name=f"philosopher-{i}")
     rt.join_clients()
     with rt.separate(*forks) as proxies:
         proxies = proxies if isinstance(proxies, tuple) else (proxies,)

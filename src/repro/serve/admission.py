@@ -1,0 +1,63 @@
+"""Admission control: shed load with 503s before a shard queue collapses.
+
+An open-loop arrival process does not slow down because the server is slow
+— queues grow without bound and every request's latency goes to infinity
+together.  The admission controller bounds that: each request names an
+entity, the entity names a shard (via the group's
+:class:`~repro.shard.depth.ShardDepthProbe`), and when that shard's depth
+— gateway in-flight plus locally visible QoQ backlog — has crossed the
+watermark the request is refused with a 503 immediately (counted in
+``serve_shed``) instead of being queued.  Shedding is per-shard: one hot
+entity saturating its shard does not take down reads for entities living
+on the other shards.
+
+The probe's in-flight half is maintained here: :meth:`admit` returns a
+ticket whose release is the caller's responsibility on **every** path out
+of the request (response written, handler raised, client vanished) — the
+gateway brackets dispatch with ``try/finally``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.util.counters import Counters
+
+#: default per-shard depth watermark; deliberately small — a shard drains
+#: strictly FIFO, so everything admitted beyond the watermark only adds
+#: queueing delay to every later request on that shard
+DEFAULT_WATERMARK = 64
+
+
+@dataclass
+class Ticket:
+    """Proof of admission; give it back via :meth:`AdmissionController.release`."""
+
+    token: str
+    key: Any
+
+
+class AdmissionController:
+    """Watermark-based per-shard load shedding over a depth probe."""
+
+    def __init__(self, probe: Any, watermark: int = DEFAULT_WATERMARK,
+                 counters: Optional[Counters] = None) -> None:
+        if watermark < 1:
+            raise ValueError(f"admission watermark must be >= 1, got {watermark}")
+        self.probe = probe
+        self.watermark = watermark
+        self.counters = counters or Counters()
+
+    def admit(self, key: Any) -> Optional[Ticket]:
+        """Admit a request for ``key``'s shard, or shed it (``None`` = 503)."""
+        if self.probe.depth(key) >= self.watermark:
+            self.counters.bump("serve_shed")
+            return None
+        token = self.probe.enter(key)
+        return Ticket(token=token, key=key)
+
+    def release(self, ticket: Optional[Ticket]) -> None:
+        """Release an admitted request's slot (no-op for ``None``)."""
+        if ticket is not None:
+            self.probe.exit(ticket.token)

@@ -1,0 +1,203 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The gateway is a systems benchmark, not a web framework: this module
+implements exactly the slice of HTTP/1.1 the load generator and tests
+exercise — request line, headers, ``Content-Length`` bodies, keep-alive —
+and rejects everything else loudly with :class:`BadRequest` (the gateway
+turns that into a 400).  No chunked encoding, no continuations, no
+pipelining guarantees beyond serial keep-alive.
+
+Kept free of gateway imports so the load generator and the tests can use
+the same framing code from the client side.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, unquote, urlsplit
+
+#: request line + each header line are capped; a peer that sends more is
+#: malformed, not patient
+MAX_LINE = 8192
+MAX_HEADERS = 64
+MAX_BODY = 1 << 20
+
+STATUS_PHRASES = {
+    200: "OK",
+    201: "Created",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+_KNOWN_METHODS = ("GET", "PUT", "POST", "DELETE", "HEAD", "OPTIONS", "PATCH")
+
+
+class BadRequest(Exception):
+    """The peer sent bytes this server does not accept as HTTP/1.1."""
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request, as much of it as the gateway cares about."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8")) if self.body else None
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"request body is not valid JSON: {exc}") from None
+
+
+async def _read_line(reader: asyncio.StreamReader) -> bytes:
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            raise EOFError("connection closed between requests") from None
+        raise BadRequest("connection closed mid-request-line") from None
+    except asyncio.LimitOverrunError:
+        raise BadRequest("header line exceeds limit") from None
+    if len(line) > MAX_LINE:
+        raise BadRequest("header line exceeds limit")
+    return line[:-2]
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest:
+    """Parse one request off ``reader``.
+
+    Raises :class:`BadRequest` for malformed bytes (caller answers 400 and
+    closes) and :class:`EOFError` for a clean close between requests
+    (caller just closes).
+    """
+    request_line = await _read_line(reader)
+    parts = request_line.split(b" ")
+    if len(parts) != 3:
+        raise BadRequest(f"malformed request line: {request_line[:80]!r}")
+    method_b, target_b, version_b = parts
+    try:
+        method = method_b.decode("ascii")
+        target = target_b.decode("ascii")
+        version = version_b.decode("ascii")
+    except UnicodeDecodeError:
+        raise BadRequest("request line is not ASCII") from None
+    if method not in _KNOWN_METHODS:
+        raise BadRequest(f"unknown method {method!r}")
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise BadRequest(f"unsupported protocol version {version!r}")
+    if not target.startswith("/"):
+        raise BadRequest(f"request target must be absolute-path, got {target!r}")
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        line = await _read_line(reader)
+        if not line:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise BadRequest("too many header lines")
+        name, sep, value = line.partition(b":")
+        if not sep or not name or name != name.strip():
+            raise BadRequest(f"malformed header line: {line[:80]!r}")
+        try:
+            headers[name.decode("ascii").lower()] = value.strip().decode("latin-1")
+        except UnicodeDecodeError:
+            raise BadRequest("header name is not ASCII") from None
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise BadRequest(f"bad Content-Length: {headers['content-length']!r}") from None
+        if length < 0 or length > MAX_BODY:
+            raise BadRequest(f"Content-Length {length} out of range")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("connection closed mid-body") from None
+    elif headers.get("transfer-encoding"):
+        raise BadRequest("Transfer-Encoding is not supported; use Content-Length")
+
+    split = urlsplit(target)
+    connection = headers.get("connection", "").lower()
+    keep_alive = (version == "HTTP/1.1" and connection != "close") or \
+                 (version == "HTTP/1.0" and connection == "keep-alive")
+    return HttpRequest(
+        method=method,
+        path=unquote(split.path),
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def format_response(status: int, body: bytes = b"",
+                    content_type: str = "application/json",
+                    keep_alive: bool = True,
+                    extra_headers: Optional[Dict[str, str]] = None) -> bytes:
+    """Serialise one response (always with Content-Length, never chunked)."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if body:
+        lines.append(f"Content-Type: {content_type}")
+    for name, value in (extra_headers or {}).items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body
+
+
+def json_response(status: int, payload: Any, keep_alive: bool = True,
+                  extra_headers: Optional[Dict[str, str]] = None) -> bytes:
+    body = json.dumps(payload, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    return format_response(status, body, keep_alive=keep_alive,
+                           extra_headers=extra_headers)
+
+
+# ----------------------------------------------------------------------
+# the client side (load generator / tests)
+# ----------------------------------------------------------------------
+async def read_response(reader: asyncio.StreamReader) -> Tuple[int, Dict[str, str], bytes]:
+    """Parse one response; returns ``(status, headers, body)``."""
+    status_line = await _read_line(reader)
+    parts = status_line.split(b" ", 2)
+    if len(parts) < 2:
+        raise BadRequest(f"malformed status line: {status_line[:80]!r}")
+    status = int(parts[1])
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader)
+        if not line:
+            break
+        name, _, value = line.partition(b":")
+        headers[name.decode("ascii").lower()] = value.strip().decode("latin-1")
+    body = b""
+    if "content-length" in headers:
+        body = await reader.readexactly(int(headers["content-length"]))
+    return status, headers, body
+
+
+def format_request(method: str, target: str, body: bytes = b"",
+                   keep_alive: bool = True) -> bytes:
+    lines = [f"{method} {target} HTTP/1.1", "Host: repro-serve"]
+    if body:
+        lines.append("Content-Length: %d" % len(body))
+        lines.append("Content-Type: application/json")
+    if not keep_alive:
+        lines.append("Connection: close")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("ascii") + body

@@ -1,0 +1,255 @@
+"""Open-loop Poisson load generation + correctness oracles for the gateway.
+
+Closed-loop benchmarks (every prior series in ``bench_backends``) send the
+next request when the previous one returns, so a slow server quietly slows
+the *offered* load down and the numbers look fine.  Real traffic does not
+wait: this generator draws exponential inter-arrival gaps (a Poisson
+process at ``rate`` requests/s) and fires each request at its scheduled
+time whether or not earlier ones completed.  Latency is measured from the
+**scheduled arrival**, not from when the socket write happened — the
+standard guard against coordinated omission: if the generator (or the
+server) falls behind, the backlog shows up as tail latency instead of
+silently thinning the load.
+
+The run doubles as a correctness check, with two oracles:
+
+* **read-your-writes** — after every acknowledged write the same logical
+  client immediately GETs the resource over a *fresh connection* and must
+  see its write (unique per-write tokens).  This crosses the gateway cache
+  on purpose: a stale-repopulation bug would fail here.
+* **lossless writes** — after the run, every case's allegation list is
+  fetched once; the union of tokens must contain every 201-acknowledged
+  token exactly once (no lost, no duplicated writes).  Shed (503) writes
+  must *not* appear: shedding happens before dispatch.
+
+Everything runs on a private asyncio loop in the calling thread; each
+request uses its own connection (the per-connection AsyncClient is part of
+what is being measured).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.serve.http import format_request, read_response
+
+#: in-flight cap so an overloaded run degrades into queueing (visible as
+#: latency) instead of file-descriptor exhaustion
+MAX_IN_FLIGHT = 512
+
+
+@dataclass
+class LoadReport:
+    """Everything one load run measured (latencies in seconds)."""
+
+    offered: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    duration: float = 0.0
+    p50: float = 0.0
+    p99: float = 0.0
+    worst: float = 0.0
+    writes_acked: int = 0
+    lost_writes: int = 0
+    duplicated_writes: int = 0
+    read_your_writes: bool = True
+    rw_checks: int = 0
+    latencies: List[float] = field(default_factory=list, repr=False)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.ok / self.duration if self.duration else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "offered": self.offered,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "duration_s": round(self.duration, 4),
+            "requests_per_s": round(self.requests_per_s, 2),
+            "shed_rate": round(self.shed_rate, 4),
+            "latency_p50_ms": round(self.p50 * 1e3, 3),
+            "latency_p99_ms": round(self.p99 * 1e3, 3),
+            "latency_worst_ms": round(self.worst * 1e3, 3),
+            "writes_acked": self.writes_acked,
+            "lost_writes": self.lost_writes,
+            "duplicated_writes": self.duplicated_writes,
+            "read_your_writes": self.read_your_writes,
+            "rw_checks": self.rw_checks,
+        }
+
+
+def _percentile(sorted_values: List[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+async def _request(host: str, port: int, method: str, target: str,
+                   payload: Optional[dict] = None) -> Tuple[int, Any]:
+    """One request on its own connection; returns (status, decoded body)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        body = json.dumps(payload).encode() if payload is not None else b""
+        writer.write(format_request(method, target, body, keep_alive=False))
+        await writer.drain()
+        status, _headers, raw = await read_response(reader)
+        return status, (json.loads(raw) if raw else None)
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+async def _request_ok(host: str, port: int, method: str, target: str,
+                      payload: Optional[dict] = None,
+                      give_up_after: float = 5.0) -> Tuple[int, Any]:
+    """Like :func:`_request`, but retries shed (503) responses with backoff.
+
+    The oracles must distinguish "the shard refused this instant" (admission
+    backpressure, retryable by design — the response says ``Retry-After``)
+    from an actual consistency violation.  A probe that is still being shed
+    past the deadline is returned as-is and the caller treats it as an
+    error, not as missing data.
+    """
+    deadline = time.monotonic() + give_up_after
+    while True:
+        status, body = await _request(host, port, method, target, payload)
+        if status != 503 or time.monotonic() >= deadline:
+            return status, body
+        await asyncio.sleep(0.05)
+
+
+async def _run_async(host: str, port: int, rate: float, duration: float,
+                     cases: int, read_fraction: float, seed: int,
+                     rw_check_every: int) -> LoadReport:
+    rng = random.Random(seed)
+    report = LoadReport()
+    acked: List[str] = []
+    rw_failures: List[str] = []
+    gate = asyncio.Semaphore(MAX_IN_FLIGHT)
+    tasks: List[asyncio.Task] = []
+    write_seq = 0
+
+    async def one(scheduled: float, method: str, target: str,
+                  payload: Optional[dict], token: Optional[str],
+                  case_id: str) -> None:
+        async with gate:
+            try:
+                status, body = await _request(host, port, method, target, payload)
+            except (ConnectionError, OSError, asyncio.IncompleteReadError, EOFError):
+                report.errors += 1
+                return
+            latency = time.monotonic() - scheduled
+            if status == 503:
+                report.shed += 1
+                return
+            if status >= 400:
+                report.errors += 1
+                return
+            report.ok += 1
+            report.latencies.append(latency)
+            if token is not None:
+                acked.append(token)
+                if rw_check_every and len(acked) % rw_check_every == 0:
+                    # read-your-writes probe: fresh connection, must see it
+                    # (retries through 503s: shed is backpressure, not
+                    # inconsistency)
+                    report.rw_checks += 1
+                    try:
+                        probe_status, listing = await _request_ok(
+                            host, port, "GET", f"/cases/{case_id}/allegations")
+                    except (ConnectionError, OSError,
+                            asyncio.IncompleteReadError, EOFError):
+                        report.errors += 1
+                        return
+                    if probe_status != 200:
+                        report.errors += 1
+                        return
+                    tokens = [a.get("token") for a in (listing or {}).get("allegations", [])]
+                    if token not in tokens:
+                        rw_failures.append(token)
+
+    # setup phase (untimed): create every case document up front so the
+    # timed mix never reads a case that does not exist yet
+    for case in range(cases):
+        await _request_ok(host, port, "PUT", f"/cases/case-{case}",
+                          {"title": f"case {case}"})
+
+    start = time.monotonic()
+    deadline = start + duration
+    scheduled = start
+    while True:
+        scheduled += rng.expovariate(rate)
+        if scheduled >= deadline:
+            break
+        delay = scheduled - time.monotonic()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        case_id = f"case-{rng.randrange(cases)}"
+        report.offered += 1
+        if rng.random() < read_fraction:
+            target = (f"/cases/{case_id}" if rng.random() < 0.5
+                      else f"/cases/{case_id}/allegations")
+            tasks.append(asyncio.ensure_future(
+                one(scheduled, "GET", target, None, None, case_id)))
+        else:
+            write_seq += 1
+            token = f"w{seed}-{write_seq}"
+            payload = {"token": token, "text": f"allegation {write_seq}"}
+            tasks.append(asyncio.ensure_future(
+                one(scheduled, "POST", f"/cases/{case_id}/allegations",
+                    payload, token, case_id)))
+    if tasks:
+        await asyncio.gather(*tasks)
+    report.duration = time.monotonic() - start
+
+    # ---- lossless-writes oracle over the final state -------------------
+    # the load has stopped, so a shed sweep GET only needs a short retry
+    # while the admitted backlog drains
+    seen: Dict[str, int] = {}
+    for case in range(cases):
+        _status, listing = await _request_ok(host, port, "GET",
+                                             f"/cases/case-{case}/allegations")
+        for allegation in (listing or {}).get("allegations", []):
+            token = allegation.get("token")
+            if token:
+                seen[token] = seen.get(token, 0) + 1
+    report.writes_acked = len(acked)
+    report.lost_writes = sum(1 for token in acked if token not in seen)
+    report.duplicated_writes = sum(1 for count in seen.values() if count > 1)
+    report.read_your_writes = not rw_failures
+
+    report.latencies.sort()
+    report.p50 = _percentile(report.latencies, 0.50)
+    report.p99 = _percentile(report.latencies, 0.99)
+    report.worst = report.latencies[-1] if report.latencies else 0.0
+    return report
+
+
+def run_load(host: str, port: int, rate: float = 200.0, duration: float = 2.0,
+             cases: int = 50, read_fraction: float = 0.9, seed: int = 1234,
+             rw_check_every: int = 1) -> LoadReport:
+    """Drive the gateway at ``rate`` req/s for ``duration`` seconds.
+
+    ``read_fraction`` splits the mix (reads hit the two cacheable GETs,
+    writes POST uniquely-tokened allegations); ``rw_check_every`` issues a
+    read-your-writes probe after every Nth acknowledged write (0 disables).
+    Runs its own event loop — call from a plain thread, not a coroutine.
+    """
+    return asyncio.run(_run_async(host, port, rate, duration, cases,
+                                  read_fraction, seed, rw_check_every))

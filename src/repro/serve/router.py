@@ -1,0 +1,133 @@
+"""Declarative REST routing: method + path template -> handler coroutine.
+
+A :class:`Router` is a plain table of :class:`Route` entries.  Path
+templates use ``{name}`` placeholders (``/cases/{case_id}/allegations``);
+a resolved match binds each placeholder to the corresponding path segment.
+Routes declare, not code, the two properties the gateway's cross-cutting
+machinery needs:
+
+* ``entity`` — which placeholder names the sharded entity.  Admission
+  control and cache invalidation key on it; entity-less routes (health,
+  metrics) bypass both.
+* ``cache`` — whether a GET through this route may be served from the
+  read-path cache (keyed per entity + full path).
+
+Handlers are ``async def handler(ctx, request, **params)`` coroutines
+returning ``(status, payload)``; ``ctx`` is whatever the application wired
+in (for the case portal: the store ops facade).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+_PLACEHOLDER = re.compile(r"\{([a-zA-Z_][a-zA-Z0-9_]*)\}")
+
+
+def _compile(template: str) -> "re.Pattern[str]":
+    if not template.startswith("/"):
+        raise ValueError(f"route template must start with '/', got {template!r}")
+    pattern = ""
+    pos = 0
+    for match in _PLACEHOLDER.finditer(template):
+        pattern += re.escape(template[pos:match.start()])
+        pattern += f"(?P<{match.group(1)}>[^/]+)"
+        pos = match.end()
+    pattern += re.escape(template[pos:])
+    return re.compile(f"^{pattern}$")
+
+
+@dataclass(frozen=True)
+class Route:
+    """One routing table entry (see module docstring for the fields)."""
+
+    method: str
+    template: str
+    handler: Callable[..., Any]
+    entity: Optional[str] = None
+    cache: bool = False
+    pattern: "re.Pattern[str]" = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "pattern", _compile(self.template))
+        if self.cache and self.method != "GET":
+            raise ValueError(f"only GET routes are cacheable: {self.method} {self.template}")
+        if self.entity is not None and f"{{{self.entity}}}" not in self.template:
+            raise ValueError(
+                f"route {self.template!r} declares entity {self.entity!r} "
+                "but the template has no such placeholder")
+
+
+@dataclass(frozen=True)
+class Match:
+    """A resolved route plus its bound placeholders."""
+
+    route: Route
+    params: Dict[str, str]
+
+    @property
+    def entity_key(self) -> Optional[str]:
+        return self.params[self.route.entity] if self.route.entity else None
+
+
+class Router:
+    """An ordered route table with decorator registration."""
+
+    def __init__(self) -> None:
+        self._routes: List[Route] = []
+
+    @property
+    def routes(self) -> Tuple[Route, ...]:
+        return tuple(self._routes)
+
+    def add(self, method: str, template: str, handler: Callable[..., Any],
+            entity: Optional[str] = None, cache: bool = False) -> Route:
+        route = Route(method=method.upper(), template=template, handler=handler,
+                      entity=entity, cache=cache)
+        self._routes.append(route)
+        return route
+
+    def _decorator(self, method: str, template: str, entity: Optional[str],
+                   cache: bool) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        def register(fn: Callable[..., Any]) -> Callable[..., Any]:
+            self.add(method, template, fn, entity=entity, cache=cache)
+            return fn
+        return register
+
+    def get(self, template: str, entity: Optional[str] = None,
+            cache: bool = False) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        return self._decorator("GET", template, entity, cache)
+
+    def put(self, template: str,
+            entity: Optional[str] = None) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        return self._decorator("PUT", template, entity, cache=False)
+
+    def post(self, template: str,
+             entity: Optional[str] = None) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+        return self._decorator("POST", template, entity, cache=False)
+
+    def resolve(self, method: str, path: str) -> "Match | int | None":
+        """Match ``method path`` against the table.
+
+        Returns a :class:`Match`, or ``405`` when the path exists under a
+        different method, or ``None`` (404) when no template matches at all.
+        """
+        path_matched = False
+        for route in self._routes:
+            m = route.pattern.match(path)
+            if m is None:
+                continue
+            if route.method == method.upper():
+                return Match(route=route, params=m.groupdict())
+            path_matched = True
+        return 405 if path_matched else None
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """The table as data (used by ``GET /routes`` and the docs tests)."""
+        return [
+            {"method": r.method, "template": r.template, "entity": r.entity,
+             "cache": r.cache, "handler": getattr(r.handler, "__name__", str(r.handler))}
+            for r in self._routes
+        ]

@@ -252,7 +252,22 @@ class ShardedGroup:
         from repro.shard.proxy import AsyncShardedBlock
 
         self._check_populated()
-        return AsyncShardedBlock(self.runtime.async_client(), self)
+        return AsyncShardedBlock(self.runtime.aclient(), self)
+
+    # ------------------------------------------------------------------
+    # load signals
+    # ------------------------------------------------------------------
+    def depth_probe(self) -> Any:
+        """A :class:`~repro.shard.depth.ShardDepthProbe` over this group.
+
+        Gateways and admission controllers use it to judge per-shard load:
+        callers bracket admitted work with ``enter(key)``/``exit(token)`` and
+        read ``depth(key)`` against a watermark.  The probe follows the live
+        topology, so it stays correct across :meth:`rebalance`.
+        """
+        from repro.shard.depth import ShardDepthProbe
+
+        return ShardDepthProbe(self)
 
     # ------------------------------------------------------------------
     # resharding: plan, then apply live

@@ -25,6 +25,13 @@ The counters correspond directly to the cost sources discussed in the paper:
 * ``ring_epoch``        -- ring epoch bumps (= completed rebalances)
 * ``shard_failovers``   -- handlers re-pinned onto a surviving worker after
                            a process-backend worker death
+* ``serve_requests``    -- HTTP requests accepted by the ``repro serve``
+                           gateway (everything that got a response)
+* ``serve_shed``        -- requests shed with 503 by admission control
+* ``cache_hits``        -- gateway GETs answered from the read-path cache
+* ``cache_misses``      -- gateway GETs that had to query the shard
+* ``cache_invalidations``-- cache entries dropped by write-through
+                           invalidation
 """
 
 from __future__ import annotations
@@ -58,6 +65,11 @@ COUNTER_NAMES = (
     "reshard_moves",
     "ring_epoch",
     "shard_failovers",
+    "serve_requests",
+    "serve_shed",
+    "cache_hits",
+    "cache_misses",
+    "cache_invalidations",
 )
 
 

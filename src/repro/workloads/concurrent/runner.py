@@ -57,7 +57,7 @@ def run_mutex(runtime: QsRuntime, sizes: ConcurrentSizes) -> WorkloadResult:
 
     watch = Stopwatch()
     with watch:
-        threads = [runtime.spawn_client(client, name=f"mutex-{i}") for i in range(sizes.n)]
+        threads = [runtime.client(client, name=f"mutex-{i}") for i in range(sizes.n)]
         for thread in threads:
             thread.join()
         with runtime.separate(counter) as c:
@@ -91,8 +91,8 @@ def run_prodcons(runtime: QsRuntime, sizes: ConcurrentSizes) -> WorkloadResult:
     with watch:
         threads = []
         for i in range(sizes.n):
-            threads.append(runtime.spawn_client(producer, i * sizes.m, name=f"producer-{i}"))
-            threads.append(runtime.spawn_client(consumer, collected_by_consumer[i], name=f"consumer-{i}"))
+            threads.append(runtime.client(producer, i * sizes.m, name=f"producer-{i}"))
+            threads.append(runtime.client(consumer, collected_by_consumer[i], name=f"consumer-{i}"))
         for thread in threads:
             thread.join()
         with runtime.separate(queue) as q:
@@ -119,8 +119,8 @@ def run_condition(runtime: QsRuntime, sizes: ConcurrentSizes) -> WorkloadResult:
     with watch:
         threads = []
         for i in range(sizes.n):
-            threads.append(runtime.spawn_client(worker, 0, name=f"even-{i}"))
-            threads.append(runtime.spawn_client(worker, 1, name=f"odd-{i}"))
+            threads.append(runtime.client(worker, 0, name=f"even-{i}"))
+            threads.append(runtime.client(worker, 1, name=f"odd-{i}"))
         for thread in threads:
             thread.join()
         with runtime.separate(counter) as c:
@@ -196,7 +196,7 @@ def run_chameneos(runtime: QsRuntime, sizes: ConcurrentSizes) -> WorkloadResult:
 
     watch = Stopwatch()
     with watch:
-        threads = [runtime.spawn_client(creature, i, name=f"chameneos-{i}") for i in range(creatures)]
+        threads = [runtime.client(creature, i, name=f"chameneos-{i}") for i in range(creatures)]
         for thread in threads:
             thread.join()
         with runtime.separate(place) as mp:

@@ -96,7 +96,7 @@ def run_bank_transfers(args: argparse.Namespace) -> int:
                     b.credit(amount)
 
         for i in range(args.clients):
-            rt.spawn_client(transferrer, i, name=f"transfer-{i}")
+            rt.client(transferrer, i, name=f"transfer-{i}")
         rt.join_clients()
         with rt.separate(alice, bob) as (a, b):
             balances = (a.read(), b.read())
@@ -130,7 +130,7 @@ def run_dining_philosophers(args: argparse.Namespace) -> int:
                     meals[i] += 1
 
         for i in range(n):
-            rt.spawn_client(philosopher, i, name=f"philosopher-{i}")
+            rt.client(philosopher, i, name=f"philosopher-{i}")
         rt.join_clients()
         with rt.separate(*forks) as proxies:
             proxies = proxies if isinstance(proxies, tuple) else (proxies,)
@@ -171,7 +171,7 @@ def run_sharded_bank(args: argparse.Namespace) -> int:
                     g.on(dst).credit(amount)
 
         for i in range(args.clients):
-            rt.spawn_client(transferrer, i, name=f"transfer-{i}")
+            rt.client(transferrer, i, name=f"transfer-{i}")
         rt.join_clients()
         with group.separate() as g:
             per_shard = g.gather("read")

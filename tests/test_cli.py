@@ -218,6 +218,68 @@ class TestBackendOption:
             main(["trace", "--clients", "1", "--iterations", "1"])
 
 
+class TestSpecGrammar:
+    # the one grammar drives the help text AND every parse error, so the
+    # three can never drift apart (ws-normalised: argparse re-wraps lines)
+    @staticmethod
+    def _normalize(text):
+        return " ".join(text.split())
+
+    def test_help_text_derives_from_spec_grammar(self):
+        from repro.backends import SPEC_GRAMMAR
+
+        help_text = build_parser().format_help()
+        assert self._normalize(SPEC_GRAMMAR) in self._normalize(help_text)
+
+    def test_spec_parse_errors_quote_the_grammar(self):
+        from repro.backends import SPEC_GRAMMAR, BackendSpec
+
+        with pytest.raises(ValueError) as excinfo:
+            BackendSpec.parse("process:msgpack")
+        assert SPEC_GRAMMAR in str(excinfo.value)
+
+    def test_parser_rejection_quotes_the_grammar(self, capsys):
+        from repro.backends import SPEC_GRAMMAR
+
+        with pytest.raises(SystemExit):
+            main(["--backend", "process:msgpack", "run", "bank-transfers"])
+        err = capsys.readouterr().err
+        assert self._normalize(SPEC_GRAMMAR) in self._normalize(err)
+
+
+class TestServe:
+    def test_serve_registered_with_its_options(self):
+        serve_parser = build_parser()._subparsers._group_actions[0].choices["serve"]
+        serve_help = serve_parser.format_help()
+        for option in ("--host", "--port", "--shards", "--watermark", "--no-cache",
+                       "--load", "--rate", "--duration", "--cases",
+                       "--read-fraction", "--seed"):
+            assert option in serve_help
+
+    def test_serve_validations(self):
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["serve", "--shards", "0"])
+        with pytest.raises(SystemExit, match="--rate"):
+            main(["serve", "--load", "--rate", "0"])
+        with pytest.raises(SystemExit, match="--read-fraction"):
+            main(["serve", "--load", "--read-fraction", "1.5"])
+
+    def test_serve_rejects_the_sim_backend(self):
+        with pytest.raises(SystemExit, match="virtual time"):
+            main(["--backend", "sim", "serve", "--port", "0", "--duration", "0.1"])
+
+    def test_serve_load_run_passes_its_oracles(self, capsys):
+        code, out = run_cli(capsys, "serve", "--port", "0", "--load",
+                            "--rate", "150", "--duration", "0.5",
+                            "--cases", "8", "--seed", "7")
+        assert code == 0, out
+        assert "serving cases on http://" in out
+        assert "oracles: ok" in out
+        assert "lost_writes: 0" in out
+        assert "duplicated_writes: 0" in out
+        assert "read_your_writes: True" in out
+
+
 class TestExperimentAndFigures:
     def test_experiment_table5_runs_from_the_cli(self, capsys):
         code, out = run_cli(capsys, "experiment", "table5")
